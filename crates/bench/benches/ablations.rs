@@ -1,0 +1,178 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **written bit** — cleaning probes with vs. without the written-bit
+//!   filter (without it, every dirty line is written back on probe: more
+//!   traffic for the same dirty-line reduction);
+//! * **write-buffer depth** — 1/4/16/64 entries between the write-through
+//!   L1D and the L2;
+//! * **ECC entries per set** — the area/traffic trade-off of widening the
+//!   shared ECC array.
+//!
+//! Each bench *measures simulation cost* while printing the ablation's
+//! figure-of-merit once, so `cargo bench` output doubles as the ablation
+//! report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+use aep_core::{AreaModel, SchemeKind};
+use aep_cpu::CoreConfig;
+use aep_mem::{CacheConfig, HierarchyConfig};
+use aep_sim::System;
+use aep_workloads::Benchmark;
+
+const WINDOW: u64 = 200_000;
+
+fn run_cleaning(respect_written: bool) -> (f64, u64) {
+    let mut sys = System::new(
+        CoreConfig::date2006(),
+        HierarchyConfig::date2006(),
+        SchemeKind::UniformWithCleaning {
+            cleaning_interval: 64 * 1024,
+        },
+        Benchmark::Gap.generator(11),
+    );
+    sys.set_respect_written_bit(respect_written);
+    let now = sys.run(0, WINDOW / 2);
+    let wb0 = sys.hier.l2().stats().writebacks_cleaning;
+    let mut dirty_sum = 0.0;
+    for tick in now..now + WINDOW {
+        sys.step(tick);
+        dirty_sum += sys.hier.l2_dirty_fraction();
+    }
+    (
+        dirty_sum / WINDOW as f64,
+        sys.hier.l2().stats().writebacks_cleaning - wb0,
+    )
+}
+
+fn ablation_written_bit(c: &mut Criterion) {
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        let (dirty_with, wb_with) = run_cleaning(true);
+        let (dirty_without, wb_without) = run_cleaning(false);
+        eprintln!("\n[ablation:written-bit] gap @64K-cycle cleaning, {WINDOW}-cycle window");
+        eprintln!(
+            "  with written bit    : dirty {:.2}%  cleaning write-backs {}",
+            dirty_with * 100.0,
+            wb_with
+        );
+        eprintln!(
+            "  without written bit : dirty {:.2}%  cleaning write-backs {}",
+            dirty_without * 100.0,
+            wb_without
+        );
+    });
+    let mut group = c.benchmark_group("ablation_written_bit");
+    group.sample_size(10);
+    for (name, respect) in [("with_written_bit", true), ("without_written_bit", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_cleaning(black_box(respect))));
+        });
+    }
+    group.finish();
+}
+
+fn ablation_write_buffer_depth(c: &mut Criterion) {
+    static REPORT: Once = Once::new();
+    let run = |entries: usize| {
+        let mut hier = HierarchyConfig::date2006();
+        hier.write_buffer_entries = entries;
+        let mut sys = System::new(
+            CoreConfig::date2006(),
+            hier,
+            SchemeKind::Uniform,
+            Benchmark::Gzip.generator(5),
+        );
+        let mut now = sys.run(0, WINDOW / 2);
+        let committed0 = sys.cpu.stats().committed;
+        now = sys.run(now, WINDOW);
+        let _ = now;
+        (sys.cpu.stats().committed - committed0) as f64 / WINDOW as f64
+    };
+    REPORT.call_once(|| {
+        eprintln!("\n[ablation:write-buffer] gzip IPC vs buffer depth");
+        for entries in [1usize, 4, 16, 64] {
+            eprintln!("  {entries:>2} entries: IPC {:.3}", run(entries));
+        }
+    });
+    let mut group = c.benchmark_group("ablation_wb_buffer");
+    group.sample_size(10);
+    for entries in [1usize, 4, 16, 64] {
+        group.bench_function(format!("entries_{entries}"), |b| {
+            b.iter(|| black_box(run(black_box(entries))));
+        });
+    }
+    group.finish();
+}
+
+fn ablation_ecc_entries_per_set(c: &mut Criterion) {
+    static REPORT: Once = Once::new();
+    REPORT.call_once(|| {
+        let model = AreaModel::new(&CacheConfig::date2006_l2());
+        let conventional = model.conventional().total();
+        eprintln!("\n[ablation:ecc-entries] area vs entries per set (1MB 4-way L2)");
+        for entries in [1u64, 2, 3, 4] {
+            let total = model.proposed_with_entries(entries).total();
+            eprintln!(
+                "  {entries} entry/set: {total} ({:.1}% reduction vs conventional)",
+                conventional.reduction_to(total) * 100.0
+            );
+        }
+    });
+    c.bench_function("ablation_ecc_entries_area", |b| {
+        let model = AreaModel::new(&CacheConfig::date2006_l2());
+        b.iter(|| {
+            let mut total = 0u64;
+            for entries in 1..=4u64 {
+                total += model.proposed_with_entries(black_box(entries)).total().bits();
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn ablation_machine_width(c: &mut Criterion) {
+    static REPORT: Once = Once::new();
+    let run = |width: usize| {
+        let mut core = CoreConfig::date2006();
+        core.fetch_width = width;
+        core.decode_width = width;
+        core.issue_width = width;
+        core.commit_width = width;
+        let mut sys = System::new(
+            core,
+            HierarchyConfig::date2006(),
+            SchemeKind::Uniform,
+            Benchmark::Bzip2.generator(9),
+        );
+        let now = sys.run(0, WINDOW / 2);
+        let committed0 = sys.cpu.stats().committed;
+        sys.run(now, WINDOW);
+        (sys.cpu.stats().committed - committed0) as f64 / WINDOW as f64
+    };
+    REPORT.call_once(|| {
+        eprintln!("\n[ablation:machine-width] bzip2 IPC vs superscalar width");
+        for width in [1usize, 2, 4, 8] {
+            eprintln!("  {width}-wide: IPC {:.3}", run(width));
+        }
+    });
+    let mut group = c.benchmark_group("ablation_machine_width");
+    group.sample_size(10);
+    for width in [2usize, 4, 8] {
+        group.bench_function(format!("width_{width}"), |b| {
+            b.iter(|| black_box(run(black_box(width))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_written_bit,
+    ablation_write_buffer_depth,
+    ablation_ecc_entries_per_set,
+    ablation_machine_width
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! One Criterion bench per table/figure of the paper.
+//!
+//! Each bench runs the figure's experiment pipeline on a representative
+//! benchmark at smoke scale (the full 14-benchmark, paper-scale tables are
+//! produced by the `exp` binary; these benches track the *cost* of
+//! regenerating each figure and act as performance regression guards for
+//! the simulator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aep_bench::experiments::{run_figure_probe, FigureProbe};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for probe in FigureProbe::all() {
+        group.bench_function(probe.bench_name(), |b| {
+            b.iter(|| black_box(run_figure_probe(black_box(probe))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

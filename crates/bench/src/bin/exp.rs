@@ -1,0 +1,228 @@
+//! `exp` — regenerate every table and figure of the paper.
+//!
+//! Usage: `exp <command> [--scale paper|quick|smoke] [--csv] [bench ...]`
+//!
+//! Commands: `table1`, `fig1`, `fig2`, `fig3`, `fig4`, `fig5`, `fig6`,
+//! `fig7`, `fig8`, `perf`, `area`, `calibrate`, `all`.
+
+use aep_bench::experiments::{self, Lab, Scale};
+use aep_core::area::AreaModel;
+use aep_core::CleaningLogic;
+use aep_cpu::CoreConfig;
+use aep_mem::HierarchyConfig;
+use aep_workloads::BenchKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("help");
+    let mut scale = Scale::Quick;
+    let mut csv = false;
+    let mut md = false;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    if let Some(c) = it.next() {
+        command = c.clone();
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                scale = Scale::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (use paper|quick|smoke)");
+                    std::process::exit(2);
+                });
+            }
+            "--csv" => csv = true,
+            "--md" => md = true,
+            "--out" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                });
+                out_dir = Some(std::path::PathBuf::from(dir));
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+    }
+    let mut fig_index = 0u32;
+    let mut emit = |fig: experiments::FigureData| {
+        if let Some(dir) = &out_dir {
+            fig_index += 1;
+            // Derive a filename from the figure title's first word(s).
+            let slug: String = fig
+                .title
+                .chars()
+                .take_while(|&c| c != ':')
+                .filter_map(|c| match c {
+                    'a'..='z' | 'A'..='Z' | '0'..='9' => Some(c.to_ascii_lowercase()),
+                    ' ' | '.' | '§' => Some('_'),
+                    _ => None,
+                })
+                .collect();
+            let path = dir.join(format!("{fig_index:02}_{}.csv", slug.trim_matches('_')));
+            if let Err(e) = std::fs::write(&path, fig.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[exp] wrote {}", path.display());
+        }
+        if csv {
+            println!("{}", fig.to_csv());
+        } else if md {
+            println!("{}\n{}", fig.title, fig.to_markdown());
+        } else {
+            println!("{}", fig.to_text());
+        }
+    };
+    let mut lab = Lab::new(scale).verbose();
+
+    match command.as_str() {
+        "table1" => print_table1(),
+        "fig1" => emit(experiments::fig1(&mut lab)),
+        "fig2" => print_fig2(),
+        "fig3" => emit(experiments::fig3_fig4(&mut lab, BenchKind::Fp)),
+        "fig4" => emit(experiments::fig3_fig4(&mut lab, BenchKind::Int)),
+        "fig5" => emit(experiments::fig5_fig6(&mut lab, BenchKind::Fp)),
+        "fig6" => emit(experiments::fig5_fig6(&mut lab, BenchKind::Int)),
+        "fig7" => emit(experiments::fig7(&mut lab)),
+        "fig8" => emit(experiments::fig8(&mut lab)),
+        "perf" => emit(experiments::perf(&mut lab)),
+        "area" => print_area(),
+        "calibrate" => emit(experiments::calibrate(&mut lab)),
+        "ablation" => emit(experiments::ablation_schemes(&mut lab)),
+        "reliability" => emit(experiments::reliability(&mut lab)),
+        "campaign" => emit(experiments::campaign(50_000, 0.02)),
+        "lifetimes" => emit(experiments::lifetimes(scale)),
+        "sensitivity" => emit(experiments::sensitivity(scale)),
+        "energy" => emit(experiments::energy(&mut lab)),
+        "cleaners" => emit(experiments::cleaners(scale)),
+        "seeds" => emit(experiments::seeds(scale, 5)),
+        "all" => {
+            print_table1();
+            emit(experiments::fig1(&mut lab));
+            print_fig2();
+            emit(experiments::fig3_fig4(&mut lab, BenchKind::Fp));
+            emit(experiments::fig3_fig4(&mut lab, BenchKind::Int));
+            emit(experiments::fig5_fig6(&mut lab, BenchKind::Fp));
+            emit(experiments::fig5_fig6(&mut lab, BenchKind::Int));
+            emit(experiments::fig7(&mut lab));
+            emit(experiments::fig8(&mut lab));
+            emit(experiments::perf(&mut lab));
+            print_area();
+            eprintln!("[lab] total distinct runs: {}", lab.runs());
+        }
+        _ => {
+            println!(
+                "exp — regenerate the paper's tables and figures\n\n\
+                 usage: exp <command> [--scale paper|quick|smoke] [--csv|--md] [--out DIR]\n\n\
+                 commands:\n\
+                 \x20 table1     baseline processor configuration (Table 1)\n\
+                 \x20 fig1       % dirty L2 lines per cycle, org\n\
+                 \x20 fig2       cleaning-logic / ECC-array structural summary\n\
+                 \x20 fig3,fig4  dirty lines vs cleaning interval (FP / INT)\n\
+                 \x20 fig5,fig6  write-back traffic vs interval (FP / INT)\n\
+                 \x20 fig7       dirty lines, proposed scheme\n\
+                 \x20 fig8       write-back breakdown, proposed scheme\n\
+                 \x20 perf       IPC org vs proposed (§5.2)\n\
+                 \x20 area       area accounting, 132KB vs 54KB (§5.2)\n\
+                 \x20 calibrate  workload-calibration sweep\n\
+                 \x20 all        everything above in order"
+            );
+        }
+    }
+}
+
+fn print_table1() {
+    let core = CoreConfig::date2006();
+    let hier = HierarchyConfig::date2006();
+    println!("Table 1: baseline processor configuration");
+    println!("-----------------------------------------");
+    println!("Issue window            {}-entry RUU", core.ruu_entries);
+    println!("                        {}-entry LSQ", core.lsq_entries);
+    println!(
+        "decode and issue rate   {} instructions per cycle",
+        core.issue_width
+    );
+    println!(
+        "Functional units        {} INT add, {} INT mult/div",
+        core.fu.int_alu, core.fu.int_mul
+    );
+    println!(
+        "                        {} FP add, {} FP mult/div",
+        core.fu.fp_add, core.fu.fp_mul
+    );
+    let cache = |c: &aep_mem::CacheConfig| {
+        format!(
+            "{}KB {}-way, {}B line, {}-cycle",
+            c.size_bytes / 1024,
+            c.ways,
+            c.line_bytes,
+            c.hit_latency
+        )
+    };
+    println!("L1 instruction cache    {}", cache(&hier.l1i));
+    println!("L1 data cache           {} (write-through)", cache(&hier.l1d));
+    println!(
+        "Write buffer            fully associative, {} entries",
+        hier.write_buffer_entries
+    );
+    println!("L2 cache                unified {}", cache(&hier.l2));
+    println!(
+        "Main memory             {}B-wide, {}-cycle",
+        hier.bus_bytes_per_cycle, hier.memory_latency
+    );
+    println!("Branch prediction       2-level, 2K BTB");
+    println!("Instruction TLB         64-entry, 4-way");
+    println!("Data TLB                128-entry, 4-way");
+    println!();
+}
+
+fn print_fig2() {
+    let hier = HierarchyConfig::date2006();
+    let fsm = CleaningLogic::new(1024 * 1024, hier.l2.sets() as usize);
+    println!("Figure 2: cleaning logic and ECC storage architecture (structural)");
+    println!("-------------------------------------------------------------------");
+    println!("parity arrays           one per way ({} ways), 1 bit / 64 data bits", hier.l2.ways);
+    println!(
+        "shared ECC array        one entry per set: {} entries x {} B",
+        hier.l2.sets(),
+        hier.l2.line_bytes / 8
+    );
+    println!("written bits            1 per line ({} bits)", hier.l2.lines());
+    println!(
+        "cleaning FSM            cycle counter + {}-bit next-set latch",
+        fsm.latch_bits()
+    );
+    println!(
+        "probe cadence @1M       one set every {} cycles",
+        fsm.probe_period()
+    );
+    println!("arbitration             L1 misses have priority over cleaning probes");
+    println!();
+}
+
+fn print_area() {
+    let model = AreaModel::new(&HierarchyConfig::date2006().l2);
+    let conventional = model.conventional();
+    let proposed = model.proposed();
+    println!("§5.2 area accounting (1MB 4-way L2, 64B lines)");
+    println!("----------------------------------------------");
+    print!("{}", conventional.to_table());
+    println!();
+    print!("{}", proposed.to_table());
+    println!();
+    println!(
+        "reduction: {:.1}% (paper: 59%)",
+        conventional.total().reduction_to(proposed.total()) * 100.0
+    );
+}

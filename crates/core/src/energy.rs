@@ -1,0 +1,112 @@
+//! Protection-energy model (the Li et al. ISLPED'03 angle).
+//!
+//! The paper's §2 cites Li et al., who protect clean L1 lines with parity
+//! and dirty lines with ECC because *"parity codes are more energy-
+//! efficient than ECC"* — but whose scheme "does not provide area
+//! reduction". This module quantifies that energy dimension for the L2
+//! schemes implemented here, from the check/encode counters the schemes
+//! accumulate ([`crate::scheme::EnergyCounters`]) plus the write-back
+//! traffic the cleaning machinery adds.
+//!
+//! Per-operation energies are parameters with documented defaults; the
+//! default ratio (SECDED ≈ 8× parity per 64-bit word, off-chip line
+//! transfer ≈ two orders of magnitude above either) reflects the check-bit
+//! counts and mid-2000s published bus-energy figures. Absolute joules are
+//! not the point — the *comparison across schemes at equal traffic* is.
+
+use crate::scheme::EnergyCounters;
+
+/// Per-operation energy parameters, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One interleaved-parity check/encode over a 64-byte line.
+    pub parity_op_pj: f64,
+    /// One SECDED check/encode over a 64-byte line (8 codewords).
+    pub ecc_op_pj: f64,
+    /// One 64-byte line transfer on the off-chip bus + DRAM write.
+    pub writeback_pj: f64,
+}
+
+impl EnergyModel {
+    /// Documented defaults: parity 2 pJ/line, SECDED 16 pJ/line (8× —
+    /// proportional to check-bit count and XOR-tree depth), write-back
+    /// 1 800 pJ/line (off-chip I/O dominates everything on-chip).
+    #[must_use]
+    pub fn default_2006() -> Self {
+        EnergyModel {
+            parity_op_pj: 2.0,
+            ecc_op_pj: 16.0,
+            writeback_pj: 1_800.0,
+        }
+    }
+
+    /// Check/encode energy for the given operation counts, in picojoules.
+    #[must_use]
+    pub fn protection_energy_pj(&self, c: EnergyCounters) -> f64 {
+        (c.parity_checks + c.parity_encodes) as f64 * self.parity_op_pj
+            + (c.ecc_checks + c.ecc_encodes) as f64 * self.ecc_op_pj
+    }
+
+    /// Total protection-attributable energy: check/encode work plus the
+    /// *extra* write-backs a scheme causes beyond the baseline
+    /// (`extra_writebacks` = the scheme's write-backs minus org's).
+    #[must_use]
+    pub fn total_energy_pj(&self, c: EnergyCounters, extra_writebacks: u64) -> f64 {
+        self.protection_energy_pj(c) + extra_writebacks as f64 * self.writeback_pj
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::default_2006()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_is_cheaper_than_ecc_at_equal_traffic() {
+        let m = EnergyModel::default_2006();
+        let parity_only = EnergyCounters {
+            parity_checks: 1_000,
+            parity_encodes: 200,
+            ..EnergyCounters::default()
+        };
+        let ecc_only = EnergyCounters {
+            ecc_checks: 1_000,
+            ecc_encodes: 200,
+            ..EnergyCounters::default()
+        };
+        let p = m.protection_energy_pj(parity_only);
+        let e = m.protection_energy_pj(ecc_only);
+        assert!(p < e);
+        assert!((e / p - 8.0).abs() < 1e-9, "default ratio is 8x");
+    }
+
+    #[test]
+    fn mixed_counters_interpolate() {
+        let m = EnergyModel::default_2006();
+        let mixed = EnergyCounters {
+            parity_checks: 500,
+            ecc_checks: 500,
+            ..EnergyCounters::default()
+        };
+        let pj = m.protection_energy_pj(mixed);
+        assert!((pj - (500.0 * 2.0 + 500.0 * 16.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writebacks_dominate_when_added() {
+        let m = EnergyModel::default_2006();
+        let c = EnergyCounters {
+            parity_checks: 100,
+            ..EnergyCounters::default()
+        };
+        let without = m.total_energy_pj(c, 0);
+        let with = m.total_energy_pj(c, 10);
+        assert!((with - without - 18_000.0).abs() < 1e-9);
+        assert!(with > 10.0 * without, "off-chip traffic dominates");
+    }
+}

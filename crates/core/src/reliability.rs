@@ -1,0 +1,212 @@
+//! A first-order soft-error reliability model.
+//!
+//! The paper's motivation is qualitative ("caches are good victims for
+//! soft errors"); this module makes the comparison quantitative with the
+//! standard first-order FIT arithmetic used in architecture papers:
+//!
+//! * a raw single-bit upset rate is expressed in **FIT/Mbit**
+//!   (failures per 10⁹ device-hours per 2²⁰ bits);
+//! * every stored bit contributes raw FIT; a protection scheme determines
+//!   what each upset *becomes*: corrected (harmless), a **DUE**
+//!   (detected-unrecoverable error — parity hit on a dirty line, or a
+//!   SECDED double), or **SDC** (silent data corruption — an upset the
+//!   scheme cannot even see);
+//! * clean-line upsets caught by parity are repaired by refetch, so only
+//!   *dirty residency* — the measured `avg_dirty_fraction` from the
+//!   simulator — exposes data loss. This is precisely why reducing dirty
+//!   lines (cleaning + the shared ECC array) is a *reliability* action,
+//!   not just an area one.
+//!
+//! Double-bit effects are second-order (two upsets in one 64-bit word
+//! within a scrub interval) and are neglected here, as in the paper; the
+//! [`crate::scrub`] engine exists to keep that regime negligible.
+
+use aep_ecc::CodeArea;
+use aep_mem::CacheConfig;
+
+/// Outcome rates (in FIT) for one protection scheme on one cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// Upsets corrected transparently (ECC singles, or parity+refetch).
+    pub corrected_fit: f64,
+    /// Detected but unrecoverable upsets.
+    pub due_fit: f64,
+    /// Silent data corruptions.
+    pub sdc_fit: f64,
+}
+
+impl FitReport {
+    /// Total failure rate visible to the user (DUE + SDC).
+    #[must_use]
+    pub fn user_visible_fit(&self) -> f64 {
+        self.due_fit + self.sdc_fit
+    }
+}
+
+/// First-order soft-error model for a protected L2 data array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftErrorModel {
+    /// Raw upset rate per Mbit of SRAM (typical mid-2000s values:
+    /// 1 000–10 000 FIT/Mbit).
+    pub fit_per_mbit: f64,
+}
+
+impl SoftErrorModel {
+    /// A model with the given raw rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite.
+    #[must_use]
+    pub fn new(fit_per_mbit: f64) -> Self {
+        assert!(
+            fit_per_mbit.is_finite() && fit_per_mbit > 0.0,
+            "raw FIT rate must be positive"
+        );
+        SoftErrorModel { fit_per_mbit }
+    }
+
+    /// A representative 2006-era rate (per the paper's citations of
+    /// Hazucha & Svensson and Karnik et al.).
+    #[must_use]
+    pub fn date2006_typical() -> Self {
+        SoftErrorModel::new(1_000.0)
+    }
+
+    /// Raw upsets per 10⁹ hours across `area` of storage.
+    #[must_use]
+    pub fn raw_fit(&self, area: CodeArea) -> f64 {
+        self.fit_per_mbit * area.bits() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Uniform SECDED on every line: every single upset (data or check)
+    /// is corrected; first-order DUE/SDC are zero.
+    #[must_use]
+    pub fn uniform_ecc(&self, l2: &CacheConfig) -> FitReport {
+        let data = CodeArea::from_bytes(l2.size_bytes);
+        let checks = CodeArea::from_ratio(l2.size_bytes * 8, 8, 64);
+        FitReport {
+            corrected_fit: self.raw_fit(data) + self.raw_fit(checks),
+            due_fit: 0.0,
+            sdc_fit: 0.0,
+        }
+    }
+
+    /// Parity on every line: clean-line upsets refetch; dirty-line upsets
+    /// are DUE (detected, sole copy lost). `dirty_fraction` is the
+    /// measured time-average dirty occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dirty_fraction` is not in `0.0..=1.0`.
+    #[must_use]
+    pub fn parity_only(&self, l2: &CacheConfig, dirty_fraction: f64) -> FitReport {
+        assert!((0.0..=1.0).contains(&dirty_fraction), "fraction out of range");
+        let data = CodeArea::from_bytes(l2.size_bytes);
+        let parity = CodeArea::from_ratio(l2.size_bytes * 8, 1, 64);
+        let data_fit = self.raw_fit(data);
+        FitReport {
+            corrected_fit: data_fit * (1.0 - dirty_fraction) + self.raw_fit(parity),
+            due_fit: data_fit * dirty_fraction,
+            sdc_fit: 0.0,
+        }
+    }
+
+    /// The proposed scheme: dirty lines (bounded by the measured
+    /// `dirty_fraction`, ≤ 1/ways structurally) are ECC-corrected; clean
+    /// lines refetch via parity. First-order DUE/SDC are zero — the
+    /// paper's claim that protection *coverage* is preserved while the
+    /// check *storage* shrinks 59 %.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dirty_fraction` is not in `0.0..=1.0`.
+    #[must_use]
+    pub fn proposed(&self, l2: &CacheConfig, dirty_fraction: f64) -> FitReport {
+        assert!((0.0..=1.0).contains(&dirty_fraction), "fraction out of range");
+        let data = CodeArea::from_bytes(l2.size_bytes);
+        let parity = CodeArea::from_ratio(l2.size_bytes * 8, 1, 64);
+        let ecc_array = CodeArea::from_bytes(l2.sets() * (l2.line_bytes / 8));
+        FitReport {
+            corrected_fit: self.raw_fit(data) + self.raw_fit(parity) + self.raw_fit(ecc_array),
+            due_fit: 0.0,
+            sdc_fit: 0.0,
+        }
+    }
+
+    /// A wholly unprotected array: every upset is silent corruption.
+    #[must_use]
+    pub fn unprotected(&self, l2: &CacheConfig) -> FitReport {
+        FitReport {
+            corrected_fit: 0.0,
+            due_fit: 0.0,
+            sdc_fit: self.raw_fit(CodeArea::from_bytes(l2.size_bytes)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2() -> CacheConfig {
+        CacheConfig::date2006_l2()
+    }
+
+    #[test]
+    fn raw_fit_scales_with_area() {
+        let m = SoftErrorModel::new(1000.0);
+        // 1 MB = 8 Mbit -> 8000 FIT.
+        assert!((m.raw_fit(CodeArea::from_bytes(1024 * 1024)) - 8000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unprotected_cache_is_all_sdc() {
+        let m = SoftErrorModel::date2006_typical();
+        let r = m.unprotected(&l2());
+        assert_eq!(r.corrected_fit, 0.0);
+        assert!(r.sdc_fit > 0.0);
+        assert_eq!(r.user_visible_fit(), r.sdc_fit);
+    }
+
+    #[test]
+    fn uniform_and_proposed_have_zero_first_order_failures() {
+        let m = SoftErrorModel::date2006_typical();
+        assert_eq!(m.uniform_ecc(&l2()).user_visible_fit(), 0.0);
+        assert_eq!(m.proposed(&l2(), 0.25).user_visible_fit(), 0.0);
+    }
+
+    #[test]
+    fn parity_only_due_scales_with_dirty_residency() {
+        let m = SoftErrorModel::date2006_typical();
+        let low = m.parity_only(&l2(), 0.10);
+        let high = m.parity_only(&l2(), 0.50);
+        assert!(high.due_fit > low.due_fit);
+        assert!((high.due_fit / low.due_fit - 5.0).abs() < 1e-9);
+        // The headline numerical anchor: at 50% dirty, half the data FIT
+        // (8 Mbit * 1000 / 2 = 4000 FIT) is DUE.
+        assert!((high.due_fit - 4000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cleaning_reduces_parity_due_proportionally() {
+        // The reliability reading of Figures 3/4: halving dirty residency
+        // halves the exposed FIT of a parity-only design.
+        let m = SoftErrorModel::date2006_typical();
+        let before = m.parity_only(&l2(), 0.516); // Fig. 1 average
+        let after = m.parity_only(&l2(), 0.25); // 1M-interval average
+        assert!(after.due_fit < before.due_fit * 0.5 + 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of range")]
+    fn fraction_is_validated() {
+        let _ = SoftErrorModel::date2006_typical().parity_only(&l2(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rate_is_validated() {
+        let _ = SoftErrorModel::new(0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The protection-scheme interface.
+//!
+//! A scheme is an observer of the L2's event stream that maintains check
+//! storage (parity arrays, ECC arrays) and can demand *directives* — most
+//! importantly the proposed scheme's ECC-entry eviction, which forces a
+//! dirty line to be written back and cleaned. The simulator applies
+//! directives through the hierarchy so the resulting traffic is charged to
+//! the bus like any other write-back.
+
+use aep_mem::cache::{Cache, L2Event};
+use aep_mem::MainMemory;
+
+use crate::area::AreaReport;
+
+/// Which protection scheme to attach to the L2 — the experiment axis of
+/// the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Conventional uniform SECDED on every line (the paper's baseline,
+    /// `org` in Figures 5–8).
+    Uniform,
+    /// Uniform SECDED plus dirty-line cleaning at the given interval
+    /// (cycles per full cache sweep) — the configuration of Figures 3–6.
+    UniformWithCleaning {
+        /// Cycles between successive probes of the *same* set
+        /// (the paper's 64K–4M "cleaning interval").
+        cleaning_interval: u64,
+    },
+    /// Parity on everything (detection only) — an ablation strawman.
+    ParityOnly,
+    /// The paper's proposal: parity everywhere, a shared per-set ECC
+    /// array, and dirty-line cleaning (§3, evaluated in Figures 7–8).
+    Proposed {
+        /// The cleaning interval in cycles (the paper selects 1M).
+        cleaning_interval: u64,
+    },
+    /// Extension: the proposed scheme with a `k`-entry-per-set ECC array
+    /// (the design-space ablation; `k = 1` is [`SchemeKind::Proposed`]).
+    ProposedMulti {
+        /// The cleaning interval in cycles.
+        cleaning_interval: u64,
+        /// ECC entries per set.
+        entries_per_set: usize,
+    },
+}
+
+impl SchemeKind {
+    /// The cleaning interval, when this configuration cleans.
+    #[must_use]
+    pub fn cleaning_interval(self) -> Option<u64> {
+        match self {
+            SchemeKind::UniformWithCleaning { cleaning_interval }
+            | SchemeKind::Proposed { cleaning_interval }
+            | SchemeKind::ProposedMulti {
+                cleaning_interval, ..
+            } => Some(cleaning_interval),
+            SchemeKind::Uniform | SchemeKind::ParityOnly => None,
+        }
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            SchemeKind::Uniform => "org".to_owned(),
+            SchemeKind::ParityOnly => "parity-only".to_owned(),
+            SchemeKind::UniformWithCleaning { cleaning_interval } => {
+                format!("org+clean@{}", human_interval(cleaning_interval))
+            }
+            SchemeKind::Proposed { cleaning_interval } => {
+                format!("proposed@{}", human_interval(cleaning_interval))
+            }
+            SchemeKind::ProposedMulti {
+                cleaning_interval,
+                entries_per_set,
+            } => format!(
+                "proposed{}e@{}",
+                entries_per_set,
+                human_interval(cleaning_interval)
+            ),
+        }
+    }
+}
+
+/// Formats a cleaning interval the way the paper labels it (64K … 4M).
+#[must_use]
+pub fn human_interval(cycles: u64) -> String {
+    if cycles.is_multiple_of(1024 * 1024) {
+        format!("{}M", cycles / (1024 * 1024))
+    } else if cycles.is_multiple_of(1024) {
+        format!("{}K", cycles / 1024)
+    } else {
+        cycles.to_string()
+    }
+}
+
+/// An action a scheme requires the memory system to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// Write back and clean the dirty line at (`set`, `way`): the proposed
+    /// scheme evicted its ECC entry (an **ECC-WB** in Figure 8).
+    ForceClean {
+        /// Set index.
+        set: usize,
+        /// Way index.
+        way: usize,
+    },
+}
+
+/// Result of verifying (and recovering) one cache line against a scheme's
+/// check storage after possible soft errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// No error was observed.
+    Clean,
+    /// Error(s) corrected in place using ECC.
+    CorrectedByEcc {
+        /// How many 64-bit words were repaired.
+        words: usize,
+    },
+    /// A clean line failed parity and was refetched from main memory.
+    RecoveredByRefetch,
+    /// The error was detected but the data cannot be recovered
+    /// (e.g. a double-bit error, or a dirty line under parity-only).
+    Unrecoverable,
+}
+
+impl RecoveryOutcome {
+    /// `true` when the line's data is now correct.
+    #[must_use]
+    pub fn is_recovered(&self) -> bool {
+        !matches!(self, RecoveryOutcome::Unrecoverable)
+    }
+}
+
+/// Check/encode operation counters for the energy model (see
+/// [`crate::energy`]). Schemes accumulate these in `on_event`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyCounters {
+    /// Parity verifications performed on reads.
+    pub parity_checks: u64,
+    /// SECDED verifications performed on reads.
+    pub ecc_checks: u64,
+    /// Parity encodes performed on fills/writes.
+    pub parity_encodes: u64,
+    /// SECDED encodes performed on fills/writes.
+    pub ecc_encodes: u64,
+}
+
+impl EnergyCounters {
+    /// Counter-wise difference `self - earlier` (measurement windows).
+    #[must_use]
+    pub fn since(&self, earlier: &EnergyCounters) -> EnergyCounters {
+        EnergyCounters {
+            parity_checks: self.parity_checks - earlier.parity_checks,
+            ecc_checks: self.ecc_checks - earlier.ecc_checks,
+            parity_encodes: self.parity_encodes - earlier.parity_encodes,
+            ecc_encodes: self.ecc_encodes - earlier.ecc_encodes,
+        }
+    }
+
+    /// Total operations of any kind.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.parity_checks + self.ecc_checks + self.parity_encodes + self.ecc_encodes
+    }
+}
+
+/// A cache protection scheme attached to the L2.
+pub trait ProtectionScheme {
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The check-storage area this scheme requires (the paper's Table-less
+    /// §5.2 accounting).
+    fn area(&self) -> AreaReport;
+
+    /// Observes one L2 event (fill/hit/evict/clean), updating check
+    /// storage; any required actions are appended to `directives`.
+    fn on_event(&mut self, event: &L2Event, l2: &Cache, directives: &mut Vec<Directive>);
+
+    /// Verifies line (`set`, `way`) against the check storage, repairing
+    /// the cached data when possible (ECC correction, or refetch from
+    /// `memory` for clean lines).
+    fn verify_line(
+        &mut self,
+        l2: &mut Cache,
+        set: usize,
+        way: usize,
+        memory: &mut MainMemory,
+    ) -> RecoveryOutcome;
+
+    /// Number of dirty lines whose ECC the scheme currently stores
+    /// (diagnostics; the proposed scheme's occupancy is bounded by the set
+    /// count).
+    fn protected_dirty_lines(&self) -> usize;
+
+    /// Check/encode operation counts accumulated so far (drives the
+    /// energy model; the default is all-zero for schemes that do not
+    /// track them).
+    fn energy_counters(&self) -> EnergyCounters {
+        EnergyCounters::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_labels_match_the_paper() {
+        assert_eq!(human_interval(64 * 1024), "64K");
+        assert_eq!(human_interval(256 * 1024), "256K");
+        assert_eq!(human_interval(1024 * 1024), "1M");
+        assert_eq!(human_interval(4 * 1024 * 1024), "4M");
+        assert_eq!(human_interval(1000), "1000");
+    }
+
+    #[test]
+    fn scheme_kind_intervals() {
+        assert_eq!(SchemeKind::Uniform.cleaning_interval(), None);
+        assert_eq!(
+            SchemeKind::Proposed {
+                cleaning_interval: 7
+            }
+            .cleaning_interval(),
+            Some(7)
+        );
+        assert_eq!(
+            SchemeKind::UniformWithCleaning {
+                cleaning_interval: 9
+            }
+            .cleaning_interval(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(SchemeKind::Uniform.label(), "org");
+        assert_eq!(
+            SchemeKind::Proposed {
+                cleaning_interval: 1024 * 1024
+            }
+            .label(),
+            "proposed@1M"
+        );
+        assert_eq!(
+            SchemeKind::UniformWithCleaning {
+                cleaning_interval: 64 * 1024
+            }
+            .label(),
+            "org+clean@64K"
+        );
+    }
+
+    #[test]
+    fn recovery_outcome_predicate() {
+        assert!(RecoveryOutcome::Clean.is_recovered());
+        assert!(RecoveryOutcome::CorrectedByEcc { words: 1 }.is_recovered());
+        assert!(RecoveryOutcome::RecoveredByRefetch.is_recovered());
+        assert!(!RecoveryOutcome::Unrecoverable.is_recovered());
+    }
+}

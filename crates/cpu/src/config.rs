@@ -1,0 +1,96 @@
+//! Core (pipeline) configuration — Table 1 in code.
+
+use crate::bpred::BpredConfig;
+use crate::fu::FuConfig;
+
+/// Configuration of the out-of-order core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions decoded/dispatched per cycle.
+    pub decode_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Register-update-unit (unified ROB/RS) entries.
+    pub ruu_entries: usize,
+    /// Load/store-queue entries.
+    pub lsq_entries: usize,
+    /// Extra cycles between branch resolution and fetch restart.
+    pub redirect_penalty: u64,
+    /// Functional-unit pool.
+    pub fu: FuConfig,
+    /// Branch predictor.
+    pub bpred: BpredConfig,
+}
+
+impl CoreConfig {
+    /// Table 1: a typical 4-issue superscalar — 64-entry RUU, 32-entry
+    /// LSQ, decode/issue 4 per cycle, 4 INT add, 1 INT mult/div, 1 FP add,
+    /// 1 FP mult/div, 2-level branch prediction with a 2K BTB.
+    #[must_use]
+    pub fn date2006() -> Self {
+        CoreConfig {
+            fetch_width: 4,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            ruu_entries: 64,
+            lsq_entries: 32,
+            redirect_penalty: 2,
+            fu: FuConfig::date2006(),
+            bpred: BpredConfig::date2006(),
+        }
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized structure (there is no meaningful error
+    /// recovery from a malformed core).
+    pub fn assert_valid(&self) {
+        assert!(self.fetch_width > 0, "fetch width must be positive");
+        assert!(self.decode_width > 0, "decode width must be positive");
+        assert!(self.issue_width > 0, "issue width must be positive");
+        assert!(self.commit_width > 0, "commit width must be positive");
+        assert!(self.ruu_entries > 0, "RUU must have entries");
+        assert!(self.lsq_entries > 0, "LSQ must have entries");
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::date2006()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date2006_matches_table1() {
+        let c = CoreConfig::date2006();
+        c.assert_valid();
+        assert_eq!(c.ruu_entries, 64);
+        assert_eq!(c.lsq_entries, 32);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.decode_width, 4);
+        assert_eq!(c.fu.int_alu, 4);
+        assert_eq!(c.fu.int_mul, 1);
+        assert_eq!(c.fu.fp_add, 1);
+        assert_eq!(c.fu.fp_mul, 1);
+        assert_eq!(c.bpred.btb_entries, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "RUU")]
+    fn zero_ruu_rejected() {
+        let mut c = CoreConfig::date2006();
+        c.ruu_entries = 0;
+        c.assert_valid();
+    }
+}

@@ -1,0 +1,194 @@
+//! The functional-unit pool.
+//!
+//! Table 1: *"4 INT add, 1 INT mult/div, 1 FP add, 1 FP mult/div"*. Each
+//! unit tracks the cycle it becomes free; an op acquires a free unit of its
+//! class at issue and holds it for the op's issue (initiation) interval
+//! while the result appears after the op's latency.
+
+use crate::isa::OpClass;
+use aep_mem::Cycle;
+
+/// Latency/occupancy of one op class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTiming {
+    /// Cycles until the result is available.
+    pub latency: u64,
+    /// Cycles the unit stays busy (initiation interval).
+    pub issue_interval: u64,
+}
+
+/// Functional-unit pool configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Number of integer ALUs.
+    pub int_alu: usize,
+    /// Number of integer multiplier/dividers.
+    pub int_mul: usize,
+    /// Number of FP adders.
+    pub fp_add: usize,
+    /// Number of FP multiplier/dividers.
+    pub fp_mul: usize,
+    /// Number of memory ports (load/store issue slots).
+    pub mem_ports: usize,
+}
+
+impl FuConfig {
+    /// Table 1's pool: 4/1/1/1, with 2 memory ports (SimpleScalar default).
+    #[must_use]
+    pub fn date2006() -> Self {
+        FuConfig {
+            int_alu: 4,
+            int_mul: 1,
+            fp_add: 1,
+            fp_mul: 1,
+            mem_ports: 2,
+        }
+    }
+}
+
+/// Tracks per-unit busy-until cycles for every class.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    int_alu: Vec<Cycle>,
+    int_mul: Vec<Cycle>,
+    fp_add: Vec<Cycle>,
+    fp_mul: Vec<Cycle>,
+    mem_ports: Vec<Cycle>,
+}
+
+impl FuPool {
+    /// Builds the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any unit count is zero.
+    #[must_use]
+    pub fn new(cfg: &FuConfig) -> Self {
+        assert!(
+            cfg.int_alu > 0 && cfg.int_mul > 0 && cfg.fp_add > 0 && cfg.fp_mul > 0
+                && cfg.mem_ports > 0,
+            "every unit class needs at least one unit"
+        );
+        FuPool {
+            int_alu: vec![0; cfg.int_alu],
+            int_mul: vec![0; cfg.int_mul],
+            fp_add: vec![0; cfg.fp_add],
+            fp_mul: vec![0; cfg.fp_mul],
+            mem_ports: vec![0; cfg.mem_ports],
+        }
+    }
+
+    /// SimpleScalar-style timings per op class.
+    #[must_use]
+    pub fn timing(class: OpClass) -> OpTiming {
+        match class {
+            OpClass::IntAlu | OpClass::Branch => OpTiming {
+                latency: 1,
+                issue_interval: 1,
+            },
+            OpClass::IntMul => OpTiming {
+                latency: 3,
+                issue_interval: 1,
+            },
+            OpClass::FpAdd => OpTiming {
+                latency: 2,
+                issue_interval: 1,
+            },
+            OpClass::FpMul => OpTiming {
+                latency: 4,
+                issue_interval: 1,
+            },
+            // Memory latency comes from the hierarchy; the port is held
+            // for the address-generation slot only.
+            OpClass::Load | OpClass::Store => OpTiming {
+                latency: 1,
+                issue_interval: 1,
+            },
+        }
+    }
+
+    fn units_mut(&mut self, class: OpClass) -> &mut Vec<Cycle> {
+        match class {
+            OpClass::IntAlu | OpClass::Branch => &mut self.int_alu,
+            OpClass::IntMul => &mut self.int_mul,
+            OpClass::FpAdd => &mut self.fp_add,
+            OpClass::FpMul => &mut self.fp_mul,
+            OpClass::Load | OpClass::Store => &mut self.mem_ports,
+        }
+    }
+
+    /// Tries to acquire a unit of `class` at `now`; on success the unit is
+    /// held for the class's issue interval and `true` is returned.
+    pub fn try_acquire(&mut self, class: OpClass, now: Cycle) -> bool {
+        let interval = Self::timing(class).issue_interval;
+        let units = self.units_mut(class);
+        for busy_until in units.iter_mut() {
+            if *busy_until <= now {
+                *busy_until = now + interval;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of units of `class` free at `now`.
+    #[must_use]
+    pub fn free_units(&self, class: OpClass, now: Cycle) -> usize {
+        let units = match class {
+            OpClass::IntAlu | OpClass::Branch => &self.int_alu,
+            OpClass::IntMul => &self.int_mul,
+            OpClass::FpAdd => &self.fp_add,
+            OpClass::FpMul => &self.fp_mul,
+            OpClass::Load | OpClass::Store => &self.mem_ports,
+        };
+        units.iter().filter(|&&b| b <= now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_int_alus_per_cycle() {
+        let mut pool = FuPool::new(&FuConfig::date2006());
+        for _ in 0..4 {
+            assert!(pool.try_acquire(OpClass::IntAlu, 0));
+        }
+        assert!(!pool.try_acquire(OpClass::IntAlu, 0), "only 4 ALUs");
+        assert!(pool.try_acquire(OpClass::IntAlu, 1), "freed next cycle");
+    }
+
+    #[test]
+    fn single_multiplier_serialises() {
+        let mut pool = FuPool::new(&FuConfig::date2006());
+        assert!(pool.try_acquire(OpClass::IntMul, 0));
+        assert!(!pool.try_acquire(OpClass::IntMul, 0));
+    }
+
+    #[test]
+    fn branch_shares_int_alu() {
+        let mut pool = FuPool::new(&FuConfig::date2006());
+        for _ in 0..4 {
+            assert!(pool.try_acquire(OpClass::Branch, 0));
+        }
+        assert!(!pool.try_acquire(OpClass::IntAlu, 0));
+    }
+
+    #[test]
+    fn memory_ports_limit_loads() {
+        let mut pool = FuPool::new(&FuConfig::date2006());
+        assert!(pool.try_acquire(OpClass::Load, 0));
+        assert!(pool.try_acquire(OpClass::Store, 0));
+        assert!(!pool.try_acquire(OpClass::Load, 0), "2 mem ports");
+        assert_eq!(pool.free_units(OpClass::Load, 1), 2);
+    }
+
+    #[test]
+    fn timings_match_simplescalar_defaults() {
+        assert_eq!(FuPool::timing(OpClass::IntAlu).latency, 1);
+        assert_eq!(FuPool::timing(OpClass::IntMul).latency, 3);
+        assert_eq!(FuPool::timing(OpClass::FpAdd).latency, 2);
+        assert_eq!(FuPool::timing(OpClass::FpMul).latency, 4);
+    }
+}

@@ -1,0 +1,660 @@
+//! The out-of-order pipeline: fetch → dispatch → issue → commit.
+//!
+//! Structure follows `sim-outorder`: a unified **register update unit**
+//! (RUU) serves as combined reorder buffer and reservation stations, a
+//! separate **load/store queue** (LSQ) holds memory ops and provides
+//! store-to-load forwarding, and a branch misprediction stalls fetch until
+//! the branch resolves plus a redirect penalty (the standard trace-driven
+//! approximation of wrong-path execution).
+//!
+//! The pipeline is advanced one cycle at a time by [`Pipeline::step`]; the
+//! caller owns the [`MemoryHierarchy`] so the experiment runner can
+//! interleave the cleaning logic and protection scheme between cycles.
+
+use std::collections::VecDeque;
+
+use aep_mem::{Addr, Cycle, MemoryHierarchy};
+
+use crate::bpred::{BranchPredictor, Prediction};
+use crate::config::CoreConfig;
+use crate::fu::FuPool;
+use crate::isa::{InstrStream, MicroOp, OpClass, NUM_REGS};
+use crate::tlb::Tlb;
+
+/// Instruction-fetch-queue capacity (decoupling buffer between the fetch
+/// and dispatch stages).
+const IFQ_ENTRIES: usize = 16;
+
+/// Cycles for a load served by store-to-load forwarding.
+const FORWARD_LATENCY: u64 = 2;
+
+#[derive(Debug, Clone)]
+struct FetchedOp {
+    op: MicroOp,
+    prediction: Option<Prediction>,
+    mispredicted: bool,
+}
+
+#[derive(Debug, Clone)]
+struct RuuEntry {
+    seq: u64,
+    op: MicroOp,
+    issued: bool,
+    complete_at: Cycle,
+    mispredicted: bool,
+    prediction: Option<Prediction>,
+    src_seqs: [Option<u64>; 2],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsqEntry {
+    seq: u64,
+    is_store: bool,
+    /// Word-aligned address (byte address / 8) for forwarding checks.
+    word: u64,
+}
+
+/// Cumulative pipeline statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions fetched into the IFQ.
+    pub fetched: u64,
+    /// Loads served by store-to-load forwarding.
+    pub forwarded_loads: u64,
+    /// Cycles fetch spent stalled (I-miss, redirect, or halted).
+    pub fetch_stall_cycles: u64,
+    /// Cycles commit was blocked by a stalling store (full write buffer).
+    pub store_stall_cycles: u64,
+}
+
+impl PipelineStats {
+    /// Instructions per cycle over `cycles` elapsed cycles.
+    #[must_use]
+    pub fn ipc(&self, cycles: Cycle) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / cycles as f64
+        }
+    }
+}
+
+/// The 4-issue out-of-order core of Table 1.
+///
+/// ```
+/// use aep_cpu::isa::{LoopStream, MicroOp};
+/// use aep_cpu::{CoreConfig, Pipeline};
+/// use aep_mem::{HierarchyConfig, MemoryHierarchy};
+///
+/// let stream = LoopStream::new(vec![MicroOp::alu(0, None, None, Some(1))]);
+/// let mut cpu = Pipeline::new(CoreConfig::date2006(), stream);
+/// let mut mem = MemoryHierarchy::new(HierarchyConfig::tiny());
+/// for now in 0..1000 {
+///     cpu.step(&mut mem, now);
+///     mem.tick(now);
+/// }
+/// assert!(cpu.stats().committed > 0);
+/// ```
+#[derive(Debug)]
+pub struct Pipeline<S> {
+    cfg: CoreConfig,
+    stream: S,
+    bpred: BranchPredictor,
+    itlb: Tlb,
+    dtlb: Tlb,
+    fu: FuPool,
+    fetch_queue: VecDeque<FetchedOp>,
+    staged: Option<MicroOp>,
+    ruu: VecDeque<RuuEntry>,
+    lsq: VecDeque<LsqEntry>,
+    head_seq: u64,
+    next_seq: u64,
+    reg_producer: [Option<u64>; NUM_REGS],
+    fetch_halted: bool,
+    fetch_blocked_until: Cycle,
+    current_fetch_block: Option<u64>,
+    stats: PipelineStats,
+}
+
+impl<S: InstrStream> Pipeline<S> {
+    /// Builds a pipeline over `stream`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is structurally invalid.
+    #[must_use]
+    pub fn new(cfg: CoreConfig, stream: S) -> Self {
+        cfg.assert_valid();
+        Pipeline {
+            bpred: BranchPredictor::new(cfg.bpred.clone()),
+            itlb: Tlb::date2006_itlb(),
+            dtlb: Tlb::date2006_dtlb(),
+            fu: FuPool::new(&cfg.fu),
+            fetch_queue: VecDeque::with_capacity(IFQ_ENTRIES),
+            staged: None,
+            ruu: VecDeque::with_capacity(cfg.ruu_entries),
+            lsq: VecDeque::with_capacity(cfg.lsq_entries),
+            head_seq: 0,
+            next_seq: 0,
+            reg_producer: [None; NUM_REGS],
+            fetch_halted: false,
+            fetch_blocked_until: 0,
+            current_fetch_block: None,
+            stats: PipelineStats::default(),
+            cfg,
+            stream,
+        }
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// The branch predictor (for its statistics).
+    #[must_use]
+    pub fn bpred(&self) -> &BranchPredictor {
+        &self.bpred
+    }
+
+    /// Instruction TLB (for its statistics).
+    #[must_use]
+    pub fn itlb(&self) -> &Tlb {
+        &self.itlb
+    }
+
+    /// Data TLB (for its statistics).
+    #[must_use]
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// Advances the core by one cycle against `hier`.
+    pub fn step(&mut self, hier: &mut MemoryHierarchy, now: Cycle) {
+        self.commit_stage(hier, now);
+        self.issue_stage(hier, now);
+        self.dispatch_stage(now);
+        self.fetch_stage(hier, now);
+    }
+
+    /// Runs `cycles` cycles (commit-driven experiments use
+    /// `aep-sim`'s runner instead; this is a convenience for tests).
+    pub fn run(&mut self, hier: &mut MemoryHierarchy, cycles: Cycle) {
+        for now in 0..cycles {
+            self.step(hier, now);
+            hier.tick(now);
+        }
+    }
+
+    fn entry_index(&self, seq: u64) -> Option<usize> {
+        if seq < self.head_seq {
+            return None; // already committed
+        }
+        let idx = (seq - self.head_seq) as usize;
+        (idx < self.ruu.len()).then_some(idx)
+    }
+
+    fn src_ready(&self, src: Option<u64>, now: Cycle) -> bool {
+        match src {
+            None => true,
+            Some(seq) => match self.entry_index(seq) {
+                None => true, // producer committed: value in the register file
+                Some(idx) => {
+                    let e = &self.ruu[idx];
+                    e.issued && e.complete_at <= now
+                }
+            },
+        }
+    }
+
+    // ----- commit -------------------------------------------------------
+
+    fn commit_stage(&mut self, hier: &mut MemoryHierarchy, now: Cycle) {
+        let mut committed = 0;
+        while committed < self.cfg.commit_width {
+            let Some(head) = self.ruu.front() else { break };
+            if !head.issued || head.complete_at > now {
+                break;
+            }
+            let entry = self.ruu.pop_front().expect("front exists");
+            self.head_seq += 1;
+            committed += 1;
+            self.stats.committed += 1;
+
+            if entry.op.class.is_mem() {
+                let popped = self.lsq.pop_front();
+                debug_assert_eq!(popped.map(|e| e.seq), Some(entry.seq), "LSQ in sync");
+            }
+            if let Some(dst) = entry.op.dst {
+                if self.reg_producer[dst as usize] == Some(entry.seq) {
+                    self.reg_producer[dst as usize] = None;
+                }
+            }
+            match entry.op.class {
+                OpClass::Store => {
+                    let addr = entry.op.addr.expect("stores carry addresses");
+                    let done = hier.store(addr, now);
+                    if done > now + 1 {
+                        // The write buffer was full: the store holds the
+                        // commit port while the oldest entry retires.
+                        self.stats.store_stall_cycles += done - (now + 1);
+                        break;
+                    }
+                }
+                OpClass::Branch => {
+                    let pred = entry
+                        .prediction
+                        .expect("branches carry their fetch-time prediction");
+                    self.bpred
+                        .update(entry.op.pc, entry.op.taken, entry.op.target, pred);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ----- issue --------------------------------------------------------
+
+    fn issue_stage(&mut self, hier: &mut MemoryHierarchy, now: Cycle) {
+        let mut issued = 0;
+        let mut resume: Option<Cycle> = None;
+        for idx in 0..self.ruu.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let (seq, class, src1, src2, addr, mispredicted, already) = {
+                let e = &self.ruu[idx];
+                (
+                    e.seq,
+                    e.op.class,
+                    e.src_seqs[0],
+                    e.src_seqs[1],
+                    e.op.addr,
+                    e.mispredicted,
+                    e.issued,
+                )
+            };
+            if already {
+                continue;
+            }
+            if !self.src_ready(src1, now) || !self.src_ready(src2, now) {
+                continue;
+            }
+            if !self.fu.try_acquire(class, now) {
+                continue;
+            }
+            let complete_at = match class {
+                OpClass::Load => {
+                    let addr = addr.expect("loads carry addresses");
+                    if self.store_forwarding_hit(seq, addr) {
+                        self.stats.forwarded_loads += 1;
+                        now + FORWARD_LATENCY
+                    } else {
+                        let walk = self.dtlb.translate(addr);
+                        hier.load(addr, now) + walk
+                    }
+                }
+                OpClass::Store => {
+                    // Address generation + translation; the data is written
+                    // to the hierarchy at commit.
+                    let addr = addr.expect("stores carry addresses");
+                    let walk = self.dtlb.translate(addr);
+                    now + 1 + walk
+                }
+                other => now + FuPool::timing(other).latency,
+            };
+            {
+                let e = &mut self.ruu[idx];
+                e.issued = true;
+                e.complete_at = complete_at;
+            }
+            issued += 1;
+            if mispredicted {
+                // The branch now has a resolution time: fetch restarts
+                // after it resolves plus the redirect penalty.
+                let at = complete_at + self.cfg.redirect_penalty;
+                resume = Some(resume.map_or(at, |r: Cycle| r.max(at)));
+            }
+        }
+        if let Some(at) = resume {
+            self.fetch_halted = false;
+            self.fetch_blocked_until = self.fetch_blocked_until.max(at);
+            self.current_fetch_block = None;
+        }
+    }
+
+    fn store_forwarding_hit(&self, load_seq: u64, addr: Addr) -> bool {
+        let word = addr.0 / 8;
+        self.lsq
+            .iter()
+            .any(|e| e.is_store && e.seq < load_seq && e.word == word)
+    }
+
+    // ----- dispatch -----------------------------------------------------
+
+    fn dispatch_stage(&mut self, _now: Cycle) {
+        let mut dispatched = 0;
+        while dispatched < self.cfg.decode_width {
+            if self.ruu.len() >= self.cfg.ruu_entries {
+                break;
+            }
+            let Some(front) = self.fetch_queue.front() else { break };
+            if front.op.class.is_mem() && self.lsq.len() >= self.cfg.lsq_entries {
+                break;
+            }
+            let fetched = self.fetch_queue.pop_front().expect("front exists");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let src_of = |r: Option<u8>, map: &[Option<u64>; NUM_REGS]| {
+                r.and_then(|r| map[r as usize])
+            };
+            let src_seqs = [
+                src_of(fetched.op.src1, &self.reg_producer),
+                src_of(fetched.op.src2, &self.reg_producer),
+            ];
+            if let Some(dst) = fetched.op.dst {
+                self.reg_producer[dst as usize] = Some(seq);
+            }
+            if fetched.op.class.is_mem() {
+                let addr = fetched.op.addr.expect("memory ops carry addresses");
+                self.lsq.push_back(LsqEntry {
+                    seq,
+                    is_store: fetched.op.class == OpClass::Store,
+                    word: addr.0 / 8,
+                });
+            }
+            self.ruu.push_back(RuuEntry {
+                seq,
+                op: fetched.op,
+                issued: false,
+                complete_at: 0,
+                mispredicted: fetched.mispredicted,
+                prediction: fetched.prediction,
+                src_seqs,
+            });
+            dispatched += 1;
+        }
+    }
+
+    // ----- fetch --------------------------------------------------------
+
+    fn fetch_stage(&mut self, hier: &mut MemoryHierarchy, now: Cycle) {
+        if self.fetch_halted || now < self.fetch_blocked_until {
+            self.stats.fetch_stall_cycles += 1;
+            return;
+        }
+        let block_bytes = hier.config().l1i.line_bytes;
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width && self.fetch_queue.len() < IFQ_ENTRIES {
+            let op = match self.staged.take() {
+                Some(op) => op,
+                None => self.stream.next_op(),
+            };
+            let block = op.pc / block_bytes;
+            if self.current_fetch_block != Some(block) {
+                let walk = self.itlb.translate(Addr::new(op.pc));
+                let done = hier.fetch(Addr::new(op.pc), now) + walk;
+                self.current_fetch_block = Some(block);
+                if done > now + 1 {
+                    // I-cache miss: hold the op and resume when it lands.
+                    self.staged = Some(op);
+                    self.fetch_blocked_until = done;
+                    return;
+                }
+            }
+            let mut entry = FetchedOp {
+                op,
+                prediction: None,
+                mispredicted: false,
+            };
+            let mut halt = false;
+            let mut taken_break = false;
+            if op.class == OpClass::Branch {
+                let pred = self.bpred.predict(op.pc);
+                let mispredict = pred.taken != op.taken
+                    || (op.taken && pred.target != Some(op.target));
+                entry.prediction = Some(pred);
+                entry.mispredicted = mispredict;
+                if mispredict {
+                    halt = true;
+                } else if op.taken {
+                    taken_break = true;
+                }
+            }
+            self.fetch_queue.push_back(entry);
+            self.stats.fetched += 1;
+            fetched += 1;
+            if halt {
+                // Wrong-path fetch: stop until the branch resolves.
+                self.fetch_halted = true;
+                self.current_fetch_block = None;
+                return;
+            }
+            if taken_break {
+                // Correctly predicted taken branch: the fetch stream
+                // redirects to the target block next cycle.
+                self.current_fetch_block = None;
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::LoopStream;
+    use aep_mem::HierarchyConfig;
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::tiny())
+    }
+
+    fn run_ops(ops: Vec<MicroOp>, cycles: Cycle) -> (PipelineStats, MemoryHierarchy) {
+        let mut cpu = Pipeline::new(CoreConfig::date2006(), LoopStream::new(ops));
+        let mut hier = mem();
+        cpu.run(&mut hier, cycles);
+        (cpu.stats(), hier)
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_high_ipc() {
+        // 4 independent ALU ops in a 32-byte block: should sustain ~4 IPC
+        // once warm (bounded by fetch width).
+        let ops = (0..4)
+            .map(|i| MicroOp::alu(i * 8, None, None, Some((i % 32) as u8)))
+            .collect();
+        let (stats, _) = run_ops(ops, 10_000);
+        let ipc = stats.ipc(10_000);
+        assert!(ipc > 2.5, "expected high ILP, got IPC {ipc}");
+    }
+
+    #[test]
+    fn dependent_chain_limits_ipc_to_one() {
+        // r1 <- r1 + r1 forever: a serial chain, IPC <= 1.
+        let ops = vec![MicroOp::alu(0, Some(1), Some(1), Some(1))];
+        let (stats, _) = run_ops(ops, 5_000);
+        let ipc = stats.ipc(5_000);
+        assert!(ipc <= 1.05, "serial chain cannot exceed 1 IPC, got {ipc}");
+        assert!(ipc > 0.5, "chain should still progress, got {ipc}");
+    }
+
+    #[test]
+    fn single_multiplier_throttles_mul_streams() {
+        let muls: Vec<MicroOp> = (0..4)
+            .map(|i| MicroOp {
+                class: OpClass::IntMul,
+                ..MicroOp::alu(i * 8, None, None, Some((i + 1) as u8))
+            })
+            .collect();
+        let (stats, _) = run_ops(muls, 5_000);
+        // One multiplier, 1-cycle initiation: at most 1 mul issued per
+        // cycle, so IPC <= ~1.
+        assert!(stats.ipc(5_000) <= 1.05);
+    }
+
+    #[test]
+    fn loads_and_stores_flow_through_the_hierarchy() {
+        let ops = vec![
+            MicroOp::store(0, Addr::new(0x1000), Some(1)),
+            MicroOp::load(8, Addr::new(0x2000), Some(2)),
+        ];
+        let (stats, hier) = run_ops(ops, 20_000);
+        assert!(stats.committed > 100);
+        assert!(hier.ops().loads > 0);
+        assert!(hier.ops().stores > 0);
+    }
+
+    #[test]
+    fn store_to_load_forwarding_is_used() {
+        // Store to X immediately followed by load from X.
+        let ops = vec![
+            MicroOp::store(0, Addr::new(0x3000), Some(1)),
+            MicroOp::load(8, Addr::new(0x3000), Some(2)),
+        ];
+        let (stats, _) = run_ops(ops, 5_000);
+        assert!(stats.forwarded_loads > 0, "same-word load must forward");
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_fetch_cycles() {
+        // A branch alternating taken/not-taken against a randomised
+        // pattern is hard; emulate with a taken branch to a new target each
+        // time... LoopStream repeats the same op, so use a predictable
+        // taken branch (learned quickly) vs an always-mispredicting one.
+        let well_predicted = vec![
+            MicroOp::alu(0, None, None, Some(1)),
+            MicroOp::branch(8, true, 0),
+        ];
+        let (good, _) = run_ops(well_predicted, 20_000);
+
+        // Unpredictable direction: LoopStream cannot vary `taken`, so use
+        // two branches at the same PC with opposite outcomes — the PHT
+        // counter oscillates and mispredicts a large fraction.
+        let poorly_predicted = vec![
+            MicroOp::alu(0, None, None, Some(1)),
+            MicroOp::branch(8, true, 0),
+            MicroOp::alu(0, None, None, Some(1)),
+            MicroOp::branch(8, false, 0),
+        ];
+        let (bad, _) = run_ops(poorly_predicted, 20_000);
+        assert!(
+            bad.ipc(20_000) < good.ipc(20_000),
+            "mispredictions must cost throughput: bad {} vs good {}",
+            bad.ipc(20_000),
+            good.ipc(20_000)
+        );
+    }
+
+    #[test]
+    fn ruu_never_exceeds_capacity() {
+        // A long-latency load chain backs the machine up; the RUU must
+        // respect its 64-entry bound (checked indirectly: committed count
+        // stays consistent and no panic occurs).
+        let ops = vec![MicroOp::load(0, Addr::new(0x8000), Some(1))];
+        let mut cpu = Pipeline::new(CoreConfig::date2006(), LoopStream::new(ops));
+        let mut hier = mem();
+        for now in 0..2_000 {
+            cpu.step(&mut hier, now);
+            assert!(cpu.ruu.len() <= 64);
+            assert!(cpu.lsq.len() <= 32);
+            hier.tick(now);
+        }
+    }
+
+    #[test]
+    fn stats_ipc_handles_zero_cycles() {
+        assert_eq!(PipelineStats::default().ipc(0), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::isa::LoopStream;
+    use crate::trace::{RecordingStream, ReplayStream, TraceReader};
+    use aep_mem::HierarchyConfig;
+
+    #[test]
+    fn replayed_trace_times_identically_to_the_original() {
+        // Record a generator-driven run, then replay the trace through a
+        // fresh pipeline: committed counts must match exactly (the trace
+        // carries everything the timing model consumes).
+        let ops = vec![
+            MicroOp::alu(0, Some(1), None, Some(2)),
+            MicroOp::load(8, Addr::new(0x2000), Some(3)),
+            MicroOp::store(16, Addr::new(0x3000), Some(3)),
+            MicroOp::branch(24, true, 0),
+        ];
+        let source = LoopStream::new(ops);
+        let rec = RecordingStream::new(source, Vec::new()).unwrap();
+        let mut cpu_a = Pipeline::new(CoreConfig::date2006(), rec);
+        let mut mem_a = MemoryHierarchy::new(HierarchyConfig::tiny());
+        cpu_a.run(&mut mem_a, 20_000);
+        let committed_a = cpu_a.stats().committed;
+        // Pull the recorded bytes back out of the pipeline's stream.
+        let (_, buf) = {
+            let Pipeline { stream, .. } = cpu_a;
+            stream.finish().unwrap()
+        };
+        let ops_recorded = TraceReader::new(buf.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert!(ops_recorded.len() as u64 >= committed_a);
+
+        let replay = ReplayStream::new(ops_recorded);
+        let mut cpu_b = Pipeline::new(CoreConfig::date2006(), replay);
+        let mut mem_b = MemoryHierarchy::new(HierarchyConfig::tiny());
+        cpu_b.run(&mut mem_b, 20_000);
+        assert_eq!(cpu_b.stats().committed, committed_a);
+    }
+
+    #[test]
+    fn tlb_misses_add_latency_to_cold_pages() {
+        // Loads striding across pages at low locality keep missing the
+        // DTLB; ITLB stays hot. Observable via the TLB stats.
+        let ops: Vec<MicroOp> = (0..8)
+            .map(|i| MicroOp::load(i * 8, Addr::new(i * 8 * 4096), Some((i % 30 + 1) as u8)))
+            .collect();
+        let mut cpu = Pipeline::new(CoreConfig::date2006(), LoopStream::new(ops));
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::tiny());
+        cpu.run(&mut mem, 10_000);
+        assert!(cpu.dtlb().stats().misses > 0);
+        assert!(cpu.itlb().stats().hits > 0);
+    }
+
+    #[test]
+    fn full_write_buffer_back_pressure_reaches_commit() {
+        // A pure store stream to distinct lines outruns the write buffer
+        // drain; the commit stage must record store stalls.
+        let ops: Vec<MicroOp> = (0..64)
+            .map(|i| MicroOp::store(i * 8, Addr::new(0x100_000 + i * 4096), Some(1)))
+            .collect();
+        let mut cpu = Pipeline::new(CoreConfig::date2006(), LoopStream::new(ops));
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::tiny()); // 4-entry WB
+        cpu.run(&mut mem, 30_000);
+        assert!(
+            cpu.stats().store_stall_cycles > 0,
+            "store stream must hit write-buffer back-pressure"
+        );
+    }
+
+    #[test]
+    fn fetch_stalls_are_accounted() {
+        // A stream with hard-to-predict branches spends cycles redirecting.
+        let ops = vec![
+            MicroOp::branch(0, true, 0x40),
+            MicroOp::branch(0x40, false, 0),
+            MicroOp::alu(0x48, None, None, Some(1)),
+        ];
+        let mut cpu = Pipeline::new(CoreConfig::date2006(), LoopStream::new(ops));
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::tiny());
+        cpu.run(&mut mem, 10_000);
+        assert!(cpu.stats().fetch_stall_cycles > 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Check-bit area accounting.
+//!
+//! The paper's headline claim is an *area* number: conventional uniform
+//! SECDED costs 132 KB of check storage on a 1 MB L2, the proposed scheme
+//! 54 KB — a 59 % reduction. [`CodeArea`] expresses storage quantities in
+//! bits and composes them, so `aep-core::area` can reproduce the paper's
+//! accounting line by line and the tests can assert it exactly.
+
+/// A quantity of check/metadata storage, tracked in bits.
+///
+/// ```
+/// use aep_ecc::area::CodeArea;
+///
+/// // SECDED on a 1 MB data array: 8 check bits per 64 data bits.
+/// let data_bits = 1024 * 1024 * 8u64;
+/// let ecc = CodeArea::from_ratio(data_bits, 8, 64);
+/// assert_eq!(ecc.kib(), 128.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CodeArea {
+    bits: u64,
+}
+
+impl CodeArea {
+    /// Zero storage.
+    #[must_use]
+    pub fn new() -> Self {
+        CodeArea { bits: 0 }
+    }
+
+    /// `bits` of storage.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Self {
+        CodeArea { bits }
+    }
+
+    /// `bytes` of storage.
+    #[must_use]
+    pub fn from_bytes(bytes: u64) -> Self {
+        CodeArea { bits: bytes * 8 }
+    }
+
+    /// `kib` kibibytes of storage.
+    #[must_use]
+    pub fn from_kib(kib: u64) -> Self {
+        CodeArea::from_bytes(kib * 1024)
+    }
+
+    /// Check storage for protecting `data_bits` with `check_per` check bits
+    /// per `data_per` data bits (e.g. SECDED: 8 per 64; parity: 1 per 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_per == 0` or `data_bits` is not a multiple of
+    /// `data_per` (fractional code blocks do not exist in hardware).
+    #[must_use]
+    pub fn from_ratio(data_bits: u64, check_per: u64, data_per: u64) -> Self {
+        assert!(data_per > 0, "data_per must be positive");
+        assert_eq!(
+            data_bits % data_per,
+            0,
+            "data must divide evenly into code blocks"
+        );
+        CodeArea {
+            bits: data_bits / data_per * check_per,
+        }
+    }
+
+    /// Total storage in bits.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Total storage in bytes (may round down sub-byte remainders).
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        self.bits / 8
+    }
+
+    /// Total storage in KiB, exact as `f64`.
+    #[must_use]
+    pub fn kib(self) -> f64 {
+        self.bits as f64 / 8.0 / 1024.0
+    }
+
+    /// Overhead of this storage relative to a `data` array, as a percentage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is zero bits.
+    #[must_use]
+    pub fn percent_of(self, data: CodeArea) -> f64 {
+        assert!(data.bits > 0, "reference array must be non-empty");
+        self.bits as f64 / data.bits as f64 * 100.0
+    }
+
+    /// Fractional reduction going from `self` (the larger/old design) to
+    /// `new`, e.g. `0.59` for the paper's 132 KB → 54 KB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero bits.
+    #[must_use]
+    pub fn reduction_to(self, new: CodeArea) -> f64 {
+        assert!(self.bits > 0, "old design must be non-empty");
+        1.0 - new.bits as f64 / self.bits as f64
+    }
+}
+
+impl core::ops::Add for CodeArea {
+    type Output = CodeArea;
+
+    fn add(self, rhs: CodeArea) -> CodeArea {
+        CodeArea {
+            bits: self.bits + rhs.bits,
+        }
+    }
+}
+
+impl core::ops::AddAssign for CodeArea {
+    fn add_assign(&mut self, rhs: CodeArea) {
+        self.bits += rhs.bits;
+    }
+}
+
+impl core::iter::Sum for CodeArea {
+    fn sum<I: Iterator<Item = CodeArea>>(iter: I) -> CodeArea {
+        iter.fold(CodeArea::new(), |a, b| a + b)
+    }
+}
+
+impl core::fmt::Display for CodeArea {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.bits.is_multiple_of(8 * 1024) {
+            write!(f, "{} KiB", self.bits / (8 * 1024))
+        } else if self.bits.is_multiple_of(8) {
+            write!(f, "{} B", self.bits / 8)
+        } else {
+            write!(f, "{} bits", self.bits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB_BITS: u64 = 1024 * 1024 * 8;
+
+    #[test]
+    fn secded_on_1mb_is_128kib() {
+        let ecc = CodeArea::from_ratio(MIB_BITS, 8, 64);
+        assert_eq!(ecc.kib(), 128.0);
+        assert_eq!(ecc.bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn parity_on_1mb_is_16kib() {
+        let parity = CodeArea::from_ratio(MIB_BITS, 1, 64);
+        assert_eq!(parity.kib(), 16.0);
+    }
+
+    #[test]
+    fn secded_overhead_is_12_5_percent() {
+        let data = CodeArea::from_bits(MIB_BITS);
+        let ecc = CodeArea::from_ratio(MIB_BITS, 8, 64);
+        assert!((ecc.percent_of(data) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_area_reduction_is_59_percent() {
+        // Conventional: 128 KB data ECC + 4 KB tag/status = 132 KB.
+        let conventional = CodeArea::from_kib(128) + CodeArea::from_kib(4);
+        // Proposed: 16 KB parity + 2 KB written + 2 KB tag parity +
+        //           2 KB status parity + 32 KB ECC array = 54 KB.
+        let proposed: CodeArea = [16u64, 2, 2, 2, 32]
+            .iter()
+            .map(|&k| CodeArea::from_kib(k))
+            .sum();
+        assert_eq!(proposed.kib(), 54.0);
+        let reduction = conventional.reduction_to(proposed);
+        assert!((reduction - 0.5909).abs() < 1e-3, "got {reduction}");
+    }
+
+    #[test]
+    fn add_and_sum_agree() {
+        let a = CodeArea::from_bits(5);
+        let b = CodeArea::from_bits(7);
+        assert_eq!(a + b, CodeArea::from_bits(12));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, CodeArea::from_bits(12));
+    }
+
+    #[test]
+    fn display_picks_best_unit() {
+        assert_eq!(CodeArea::from_kib(32).to_string(), "32 KiB");
+        assert_eq!(CodeArea::from_bytes(12).to_string(), "12 B");
+        assert_eq!(CodeArea::from_bits(3).to_string(), "3 bits");
+    }
+
+    #[test]
+    #[should_panic(expected = "code blocks")]
+    fn ragged_blocks_panic() {
+        let _ = CodeArea::from_ratio(65, 8, 64);
+    }
+}

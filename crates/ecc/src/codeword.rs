@@ -1,0 +1,398 @@
+//! Protected storage cells: data paired with its check bits.
+//!
+//! These types model the physical arrays the paper reasons about: a cache
+//! data array word plus its parity bit or SECDED check byte, and whole cache
+//! lines protected word-by-word. They are used by `aep-core`'s protection
+//! schemes and by the fault-injection experiments.
+
+use crate::hamming::Secded64;
+use crate::parity::{InterleavedParity, ParityBit};
+use crate::{Decoded, FlippedBit};
+
+/// A 64-bit word stored with one even-parity check bit.
+///
+/// ```
+/// use aep_ecc::codeword::ParityWord;
+///
+/// let mut w = ParityWord::store(0xABCD);
+/// assert_eq!(w.load(), Ok(0xABCD));
+/// w.flip_data_bit(3); // simulate a soft error
+/// assert!(w.load().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParityWord {
+    data: u64,
+    parity: bool,
+}
+
+/// Error returned by [`ParityWord::load`] when the stored parity mismatches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParityMismatch;
+
+impl core::fmt::Display for ParityMismatch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("stored word fails its parity check")
+    }
+}
+
+impl std::error::Error for ParityMismatch {}
+
+impl ParityWord {
+    /// Stores `data` together with its freshly computed parity bit.
+    #[must_use]
+    pub fn store(data: u64) -> Self {
+        ParityWord {
+            data,
+            parity: ParityBit::encode(data),
+        }
+    }
+
+    /// Reads the word back, verifying parity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParityMismatch`] when an odd number of bits has flipped
+    /// since the word was stored.
+    pub fn load(self) -> Result<u64, ParityMismatch> {
+        if ParityBit::verify(self.data, self.parity) {
+            Ok(self.data)
+        } else {
+            Err(ParityMismatch)
+        }
+    }
+
+    /// Reads the raw data without checking parity (a "blind" read).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.data
+    }
+
+    /// Simulates a soft error in data bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64`.
+    pub fn flip_data_bit(&mut self, bit: u8) {
+        assert!(bit < 64, "data bit index out of range");
+        self.data ^= 1u64 << bit;
+    }
+
+    /// Simulates a soft error in the parity bit itself.
+    pub fn flip_parity_bit(&mut self) {
+        self.parity = !self.parity;
+    }
+}
+
+/// A 64-bit word stored with its 8 SECDED check bits.
+///
+/// ```
+/// use aep_ecc::codeword::SecdedWord;
+/// use aep_ecc::hamming::Secded64;
+///
+/// let code = Secded64::new();
+/// let mut w = SecdedWord::store(&code, 99);
+/// w.flip_data_bit(60);
+/// // A single flip is transparently corrected on load:
+/// assert_eq!(w.load(&code).data(), Some(99));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecdedWord {
+    data: u64,
+    check: u8,
+}
+
+impl SecdedWord {
+    /// Stores `data` with freshly encoded check bits.
+    #[must_use]
+    pub fn store(code: &Secded64, data: u64) -> Self {
+        SecdedWord {
+            data,
+            check: code.encode(data),
+        }
+    }
+
+    /// Decodes the stored word, correcting a single-bit error if present.
+    #[must_use]
+    pub fn load(self, code: &Secded64) -> Decoded {
+        code.decode(self.data, self.check)
+    }
+
+    /// Decodes and *repairs* the stored copy in place (a scrub operation).
+    ///
+    /// Returns the decode outcome; after a `Corrected` outcome the stored
+    /// word is clean again.
+    pub fn scrub(&mut self, code: &Secded64) -> Decoded {
+        let decoded = self.load(code);
+        if let Decoded::Corrected { data, .. } = decoded {
+            *self = SecdedWord::store(code, data);
+        }
+        decoded
+    }
+
+    /// The raw stored data (possibly corrupted), without decoding.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.data
+    }
+
+    /// The raw stored check byte.
+    #[must_use]
+    pub fn raw_check(self) -> u8 {
+        self.check
+    }
+
+    /// Simulates a soft error in data bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64`.
+    pub fn flip_data_bit(&mut self, bit: u8) {
+        assert!(bit < 64, "data bit index out of range");
+        self.data ^= 1u64 << bit;
+    }
+
+    /// Simulates a soft error in check bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn flip_check_bit(&mut self, bit: u8) {
+        assert!(bit < 8, "check bit index out of range");
+        self.check ^= 1 << bit;
+    }
+}
+
+/// A whole cache line protected word-by-word.
+///
+/// The line stores its payload as 64-bit words plus *both* kinds of check
+/// state so protection schemes can switch a line between parity mode (clean)
+/// and ECC mode (dirty) without touching the payload — mirroring the paper's
+/// architecture where the parity array is per-way and always maintained,
+/// while the shared ECC array holds check bits only for dirty lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtectedLine {
+    words: Vec<u64>,
+    parity: InterleavedParity,
+}
+
+/// Outcome of verifying a [`ProtectedLine`] against an ECC check vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineDecode {
+    /// Every word decoded cleanly.
+    Clean,
+    /// At least one word needed (successful) correction; the line has been
+    /// repaired in place.
+    Corrected {
+        /// Indices of the corrected words and which bit flipped in each.
+        repairs: Vec<(usize, FlippedBit)>,
+    },
+    /// At least one word was uncorrectable.
+    Uncorrectable {
+        /// Index of the first uncorrectable word.
+        word: usize,
+    },
+}
+
+impl ProtectedLine {
+    /// Creates a line from `words`, computing interleaved parity.
+    #[must_use]
+    pub fn new(words: Vec<u64>) -> Self {
+        let parity = InterleavedParity::encode(&words);
+        ProtectedLine { words, parity }
+    }
+
+    /// Number of 64-bit words in the line.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the line holds no words.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read-only view of the payload (no verification).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites the payload and refreshes the parity bits.
+    pub fn write(&mut self, words: Vec<u64>) {
+        self.parity = InterleavedParity::encode(&words);
+        self.words = words;
+    }
+
+    /// Verifies the line against its parity bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing word index on a parity mismatch.
+    pub fn verify_parity(&self) -> Result<(), usize> {
+        InterleavedParity::verify(&self.words, self.parity).map_err(|e| e.word)
+    }
+
+    /// Encodes a per-word SECDED check vector for the current payload.
+    ///
+    /// This is what the proposed scheme stores in its shared ECC array when
+    /// a line becomes dirty (8 check bits per word = 8 bytes per 64-byte
+    /// line entry in the paper's configuration).
+    #[must_use]
+    pub fn encode_ecc(&self, code: &Secded64) -> Vec<u8> {
+        self.words.iter().map(|&w| code.encode(w)).collect()
+    }
+
+    /// Verifies (and repairs, where possible) the payload against a
+    /// previously encoded ECC check vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checks` has a different length than the line.
+    pub fn decode_ecc(&mut self, code: &Secded64, checks: &[u8]) -> LineDecode {
+        assert_eq!(
+            checks.len(),
+            self.words.len(),
+            "check vector length must match the line"
+        );
+        let mut repairs = Vec::new();
+        for (i, (&check, word)) in checks.iter().zip(self.words.iter_mut()).enumerate() {
+            match code.decode(*word, check) {
+                Decoded::Clean { .. } => {}
+                Decoded::Corrected { data, flipped } => {
+                    *word = data;
+                    repairs.push((i, flipped));
+                }
+                Decoded::Uncorrectable => return LineDecode::Uncorrectable { word: i },
+            }
+        }
+        if repairs.is_empty() {
+            LineDecode::Clean
+        } else {
+            self.parity = InterleavedParity::encode(&self.words);
+            LineDecode::Corrected { repairs }
+        }
+    }
+
+    /// Simulates a soft error: flips `bit` of word `word` *without*
+    /// refreshing parity — exactly what a particle strike does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` or `bit` is out of range.
+    pub fn strike(&mut self, word: usize, bit: u8) {
+        assert!(bit < 64, "bit index out of range");
+        self.words[word] ^= 1u64 << bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_word_roundtrip() {
+        let w = ParityWord::store(123);
+        assert_eq!(w.load(), Ok(123));
+        assert_eq!(w.raw(), 123);
+    }
+
+    #[test]
+    fn parity_word_detects_flip() {
+        let mut w = ParityWord::store(0xFFFF);
+        w.flip_data_bit(0);
+        assert_eq!(w.load(), Err(ParityMismatch));
+        assert_eq!(ParityMismatch.to_string(), "stored word fails its parity check");
+    }
+
+    #[test]
+    fn parity_word_detects_parity_bit_flip() {
+        let mut w = ParityWord::store(1);
+        w.flip_parity_bit();
+        assert!(w.load().is_err());
+    }
+
+    #[test]
+    fn secded_word_scrub_repairs_storage() {
+        let code = Secded64::new();
+        let mut w = SecdedWord::store(&code, 7777);
+        w.flip_data_bit(5);
+        assert_ne!(w.raw(), 7777);
+        let outcome = w.scrub(&code);
+        assert!(matches!(outcome, Decoded::Corrected { .. }));
+        assert_eq!(w.raw(), 7777);
+        assert!(w.load(&code).is_clean());
+    }
+
+    #[test]
+    fn secded_word_double_flip_uncorrectable() {
+        let code = Secded64::new();
+        let mut w = SecdedWord::store(&code, 1);
+        w.flip_data_bit(1);
+        w.flip_data_bit(2);
+        assert_eq!(w.load(&code), Decoded::Uncorrectable);
+        // Scrub must not "repair" an uncorrectable word.
+        let raw_before = w.raw();
+        w.scrub(&code);
+        assert_eq!(w.raw(), raw_before);
+    }
+
+    #[test]
+    fn line_parity_roundtrip_and_strike() {
+        let mut line = ProtectedLine::new(vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(line.verify_parity().is_ok());
+        line.strike(2, 33);
+        assert_eq!(line.verify_parity(), Err(2));
+    }
+
+    #[test]
+    fn line_write_refreshes_parity() {
+        let mut line = ProtectedLine::new(vec![0; 8]);
+        line.write(vec![9; 8]);
+        assert!(line.verify_parity().is_ok());
+        assert_eq!(line.words(), &[9; 8]);
+    }
+
+    #[test]
+    fn line_ecc_corrects_strikes_in_multiple_words() {
+        let code = Secded64::new();
+        let original: Vec<u64> = (0..8).map(|i| i * 0x0101_0101_0101_0101).collect();
+        let mut line = ProtectedLine::new(original.clone());
+        let checks = line.encode_ecc(&code);
+        line.strike(0, 12);
+        line.strike(7, 63);
+        match line.decode_ecc(&code, &checks) {
+            LineDecode::Corrected { repairs } => {
+                assert_eq!(repairs.len(), 2);
+                assert_eq!(repairs[0].0, 0);
+                assert_eq!(repairs[1].0, 7);
+            }
+            other => panic!("expected corrections, got {other:?}"),
+        }
+        assert_eq!(line.words(), original.as_slice());
+        // Parity must have been refreshed alongside the repair.
+        assert!(line.verify_parity().is_ok());
+    }
+
+    #[test]
+    fn line_ecc_flags_double_strike_in_one_word() {
+        let code = Secded64::new();
+        let mut line = ProtectedLine::new(vec![0xAA; 8]);
+        let checks = line.encode_ecc(&code);
+        line.strike(3, 1);
+        line.strike(3, 2);
+        assert_eq!(
+            line.decode_ecc(&code, &checks),
+            LineDecode::Uncorrectable { word: 3 }
+        );
+    }
+
+    #[test]
+    fn empty_line_is_empty() {
+        let line = ProtectedLine::new(Vec::new());
+        assert!(line.is_empty());
+        assert_eq!(line.len(), 0);
+        assert!(line.verify_parity().is_ok());
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic soft-error injection.
+//!
+//! The paper motivates its scheme with alpha-particle / neutron-induced soft
+//! errors. We cannot irradiate silicon, so the reliability experiments
+//! *inject* bit flips into protected storage with a seeded RNG: every
+//! experiment is exactly reproducible from its seed. The injector produces
+//! [`FaultSpec`]s — (word, bit) coordinates plus single/double multiplicity —
+//! which `aep-core`'s recovery logic then applies and must survive.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One soft-error event to apply to a protected line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// Index of the 64-bit word within the line that is struck.
+    pub word: usize,
+    /// First flipped bit within the word (0 = LSB).
+    pub bit: u8,
+    /// For double-bit faults, the second flipped bit (distinct from `bit`).
+    pub second_bit: Option<u8>,
+}
+
+impl FaultSpec {
+    /// `true` when this is a multi-bit (uncorrectable-by-SECDED) fault.
+    #[must_use]
+    pub fn is_double(&self) -> bool {
+        self.second_bit.is_some()
+    }
+}
+
+/// A seeded generator of [`FaultSpec`]s.
+///
+/// ```
+/// use aep_ecc::inject::FaultInjector;
+///
+/// let mut inj = FaultInjector::with_seed(42);
+/// let a = inj.single(8); // line of 8 words
+/// assert!(a.word < 8 && a.bit < 64 && a.second_bit.is_none());
+///
+/// // Identical seeds replay identical fault streams:
+/// let mut replay = FaultInjector::with_seed(42);
+/// assert_eq!(replay.single(8), a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: SmallRng,
+    singles: u64,
+    doubles: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector seeded with `seed`.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        FaultInjector {
+            rng: SmallRng::seed_from_u64(seed),
+            singles: 0,
+            doubles: 0,
+        }
+    }
+
+    /// Draws a single-bit fault uniformly over a line of `words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`.
+    pub fn single(&mut self, words: usize) -> FaultSpec {
+        assert!(words > 0, "cannot inject into an empty line");
+        self.singles += 1;
+        FaultSpec {
+            word: self.rng.gen_range(0..words),
+            bit: self.rng.gen_range(0..64),
+            second_bit: None,
+        }
+    }
+
+    /// Draws a double-bit fault (two distinct bits in the same word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`.
+    pub fn double(&mut self, words: usize) -> FaultSpec {
+        assert!(words > 0, "cannot inject into an empty line");
+        self.doubles += 1;
+        let word = self.rng.gen_range(0..words);
+        let first = self.rng.gen_range(0..64u8);
+        let mut second = self.rng.gen_range(0..64u8);
+        while second == first {
+            second = self.rng.gen_range(0..64u8);
+        }
+        FaultSpec {
+            word,
+            bit: first,
+            second_bit: Some(second),
+        }
+    }
+
+    /// Draws a fault that is a double with probability `p_double`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_double` is not in `0.0..=1.0` or `words == 0`.
+    pub fn weighted(&mut self, words: usize, p_double: f64) -> FaultSpec {
+        assert!(
+            (0.0..=1.0).contains(&p_double),
+            "p_double must be a probability"
+        );
+        if self.rng.gen_bool(p_double) {
+            self.double(words)
+        } else {
+            self.single(words)
+        }
+    }
+
+    /// Number of single-bit faults generated so far.
+    #[must_use]
+    pub fn singles_generated(&self) -> u64 {
+        self.singles
+    }
+
+    /// Number of double-bit faults generated so far.
+    #[must_use]
+    pub fn doubles_generated(&self) -> u64 {
+        self.doubles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_replay() {
+        let mut a = FaultInjector::with_seed(7);
+        let mut b = FaultInjector::with_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.single(8), b.single(8));
+            assert_eq!(a.double(8), b.double(8));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultInjector::with_seed(1);
+        let mut b = FaultInjector::with_seed(2);
+        let sa: Vec<_> = (0..32).map(|_| a.single(8)).collect();
+        let sb: Vec<_> = (0..32).map(|_| b.single(8)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn single_faults_stay_in_range() {
+        let mut inj = FaultInjector::with_seed(3);
+        for _ in 0..1000 {
+            let f = inj.single(8);
+            assert!(f.word < 8);
+            assert!(f.bit < 64);
+            assert!(!f.is_double());
+        }
+        assert_eq!(inj.singles_generated(), 1000);
+        assert_eq!(inj.doubles_generated(), 0);
+    }
+
+    #[test]
+    fn double_faults_have_distinct_bits() {
+        let mut inj = FaultInjector::with_seed(4);
+        for _ in 0..1000 {
+            let f = inj.double(4);
+            assert!(f.word < 4);
+            assert!(f.is_double());
+            assert_ne!(Some(f.bit), f.second_bit);
+        }
+    }
+
+    #[test]
+    fn weighted_zero_is_all_singles() {
+        let mut inj = FaultInjector::with_seed(5);
+        for _ in 0..200 {
+            assert!(!inj.weighted(8, 0.0).is_double());
+        }
+    }
+
+    #[test]
+    fn weighted_one_is_all_doubles() {
+        let mut inj = FaultInjector::with_seed(6);
+        for _ in 0..200 {
+            assert!(inj.weighted(8, 1.0).is_double());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty line")]
+    fn empty_line_panics() {
+        FaultInjector::with_seed(0).single(0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Byte addresses and cache-line address arithmetic.
+
+/// A byte address in the simulated physical address space.
+///
+/// ```
+/// use aep_mem::addr::Addr;
+///
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.line(64).0, 0x1234 / 64);
+/// assert_eq!(a.offset(64), 0x34 % 64 + 0x1200 % 64);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+/// A cache-line address: a byte address divided by the line size.
+///
+/// Keeping line addresses distinct from byte addresses prevents the classic
+/// off-by-a-shift bugs in set-index computations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl Addr {
+    /// Wraps a raw byte address.
+    #[must_use]
+    pub fn new(addr: u64) -> Self {
+        Addr(addr)
+    }
+
+    /// The line address of this byte address for `line_bytes`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    #[must_use]
+    pub fn line(self, line_bytes: u64) -> LineAddr {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        LineAddr(self.0 >> line_bytes.trailing_zeros())
+    }
+
+    /// The offset of this byte address within its line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    #[must_use]
+    pub fn offset(self, line_bytes: u64) -> u64 {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        self.0 & (line_bytes - 1)
+    }
+}
+
+impl LineAddr {
+    /// The first byte address of this line.
+    #[must_use]
+    pub fn base(self, line_bytes: u64) -> Addr {
+        Addr(self.0 << line_bytes.trailing_zeros())
+    }
+
+    /// Set index for a cache with `sets` sets (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two.
+    #[must_use]
+    pub fn set_index(self, sets: u64) -> usize {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        (self.0 & (sets - 1)) as usize
+    }
+
+    /// Tag for a cache with `sets` sets: the line address above the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two.
+    #[must_use]
+    pub fn tag(self, sets: u64) -> u64 {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        self.0 >> sets.trailing_zeros()
+    }
+
+    /// Reconstructs the line address from a (tag, set) pair.
+    ///
+    /// Inverse of [`LineAddr::tag`] + [`LineAddr::set_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two.
+    #[must_use]
+    pub fn from_tag_set(tag: u64, set: usize, sets: u64) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        LineAddr((tag << sets.trailing_zeros()) | set as u64)
+    }
+}
+
+impl core::fmt::Display for Addr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl core::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_offset() {
+        let a = Addr::new(0x1007);
+        assert_eq!(a.line(64), LineAddr(0x40));
+        assert_eq!(a.offset(64), 7);
+        assert_eq!(a.line(32), LineAddr(0x80));
+    }
+
+    #[test]
+    fn base_is_inverse_of_line() {
+        for raw in [0u64, 63, 64, 65, 0xFFFF_FFFF] {
+            let a = Addr::new(raw);
+            let line = a.line(64);
+            assert_eq!(line.base(64).0, raw & !63);
+        }
+    }
+
+    #[test]
+    fn tag_set_roundtrip() {
+        let sets = 4096u64;
+        for raw in [0u64, 1, 4095, 4096, 0xDEAD_BEEF] {
+            let line = LineAddr(raw);
+            let tag = line.tag(sets);
+            let set = line.set_index(sets);
+            assert_eq!(LineAddr::from_tag_set(tag, set, sets), line);
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_hit_consecutive_sets() {
+        let sets = 16u64;
+        let s0 = LineAddr(100).set_index(sets);
+        let s1 = LineAddr(101).set_index(sets);
+        assert_eq!((s0 + 1) % 16, s1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_size_panics() {
+        let _ = Addr::new(0).line(48);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(255).to_string(), "0xff");
+        assert_eq!(LineAddr(16).to_string(), "L0x10");
+    }
+}

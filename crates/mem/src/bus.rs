@@ -1,0 +1,151 @@
+//! The off-chip split-transaction memory bus.
+//!
+//! Table 1 specifies an 8-byte-wide bus and the performance study assumes a
+//! *"split transaction bus for the off-chip memory bus"*. The model here is
+//! occupancy-based: each transfer claims the bus for `ceil(bytes/width)`
+//! bus cycles starting no earlier than the bus is free; requests queue in
+//! arrival order. Split transactions mean the requester does not hold the
+//! bus during DRAM access — only the address and data beats occupy it — so
+//! a read occupies the bus twice (address beat, then the data burst after
+//! the DRAM latency).
+
+use crate::Cycle;
+
+/// Cumulative bus statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Transactions granted.
+    pub transactions: u64,
+    /// Bus-busy cycles accumulated.
+    pub busy_cycles: u64,
+    /// Cycles transactions spent queued behind earlier ones.
+    pub queue_delay: u64,
+}
+
+/// An occupancy-modelled split-transaction bus.
+///
+/// ```
+/// use aep_mem::bus::Bus;
+///
+/// let mut bus = Bus::new(8);
+/// // A 64-byte line takes 8 beats on an 8-byte bus.
+/// let done = bus.occupy(100, 64);
+/// assert_eq!(done, 108);
+/// // A second transfer queues behind the first.
+/// assert_eq!(bus.occupy(100, 8), 109);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bus {
+    bytes_per_cycle: u64,
+    free_at: Cycle,
+    stats: BusStats,
+}
+
+impl Bus {
+    /// Creates a bus transferring `bytes_per_cycle` bytes per beat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle == 0`.
+    #[must_use]
+    pub fn new(bytes_per_cycle: u64) -> Self {
+        assert!(bytes_per_cycle > 0, "bus width must be positive");
+        Bus {
+            bytes_per_cycle,
+            free_at: 0,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Bus width in bytes per beat.
+    #[must_use]
+    pub fn bytes_per_cycle(&self) -> u64 {
+        self.bytes_per_cycle
+    }
+
+    /// First cycle at which the bus is idle.
+    #[must_use]
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// Number of beats a `bytes`-byte transfer needs (at least one).
+    #[must_use]
+    pub fn beats(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.bytes_per_cycle).max(1)
+    }
+
+    /// Claims the bus for a `bytes`-byte transfer requested at `now`;
+    /// returns the cycle the transfer completes.
+    pub fn occupy(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        let start = self.free_at.max(now);
+        let done = start + self.beats(bytes);
+        self.stats.transactions += 1;
+        self.stats.busy_cycles += done - start;
+        self.stats.queue_delay += start - now;
+        self.free_at = done;
+        done
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Bus utilisation over `elapsed` cycles (0.0–1.0; 0.0 when `elapsed`
+    /// is zero).
+    #[must_use]
+    pub fn utilisation(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.stats.busy_cycles as f64 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_takes_ceil_beats() {
+        let mut bus = Bus::new(8);
+        assert_eq!(bus.beats(64), 8);
+        assert_eq!(bus.beats(1), 1);
+        assert_eq!(bus.beats(9), 2);
+        assert_eq!(bus.occupy(0, 64), 8);
+    }
+
+    #[test]
+    fn requests_queue_in_order() {
+        let mut bus = Bus::new(8);
+        let a = bus.occupy(10, 64); // 10..18
+        let b = bus.occupy(11, 64); // queued: 18..26
+        assert_eq!(a, 18);
+        assert_eq!(b, 26);
+        assert_eq!(bus.stats().queue_delay, 7);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_accumulate_busy_cycles() {
+        let mut bus = Bus::new(8);
+        bus.occupy(0, 8);
+        bus.occupy(100, 8);
+        assert_eq!(bus.stats().busy_cycles, 2);
+        assert_eq!(bus.stats().transactions, 2);
+        assert!((bus.utilisation(101) - 2.0 / 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elapsed_utilisation_is_zero() {
+        assert_eq!(Bus::new(8).utilisation(0), 0.0);
+    }
+
+    #[test]
+    fn zero_byte_transfer_still_takes_a_beat() {
+        let mut bus = Bus::new(8);
+        assert_eq!(bus.occupy(5, 0), 6);
+    }
+}

@@ -1,0 +1,1102 @@
+//! A generic set-associative cache with true LRU, dirty/written metadata,
+//! an incremental dirty-line counter, and an observable event stream.
+//!
+//! The same type models the paper's L1I, L1D, and unified L2; behaviour is
+//! selected by [`CacheConfig`]. Two features exist specifically for the
+//! paper's mechanisms:
+//!
+//! * **Written bits** (`track_written`): the dirty bit is set by the *first*
+//!   write to a resident line and the written bit by any *subsequent* write;
+//!   fills reset both. [`Cache::clean_probe`] implements the cleaning FSM's
+//!   per-set action (write back `dirty && !written` lines, reset the other
+//!   lines' written bits).
+//! * **Event stream** (`emit_events`): every fill/hit/eviction/cleaning is
+//!   recorded as an [`L2Event`] for the protection scheme to observe; the
+//!   scheme responds with forced clean-ups via [`Cache::force_clean`].
+
+use crate::addr::LineAddr;
+use crate::census::{LifetimeHistogram, LifetimeTracker};
+use crate::config::{AllocPolicy, CacheConfig, WritePolicy};
+use crate::stats::CacheStats;
+use crate::Cycle;
+
+/// What kind of access is being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+    /// Instruction fetch (a read on the instruction port).
+    Fetch,
+}
+
+impl AccessKind {
+    /// `true` for loads and fetches.
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::Fetch)
+    }
+}
+
+/// Why a write-back was issued. Figure 8 of the paper splits write-back
+/// traffic into exactly these three classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WbClass {
+    /// `WB`: a dirty line was evicted by replacement.
+    Replacement,
+    /// `Clean-WB`: the dirty-line cleaning logic wrote the line back.
+    Cleaning,
+    /// `ECC-WB`: the proposed scheme evicted the line's ECC entry.
+    EccEviction,
+}
+
+/// A line displaced by a fill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The displaced line's address.
+    pub line: LineAddr,
+    /// Whether it was dirty (and therefore needs a write-back).
+    pub dirty: bool,
+    /// Its written bit at eviction time.
+    pub written: bool,
+    /// The line's data words, when the cache stores data.
+    pub data: Option<Box<[u64]>>,
+}
+
+/// Result of a [`Cache::lookup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line is resident; metadata (LRU, dirty/written) was updated.
+    Hit {
+        /// Set index of the hit.
+        set: usize,
+        /// Way of the hit.
+        way: usize,
+        /// For writes: `true` when this write set the dirty bit
+        /// (the line's *first* write since fill/cleaning).
+        first_write: bool,
+    },
+    /// The line is not resident. The caller decides whether to install it
+    /// (see [`Cache::install`]) based on the allocation policy.
+    Miss {
+        /// Set the line maps to.
+        set: usize,
+    },
+}
+
+impl Lookup {
+    /// `true` on a hit.
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        matches!(self, Lookup::Hit { .. })
+    }
+}
+
+/// Outcome of [`Cache::install`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Set the line was installed into.
+    pub set: usize,
+    /// Way the line was installed into.
+    pub way: usize,
+    /// The valid line that was displaced, if any.
+    pub evicted: Option<EvictedLine>,
+}
+
+/// Read-only view of one line's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineView {
+    /// Resident line address (meaningless when `!valid`).
+    pub line: LineAddr,
+    /// Whether the way holds a line.
+    pub valid: bool,
+    /// Dirty bit.
+    pub dirty: bool,
+    /// Written bit (always `false` unless `track_written`).
+    pub written: bool,
+}
+
+/// An observable cache event, consumed by protection schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Event {
+    /// A line was installed after a miss. `write` is `true` when the fill
+    /// was triggered by a store (write-allocate), which dirties the line.
+    Fill {
+        /// Set index.
+        set: usize,
+        /// Way index.
+        way: usize,
+        /// Installed line address.
+        line: LineAddr,
+        /// Fill caused by a write.
+        write: bool,
+    },
+    /// A store hit a resident line.
+    WriteHit {
+        /// Set index.
+        set: usize,
+        /// Way index.
+        way: usize,
+        /// Line address.
+        line: LineAddr,
+        /// This store set the dirty bit (first write since fill/clean).
+        first_write: bool,
+    },
+    /// A load or fetch hit a resident line.
+    ReadHit {
+        /// Set index.
+        set: usize,
+        /// Way index.
+        way: usize,
+        /// Line address.
+        line: LineAddr,
+        /// The line was dirty at read time (selects ECC vs parity check).
+        dirty: bool,
+    },
+    /// A valid line was displaced by replacement.
+    Evict {
+        /// Set index.
+        set: usize,
+        /// Way index.
+        way: usize,
+        /// Displaced line address.
+        line: LineAddr,
+        /// It was dirty (a replacement write-back was issued).
+        dirty: bool,
+    },
+    /// A dirty line was written back early and marked clean.
+    Cleaned {
+        /// Set index.
+        set: usize,
+        /// Way index.
+        way: usize,
+        /// Cleaned line address.
+        line: LineAddr,
+        /// Which mechanism cleaned it.
+        class: WbClass,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    written: bool,
+    lru: u64,
+    last_access: Cycle,
+    data: Option<Box<[u64]>>,
+}
+
+/// A set-associative cache.
+///
+/// ```
+/// use aep_mem::cache::{AccessKind, Cache, Lookup};
+/// use aep_mem::config::CacheConfig;
+/// use aep_mem::addr::LineAddr;
+///
+/// let mut c = Cache::new(CacheConfig::tiny_l2());
+/// let line = LineAddr(0x40);
+/// assert!(!c.lookup(line, AccessKind::Read, 0).is_hit());
+/// let data = vec![0u64; c.config().words_per_line()].into_boxed_slice();
+/// c.install(line, false, 0, Some(data));
+/// assert!(c.lookup(line, AccessKind::Read, 1).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: u64,
+    ways: usize,
+    lines: Vec<Line>,
+    tick: u64,
+    dirty_lines: u64,
+    stats: CacheStats,
+    emit_events: bool,
+    events: Vec<L2Event>,
+    lifetimes: Option<LifetimeTracker>,
+}
+
+impl Cache {
+    /// Builds a cache from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`CacheConfig::validate`].
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        config
+            .validate()
+            .expect("cache configuration must be valid");
+        let sets = config.sets();
+        let ways = config.ways as usize;
+        Cache {
+            lines: vec![Line::default(); (sets as usize) * ways],
+            sets,
+            ways,
+            config,
+            tick: 0,
+            dirty_lines: 0,
+            stats: CacheStats::new(),
+            emit_events: false,
+            events: Vec::new(),
+            lifetimes: None,
+        }
+    }
+
+    /// Enables dirty-lifetime tracking (see [`crate::census`]).
+    pub fn enable_lifetime_tracking(&mut self) {
+        let slots = self.lines.len();
+        self.lifetimes = Some(LifetimeTracker::new(slots));
+    }
+
+    /// The dirty-lifetime histogram, when tracking is enabled. Open
+    /// lifetimes (lines still dirty) are not yet included; call
+    /// [`Cache::flush_lifetimes`] at the end of a run to close them.
+    #[must_use]
+    pub fn lifetime_histogram(&self) -> Option<&LifetimeHistogram> {
+        self.lifetimes.as_ref().map(LifetimeTracker::histogram)
+    }
+
+    /// Closes every still-dirty line's lifetime at `now`.
+    pub fn flush_lifetimes(&mut self, now: Cycle) {
+        if let Some(t) = &mut self.lifetimes {
+            for slot in 0..self.lines.len() {
+                if self.lines[slot].valid && self.lines[slot].dirty {
+                    t.on_clean(slot, now);
+                }
+            }
+        }
+    }
+
+    fn lifetime_dirty(&mut self, slot: usize, now: Cycle) {
+        if let Some(t) = &mut self.lifetimes {
+            t.on_dirty(slot, now);
+        }
+    }
+
+    fn lifetime_clean(&mut self, slot: usize, now: Cycle) {
+        if let Some(t) = &mut self.lifetimes {
+            t.on_clean(slot, now);
+        }
+    }
+
+    /// The cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets as usize
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total lines (sets × ways).
+    #[must_use]
+    pub fn total_lines(&self) -> u64 {
+        self.sets * self.ways as u64
+    }
+
+    /// Current number of dirty lines (maintained incrementally, O(1)).
+    #[must_use]
+    pub fn dirty_line_count(&self) -> u64 {
+        self.dirty_lines
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Mutable statistics access (the hierarchy classifies write-backs).
+    pub fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    /// Enables or disables the [`L2Event`] stream.
+    pub fn set_event_emission(&mut self, enabled: bool) {
+        self.emit_events = enabled;
+    }
+
+    /// Drains all events recorded since the last call.
+    pub fn take_events(&mut self) -> Vec<L2Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn emit(&mut self, event: L2Event) {
+        if self.emit_events {
+            self.events.push(event);
+        }
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Looks up `line`, updating LRU and (for writes) dirty/written bits.
+    ///
+    /// Misses are counted but nothing is installed; callers install
+    /// according to the allocation policy via [`Cache::install`].
+    pub fn lookup(&mut self, line: LineAddr, kind: AccessKind, now: Cycle) -> Lookup {
+        let set = line.set_index(self.sets);
+        let tag = line.tag(self.sets);
+        self.tick += 1;
+        let tick = self.tick;
+        let mut hit_way = None;
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            let l = &self.lines[slot];
+            if l.valid && l.tag == tag {
+                hit_way = Some(way);
+                break;
+            }
+        }
+        match hit_way {
+            Some(way) => {
+                let slot = self.slot(set, way);
+                let mut first_write = false;
+                let was_dirty = self.lines[slot].dirty;
+                let write_back = self.config.write_policy == WritePolicy::WriteBack;
+                {
+                    let l = &mut self.lines[slot];
+                    l.lru = tick;
+                    l.last_access = now;
+                    // Write-through caches never hold dirty lines; their
+                    // stores are forwarded onward by the hierarchy.
+                    if kind == AccessKind::Write && write_back {
+                        if l.dirty {
+                            if self.config.track_written {
+                                l.written = true;
+                            }
+                        } else {
+                            l.dirty = true;
+                            first_write = true;
+                        }
+                    }
+                }
+                if first_write {
+                    self.dirty_lines += 1;
+                    self.lifetime_dirty(slot, now);
+                }
+                match kind {
+                    AccessKind::Write => {
+                        self.stats.write_hits += 1;
+                        self.emit(L2Event::WriteHit {
+                            set,
+                            way,
+                            line,
+                            first_write,
+                        });
+                    }
+                    AccessKind::Read | AccessKind::Fetch => {
+                        self.stats.read_hits += 1;
+                        self.emit(L2Event::ReadHit {
+                            set,
+                            way,
+                            line,
+                            dirty: was_dirty,
+                        });
+                    }
+                }
+                Lookup::Hit {
+                    set,
+                    way,
+                    first_write,
+                }
+            }
+            None => {
+                if kind == AccessKind::Write {
+                    self.stats.write_misses += 1;
+                } else {
+                    self.stats.read_misses += 1;
+                }
+                Lookup::Miss { set }
+            }
+        }
+    }
+
+    /// Installs `line` after a miss, evicting the LRU victim if needed.
+    ///
+    /// `write` marks a write-allocate fill: the line is installed dirty
+    /// (modified once; written bit stays clear). `data` supplies the line's
+    /// payload when the cache stores data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident (double install) or if `data`
+    /// presence disagrees with the `store_data` configuration.
+    pub fn install(
+        &mut self,
+        line: LineAddr,
+        write: bool,
+        now: Cycle,
+        data: Option<Box<[u64]>>,
+    ) -> AccessOutcome {
+        assert_eq!(
+            data.is_some(),
+            self.config.store_data,
+            "fill data must match the store_data configuration"
+        );
+        if let Some(d) = &data {
+            assert_eq!(
+                d.len(),
+                self.config.words_per_line(),
+                "fill data must be one full line"
+            );
+        }
+        let set = line.set_index(self.sets);
+        let tag = line.tag(self.sets);
+        self.tick += 1;
+        let tick = self.tick;
+
+        // Choose a victim: first invalid way, else least-recently used.
+        let mut victim = 0usize;
+        let mut best_lru = u64::MAX;
+        let mut found_invalid = false;
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            let l = &self.lines[slot];
+            if !l.valid {
+                victim = way;
+                found_invalid = true;
+                break;
+            }
+            assert!(
+                l.tag != tag,
+                "install of an already-resident line {line}"
+            );
+            if l.lru < best_lru {
+                best_lru = l.lru;
+                victim = way;
+            }
+        }
+
+        let slot = self.slot(set, victim);
+        let evicted = if !found_invalid {
+            let old = &mut self.lines[slot];
+            let old_line = LineAddr::from_tag_set(old.tag, set, self.sets);
+            let ev = EvictedLine {
+                line: old_line,
+                dirty: old.dirty,
+                written: old.written,
+                data: old.data.take(),
+            };
+            if ev.dirty {
+                self.dirty_lines -= 1;
+                self.stats.writebacks_replacement += 1;
+                self.lifetime_clean(slot, now);
+            }
+            self.stats.evictions += 1;
+            self.emit(L2Event::Evict {
+                set,
+                way: victim,
+                line: ev.line,
+                dirty: ev.dirty,
+            });
+            Some(ev)
+        } else {
+            None
+        };
+
+        // A write-allocate fill dirties the line only in a write-back
+        // cache; write-through caches forward the store onward instead.
+        let dirty = write && self.config.write_policy == WritePolicy::WriteBack;
+        let l = &mut self.lines[slot];
+        l.tag = tag;
+        l.valid = true;
+        l.dirty = dirty;
+        l.written = false;
+        l.lru = tick;
+        l.last_access = now;
+        l.data = data;
+        if dirty {
+            self.dirty_lines += 1;
+            self.lifetime_dirty(slot, now);
+        }
+        self.emit(L2Event::Fill {
+            set,
+            way: victim,
+            line,
+            write,
+        });
+        AccessOutcome {
+            set,
+            way: victim,
+            evicted,
+        }
+    }
+
+    /// The paper's cleaning-FSM action on one set: every valid line with
+    /// `dirty && !written` is written back and marked clean; every other
+    /// valid line has its written bit reset.
+    ///
+    /// Returns the cleaned lines (with data, when stored) so the caller can
+    /// put the write-backs on the bus.
+    pub fn clean_probe(&mut self, set: usize, now: Cycle) -> Vec<EvictedLine> {
+        self.clean_probe_mode(set, now, true)
+    }
+
+    /// [`Cache::clean_probe`] with the written-bit filter made explicit.
+    ///
+    /// With `respect_written = false` the probe writes back *every* dirty
+    /// line in the set — the strawman the paper's written bit improves on
+    /// (used by the `ablation_written_bit` bench).
+    pub fn clean_probe_mode(
+        &mut self,
+        set: usize,
+        now: Cycle,
+        respect_written: bool,
+    ) -> Vec<EvictedLine> {
+        assert!(set < self.sets as usize, "set index out of range");
+        let mut cleaned = Vec::new();
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            let l = &mut self.lines[slot];
+            if !l.valid {
+                continue;
+            }
+            if l.dirty && (!l.written || !respect_written) {
+                l.dirty = false;
+                let line = LineAddr::from_tag_set(l.tag, set, self.sets);
+                let data = l.data.clone();
+                let written = l.written;
+                self.dirty_lines -= 1;
+                self.lifetime_clean(slot, now);
+                self.stats.writebacks_cleaning += 1;
+                self.emit(L2Event::Cleaned {
+                    set,
+                    way,
+                    line,
+                    class: WbClass::Cleaning,
+                });
+                cleaned.push(EvictedLine {
+                    line,
+                    dirty: true,
+                    written,
+                    data,
+                });
+            } else {
+                l.written = false;
+            }
+        }
+        cleaned
+    }
+
+    /// Decay-based cleaning (Kaxiras-style): writes back every dirty line
+    /// in `set` that has not been accessed for at least `decay_window`
+    /// cycles. An alternative to the paper's written-bit probe, compared
+    /// in the `exp cleaners` ablation.
+    pub fn decay_probe(&mut self, set: usize, now: Cycle, decay_window: u64) -> Vec<EvictedLine> {
+        assert!(set < self.sets as usize, "set index out of range");
+        let mut cleaned = Vec::new();
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            let l = &mut self.lines[slot];
+            if !l.valid || !l.dirty {
+                continue;
+            }
+            if now.saturating_sub(l.last_access) >= decay_window {
+                l.dirty = false;
+                l.written = false;
+                let line = LineAddr::from_tag_set(l.tag, set, self.sets);
+                let data = l.data.clone();
+                self.dirty_lines -= 1;
+                self.lifetime_clean(slot, now);
+                self.stats.writebacks_cleaning += 1;
+                self.emit(L2Event::Cleaned {
+                    set,
+                    way,
+                    line,
+                    class: WbClass::Cleaning,
+                });
+                cleaned.push(EvictedLine {
+                    line,
+                    dirty: true,
+                    written: false,
+                    data,
+                });
+            }
+        }
+        cleaned
+    }
+
+    /// Eager writeback (Lee et al.): if the set's LRU way is dirty, write
+    /// it back and mark it clean (called when the bus is idle). Returns
+    /// the cleaned line, if any.
+    pub fn eager_probe(&mut self, set: usize, now: Cycle) -> Option<EvictedLine> {
+        assert!(set < self.sets as usize, "set index out of range");
+        // Find the LRU valid way.
+        let mut victim: Option<usize> = None;
+        let mut best = u64::MAX;
+        for way in 0..self.ways {
+            let l = &self.lines[self.slot(set, way)];
+            if l.valid && l.lru < best {
+                best = l.lru;
+                victim = Some(way);
+            }
+        }
+        let way = victim?;
+        let slot = self.slot(set, way);
+        if !self.lines[slot].dirty {
+            return None;
+        }
+        let l = &mut self.lines[slot];
+        l.dirty = false;
+        l.written = false;
+        let line = LineAddr::from_tag_set(l.tag, set, self.sets);
+        let data = l.data.clone();
+        self.dirty_lines -= 1;
+        self.lifetime_clean(slot, now);
+        self.stats.writebacks_cleaning += 1;
+        self.emit(L2Event::Cleaned {
+            set,
+            way,
+            line,
+            class: WbClass::Cleaning,
+        });
+        Some(EvictedLine {
+            line,
+            dirty: true,
+            written: false,
+            data,
+        })
+    }
+
+    /// Forcibly writes back and cleans one dirty line (the proposed
+    /// scheme's ECC-entry eviction). Returns the line for the bus, or
+    /// `None` when the way is not a valid dirty line.
+    pub fn force_clean(
+        &mut self,
+        set: usize,
+        way: usize,
+        now: Cycle,
+        class: WbClass,
+    ) -> Option<EvictedLine> {
+        let slot = self.slot(set, way);
+        let l = &mut self.lines[slot];
+        if !l.valid || !l.dirty {
+            return None;
+        }
+        l.dirty = false;
+        l.written = false;
+        let line = LineAddr::from_tag_set(l.tag, set, self.sets);
+        let data = l.data.clone();
+        self.dirty_lines -= 1;
+        self.lifetime_clean(slot, now);
+        self.stats.count_writeback(class);
+        self.emit(L2Event::Cleaned {
+            set,
+            way,
+            line,
+            class,
+        });
+        Some(EvictedLine {
+            line,
+            dirty: true,
+            written: false,
+            data,
+        })
+    }
+
+    /// Non-mutating residence check.
+    #[must_use]
+    pub fn peek(&self, line: LineAddr) -> Option<(usize, usize)> {
+        let set = line.set_index(self.sets);
+        let tag = line.tag(self.sets);
+        (0..self.ways).find_map(|way| {
+            let l = &self.lines[self.slot(set, way)];
+            (l.valid && l.tag == tag).then_some((set, way))
+        })
+    }
+
+    /// Metadata view of one way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set`/`way` are out of range.
+    #[must_use]
+    pub fn line_view(&self, set: usize, way: usize) -> LineView {
+        let l = &self.lines[self.slot(set, way)];
+        LineView {
+            line: LineAddr::from_tag_set(l.tag, set, self.sets),
+            valid: l.valid,
+            dirty: l.dirty,
+            written: l.written,
+        }
+    }
+
+    /// Overwrites one 64-bit word of a resident line's data.
+    ///
+    /// Used by the hierarchy to apply store payloads to the L2 image.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache does not store data, or indices are invalid.
+    pub fn write_word(&mut self, set: usize, way: usize, word: usize, value: u64) {
+        let slot = self.slot(set, way);
+        let l = &mut self.lines[slot];
+        assert!(l.valid, "write_word on an invalid line");
+        let data = l
+            .data
+            .as_mut()
+            .expect("write_word requires a data-storing cache");
+        data[word] = value;
+    }
+
+    /// Read-only view of a resident line's data words, if stored.
+    #[must_use]
+    pub fn line_data(&self, set: usize, way: usize) -> Option<&[u64]> {
+        self.lines[self.slot(set, way)].data.as_deref()
+    }
+
+    /// Flips one bit of a resident line's stored data — a soft-error strike.
+    /// Check bits held by the protection scheme are *not* refreshed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the target is invalid or the cache stores no data.
+    pub fn strike(&mut self, set: usize, way: usize, word: usize, bit: u8) {
+        assert!(bit < 64, "bit index out of range");
+        let slot = self.slot(set, way);
+        let l = &mut self.lines[slot];
+        assert!(l.valid, "strike on an invalid line");
+        let data = l.data.as_mut().expect("strike requires a data-storing cache");
+        data[word] ^= 1u64 << bit;
+    }
+
+    /// Recomputes the dirty count from scratch (test/diagnostic cross-check
+    /// of the incremental counter).
+    #[must_use]
+    pub fn recount_dirty_lines(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid && l.dirty).count() as u64
+    }
+
+    /// True when configured write-through (the L1D in the paper).
+    #[must_use]
+    pub fn is_write_through(&self) -> bool {
+        self.config.write_policy == WritePolicy::WriteThrough
+    }
+
+    /// True when write misses allocate.
+    #[must_use]
+    pub fn allocates_on_write(&self) -> bool {
+        self.config.alloc_policy == AllocPolicy::WriteAllocate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(words: usize, seed: u64) -> Option<Box<[u64]>> {
+        Some((0..words as u64).map(|i| seed ^ i).collect())
+    }
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig::tiny_l2()) // 4 KB, 4-way, 64 B lines: 16 sets... no, 16 lines -> 4 sets? 4096/(4*64)=16 sets
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.sets(), 16);
+        assert_eq!(c.ways(), 4);
+        assert_eq!(c.total_lines(), 64);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        let line = LineAddr(5);
+        assert_eq!(c.lookup(line, AccessKind::Read, 0), Lookup::Miss { set: 5 });
+        c.install(line, false, 0, data(8, 1));
+        assert!(c.lookup(line, AccessKind::Read, 1).is_hit());
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn first_write_sets_dirty_second_sets_written() {
+        let mut c = tiny();
+        let line = LineAddr(3);
+        c.lookup(line, AccessKind::Write, 0);
+        c.install(line, false, 0, data(8, 2)); // fill from a read-style install
+        match c.lookup(line, AccessKind::Write, 1) {
+            Lookup::Hit { first_write, set, way } => {
+                assert!(first_write);
+                let v = c.line_view(set, way);
+                assert!(v.dirty && !v.written);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        match c.lookup(line, AccessKind::Write, 2) {
+            Lookup::Hit { first_write, set, way } => {
+                assert!(!first_write);
+                let v = c.line_view(set, way);
+                assert!(v.dirty && v.written);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(c.dirty_line_count(), 1);
+    }
+
+    #[test]
+    fn write_allocate_fill_is_dirty_but_not_written() {
+        let mut c = tiny();
+        let out = c.install(LineAddr(7), true, 0, data(8, 3));
+        let v = c.line_view(out.set, out.way);
+        assert!(v.dirty && !v.written);
+        assert_eq!(c.dirty_line_count(), 1);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        let mut c = tiny();
+        // Fill all 4 ways of set 0 (lines map to set = line % 16).
+        for i in 0..4u64 {
+            let line = LineAddr(i * 16);
+            c.lookup(line, AccessKind::Read, i);
+            c.install(line, false, i, data(8, i));
+        }
+        // Touch lines 0,1,3 — line 2*16 becomes LRU.
+        for i in [0u64, 1, 3] {
+            assert!(c.lookup(LineAddr(i * 16), AccessKind::Read, 10 + i).is_hit());
+        }
+        let out = c.install(LineAddr(4 * 16), false, 20, data(8, 9));
+        let ev = out.evicted.expect("a line must be displaced");
+        assert_eq!(ev.line, LineAddr(2 * 16));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_replacement_writeback() {
+        let mut c = tiny();
+        for i in 0..5u64 {
+            let line = LineAddr(i * 16);
+            c.lookup(line, AccessKind::Write, i);
+            c.install(line, true, i, data(8, i));
+        }
+        assert_eq!(c.stats().writebacks_replacement, 1);
+        assert_eq!(c.stats().evictions, 1);
+        // 5 installs, 1 evicted: 4 dirty lines resident.
+        assert_eq!(c.dirty_line_count(), 4);
+        assert_eq!(c.recount_dirty_lines(), 4);
+    }
+
+    #[test]
+    fn clean_probe_implements_paper_fsm() {
+        let mut c = tiny();
+        // Way A: dirty, not written (written-once, now idle) -> cleaned.
+        let a = LineAddr(0);
+        c.install(a, true, 0, data(8, 1));
+        // Way B: dirty and written (recently re-written) -> written reset only.
+        let b = LineAddr(16);
+        c.install(b, true, 0, data(8, 2));
+        c.lookup(b, AccessKind::Write, 1); // sets written
+        // Way C: clean -> untouched.
+        let cc = LineAddr(32);
+        c.install(cc, false, 0, data(8, 3));
+
+        assert_eq!(c.dirty_line_count(), 2);
+        let cleaned = c.clean_probe(0, 100);
+        assert_eq!(cleaned.len(), 1);
+        assert_eq!(cleaned[0].line, a);
+        assert_eq!(c.dirty_line_count(), 1);
+        assert_eq!(c.stats().writebacks_cleaning, 1);
+
+        // B's written bit was reset; a second probe now cleans B.
+        let cleaned = c.clean_probe(0, 200);
+        assert_eq!(cleaned.len(), 1);
+        assert_eq!(cleaned[0].line, b);
+        assert_eq!(c.dirty_line_count(), 0);
+    }
+
+    #[test]
+    fn written_bit_not_tracked_when_disabled() {
+        let mut cfg = CacheConfig::tiny_l2();
+        cfg.track_written = false;
+        let mut c = Cache::new(cfg);
+        let line = LineAddr(1);
+        c.install(line, true, 0, data(8, 1));
+        c.lookup(line, AccessKind::Write, 1);
+        let (set, way) = c.peek(line).unwrap();
+        assert!(!c.line_view(set, way).written);
+    }
+
+    #[test]
+    fn force_clean_cleans_exactly_one_line() {
+        let mut c = tiny();
+        let line = LineAddr(2);
+        c.install(line, true, 0, data(8, 5));
+        let (set, way) = c.peek(line).unwrap();
+        let ev = c.force_clean(set, way, 1, WbClass::EccEviction).unwrap();
+        assert_eq!(ev.line, line);
+        assert_eq!(c.dirty_line_count(), 0);
+        assert_eq!(c.stats().writebacks_ecc_eviction, 1);
+        // Cleaning an already-clean line is a no-op.
+        assert!(c.force_clean(set, way, 2, WbClass::EccEviction).is_none());
+    }
+
+    #[test]
+    fn events_describe_the_access_stream() {
+        let mut c = tiny();
+        c.set_event_emission(true);
+        let line = LineAddr(4);
+        c.lookup(line, AccessKind::Write, 0);
+        c.install(line, true, 0, data(8, 1));
+        c.lookup(line, AccessKind::Read, 1);
+        c.lookup(line, AccessKind::Write, 2);
+        let events = c.take_events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0], L2Event::Fill { write: true, .. }));
+        assert!(matches!(events[1], L2Event::ReadHit { dirty: true, .. }));
+        assert!(matches!(
+            events[2],
+            L2Event::WriteHit {
+                first_write: false,
+                ..
+            }
+        ));
+        assert!(c.take_events().is_empty());
+    }
+
+    #[test]
+    fn write_word_and_strike_mutate_data() {
+        let mut c = tiny();
+        let line = LineAddr(6);
+        c.install(line, false, 0, data(8, 0));
+        let (set, way) = c.peek(line).unwrap();
+        c.write_word(set, way, 3, 0xFFFF);
+        assert_eq!(c.line_data(set, way).unwrap()[3], 0xFFFF);
+        c.strike(set, way, 3, 0);
+        assert_eq!(c.line_data(set, way).unwrap()[3], 0xFFFE);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-resident")]
+    fn double_install_panics() {
+        let mut c = tiny();
+        c.install(LineAddr(1), false, 0, data(8, 0));
+        c.install(LineAddr(1), false, 1, data(8, 0));
+    }
+
+    #[test]
+    fn evicted_line_carries_its_data() {
+        let mut c = tiny();
+        for i in 0..4u64 {
+            c.install(LineAddr(i * 16), i == 0, i, data(8, 100 + i));
+        }
+        let out = c.install(LineAddr(4 * 16), false, 10, data(8, 999));
+        let ev = out.evicted.unwrap();
+        assert_eq!(ev.line, LineAddr(0));
+        assert!(ev.dirty);
+        assert_eq!(ev.data.as_deref().unwrap()[0], 100);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    #[test]
+    fn aggressive_probe_ignores_the_written_bit() {
+        let mut c = Cache::new(CacheConfig::tiny_l2());
+        let data: Box<[u64]> = vec![1; 8].into();
+        // A dirty line that was just re-written (written = 1).
+        let line = LineAddr(0);
+        c.install(line, true, 0, Some(data));
+        c.lookup(line, AccessKind::Write, 1);
+        let (set, way) = c.peek(line).unwrap();
+        assert!(c.line_view(set, way).written);
+
+        // The paper's probe spares it...
+        assert!(c.clean_probe_mode(set, 10, true).is_empty());
+        // ...re-set the written bit (the probe reset it) and show the
+        // aggressive probe does not.
+        c.lookup(line, AccessKind::Write, 11);
+        assert!(c.line_view(set, way).written);
+        let cleaned = c.clean_probe_mode(set, 12, false);
+        assert_eq!(cleaned.len(), 1);
+        assert!(!c.line_view(set, way).dirty);
+    }
+
+    #[test]
+    fn probe_modes_agree_on_quiescent_lines() {
+        let mut a = Cache::new(CacheConfig::tiny_l2());
+        let mut b = Cache::new(CacheConfig::tiny_l2());
+        for c in [&mut a, &mut b] {
+            c.install(LineAddr(1), true, 0, Some(vec![2; 8].into()));
+        }
+        let set = LineAddr(1).set_index(16);
+        assert_eq!(
+            a.clean_probe_mode(set, 5, true).len(),
+            b.clean_probe_mode(set, 5, false).len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod alt_cleaning_tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn data() -> Option<Box<[u64]>> {
+        Some(vec![3u64; 8].into())
+    }
+
+    #[test]
+    fn decay_probe_cleans_only_idle_dirty_lines() {
+        let mut c = Cache::new(CacheConfig::tiny_l2());
+        // Dirty at t=0, touched again at t=900.
+        c.install(LineAddr(0), true, 0, data());
+        // Dirty at t=0, never touched again.
+        c.install(LineAddr(16), true, 0, data());
+        c.lookup(LineAddr(0), AccessKind::Read, 900);
+
+        let cleaned = c.decay_probe(0, 1_000, 500);
+        assert_eq!(cleaned.len(), 1, "only the idle line decays");
+        assert_eq!(cleaned[0].line, LineAddr(16));
+        let (set, way) = c.peek(LineAddr(0)).unwrap();
+        assert!(c.line_view(set, way).dirty, "recently touched line survives");
+    }
+
+    #[test]
+    fn decay_probe_with_zero_window_cleans_everything_dirty() {
+        let mut c = Cache::new(CacheConfig::tiny_l2());
+        c.install(LineAddr(1), true, 0, data());
+        c.install(LineAddr(17), true, 0, data());
+        let cleaned = c.decay_probe(1, 0, 0);
+        assert_eq!(cleaned.len(), 2);
+        assert_eq!(c.dirty_line_count(), 0);
+    }
+
+    #[test]
+    fn eager_probe_cleans_the_lru_dirty_way() {
+        let mut c = Cache::new(CacheConfig::tiny_l2());
+        c.install(LineAddr(2), true, 0, data()); // oldest
+        c.install(LineAddr(18), true, 1, data());
+        let ev = c.eager_probe(2, 10).expect("LRU way is dirty");
+        assert_eq!(ev.line, LineAddr(2));
+        // The LRU way is now clean; a second probe finds it clean.
+        assert!(c.eager_probe(2, 11).is_none());
+        assert_eq!(c.dirty_line_count(), 1, "the MRU dirty line is untouched");
+    }
+
+    #[test]
+    fn eager_probe_skips_clean_lru() {
+        let mut c = Cache::new(CacheConfig::tiny_l2());
+        c.install(LineAddr(3), false, 0, data()); // clean LRU
+        c.install(LineAddr(19), true, 1, data()); // dirty MRU
+        assert!(c.eager_probe(3, 10).is_none());
+        assert_eq!(c.dirty_line_count(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Dirty-lifetime census: how long lines stay dirty before they are
+//! cleaned or evicted.
+//!
+//! The paper's cleaning technique rests on the *generational behaviour* of
+//! cache lines (Kaxiras et al.'s cache-decay observation): a line is
+//! written in a burst, then sits dirty and idle for a long dead period.
+//! [`LifetimeTracker`] measures that distribution directly — each
+//! dirty→clean transition records the elapsed dirty duration into
+//! power-of-two buckets — so the premise can be inspected per workload
+//! (`exp lifetimes`) instead of assumed.
+
+use crate::Cycle;
+
+/// Number of log₂ buckets (durations up to 2⁶³ cycles).
+pub const BUCKETS: usize = 40;
+
+/// A histogram of dirty-line lifetimes in power-of-two buckets.
+///
+/// Bucket `k` counts durations in `[2^k, 2^(k+1))` cycles (bucket 0 also
+/// holds zero-length lifetimes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifetimeHistogram {
+    counts: [u64; BUCKETS],
+    total_duration: u64,
+    samples: u64,
+}
+
+impl Default for LifetimeHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LifetimeHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LifetimeHistogram {
+            counts: [0; BUCKETS],
+            total_duration: 0,
+            samples: 0,
+        }
+    }
+
+    /// Records one completed dirty lifetime of `duration` cycles.
+    pub fn record(&mut self, duration: u64) {
+        let bucket = (64 - duration.leading_zeros()).saturating_sub(1) as usize;
+        self.counts[bucket.min(BUCKETS - 1)] += 1;
+        self.total_duration += duration;
+        self.samples += 1;
+    }
+
+    /// Number of recorded lifetimes.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Arithmetic mean lifetime (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_duration as f64 / self.samples as f64
+        }
+    }
+
+    /// Count in bucket `k` (durations in `[2^k, 2^(k+1))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= BUCKETS`.
+    #[must_use]
+    pub fn bucket(&self, k: usize) -> u64 {
+        self.counts[k]
+    }
+
+    /// Fraction of lifetimes of at least `cycles` (0.0 when empty).
+    /// Bucket-granular: rounds the threshold down to its bucket boundary.
+    #[must_use]
+    pub fn fraction_at_least(&self, cycles: u64) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let from = (64 - cycles.leading_zeros()).saturating_sub(1) as usize;
+        let long: u64 = self.counts[from.min(BUCKETS - 1)..].iter().sum();
+        long as f64 / self.samples as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LifetimeHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total_duration += other.total_duration;
+        self.samples += other.samples;
+    }
+}
+
+/// Tracks per-line dirty onsets and folds completed lifetimes into a
+/// [`LifetimeHistogram`]. One slot per (set, way).
+#[derive(Debug, Clone)]
+pub struct LifetimeTracker {
+    dirty_since: Vec<Option<Cycle>>,
+    histogram: LifetimeHistogram,
+}
+
+impl LifetimeTracker {
+    /// Creates a tracker for `slots` cache lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "tracker needs at least one line");
+        LifetimeTracker {
+            dirty_since: vec![None; slots],
+            histogram: LifetimeHistogram::new(),
+        }
+    }
+
+    /// A line became dirty at `now` (no-op if already dirty).
+    pub fn on_dirty(&mut self, slot: usize, now: Cycle) {
+        let entry = &mut self.dirty_since[slot];
+        if entry.is_none() {
+            *entry = Some(now);
+        }
+    }
+
+    /// A line became clean (cleaned, force-cleaned, or dirty-evicted) at
+    /// `now`; records its lifetime if it was dirty.
+    pub fn on_clean(&mut self, slot: usize, now: Cycle) {
+        if let Some(start) = self.dirty_since[slot].take() {
+            self.histogram.record(now.saturating_sub(start));
+        }
+    }
+
+    /// The accumulated histogram (open lifetimes are not included).
+    #[must_use]
+    pub fn histogram(&self) -> &LifetimeHistogram {
+        &self.histogram
+    }
+
+    /// Closes every still-open lifetime at `now` (end-of-run flush) and
+    /// returns the final histogram.
+    pub fn finish(mut self, now: Cycle) -> LifetimeHistogram {
+        for slot in 0..self.dirty_since.len() {
+            self.on_clean(slot, now);
+        }
+        self.histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        let mut h = LifetimeHistogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(1024); // bucket 10
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(10), 1);
+        assert_eq!(h.samples(), 5);
+        assert!((h.mean() - (0 + 1 + 2 + 3 + 1024) as f64 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_at_least_counts_the_tail() {
+        let mut h = LifetimeHistogram::new();
+        for d in [10u64, 100, 1_000, 10_000, 100_000] {
+            h.record(d);
+        }
+        assert!((h.fraction_at_least(1_024) - 2.0 / 5.0).abs() < 1e-12);
+        assert_eq!(h.fraction_at_least(1), 1.0);
+        assert_eq!(LifetimeHistogram::new().fraction_at_least(1), 0.0);
+    }
+
+    #[test]
+    fn tracker_measures_dirty_spans() {
+        let mut t = LifetimeTracker::new(4);
+        t.on_dirty(0, 100);
+        t.on_dirty(0, 150); // re-dirty while dirty: ignored
+        t.on_clean(0, 1_100);
+        assert_eq!(t.histogram().samples(), 1);
+        assert!((t.histogram().mean() - 1_000.0).abs() < 1e-12);
+        // Cleaning an already-clean slot records nothing.
+        t.on_clean(0, 2_000);
+        assert_eq!(t.histogram().samples(), 1);
+    }
+
+    #[test]
+    fn finish_flushes_open_lifetimes() {
+        let mut t = LifetimeTracker::new(2);
+        t.on_dirty(0, 10);
+        t.on_dirty(1, 20);
+        t.on_clean(0, 30);
+        let h = t.finish(120);
+        assert_eq!(h.samples(), 2);
+        assert!((h.mean() - (20 + 100) as f64 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counterwise() {
+        let mut a = LifetimeHistogram::new();
+        a.record(5);
+        let mut b = LifetimeHistogram::new();
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.samples(), 2);
+        assert_eq!(a.bucket(2), 1);
+        assert_eq!(a.bucket(8), 1);
+    }
+
+    #[test]
+    fn huge_durations_land_in_the_top_bucket() {
+        let mut h = LifetimeHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket(BUCKETS - 1), 1);
+    }
+}

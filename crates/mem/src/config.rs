@@ -1,0 +1,353 @@
+//! Cache and hierarchy configuration.
+//!
+//! [`HierarchyConfig::date2006`] reproduces Table 1 of the paper exactly:
+//!
+//! | Parameter | Configuration |
+//! |---|---|
+//! | L1 instruction cache | 32 KB 4-way, 32 B line, 1-cycle |
+//! | L1 data cache | 32 KB 4-way, 32 B line, 1-cycle, write-through |
+//! | Write buffer | fully associative, 16 entries |
+//! | L2 cache | unified 1 MB, 4-way, 64 B line, 10-cycle, write-back |
+//! | Main memory | 8 B-wide, 100-cycle |
+
+/// Write policy of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Dirty lines are held in the cache and written back on eviction.
+    WriteBack,
+    /// Every store is propagated to the next level (through a write buffer).
+    WriteThrough,
+}
+
+/// Allocation policy on a write miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocPolicy {
+    /// The line is fetched and installed before the write completes.
+    WriteAllocate,
+    /// The write is forwarded onward without installing the line.
+    NoWriteAllocate,
+}
+
+/// Geometry and policy of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (power of two).
+    pub size_bytes: u64,
+    /// Associativity (power of two).
+    pub ways: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Access latency in cycles on a hit.
+    pub hit_latency: u64,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+    /// Write-miss allocation policy.
+    pub alloc_policy: AllocPolicy,
+    /// When `true`, lines carry their 64-bit data words (needed by the L2,
+    /// whose protection schemes encode real check bits over real data).
+    pub store_data: bool,
+    /// When `true`, the cache maintains the paper's per-line *written* bit:
+    /// `dirty` is set on the first write to a line, `written` on any
+    /// subsequent write; fills reset both.
+    pub track_written: bool,
+}
+
+/// A configuration validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Which parameter was rejected.
+    pub what: &'static str,
+    /// The constraint that was violated.
+    pub constraint: &'static str,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid {}: {}", self.what, self.constraint)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl CacheConfig {
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// Total number of lines.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Number of 64-bit words per line.
+    #[must_use]
+    pub fn words_per_line(&self) -> usize {
+        (self.line_bytes / 8) as usize
+    }
+
+    /// Validates that all geometry values are powers of two and consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let pow2 = |v: u64| v.is_power_of_two();
+        if !pow2(self.size_bytes) {
+            return Err(ConfigError {
+                what: "cache size",
+                constraint: "must be a power of two",
+            });
+        }
+        if !pow2(self.ways) {
+            return Err(ConfigError {
+                what: "associativity",
+                constraint: "must be a power of two",
+            });
+        }
+        if !pow2(self.line_bytes) || self.line_bytes < 8 {
+            return Err(ConfigError {
+                what: "line size",
+                constraint: "must be a power of two of at least 8 bytes",
+            });
+        }
+        if self.ways * self.line_bytes > self.size_bytes {
+            return Err(ConfigError {
+                what: "geometry",
+                constraint: "size must hold at least one set",
+            });
+        }
+        if self.hit_latency == 0 {
+            return Err(ConfigError {
+                what: "hit latency",
+                constraint: "must be at least one cycle",
+            });
+        }
+        Ok(())
+    }
+
+    /// The paper's L1 instruction cache: 32 KB, 4-way, 32 B lines, 1 cycle.
+    #[must_use]
+    pub fn date2006_l1i() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            line_bytes: 32,
+            hit_latency: 1,
+            write_policy: WritePolicy::WriteBack, // instructions are never written
+            alloc_policy: AllocPolicy::WriteAllocate,
+            store_data: false,
+            track_written: false,
+        }
+    }
+
+    /// The paper's L1 data cache: 32 KB, 4-way, 32 B lines, 1 cycle,
+    /// write-through / no-write-allocate (stores go to the write buffer).
+    #[must_use]
+    pub fn date2006_l1d() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            line_bytes: 32,
+            hit_latency: 1,
+            write_policy: WritePolicy::WriteThrough,
+            alloc_policy: AllocPolicy::NoWriteAllocate,
+            store_data: false,
+            track_written: false,
+        }
+    }
+
+    /// The paper's unified L2: 1 MB, 4-way, 64 B lines, 10 cycles,
+    /// write-back / write-allocate, with written-bit tracking and real
+    /// line data (16 384 lines, 4 096 sets).
+    #[must_use]
+    pub fn date2006_l2() -> Self {
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            hit_latency: 10,
+            write_policy: WritePolicy::WriteBack,
+            alloc_policy: AllocPolicy::WriteAllocate,
+            store_data: true,
+            track_written: true,
+        }
+    }
+
+    /// A tiny L2 variant for fast unit tests (keeps every policy of
+    /// [`CacheConfig::date2006_l2`], shrinks the geometry).
+    #[must_use]
+    pub fn tiny_l2() -> Self {
+        CacheConfig {
+            size_bytes: 4 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            hit_latency: 10,
+            ..CacheConfig::date2006_l2()
+        }
+    }
+}
+
+/// Configuration of the whole memory system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Write-buffer entries between L1D and L2.
+    pub write_buffer_entries: usize,
+    /// Main-memory access latency in cycles.
+    pub memory_latency: u64,
+    /// Off-chip bus width in bytes per bus cycle.
+    pub bus_bytes_per_cycle: u64,
+    /// Enable a tagged next-line prefetcher on L2 read misses (off in the
+    /// paper's baseline; an ablation knob — prefetched lines arrive clean
+    /// and add eviction pressure on the dirty working set).
+    pub l2_next_line_prefetch: bool,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table 1 memory system.
+    #[must_use]
+    pub fn date2006() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::date2006_l1i(),
+            l1d: CacheConfig::date2006_l1d(),
+            l2: CacheConfig::date2006_l2(),
+            write_buffer_entries: 16,
+            memory_latency: 100,
+            bus_bytes_per_cycle: 8,
+            l2_next_line_prefetch: false,
+        }
+    }
+
+    /// A scaled-down hierarchy for fast unit/integration tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig {
+                size_bytes: 1024,
+                ..CacheConfig::date2006_l1i()
+            },
+            l1d: CacheConfig {
+                size_bytes: 1024,
+                ..CacheConfig::date2006_l1d()
+            },
+            l2: CacheConfig::tiny_l2(),
+            write_buffer_entries: 4,
+            memory_latency: 20,
+            bus_bytes_per_cycle: 8,
+            l2_next_line_prefetch: false,
+        }
+    }
+
+    /// Validates every component configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.l1i.validate()?;
+        self.l1d.validate()?;
+        self.l2.validate()?;
+        if self.write_buffer_entries == 0 {
+            return Err(ConfigError {
+                what: "write buffer",
+                constraint: "must have at least one entry",
+            });
+        }
+        if self.bus_bytes_per_cycle == 0 {
+            return Err(ConfigError {
+                what: "bus width",
+                constraint: "must be at least one byte per cycle",
+            });
+        }
+        if self.l2.line_bytes < self.l1d.line_bytes {
+            return Err(ConfigError {
+                what: "line sizes",
+                constraint: "L2 lines must be at least as large as L1 lines",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date2006_matches_table1() {
+        let h = HierarchyConfig::date2006();
+        assert!(h.validate().is_ok());
+        assert_eq!(h.l1i.size_bytes, 32 * 1024);
+        assert_eq!(h.l1i.line_bytes, 32);
+        assert_eq!(h.l1d.write_policy, WritePolicy::WriteThrough);
+        assert_eq!(h.l2.size_bytes, 1024 * 1024);
+        assert_eq!(h.l2.ways, 4);
+        assert_eq!(h.l2.line_bytes, 64);
+        assert_eq!(h.l2.hit_latency, 10);
+        assert_eq!(h.write_buffer_entries, 16);
+        assert_eq!(h.memory_latency, 100);
+        assert_eq!(h.bus_bytes_per_cycle, 8);
+    }
+
+    #[test]
+    fn l2_has_16k_lines_and_4k_sets() {
+        // The paper: "So it has a total of [16384] cache lines" and
+        // "there are 4K cache sets in our 1MB 4-way L2".
+        let l2 = CacheConfig::date2006_l2();
+        assert_eq!(l2.lines(), 16 * 1024);
+        assert_eq!(l2.sets(), 4 * 1024);
+        assert_eq!(l2.words_per_line(), 8);
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let mut c = CacheConfig::date2006_l2();
+        c.size_bytes = 1000;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::date2006_l2();
+        c.ways = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::date2006_l2();
+        c.line_bytes = 4;
+        assert!(c.validate().is_err());
+
+        let mut c = CacheConfig::date2006_l2();
+        c.hit_latency = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_undersized_cache() {
+        let c = CacheConfig {
+            size_bytes: 64,
+            ways: 4,
+            line_bytes: 64,
+            ..CacheConfig::date2006_l2()
+        };
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.what, "geometry");
+        assert!(err.to_string().contains("at least one set"));
+    }
+
+    #[test]
+    fn hierarchy_rejects_l2_lines_smaller_than_l1() {
+        let mut h = HierarchyConfig::date2006();
+        h.l2.line_bytes = 16;
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_config_is_valid() {
+        assert!(HierarchyConfig::tiny().validate().is_ok());
+    }
+}

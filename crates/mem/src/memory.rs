@@ -1,0 +1,204 @@
+//! Main memory: latency model plus a *real* backing image.
+//!
+//! The paper's recovery story for clean lines is "non-corrupted data can be
+//! found from the next level of the memory hierarchy" — which is only
+//! testable if the next level actually holds data. [`MainMemory`] therefore
+//! maintains a sparse line image: lines that were ever written back are
+//! stored explicitly; untouched lines read as a deterministic function of
+//! their address, so a freshly filled line always has reproducible contents
+//! without materialising the whole address space.
+
+use std::collections::HashMap;
+
+use crate::addr::LineAddr;
+
+/// Mixes a 64-bit value (splitmix64 finaliser); used to synthesise the
+/// pristine contents of never-written memory lines.
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Main-memory model: fixed access latency and a sparse line image.
+///
+/// ```
+/// use aep_mem::memory::MainMemory;
+/// use aep_mem::addr::LineAddr;
+///
+/// let mut mem = MainMemory::new(100, 8);
+/// let pristine = mem.read_line(LineAddr(7));
+/// // Deterministic: reading again yields the same words.
+/// assert_eq!(mem.read_line(LineAddr(7)), pristine);
+///
+/// let mut updated = pristine.clone();
+/// updated[0] = 42;
+/// mem.write_line(LineAddr(7), updated.clone());
+/// assert_eq!(mem.read_line(LineAddr(7)), updated);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    latency: u64,
+    words_per_line: usize,
+    image: HashMap<LineAddr, Box<[u64]>>,
+    reads: u64,
+    writes: u64,
+}
+
+impl MainMemory {
+    /// Creates a memory with `latency` cycles per access and
+    /// `words_per_line` 64-bit words per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_line == 0`.
+    #[must_use]
+    pub fn new(latency: u64, words_per_line: usize) -> Self {
+        assert!(words_per_line > 0, "lines must hold at least one word");
+        MainMemory {
+            latency,
+            words_per_line,
+            image: HashMap::new(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Access latency in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Reads a full line (pristine lines are synthesised deterministically).
+    pub fn read_line(&mut self, line: LineAddr) -> Box<[u64]> {
+        self.reads += 1;
+        match self.image.get(&line) {
+            Some(data) => data.clone(),
+            None => Self::pristine(line, self.words_per_line),
+        }
+    }
+
+    /// The synthetic contents of a never-written line.
+    #[must_use]
+    pub fn pristine(line: LineAddr, words_per_line: usize) -> Box<[u64]> {
+        (0..words_per_line as u64)
+            .map(|i| mix64(line.0.wrapping_mul(words_per_line as u64).wrapping_add(i)))
+            .collect()
+    }
+
+    /// Writes a full line back to memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one line.
+    pub fn write_line(&mut self, line: LineAddr, data: Box<[u64]>) {
+        assert_eq!(data.len(), self.words_per_line, "write must be one full line");
+        self.writes += 1;
+        self.image.insert(line, data);
+    }
+
+    /// Merges masked store words into a line (used when a no-write-allocate
+    /// level forwards a partial line).
+    pub fn write_words(&mut self, line: LineAddr, word_mask: u64, words: &[u64]) {
+        let mut current = match self.image.remove(&line) {
+            Some(d) => d,
+            None => Self::pristine(line, self.words_per_line),
+        };
+        for (i, slot) in current.iter_mut().enumerate() {
+            if word_mask & (1 << i) != 0 {
+                *slot = words[i];
+            }
+        }
+        self.writes += 1;
+        self.image.insert(line, current);
+    }
+
+    /// Number of line reads served.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of line writes absorbed.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of lines with explicit (written-back) contents.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.image.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_lines_are_deterministic() {
+        let mut mem = MainMemory::new(100, 8);
+        let a = mem.read_line(LineAddr(123));
+        let b = mem.read_line(LineAddr(123));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        // Distinct lines get distinct contents (overwhelmingly likely
+        // by construction, asserted here as a regression guard).
+        assert_ne!(mem.read_line(LineAddr(124)), a);
+    }
+
+    #[test]
+    fn adjacent_lines_do_not_share_words() {
+        // Line i's last word and line i+1's first word use different
+        // mix inputs: i*wpl + (wpl-1) vs (i+1)*wpl.
+        let a = MainMemory::pristine(LineAddr(1), 8);
+        let b = MainMemory::pristine(LineAddr(2), 8);
+        assert_ne!(a[7], b[0]);
+    }
+
+    #[test]
+    fn writes_override_pristine_contents() {
+        let mut mem = MainMemory::new(100, 8);
+        let data: Box<[u64]> = (0..8).collect();
+        mem.write_line(LineAddr(5), data.clone());
+        assert_eq!(mem.read_line(LineAddr(5)), data);
+        assert_eq!(mem.resident_lines(), 1);
+        assert_eq!(mem.writes(), 1);
+    }
+
+    #[test]
+    fn masked_word_writes_merge() {
+        let mut mem = MainMemory::new(100, 8);
+        let pristine = mem.read_line(LineAddr(9));
+        let mut words = vec![0u64; 8];
+        words[2] = 0xAA;
+        words[6] = 0xBB;
+        mem.write_words(LineAddr(9), (1 << 2) | (1 << 6), &words);
+        let after = mem.read_line(LineAddr(9));
+        assert_eq!(after[2], 0xAA);
+        assert_eq!(after[6], 0xBB);
+        assert_eq!(after[0], pristine[0]);
+        assert_eq!(after[7], pristine[7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full line")]
+    fn short_write_panics() {
+        let mut mem = MainMemory::new(100, 8);
+        mem.write_line(LineAddr(0), vec![0u64; 4].into_boxed_slice());
+    }
+
+    #[test]
+    fn mix64_is_a_permutationish_hash() {
+        // Spot-check dispersion: small inputs map to well-spread outputs.
+        let outs: Vec<u64> = (0..16).map(mix64).collect();
+        let mut sorted = outs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), outs.len(), "no collisions among small inputs");
+    }
+}

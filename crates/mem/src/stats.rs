@@ -1,0 +1,154 @@
+//! Statistics counters for caches and the hierarchy.
+
+use crate::cache::WbClass;
+
+/// Per-cache event counters.
+///
+/// All counters are cumulative over the run; the experiment runner snapshots
+/// them at the start of the measurement window and reports deltas, so
+/// warm-up traffic never pollutes reported figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read (load / fetch) hits.
+    pub read_hits: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Lines evicted by replacement (clean or dirty).
+    pub evictions: u64,
+    /// Write-backs caused by replacing a dirty line.
+    pub writebacks_replacement: u64,
+    /// Write-backs issued by the dirty-line cleaning logic.
+    pub writebacks_cleaning: u64,
+    /// Write-backs forced by ECC-entry eviction in the proposed scheme.
+    pub writebacks_ecc_eviction: u64,
+}
+
+impl CacheStats {
+    /// Fresh, zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total accesses of any kind.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Total misses of any kind.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss ratio over all accesses; `0.0` when no accesses occurred.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / a as f64
+        }
+    }
+
+    /// Total write-backs across all classes.
+    #[must_use]
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks_replacement + self.writebacks_cleaning + self.writebacks_ecc_eviction
+    }
+
+    /// Write-backs of one class.
+    #[must_use]
+    pub fn writebacks_of(&self, class: WbClass) -> u64 {
+        match class {
+            WbClass::Replacement => self.writebacks_replacement,
+            WbClass::Cleaning => self.writebacks_cleaning,
+            WbClass::EccEviction => self.writebacks_ecc_eviction,
+        }
+    }
+
+    /// Records one write-back of the given class.
+    pub fn count_writeback(&mut self, class: WbClass) {
+        match class {
+            WbClass::Replacement => self.writebacks_replacement += 1,
+            WbClass::Cleaning => self.writebacks_cleaning += 1,
+            WbClass::EccEviction => self.writebacks_ecc_eviction += 1,
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (for measurement windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds `self`'s.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            read_hits: self.read_hits - earlier.read_hits,
+            read_misses: self.read_misses - earlier.read_misses,
+            write_hits: self.write_hits - earlier.write_hits,
+            write_misses: self.write_misses - earlier.write_misses,
+            evictions: self.evictions - earlier.evictions,
+            writebacks_replacement: self.writebacks_replacement
+                - earlier.writebacks_replacement,
+            writebacks_cleaning: self.writebacks_cleaning - earlier.writebacks_cleaning,
+            writebacks_ecc_eviction: self.writebacks_ecc_eviction
+                - earlier.writebacks_ecc_eviction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accesses_and_misses_add_up() {
+        let s = CacheStats {
+            read_hits: 10,
+            read_misses: 2,
+            write_hits: 5,
+            write_misses: 3,
+            ..CacheStats::new()
+        };
+        assert_eq!(s.accesses(), 20);
+        assert_eq!(s.misses(), 5);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_miss_ratio() {
+        assert_eq!(CacheStats::new().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn writeback_classes_are_separated() {
+        let mut s = CacheStats::new();
+        s.count_writeback(WbClass::Replacement);
+        s.count_writeback(WbClass::Cleaning);
+        s.count_writeback(WbClass::Cleaning);
+        s.count_writeback(WbClass::EccEviction);
+        assert_eq!(s.writebacks_of(WbClass::Replacement), 1);
+        assert_eq!(s.writebacks_of(WbClass::Cleaning), 2);
+        assert_eq!(s.writebacks_of(WbClass::EccEviction), 1);
+        assert_eq!(s.writebacks(), 4);
+    }
+
+    #[test]
+    fn since_subtracts_counterwise() {
+        let mut early = CacheStats::new();
+        early.read_hits = 5;
+        let mut late = early;
+        late.read_hits = 12;
+        late.write_misses = 3;
+        let delta = late.since(&early);
+        assert_eq!(delta.read_hits, 7);
+        assert_eq!(delta.write_misses, 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! The coalescing write buffer between the write-through L1D and the L2.
+//!
+//! The paper's baseline (like POWER4 and Itanium) keeps the L1 data cache
+//! write-through so it can be parity-protected, and interposes a *"write
+//! buffer \[that\] reduces data traffic to L2 cache by combining multiple
+//! write backs into single one"* (Skadron & Clark). This module implements
+//! that structure: a fully associative, FIFO-retired buffer of L2-line-sized
+//! entries; stores to a buffered line coalesce into the existing entry.
+
+use crate::addr::LineAddr;
+use crate::Cycle;
+
+/// One buffered line: which 64-bit words have been written, and the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteEntry {
+    /// The L2-line address the entry will be written to.
+    pub line: LineAddr,
+    /// Bit *i* set ⇒ word *i* of the line carries store data.
+    pub word_mask: u64,
+    /// Store payloads (valid where `word_mask` is set).
+    pub words: Box<[u64]>,
+    /// Cycle of the first store merged into this entry.
+    pub allocated_at: Cycle,
+}
+
+/// Result of pushing a store into the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Merged into an existing entry for the same line.
+    Coalesced,
+    /// A fresh entry was allocated.
+    Inserted,
+    /// The buffer is full; the store must stall until an entry retires.
+    Full,
+}
+
+/// Cumulative write-buffer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteBufferStats {
+    /// Stores merged into existing entries.
+    pub coalesced: u64,
+    /// Fresh entries allocated.
+    pub inserted: u64,
+    /// Stores that found the buffer full.
+    pub full_stalls: u64,
+    /// Entries retired to the L2.
+    pub retired: u64,
+}
+
+/// A fully associative, FIFO-retired, coalescing write buffer.
+///
+/// ```
+/// use aep_mem::write_buffer::{PushOutcome, WriteBuffer};
+/// use aep_mem::addr::LineAddr;
+///
+/// let mut wb = WriteBuffer::new(2, 8);
+/// assert_eq!(wb.push(LineAddr(1), 0, 0xAA, 0), PushOutcome::Inserted);
+/// assert_eq!(wb.push(LineAddr(1), 3, 0xBB, 1), PushOutcome::Coalesced);
+/// assert_eq!(wb.push(LineAddr(2), 0, 0xCC, 2), PushOutcome::Inserted);
+/// assert_eq!(wb.push(LineAddr(3), 0, 0xDD, 3), PushOutcome::Full);
+/// assert_eq!(wb.pop().unwrap().line, LineAddr(1)); // FIFO
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    entries: std::collections::VecDeque<WriteEntry>,
+    capacity: usize,
+    words_per_line: usize,
+    stats: WriteBufferStats,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer with `capacity` entries of `words_per_line` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `words_per_line` is 0 or over 64.
+    #[must_use]
+    pub fn new(capacity: usize, words_per_line: usize) -> Self {
+        assert!(capacity > 0, "write buffer needs at least one entry");
+        assert!(
+            (1..=64).contains(&words_per_line),
+            "words per line must be in 1..=64"
+        );
+        WriteBuffer {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            words_per_line,
+            stats: WriteBufferStats::default(),
+        }
+    }
+
+    /// Number of buffered entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when no further entry can be allocated.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> WriteBufferStats {
+        self.stats
+    }
+
+    /// Pushes one store (line, word index, payload) into the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range for the configured line.
+    pub fn push(&mut self, line: LineAddr, word: usize, value: u64, now: Cycle) -> PushOutcome {
+        assert!(word < self.words_per_line, "word index out of range");
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.line == line) {
+            entry.word_mask |= 1 << word;
+            entry.words[word] = value;
+            self.stats.coalesced += 1;
+            return PushOutcome::Coalesced;
+        }
+        if self.is_full() {
+            self.stats.full_stalls += 1;
+            return PushOutcome::Full;
+        }
+        let mut words = vec![0u64; self.words_per_line].into_boxed_slice();
+        words[word] = value;
+        self.entries.push_back(WriteEntry {
+            line,
+            word_mask: 1 << word,
+            words,
+            allocated_at: now,
+        });
+        self.stats.inserted += 1;
+        PushOutcome::Inserted
+    }
+
+    /// Retires the oldest entry (FIFO), if any.
+    pub fn pop(&mut self) -> Option<WriteEntry> {
+        let e = self.entries.pop_front();
+        if e.is_some() {
+            self.stats.retired += 1;
+        }
+        e
+    }
+
+    /// `true` when a load to `line` would hit buffered store data
+    /// (store-to-load forwarding from the buffer).
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_merges_same_line() {
+        let mut wb = WriteBuffer::new(16, 8);
+        assert_eq!(wb.push(LineAddr(9), 1, 10, 0), PushOutcome::Inserted);
+        assert_eq!(wb.push(LineAddr(9), 5, 20, 1), PushOutcome::Coalesced);
+        assert_eq!(wb.push(LineAddr(9), 1, 30, 2), PushOutcome::Coalesced);
+        assert_eq!(wb.len(), 1);
+        let e = wb.pop().unwrap();
+        assert_eq!(e.word_mask, (1 << 1) | (1 << 5));
+        assert_eq!(e.words[1], 30, "later store wins");
+        assert_eq!(e.words[5], 20);
+        assert_eq!(e.allocated_at, 0);
+    }
+
+    #[test]
+    fn fifo_retirement_order() {
+        let mut wb = WriteBuffer::new(4, 8);
+        for i in 0..4 {
+            wb.push(LineAddr(i), 0, i, i);
+        }
+        for i in 0..4 {
+            assert_eq!(wb.pop().unwrap().line, LineAddr(i));
+        }
+        assert!(wb.pop().is_none());
+    }
+
+    #[test]
+    fn full_buffer_reports_stall() {
+        let mut wb = WriteBuffer::new(2, 8);
+        wb.push(LineAddr(1), 0, 0, 0);
+        wb.push(LineAddr(2), 0, 0, 0);
+        assert!(wb.is_full());
+        assert_eq!(wb.push(LineAddr(3), 0, 0, 0), PushOutcome::Full);
+        // Coalescing still works when full.
+        assert_eq!(wb.push(LineAddr(2), 7, 9, 1), PushOutcome::Coalesced);
+        assert_eq!(wb.stats().full_stalls, 1);
+    }
+
+    #[test]
+    fn contains_sees_buffered_lines() {
+        let mut wb = WriteBuffer::new(2, 8);
+        wb.push(LineAddr(4), 0, 0, 0);
+        assert!(wb.contains(LineAddr(4)));
+        assert!(!wb.contains(LineAddr(5)));
+        wb.pop();
+        assert!(!wb.contains(LineAddr(4)));
+    }
+
+    #[test]
+    fn stats_track_all_outcomes() {
+        let mut wb = WriteBuffer::new(1, 8);
+        wb.push(LineAddr(1), 0, 0, 0);
+        wb.push(LineAddr(1), 1, 0, 0);
+        wb.push(LineAddr(2), 0, 0, 0);
+        wb.pop();
+        let s = wb.stats();
+        assert_eq!(s.inserted, 1);
+        assert_eq!(s.coalesced, 1);
+        assert_eq!(s.full_stalls, 1);
+        assert_eq!(s.retired, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "word index")]
+    fn out_of_range_word_panics() {
+        WriteBuffer::new(1, 8).push(LineAddr(0), 8, 0, 0);
+    }
+}

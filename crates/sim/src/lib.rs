@@ -1,0 +1,27 @@
+//! Full-system simulator and experiment runner.
+//!
+//! This crate wires the substrates together into the machine the paper
+//! evaluates on — out-of-order core ([`aep_cpu`]), Table 1 memory system
+//! ([`aep_mem`]), a protection scheme plus cleaning FSM ([`aep_core`]),
+//! and a synthetic benchmark ([`aep_workloads`]) — and drives measured
+//! experiment windows:
+//!
+//! * [`system`] — the per-cycle composition loop (pipeline step, write-
+//!   buffer drain, event→scheme→directive plumbing, cleaning probes with
+//!   L1 priority).
+//! * [`runner`] — warm-up + measurement-window experiment driver producing
+//!   [`runner::RunStats`]: per-cycle dirty-line census, write-back
+//!   percentages by class, and IPC.
+//! * [`report`] — plain-text/CSV table rendering for the `exp` binary that
+//!   regenerates each of the paper's figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+pub mod system;
+
+pub use report::Table;
+pub use runner::{ExperimentConfig, RunStats, Runner};
+pub use system::System;

@@ -1,0 +1,268 @@
+//! Plain-text and CSV table rendering for experiment reports.
+//!
+//! The paper presents its results as bar charts; the `exp` binary renders
+//! the same data as aligned text tables (one row per benchmark, one column
+//! per configuration) and optionally CSV for replotting.
+
+/// A simple column-aligned table builder.
+///
+/// ```
+/// use aep_sim::Table;
+///
+/// let mut t = Table::new(vec!["bench".into(), "org".into(), "1M".into()]);
+/// t.row(vec!["applu".into(), "46.0".into(), "24.9".into()]);
+/// let text = t.to_text();
+/// assert!(text.contains("applu"));
+/// assert_eq!(t.to_csv().lines().count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of a label plus formatted numeric cells.
+    pub fn numeric_row(&mut self, label: &str, values: &[f64], decimals: usize) {
+        let mut cells = Vec::with_capacity(values.len() + 1);
+        cells.push(label.to_owned());
+        for v in values {
+            cells.push(format!("{v:.decimals$}"));
+        }
+        self.row(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let render = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("{c:<width$}", width = widths[i]));
+                } else {
+                    out.push_str(&format!("  {c:>width$}", width = widths[i]));
+                }
+            }
+            out.push('\n');
+        };
+        render(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Computes the arithmetic mean of a slice (0.0 for an empty slice).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_columns() {
+        let mut t = Table::new(vec!["a".into(), "value".into()]);
+        t.row(vec!["benchmark".into(), "1".into()]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].starts_with("benchmark"));
+        assert!(lines[2].ends_with("1"));
+    }
+
+    #[test]
+    fn numeric_rows_format_decimals() {
+        let mut t = Table::new(vec!["b".into(), "x".into(), "y".into()]);
+        t.numeric_row("r", &[1.23456, 7.0], 2);
+        assert!(t.to_text().contains("1.23"));
+        assert!(t.to_text().contains("7.00"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(vec!["a,b".into(), "c".into()]);
+        t.row(vec!["x\"y".into(), "1".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c"));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}
+
+impl Table {
+    /// Renders the table as GitHub-flavoured markdown.
+    ///
+    /// ```
+    /// use aep_sim::Table;
+    ///
+    /// let mut t = Table::new(vec!["bench".into(), "x".into()]);
+    /// t.row(vec!["gap".into(), "1".into()]);
+    /// let md = t.to_markdown();
+    /// assert!(md.starts_with("| bench | x |"));
+    /// assert!(md.contains("| gap | 1 |"));
+    /// ```
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let render = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for c in cells {
+                out.push(' ');
+                out.push_str(&c.replace('|', "\\|"));
+                out.push_str(" |");
+            }
+            out.push('\n');
+        };
+        render(&self.headers, &mut out);
+        out.push('|');
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod markdown_tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_separator_and_escapes_pipes() {
+        let mut t = Table::new(vec!["a".into(), "b|c".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| a | b\\|c |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| 1 | 2 |");
+    }
+}
+
+/// Sample standard deviation of a slice (0.0 for fewer than two samples).
+#[must_use]
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod stat_tests {
+    use super::*;
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        assert_eq!(stddev(&[4.0, 4.0, 4.0]), 0.0);
+        assert_eq!(stddev(&[4.0]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} = sqrt(32/7).
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! The experiment driver: warm-up, measurement window, statistics.
+//!
+//! The paper fast-forwards one billion instructions and measures one
+//! billion committed instructions. Our synthetic workloads reach steady
+//! state in a few million cycles, so experiments are cycle-budgeted
+//! instead: a warm-up window (excluded from every statistic) followed by a
+//! measured window during which the runner samples the L2 dirty-line
+//! census every cycle and snapshots counter deltas at the end.
+
+use aep_core::{EnergyCounters, SchemeKind};
+use aep_cpu::CoreConfig;
+use aep_mem::{Cycle, HierarchyConfig};
+use aep_workloads::Benchmark;
+
+use crate::system::System;
+
+/// One experiment: a benchmark, a scheme, and window sizes.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The workload.
+    pub benchmark: Benchmark,
+    /// The protection scheme / cleaning configuration.
+    pub scheme: SchemeKind,
+    /// Cycles to run before measurement starts.
+    pub warmup_cycles: u64,
+    /// Cycles in the measured window.
+    pub measure_cycles: u64,
+    /// Workload seed (experiments are deterministic in it).
+    pub seed: u64,
+    /// Core configuration (Table 1 by default).
+    pub core: CoreConfig,
+    /// Memory-system configuration (Table 1 by default).
+    pub hierarchy: HierarchyConfig,
+    /// Background scrub period (cycles per line), when scrubbing.
+    pub scrub_period: Option<u64>,
+    /// Whether cleaning probes honour the written bit (the paper's
+    /// design; `false` is the ablation strawman).
+    pub respect_written_bit: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper-scale configuration: Table 1 machine, long windows
+    /// (12 M warm-up + 20 M measured cycles — past the point where the
+    /// dirty census and write-back ratios are stationary).
+    #[must_use]
+    pub fn paper(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+        ExperimentConfig {
+            benchmark,
+            scheme,
+            warmup_cycles: 12_000_000,
+            measure_cycles: 20_000_000,
+            seed: 2006,
+            core: CoreConfig::date2006(),
+            hierarchy: HierarchyConfig::date2006(),
+            scrub_period: None,
+            respect_written_bit: true,
+        }
+    }
+
+    /// A reduced configuration for quick experiments (~10× shorter).
+    #[must_use]
+    pub fn quick(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+        ExperimentConfig {
+            warmup_cycles: 1_500_000,
+            measure_cycles: 2_500_000,
+            ..Self::paper(benchmark, scheme)
+        }
+    }
+
+    /// A minimal configuration for tests and doc examples (full Table 1
+    /// machine, very short windows).
+    #[must_use]
+    pub fn fast_test(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+        ExperimentConfig {
+            warmup_cycles: 30_000,
+            measure_cycles: 50_000,
+            ..Self::paper(benchmark, scheme)
+        }
+    }
+}
+
+/// L2-centric window statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct L2Window {
+    /// Time-average fraction of L2 lines dirty over the window (0–1):
+    /// the paper's "percentage of dirty cache lines per cycle".
+    pub avg_dirty_fraction: f64,
+    /// Time-average dirty-line count.
+    pub avg_dirty_lines: f64,
+    /// Dirty fraction at the end of the window.
+    pub final_dirty_fraction: f64,
+    /// Replacement write-backs (`WB` in Figure 8).
+    pub wb_replacement: u64,
+    /// Cleaning write-backs (`Clean-WB`).
+    pub wb_cleaning: u64,
+    /// ECC-entry-eviction write-backs (`ECC-WB`).
+    pub wb_ecc: u64,
+    /// Loads+stores issued by the core during the window.
+    pub loads_stores: u64,
+}
+
+impl L2Window {
+    /// All write-backs.
+    #[must_use]
+    pub fn wb_total(&self) -> u64 {
+        self.wb_replacement + self.wb_cleaning + self.wb_ecc
+    }
+
+    /// The paper's headline traffic metric: write-backs as a percentage of
+    /// all loads/stores (0 when no memory ops were issued).
+    #[must_use]
+    pub fn wb_percent(&self) -> f64 {
+        if self.loads_stores == 0 {
+            0.0
+        } else {
+            self.wb_total() as f64 / self.loads_stores as f64 * 100.0
+        }
+    }
+
+    /// One write-back class as a percentage of loads/stores.
+    #[must_use]
+    pub fn wb_percent_of(&self, count: u64) -> f64 {
+        if self.loads_stores == 0 {
+            0.0
+        } else {
+            count as f64 / self.loads_stores as f64 * 100.0
+        }
+    }
+}
+
+/// Results of one experiment's measured window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// The benchmark that ran.
+    pub benchmark: Benchmark,
+    /// The scheme that ran.
+    pub scheme: SchemeKind,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Instructions committed in the window.
+    pub committed: u64,
+    /// Instructions per cycle over the window.
+    pub ipc: f64,
+    /// L2 statistics over the window.
+    pub l2: L2Window,
+    /// Branch mispredict ratio over the whole run.
+    pub mispredict_ratio: f64,
+    /// L1D miss ratio over the whole run.
+    pub l1d_miss_ratio: f64,
+    /// L2 miss ratio over the whole run.
+    pub l2_miss_ratio: f64,
+    /// Protection check/encode operations during the window.
+    pub energy: EnergyCounters,
+}
+
+/// Runs one experiment to completion.
+pub struct Runner {
+    config: ExperimentConfig,
+}
+
+impl Runner {
+    /// Creates a runner for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy configuration is invalid (via the system's
+    /// constructors).
+    #[must_use]
+    pub fn new(config: ExperimentConfig) -> Self {
+        Runner { config }
+    }
+
+    /// Executes warm-up plus measurement and returns the window statistics.
+    #[must_use]
+    pub fn run(self) -> RunStats {
+        let cfg = self.config;
+        let stream = cfg.benchmark.generator(cfg.seed);
+        let mut sys = System::new(cfg.core.clone(), cfg.hierarchy.clone(), cfg.scheme, stream);
+        sys.set_respect_written_bit(cfg.respect_written_bit);
+        if let Some(period) = cfg.scrub_period {
+            sys.enable_scrubbing(period);
+        }
+
+        let mut now: Cycle = 0;
+        now = sys.run(now, cfg.warmup_cycles);
+
+        // Snapshot at the start of the measured window.
+        let l2_before = *sys.hier.l2().stats();
+        let ops_before = sys.hier.ops();
+        let committed_before = sys.cpu.stats().committed;
+        let energy_before = sys.scheme.energy_counters();
+
+        let mut dirty_sum: f64 = 0.0;
+        let total_lines = sys.hier.l2().total_lines() as f64;
+        for tick in now..now + cfg.measure_cycles {
+            sys.step(tick);
+            dirty_sum += sys.hier.l2().dirty_line_count() as f64;
+        }
+
+        let l2_after = sys.hier.l2().stats().since(&l2_before);
+        let ops_after = sys.hier.ops();
+        let committed = sys.cpu.stats().committed - committed_before;
+        let avg_dirty_lines = dirty_sum / cfg.measure_cycles as f64;
+
+        RunStats {
+            benchmark: cfg.benchmark,
+            scheme: cfg.scheme,
+            cycles: cfg.measure_cycles,
+            committed,
+            ipc: committed as f64 / cfg.measure_cycles as f64,
+            l2: L2Window {
+                avg_dirty_fraction: avg_dirty_lines / total_lines,
+                avg_dirty_lines,
+                final_dirty_fraction: sys.hier.l2().dirty_line_count() as f64 / total_lines,
+                wb_replacement: l2_after.writebacks_replacement,
+                wb_cleaning: l2_after.writebacks_cleaning,
+                wb_ecc: l2_after.writebacks_ecc_eviction,
+                loads_stores: ops_after.loads_stores() - ops_before.loads_stores(),
+            },
+            mispredict_ratio: sys.cpu.bpred().stats().mispredict_ratio(),
+            l1d_miss_ratio: sys.hier.l1d().stats().miss_ratio(),
+            l2_miss_ratio: sys.hier.l2().stats().miss_ratio(),
+            energy: sys.scheme.energy_counters().since(&energy_before),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_consistent_stats() {
+        let stats = Runner::new(ExperimentConfig::fast_test(
+            Benchmark::Gzip,
+            SchemeKind::Uniform,
+        ))
+        .run();
+        assert_eq!(stats.cycles, 50_000);
+        assert!(stats.committed > 0);
+        assert!(stats.ipc > 0.0 && stats.ipc <= 4.0);
+        assert!(stats.l2.avg_dirty_fraction >= 0.0);
+        assert!(stats.l2.avg_dirty_fraction <= 1.0);
+        assert!(stats.l2.loads_stores > 0);
+        // No cleaning, no ECC array in the org configuration:
+        assert_eq!(stats.l2.wb_cleaning, 0);
+        assert_eq!(stats.l2.wb_ecc, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            Runner::new(ExperimentConfig::fast_test(
+                Benchmark::Mcf,
+                SchemeKind::Proposed {
+                    cleaning_interval: 65_536,
+                },
+            ))
+            .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.l2, b.l2);
+    }
+
+    #[test]
+    fn proposed_bounds_dirty_fraction_by_ways() {
+        let stats = Runner::new(ExperimentConfig::fast_test(
+            Benchmark::Gap,
+            SchemeKind::Proposed {
+                cleaning_interval: 65_536,
+            },
+        ))
+        .run();
+        // ≤ 1 dirty line per 4-way set, structurally.
+        assert!(stats.l2.avg_dirty_fraction <= 0.25 + 1e-9);
+        assert!(stats.l2.final_dirty_fraction <= 0.25 + 1e-9);
+    }
+
+    #[test]
+    fn wb_percent_helpers() {
+        let w = L2Window {
+            wb_replacement: 5,
+            wb_cleaning: 3,
+            wb_ecc: 2,
+            loads_stores: 1000,
+            ..L2Window::default()
+        };
+        assert_eq!(w.wb_total(), 10);
+        assert!((w.wb_percent() - 1.0).abs() < 1e-12);
+        assert!((w.wb_percent_of(w.wb_cleaning) - 0.3).abs() < 1e-12);
+        assert_eq!(L2Window::default().wb_percent(), 0.0);
+    }
+}

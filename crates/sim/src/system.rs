@@ -1,0 +1,441 @@
+//! The composed full system and its per-cycle loop.
+
+use aep_core::cleaning::CleaningPolicy;
+use aep_core::scrub::Scrubber;
+use aep_core::{CleaningLogic, Directive, ProtectionScheme, SchemeKind};
+use aep_core::{MultiEntryScheme, NonUniformScheme, ParityOnlyScheme, UniformEccScheme};
+use aep_cpu::{CoreConfig, InstrStream, Pipeline};
+use aep_mem::cache::WbClass;
+use aep_mem::{Cycle, HierarchyConfig, MemoryHierarchy};
+
+/// Builds the protection scheme for `kind` over the given L2 geometry.
+#[must_use]
+pub fn build_scheme(kind: SchemeKind, hier: &HierarchyConfig) -> Box<dyn ProtectionScheme> {
+    match kind {
+        SchemeKind::Uniform | SchemeKind::UniformWithCleaning { .. } => {
+            Box::new(UniformEccScheme::new(&hier.l2))
+        }
+        SchemeKind::ParityOnly => Box::new(ParityOnlyScheme::new(&hier.l2)),
+        SchemeKind::Proposed { .. } => Box::new(NonUniformScheme::new(&hier.l2)),
+        SchemeKind::ProposedMulti {
+            entries_per_set, ..
+        } => Box::new(MultiEntryScheme::new(&hier.l2, entries_per_set)),
+    }
+}
+
+/// A complete simulated machine: core + memory system + protection.
+pub struct System<S> {
+    /// The out-of-order core.
+    pub cpu: Pipeline<S>,
+    /// The Table 1 memory system.
+    pub hier: MemoryHierarchy,
+    /// The protection scheme attached to the L2.
+    pub scheme: Box<dyn ProtectionScheme>,
+    /// The cleaning policy (the paper's written-bit FSM by default when
+    /// the scheme configuration cleans; swappable for ablations).
+    pub cleaning: CleaningPolicy,
+    kind: SchemeKind,
+    directive_buf: Vec<Directive>,
+    respect_written_bit: bool,
+    scrubber: Option<Scrubber>,
+}
+
+impl<S: InstrStream> System<S> {
+    /// Assembles a system.
+    #[must_use]
+    pub fn new(
+        core: CoreConfig,
+        hier_cfg: HierarchyConfig,
+        kind: SchemeKind,
+        stream: S,
+    ) -> Self {
+        let scheme = build_scheme(kind, &hier_cfg);
+        let cleaning = match kind.cleaning_interval() {
+            Some(interval) => CleaningPolicy::WrittenBit(CleaningLogic::new(
+                interval,
+                hier_cfg.l2.sets() as usize,
+            )),
+            None => CleaningPolicy::None,
+        };
+        let mut hier = MemoryHierarchy::new(hier_cfg);
+        hier.enable_l2_events();
+        System {
+            cpu: Pipeline::new(core, stream),
+            hier,
+            scheme,
+            cleaning,
+            kind,
+            directive_buf: Vec::new(),
+            respect_written_bit: true,
+            scrubber: None,
+        }
+    }
+
+    /// Enables background scrubbing: one line verified (and repaired if a
+    /// latent upset is found) every `period` cycles.
+    pub fn enable_scrubbing(&mut self, period: u64) {
+        let l2 = self.hier.l2();
+        self.scrubber = Some(Scrubber::new(period, l2.sets(), l2.ways()));
+    }
+
+    /// The scrubber's statistics, when scrubbing is enabled.
+    #[must_use]
+    pub fn scrub_stats(&self) -> Option<aep_core::scrub::ScrubStats> {
+        self.scrubber.as_ref().map(Scrubber::stats)
+    }
+
+    /// Disables the written-bit filter in the cleaning FSM: probes write
+    /// back *every* dirty line (the `ablation_written_bit` configuration;
+    /// the paper's design keeps the filter on).
+    pub fn set_respect_written_bit(&mut self, respect: bool) {
+        self.respect_written_bit = respect;
+    }
+
+    /// Replaces the cleaning policy (related-work ablations: decay
+    /// cleaning, eager writeback, or none).
+    pub fn set_cleaning_policy(&mut self, policy: CleaningPolicy) {
+        self.cleaning = policy;
+    }
+
+    /// The scheme configuration this system runs.
+    #[must_use]
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// Advances the whole machine by one cycle.
+    pub fn step(&mut self, now: Cycle) {
+        self.cpu.step(&mut self.hier, now);
+        self.hier.tick(now);
+        self.drain_events(now);
+        self.cleaning_tick(now);
+        if let Some(scrubber) = &mut self.scrubber {
+            let (l2, memory) = self.hier.l2_and_memory_mut();
+            scrubber.tick(now, l2, self.scheme.as_mut(), memory);
+        }
+    }
+
+    /// Feeds pending L2 events to the scheme and applies its directives,
+    /// looping until the machine settles (force-cleans emit further
+    /// events, which emit no further directives).
+    fn drain_events(&mut self, now: Cycle) {
+        loop {
+            let events = self.hier.take_l2_events();
+            if events.is_empty() && self.directive_buf.is_empty() {
+                break;
+            }
+            for event in &events {
+                self.scheme
+                    .on_event(event, self.hier.l2(), &mut self.directive_buf);
+            }
+            for directive in std::mem::take(&mut self.directive_buf) {
+                match directive {
+                    Directive::ForceClean { set, way } => {
+                        self.hier
+                            .force_clean_l2(set, way, WbClass::EccEviction, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the cleaning policy for this cycle, honouring L1 priority.
+    fn cleaning_tick(&mut self, now: Cycle) {
+        match &mut self.cleaning {
+            CleaningPolicy::None => {}
+            CleaningPolicy::WrittenBit(logic) => {
+                if let Some(set) = logic.due_set(now) {
+                    match self
+                        .hier
+                        .clean_probe_l2_mode(set, now, self.respect_written_bit)
+                    {
+                        Some(cleaned) => {
+                            logic.complete(now, cleaned);
+                            self.drain_events(now);
+                        }
+                        None => logic.defer(),
+                    }
+                }
+            }
+            CleaningPolicy::Decay { fsm, window } => {
+                if let Some(set) = fsm.due_set(now) {
+                    let window = *window;
+                    match self.hier.decay_probe_l2(set, now, window) {
+                        Some(cleaned) => {
+                            fsm.complete(now, cleaned);
+                            self.drain_events(now);
+                        }
+                        None => fsm.defer(),
+                    }
+                }
+            }
+            CleaningPolicy::Eager { next_set, sets } => {
+                let set = *next_set;
+                let wrap = *sets;
+                // Bus or port busy -> None: retry the same set next cycle.
+                if let Some(issued) = self.hier.eager_probe_l2(set, now) {
+                    if let CleaningPolicy::Eager { next_set, .. } = &mut self.cleaning {
+                        *next_set = (set + 1) % wrap;
+                    }
+                    if issued {
+                        self.drain_events(now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `cycles` cycles starting at `start`, returning the next cycle.
+    pub fn run(&mut self, start: Cycle, cycles: u64) -> Cycle {
+        for now in start..start + cycles {
+            self.step(now);
+        }
+        start + cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aep_cpu::isa::{LoopStream, MicroOp};
+    use aep_mem::Addr;
+
+    fn store_heavy_stream() -> LoopStream {
+        // Stores sweeping several L2 sets, plus filler.
+        let mut ops = Vec::new();
+        for i in 0..32u64 {
+            ops.push(MicroOp::store(i * 8, Addr::new(0x10_000 + i * 64), Some(1)));
+            ops.push(MicroOp::alu(i * 8 + 4, Some(1), None, Some(2)));
+        }
+        LoopStream::new(ops)
+    }
+
+    fn tiny_system(kind: SchemeKind) -> System<LoopStream> {
+        System::new(
+            CoreConfig::date2006(),
+            HierarchyConfig::tiny(),
+            kind,
+            store_heavy_stream(),
+        )
+    }
+
+    #[test]
+    fn uniform_system_runs_and_commits() {
+        let mut sys = tiny_system(SchemeKind::Uniform);
+        sys.run(0, 20_000);
+        assert!(sys.cpu.stats().committed > 1000);
+        assert!(sys.hier.l2().dirty_line_count() > 0);
+        assert!(matches!(sys.cleaning, CleaningPolicy::None));
+    }
+
+    #[test]
+    fn proposed_system_enforces_one_dirty_line_per_set() {
+        let mut sys = tiny_system(SchemeKind::Proposed {
+            cleaning_interval: 4096,
+        });
+        sys.run(0, 50_000);
+        // Structural bound: ≤ 1 dirty line per set.
+        assert!(sys.hier.l2().dirty_line_count() <= sys.hier.l2().sets() as u64);
+        assert!(sys.hier.l2().stats().writebacks_ecc_eviction > 0);
+    }
+
+    #[test]
+    fn cleaning_reduces_dirty_lines_vs_uniform() {
+        let mut org = tiny_system(SchemeKind::Uniform);
+        org.run(0, 60_000);
+        let mut cleaned = tiny_system(SchemeKind::UniformWithCleaning {
+            cleaning_interval: 2048,
+        });
+        cleaned.run(0, 60_000);
+        assert!(cleaned.hier.l2().stats().writebacks_cleaning > 0);
+        assert!(
+            cleaned.hier.l2().dirty_line_count() <= org.hier.l2().dirty_line_count(),
+            "cleaning must not increase dirty lines"
+        );
+    }
+
+    #[test]
+    fn systems_are_deterministic() {
+        let run = |cycles| {
+            let mut sys = tiny_system(SchemeKind::Proposed {
+                cleaning_interval: 4096,
+            });
+            sys.run(0, cycles);
+            (
+                sys.cpu.stats().committed,
+                sys.hier.l2().stats().writebacks_ecc_eviction,
+                sys.hier.l2().dirty_line_count(),
+            )
+        };
+        assert_eq!(run(30_000), run(30_000));
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use aep_cpu::isa::{LoopStream, MicroOp};
+    use aep_mem::Addr;
+
+    fn stream() -> LoopStream {
+        let mut ops = Vec::new();
+        for i in 0..16u64 {
+            ops.push(MicroOp::store(i * 8, Addr::new(0x20_000 + i * 64), Some(1)));
+            ops.push(MicroOp::load(i * 8 + 4, Addr::new(0x40_000 + i * 64), Some(2)));
+        }
+        LoopStream::new(ops)
+    }
+
+    #[test]
+    fn multi_entry_system_allows_more_dirty_lines_with_fewer_ecc_wbs() {
+        let run = |entries: usize| {
+            let mut sys = System::new(
+                CoreConfig::date2006(),
+                HierarchyConfig::tiny(),
+                SchemeKind::ProposedMulti {
+                    cleaning_interval: 8192,
+                    entries_per_set: entries,
+                },
+                stream(),
+            );
+            sys.run(0, 60_000);
+            (
+                sys.hier.l2().dirty_line_count(),
+                sys.hier.l2().stats().writebacks_ecc_eviction,
+            )
+        };
+        let (dirty1, ecc1) = run(1);
+        let (dirty2, ecc2) = run(2);
+        assert!(ecc2 <= ecc1, "more entries, fewer forced evictions");
+        // The 2-entry bound is twice as loose.
+        let sets = 16u64; // tiny L2
+        assert!(dirty1 <= sets);
+        assert!(dirty2 <= 2 * sets);
+    }
+
+    #[test]
+    fn scrubbing_system_repairs_in_flight_strikes() {
+        let mut sys = System::new(
+            CoreConfig::date2006(),
+            HierarchyConfig::tiny(),
+            SchemeKind::Proposed {
+                cleaning_interval: 8192,
+            },
+            stream(),
+        );
+        sys.enable_scrubbing(4);
+        let mut now = sys.run(0, 10_000);
+        // Strike a valid line, then run past a full scrub sweep.
+        let mut struck = false;
+        'outer: for set in 0..sys.hier.l2().sets() {
+            for way in 0..sys.hier.l2().ways() {
+                if sys.hier.l2().line_view(set, way).valid {
+                    sys.hier.l2_mut().strike(set, way, 1, 13);
+                    struck = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(struck);
+        now = sys.run(now, 4 * 16 * 4 + 1_000);
+        let _ = now;
+        let stats = sys.scrub_stats().expect("enabled");
+        assert!(stats.scrubbed > 0);
+        assert!(
+            stats.corrected + stats.refetched >= 1,
+            "the strike must be repaired by scrubbing: {stats:?}"
+        );
+        assert_eq!(stats.unrecoverable, 0);
+    }
+
+    #[test]
+    fn scrub_stats_absent_when_disabled() {
+        let sys = System::new(
+            CoreConfig::date2006(),
+            HierarchyConfig::tiny(),
+            SchemeKind::Uniform,
+            stream(),
+        );
+        assert!(sys.scrub_stats().is_none());
+    }
+}
+
+#[cfg(test)]
+mod cleaning_policy_tests {
+    use super::*;
+    use aep_core::cleaning::CleaningPolicy;
+    use aep_cpu::isa::{LoopStream, MicroOp};
+    use aep_mem::Addr;
+
+    /// A generational stream: a burst of stores dirties 24 lines, then a
+    /// long compute tail leaves them idle (and the bus quiet) — exactly
+    /// the window decay cleaning and eager writeback exploit.
+    fn dirtying_stream() -> LoopStream {
+        let mut ops = Vec::new();
+        for i in 0..24u64 {
+            ops.push(MicroOp::store(i * 8, Addr::new(0x10_000 + i * 64), Some(1)));
+        }
+        for i in 0..3_000u64 {
+            ops.push(MicroOp::alu(0x200 + (i % 64) * 8, Some(1), None, Some(2)));
+        }
+        LoopStream::new(ops)
+    }
+
+    fn run_policy(policy: CleaningPolicy) -> (u64, u64) {
+        let mut sys = System::new(
+            CoreConfig::date2006(),
+            HierarchyConfig::tiny(),
+            SchemeKind::Uniform,
+            dirtying_stream(),
+        );
+        sys.set_cleaning_policy(policy);
+        sys.run(0, 60_000);
+        (
+            sys.hier.l2().dirty_line_count(),
+            sys.hier.l2().stats().writebacks_cleaning,
+        )
+    }
+
+    #[test]
+    fn decay_policy_cleans_idle_dirty_lines() {
+        let sets = 16;
+        let (dirty_none, wb_none) = run_policy(CleaningPolicy::None);
+        let (dirty_decay, wb_decay) =
+            run_policy(CleaningPolicy::decay(4_096, 512, sets));
+        assert_eq!(wb_none, 0);
+        assert!(wb_decay > 0, "decay must clean something");
+        assert!(dirty_decay <= dirty_none);
+    }
+
+    #[test]
+    fn eager_policy_uses_idle_bus_to_clean_lru_lines() {
+        let sets = 16;
+        let (_, wb_eager) = run_policy(CleaningPolicy::eager(sets));
+        assert!(wb_eager > 0, "eager writeback must fire on idle bus");
+    }
+
+    #[test]
+    fn all_policies_preserve_correct_dirty_accounting() {
+        for policy in [
+            CleaningPolicy::None,
+            CleaningPolicy::written_bit(4_096, 16),
+            CleaningPolicy::decay(4_096, 4_096, 16),
+            CleaningPolicy::eager(16),
+        ] {
+            let mut sys = System::new(
+                CoreConfig::date2006(),
+                HierarchyConfig::tiny(),
+                SchemeKind::Uniform,
+                dirtying_stream(),
+            );
+            sys.set_cleaning_policy(policy.clone());
+            sys.run(0, 30_000);
+            assert_eq!(
+                sys.hier.l2().dirty_line_count(),
+                sys.hier.l2().recount_dirty_lines(),
+                "policy {} corrupted the dirty census",
+                policy.label()
+            );
+        }
+    }
+}

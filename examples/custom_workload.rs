@@ -1,0 +1,117 @@
+//! Evaluating the paper's scheme on *your own* workload: define a
+//! behavioural [`WorkloadSpec`], wire it into the full system, and measure
+//! what the proposed protection costs it.
+//!
+//! The scenario here is a software transactional-memory-like service: a
+//! hot index (L1-resident), a large read-mostly object heap, and a commit
+//! log that dirties a bounded region in generational bursts — a worst-ish
+//! case for dirty-line protection.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use aep::core::SchemeKind;
+use aep::cpu::CoreConfig;
+use aep::mem::HierarchyConfig;
+use aep::sim::System;
+use aep::workloads::model::{BranchModel, Generator, InstrMix, Pattern, Region, WorkloadSpec};
+
+fn commit_log_service() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "commit-log-service",
+        mix: InstrMix {
+            load: 0.30,
+            store: 0.14,
+            branch: 0.12,
+            int_alu: 0.40,
+            int_mul: 0.04,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+        },
+        regions: vec![
+            // The hot index: most traffic, fits in the L1D.
+            Region::new(Pattern::HotRandom { bytes: 16 * 1024 }, 0.80, 0.70),
+            // The object heap: large, read-mostly, L2-resident tail.
+            Region::new(
+                Pattern::ResidentRead {
+                    bytes: 512 * 1024,
+                },
+                0.16,
+                0.0,
+            ),
+            // Cold scans (analytics) over a huge footprint.
+            Region::new(
+                Pattern::StreamRead {
+                    bytes: 128 * 1024 * 1024,
+                    stride: 64,
+                },
+                0.04,
+                0.0,
+            ),
+            // The commit log: generational dirty bursts over 600 KB.
+            Region::new(
+                Pattern::SweepWrite {
+                    bytes: 600 * 1024,
+                },
+                0.0,
+                0.30,
+            ),
+        ],
+        branch: BranchModel {
+            taken_prob: 0.93,
+            noise: 0.07,
+        },
+        code_bytes: 40 * 1024,
+        dep_frac: 0.45,
+    }
+}
+
+fn run(scheme: SchemeKind) -> (f64, f64, f64) {
+    let spec = commit_log_service();
+    let stream = Generator::new(&spec, 7);
+    let mut sys = System::new(
+        CoreConfig::date2006(),
+        HierarchyConfig::date2006(),
+        scheme,
+        stream,
+    );
+    // Warm up, then measure.
+    let warmup = 2_000_000;
+    let window = 3_000_000;
+    let now = sys.run(0, warmup);
+    let committed0 = sys.cpu.stats().committed;
+    let wb0 = sys.hier.l2().stats().writebacks();
+    let ops0 = sys.hier.ops().loads_stores();
+    let mut dirty_sum = 0.0;
+    for tick in now..now + window {
+        sys.step(tick);
+        dirty_sum += sys.hier.l2_dirty_fraction();
+    }
+    let ipc = (sys.cpu.stats().committed - committed0) as f64 / window as f64;
+    let wb_pct = (sys.hier.l2().stats().writebacks() - wb0) as f64
+        / (sys.hier.ops().loads_stores() - ops0) as f64
+        * 100.0;
+    (dirty_sum / window as f64 * 100.0, wb_pct, ipc)
+}
+
+fn main() {
+    println!("custom workload: commit-log service on the Table 1 machine\n");
+    println!("{:<14} {:>8} {:>8} {:>8}", "scheme", "%dirty", "%WB", "IPC");
+    for scheme in [
+        SchemeKind::Uniform,
+        SchemeKind::UniformWithCleaning {
+            cleaning_interval: 1024 * 1024,
+        },
+        SchemeKind::Proposed {
+            cleaning_interval: 1024 * 1024,
+        },
+    ] {
+        let (dirty, wb, ipc) = run(scheme);
+        println!("{:<14} {dirty:>7.1}% {wb:>7.2}% {ipc:>8.3}", scheme.label());
+    }
+    println!(
+        "\nIf your service tolerates the (small) extra write-back traffic, the\n\
+         proposed scheme protects it with 54 KB of check storage instead of 132 KB."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: simulate one benchmark under the conventional and the
+//! proposed protection scheme and compare dirty lines, write-back traffic,
+//! IPC, and check-storage area.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use aep::core::{AreaModel, SchemeKind};
+use aep::mem::HierarchyConfig;
+use aep::sim::{ExperimentConfig, Runner};
+use aep::workloads::Benchmark;
+
+fn main() {
+    let benchmark = Benchmark::Gap;
+    println!("benchmark: {benchmark} (a high-dirty-fraction workload)\n");
+
+    // The paper's final configuration: dirty-line cleaning with a 1M-cycle
+    // interval plus the shared per-set ECC array.
+    let proposed = SchemeKind::Proposed {
+        cleaning_interval: 1024 * 1024,
+    };
+
+    for scheme in [SchemeKind::Uniform, proposed] {
+        // `quick` = the Table 1 machine with ~4M-cycle windows; use
+        // `ExperimentConfig::paper` for the full-length experiment.
+        let stats = Runner::new(ExperimentConfig::quick(benchmark, scheme)).run();
+        println!("--- {}", scheme.label());
+        println!(
+            "dirty lines/cycle : {:5.1} % of the L2",
+            stats.l2.avg_dirty_fraction * 100.0
+        );
+        println!(
+            "write-back traffic: {:5.2} % of loads/stores (WB {}, Clean-WB {}, ECC-WB {})",
+            stats.l2.wb_percent(),
+            stats.l2.wb_replacement,
+            stats.l2.wb_cleaning,
+            stats.l2.wb_ecc,
+        );
+        println!("IPC               : {:5.3}\n", stats.ipc);
+    }
+
+    // The headline: the area this buys.
+    let model = AreaModel::new(&HierarchyConfig::date2006().l2);
+    let conventional = model.conventional().total();
+    let ours = model.proposed().total();
+    println!(
+        "check storage: conventional {conventional} vs proposed {ours} \
+         ({:.0} % smaller)",
+        conventional.reduction_to(ours) * 100.0
+    );
+}

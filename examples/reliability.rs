@@ -1,0 +1,93 @@
+//! Reliability analysis: turn the simulator's measured dirty residency
+//! into first-order FIT numbers, and demonstrate background scrubbing
+//! catching latent errors in a running system.
+//!
+//! ```sh
+//! cargo run --release --example reliability
+//! ```
+
+use aep::core::{SchemeKind, SoftErrorModel};
+use aep::cpu::CoreConfig;
+use aep::mem::HierarchyConfig;
+use aep::sim::{ExperimentConfig, Runner, System};
+use aep::workloads::Benchmark;
+
+fn main() {
+    // 1. Measure dirty residency under the baseline and the proposed
+    //    scheme (this is what determines a parity-only design's exposure,
+    //    and what the cleaning + ECC-array machinery reduces).
+    let benchmark = Benchmark::Parser;
+    let org = Runner::new(ExperimentConfig::quick(benchmark, SchemeKind::Uniform)).run();
+    let ours = Runner::new(ExperimentConfig::quick(
+        benchmark,
+        SchemeKind::Proposed {
+            cleaning_interval: 1024 * 1024,
+        },
+    ))
+    .run();
+
+    let l2 = HierarchyConfig::date2006().l2;
+    let model = SoftErrorModel::date2006_typical();
+
+    println!("soft-error model: {} FIT/Mbit raw upset rate", model.fit_per_mbit);
+    println!("benchmark: {benchmark}\n");
+    println!(
+        "{:<34} {:>10} {:>9} {:>9}",
+        "configuration", "corrected", "DUE", "SDC"
+    );
+    let row = |name: &str, r: aep::core::FitReport| {
+        println!(
+            "{name:<34} {:>10.0} {:>9.0} {:>9.0}",
+            r.corrected_fit, r.due_fit, r.sdc_fit
+        );
+    };
+    row("unprotected", model.unprotected(&l2));
+    row(
+        &format!("parity-only (dirty {:.0}%)", org.l2.avg_dirty_fraction * 100.0),
+        model.parity_only(&l2, org.l2.avg_dirty_fraction),
+    );
+    row(
+        &format!(
+            "parity-only + cleaning (dirty {:.0}%)",
+            ours.l2.avg_dirty_fraction * 100.0
+        ),
+        model.parity_only(&l2, ours.l2.avg_dirty_fraction),
+    );
+    row("uniform ECC (132 KB checks)", model.uniform_ecc(&l2));
+    row(
+        "proposed (54 KB checks)",
+        model.proposed(&l2, ours.l2.avg_dirty_fraction),
+    );
+
+    // 2. Scrubbing demo: run the full system with the scrubber enabled
+    //    and strike it mid-run; the scrubber repairs latent errors.
+    let mut sys = System::new(
+        CoreConfig::date2006(),
+        HierarchyConfig::date2006(),
+        SchemeKind::Proposed {
+            cleaning_interval: 1024 * 1024,
+        },
+        benchmark.generator(1),
+    );
+    sys.enable_scrubbing(16); // one line per 16 cycles: ~1M-cycle sweeps
+    let mut now = sys.run(0, 200_000);
+    // Latent strikes land on three resident lines while the program runs.
+    for (set, bit) in [(10usize, 3u8), (200, 40), (3000, 63)] {
+        if sys.hier.l2().line_view(set, 0).valid {
+            sys.hier.l2_mut().strike(set, 0, 0, bit);
+        }
+    }
+    now = sys.run(now, 2_200_000); // more than one full scrub sweep
+    let _ = now;
+    let stats = sys.scrub_stats().expect("scrubbing enabled");
+    println!(
+        "\nscrubber after {} lines verified: {} ECC-corrected, {} refetched, {} unrecoverable",
+        stats.scrubbed, stats.corrected, stats.refetched, stats.unrecoverable
+    );
+    println!(
+        "Latent upsets are repaired on the next sweep instead of accumulating \
+         into double-bit\nfailures — the standard companion to any ECC scheme, \
+         and cheap here because the\nproposed architecture already has every \
+         check bit the scrubber needs."
+    );
+}

@@ -1,0 +1,72 @@
+//! Trace-driven methodology: record a workload's micro-op stream once,
+//! then replay the *identical* stream under different protection schemes —
+//! the cleanest possible A/B comparison, since not a single instruction
+//! differs between configurations.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use aep::core::SchemeKind;
+use aep::cpu::trace::{RecordingStream, ReplayStream, TraceReader};
+use aep::cpu::{CoreConfig, InstrStream};
+use aep::mem::HierarchyConfig;
+use aep::sim::System;
+use aep::workloads::Benchmark;
+
+const OPS: usize = 400_000;
+const CYCLES: u64 = 600_000;
+
+fn main() -> std::io::Result<()> {
+    // 1. Record: drain the generator once into an in-memory trace.
+    let benchmark = Benchmark::Vpr;
+    let mut recorder = RecordingStream::new(benchmark.generator(7), Vec::new())?;
+    for _ in 0..OPS {
+        let _ = recorder.next_op();
+    }
+    let (_, trace_bytes) = recorder.finish()?;
+    println!(
+        "recorded {OPS} ops of {benchmark} ({} KiB of trace)\n",
+        trace_bytes.len() / 1024
+    );
+
+    // 2. Replay the same bytes under each scheme.
+    println!("{:<16} {:>10} {:>8} {:>8}", "scheme", "committed", "IPC", "%WB");
+    for scheme in [
+        SchemeKind::Uniform,
+        SchemeKind::Proposed {
+            cleaning_interval: 1024 * 1024,
+        },
+        SchemeKind::ProposedMulti {
+            cleaning_interval: 1024 * 1024,
+            entries_per_set: 2,
+        },
+    ] {
+        let ops = TraceReader::new(trace_bytes.as_slice())?.read_all()?;
+        let replay = ReplayStream::new(ops);
+        let mut sys = System::new(
+            CoreConfig::date2006(),
+            HierarchyConfig::date2006(),
+            scheme,
+            replay,
+        );
+        sys.run(0, CYCLES);
+        let committed = sys.cpu.stats().committed;
+        let wb = sys.hier.l2().stats().writebacks() as f64
+            / sys.hier.ops().loads_stores() as f64
+            * 100.0;
+        println!(
+            "{:<16} {committed:>10} {:>8.3} {wb:>7.2}%",
+            scheme.label(),
+            committed as f64 / CYCLES as f64
+        );
+    }
+
+    println!(
+        "\nEvery row consumed byte-identical instructions; the differences are\n\
+         purely the protection scheme's write-back traffic and its bus cost.\n\
+         The 2-entry ECC array trades 32 KB more check storage for fewer\n\
+         forced ECC-WB write-backs."
+    );
+    Ok(())
+}

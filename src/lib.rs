@@ -1,0 +1,43 @@
+//! # aep — Area-Efficient Error Protection for Caches
+//!
+//! Umbrella crate for the full-system Rust reproduction of Soontae Kim,
+//! *"Area-Efficient Error Protection for Caches"*, DATE 2006.
+//!
+//! This crate re-exports every subsystem so examples and downstream users
+//! can depend on a single crate:
+//!
+//! * [`ecc`] — parity and SECDED(72,64) codes, fault injection, area units.
+//! * [`mem`] — cache hierarchy: set-associative caches, write buffer,
+//!   split-transaction bus, DRAM.
+//! * [`cpu`] — 4-issue out-of-order superscalar timing model (RUU, LSQ,
+//!   branch prediction, TLBs).
+//! * [`workloads`] — synthetic SPEC2000-like workload generators.
+//! * [`core`] — **the paper's contribution**: non-uniform protection with
+//!   dirty-line cleaning and a shared per-set ECC array, plus the uniform
+//!   ECC baseline and the area model.
+//! * [`sim`] — the full-system simulator and experiment runner that
+//!   regenerates every table and figure in the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aep::sim::{ExperimentConfig, Runner};
+//! use aep::workloads::Benchmark;
+//! use aep::core::SchemeKind;
+//!
+//! # fn main() {
+//! let cfg = ExperimentConfig::fast_test(Benchmark::Gap, SchemeKind::Proposed {
+//!     cleaning_interval: 65_536,
+//! });
+//! let stats = Runner::new(cfg).run();
+//! // With the proposed scheme at most one line per set is dirty (4-way => <=25%).
+//! assert!(stats.l2.avg_dirty_fraction <= 0.25 + 1e-9);
+//! # }
+//! ```
+
+pub use aep_core as core;
+pub use aep_cpu as cpu;
+pub use aep_ecc as ecc;
+pub use aep_mem as mem;
+pub use aep_sim as sim;
+pub use aep_workloads as workloads;

@@ -1,0 +1,158 @@
+//! Fast integration checks that the paper's qualitative results hold on
+//! the full system (short windows; the quantitative runs live in the
+//! `exp` binary at `--scale paper` and are recorded in EXPERIMENTS.md).
+
+use aep::core::SchemeKind;
+use aep::cpu::CoreConfig;
+use aep::mem::HierarchyConfig;
+use aep::sim::{ExperimentConfig, RunStats, Runner};
+use aep::workloads::Benchmark;
+
+fn short(benchmark: Benchmark, scheme: SchemeKind, cycles: u64) -> RunStats {
+    Runner::new(ExperimentConfig {
+        benchmark,
+        scheme,
+        warmup_cycles: cycles / 4,
+        measure_cycles: cycles,
+        seed: 2006,
+        core: CoreConfig::date2006(),
+        hierarchy: HierarchyConfig::date2006(),
+        scrub_period: None,
+        respect_written_bit: true,
+    })
+    .run()
+}
+
+#[test]
+fn proposed_scheme_caps_dirty_lines_at_one_per_set() {
+    for benchmark in [Benchmark::Gap, Benchmark::Applu, Benchmark::Gzip] {
+        let stats = short(
+            benchmark,
+            SchemeKind::Proposed {
+                cleaning_interval: 64 * 1024,
+            },
+            150_000,
+        );
+        assert!(
+            stats.l2.avg_dirty_fraction <= 0.25 + 1e-9,
+            "{benchmark}: dirty fraction {} exceeds the 1-per-set bound",
+            stats.l2.avg_dirty_fraction
+        );
+        assert!(
+            stats.l2.final_dirty_fraction <= 0.25 + 1e-9,
+            "{benchmark}: final dirty fraction breaks the structural bound"
+        );
+    }
+}
+
+#[test]
+fn smaller_cleaning_intervals_reduce_dirty_lines() {
+    // Figures 3/4's monotonicity, on one high-dirty benchmark.
+    let mut previous = f64::INFINITY;
+    for interval in [1024 * 1024u64, 256 * 1024, 64 * 1024] {
+        let stats = short(
+            Benchmark::Gap,
+            SchemeKind::UniformWithCleaning {
+                cleaning_interval: interval,
+            },
+            600_000,
+        );
+        assert!(
+            stats.l2.avg_dirty_fraction <= previous + 0.02,
+            "interval {interval}: dirty fraction must not grow as the interval shrinks"
+        );
+        previous = stats.l2.avg_dirty_fraction;
+    }
+    // And cleaning must actually beat the uncleaned baseline.
+    let org = short(Benchmark::Gap, SchemeKind::Uniform, 600_000);
+    assert!(previous < org.l2.avg_dirty_fraction);
+}
+
+#[test]
+fn smaller_intervals_increase_writeback_traffic() {
+    // Figures 5/6: aggressiveness costs write-backs.
+    let aggressive = short(
+        Benchmark::Gap,
+        SchemeKind::UniformWithCleaning {
+            cleaning_interval: 64 * 1024,
+        },
+        600_000,
+    );
+    let org = short(Benchmark::Gap, SchemeKind::Uniform, 600_000);
+    assert!(
+        aggressive.l2.wb_percent() > org.l2.wb_percent(),
+        "aggressive cleaning must add write-backs ({} vs {})",
+        aggressive.l2.wb_percent(),
+        org.l2.wb_percent()
+    );
+    assert!(aggressive.l2.wb_cleaning > 0);
+    assert_eq!(org.l2.wb_cleaning, 0, "org never cleans");
+}
+
+#[test]
+fn proposed_scheme_writebacks_are_dominated_by_ecc_evictions_on_dirty_benchmarks() {
+    // Figure 8's headline: ECC-WB is the major write-back class.
+    let stats = short(
+        Benchmark::Gap,
+        SchemeKind::Proposed {
+            cleaning_interval: 1024 * 1024,
+        },
+        600_000,
+    );
+    assert!(stats.l2.wb_ecc > 0, "ECC evictions must occur");
+    assert!(
+        stats.l2.wb_ecc > stats.l2.wb_replacement,
+        "ECC-WB ({}) should dominate replacement WB ({})",
+        stats.l2.wb_ecc,
+        stats.l2.wb_replacement
+    );
+}
+
+#[test]
+fn proposed_scheme_costs_little_ipc() {
+    // §5.2: the extra traffic must not wreck performance. The threshold
+    // here is loose (short windows are noisy); the paper-scale runs land
+    // around 1%.
+    let org = short(Benchmark::Gzip, SchemeKind::Uniform, 400_000);
+    let ours = short(
+        Benchmark::Gzip,
+        SchemeKind::Proposed {
+            cleaning_interval: 1024 * 1024,
+        },
+        400_000,
+    );
+    let loss = (org.ipc - ours.ipc) / org.ipc;
+    assert!(
+        loss < 0.05,
+        "IPC loss {loss} is far beyond the paper's <1% claim"
+    );
+}
+
+#[test]
+fn resident_dirty_benchmarks_exceed_streaming_ones_in_dirty_fraction() {
+    // Figure 1's ranking: gap/parser sit above gzip/bzip2.
+    let gap = short(Benchmark::Gap, SchemeKind::Uniform, 400_000);
+    let bzip2 = short(Benchmark::Bzip2, SchemeKind::Uniform, 400_000);
+    assert!(
+        gap.l2.avg_dirty_fraction > bzip2.l2.avg_dirty_fraction,
+        "gap ({}) must out-dirty bzip2 ({})",
+        gap.l2.avg_dirty_fraction,
+        bzip2.l2.avg_dirty_fraction
+    );
+}
+
+#[test]
+fn write_through_l1d_never_holds_dirty_lines() {
+    let stats = short(Benchmark::Vpr, SchemeKind::Uniform, 100_000);
+    // Re-run at system level to inspect the L1D directly.
+    let _ = stats;
+    let mut sys = aep::sim::System::new(
+        CoreConfig::date2006(),
+        HierarchyConfig::date2006(),
+        SchemeKind::Uniform,
+        Benchmark::Vpr.generator(1),
+    );
+    sys.run(0, 100_000);
+    assert_eq!(sys.hier.l1d().dirty_line_count(), 0);
+    assert_eq!(sys.hier.l1i().dirty_line_count(), 0);
+}

@@ -1,0 +1,337 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates (proptest).
+
+use aep::core::{Directive, NonUniformScheme, ProtectionScheme};
+use aep::ecc::parity::{InterleavedParity, ParityBit};
+use aep::ecc::{Decoded, Secded64};
+use aep::mem::cache::{AccessKind, Cache, WbClass};
+use aep::mem::write_buffer::{PushOutcome, WriteBuffer};
+use aep::mem::{CacheConfig, LineAddr, MainMemory};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---------------- SECDED ------------------------------------------
+
+    /// Any single flipped data bit is corrected back to the original.
+    #[test]
+    fn secded_corrects_any_single_data_flip(data: u64, bit in 0u8..64) {
+        let code = Secded64::new();
+        let check = code.encode(data);
+        let decoded = code.decode(data ^ (1u64 << bit), check);
+        prop_assert_eq!(decoded.data(), Some(data));
+    }
+
+    /// Any single flipped check bit leaves the data intact.
+    #[test]
+    fn secded_survives_any_single_check_flip(data: u64, bit in 0u8..8) {
+        let code = Secded64::new();
+        let check = code.encode(data);
+        let decoded = code.decode(data, check ^ (1 << bit));
+        prop_assert_eq!(decoded.data(), Some(data));
+    }
+
+    /// Any double data-bit flip is detected (never silently accepted or
+    /// "corrected" to the wrong value).
+    #[test]
+    fn secded_detects_any_double_data_flip(data: u64, a in 0u8..64, b in 0u8..64) {
+        prop_assume!(a != b);
+        let code = Secded64::new();
+        let check = code.encode(data);
+        let decoded = code.decode(data ^ (1u64 << a) ^ (1u64 << b), check);
+        prop_assert_eq!(decoded, Decoded::Uncorrectable);
+    }
+
+    /// Clean decode is the identity.
+    #[test]
+    fn secded_clean_roundtrip(data: u64) {
+        let code = Secded64::new();
+        let check = code.encode(data);
+        prop_assert_eq!(code.decode(data, check), Decoded::Clean { data });
+    }
+
+    // ---------------- parity -------------------------------------------
+
+    /// Parity detects every odd-weight error pattern and misses every
+    /// even-weight one (the documented limitation).
+    #[test]
+    fn parity_detects_exactly_odd_weight_errors(data: u64, pattern: u64) {
+        let p = ParityBit::encode(data);
+        let consistent = ParityBit::verify(data ^ pattern, p);
+        prop_assert_eq!(consistent, pattern.count_ones() % 2 == 0);
+    }
+
+    /// Interleaved parity localises the first corrupted word.
+    #[test]
+    fn interleaved_parity_flags_corrupted_word(
+        words in proptest::collection::vec(any::<u64>(), 1..16),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..64,
+    ) {
+        let code = InterleavedParity::encode(&words);
+        let word = idx.index(words.len());
+        let mut bad = words.clone();
+        bad[word] ^= 1u64 << bit;
+        prop_assert_eq!(InterleavedParity::verify(&bad, code), Err(aep::ecc::parity::ParityError { word }));
+    }
+
+    // ---------------- cache LRU vs reference model ---------------------
+
+    /// The cache agrees with a brute-force reference model of a
+    /// set-associative LRU cache on any access sequence.
+    #[test]
+    fn cache_matches_reference_lru_model(
+        lines in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)
+    ) {
+        let mut cfg = CacheConfig::tiny_l2();
+        cfg.store_data = false;
+        cfg.track_written = false;
+        let sets = cfg.sets();
+        let ways = cfg.ways as usize;
+        let mut cache = Cache::new(cfg);
+
+        // Reference: per-set Vec<(line)> in LRU order (front = LRU).
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets as usize];
+
+        for (i, &(line, is_write)) in lines.iter().enumerate() {
+            let line = LineAddr(line);
+            let set = line.set_index(sets);
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let hit = cache.lookup(line, kind, i as u64).is_hit();
+            let model_hit = model[set].contains(&line.0);
+            prop_assert_eq!(hit, model_hit, "access {} to {:?}", i, line);
+            if model_hit {
+                model[set].retain(|&l| l != line.0);
+                model[set].push(line.0);
+            } else {
+                let outcome = cache.install(line, false, i as u64, None);
+                if model[set].len() == ways {
+                    let victim = model[set].remove(0);
+                    prop_assert_eq!(
+                        outcome.evicted.as_ref().map(|e| e.line.0),
+                        Some(victim),
+                        "LRU victim mismatch"
+                    );
+                } else {
+                    prop_assert!(outcome.evicted.is_none());
+                }
+                model[set].push(line.0);
+            }
+        }
+    }
+
+    /// The incremental dirty counter always equals a full recount.
+    #[test]
+    fn dirty_counter_matches_recount(
+        ops in proptest::collection::vec((0u64..128, 0u8..3), 1..300)
+    ) {
+        let mut cache = Cache::new(CacheConfig::tiny_l2());
+        for (i, &(line, op)) in ops.iter().enumerate() {
+            let line = LineAddr(line);
+            let now = i as u64;
+            match op {
+                0 => {
+                    if !cache.lookup(line, AccessKind::Read, now).is_hit() {
+                        cache.install(line, false, now, Some(vec![0; 8].into()));
+                    }
+                }
+                1 => {
+                    if !cache.lookup(line, AccessKind::Write, now).is_hit() {
+                        cache.install(line, true, now, Some(vec![1; 8].into()));
+                    }
+                }
+                _ => {
+                    let set = line.set_index(cache.sets() as u64);
+                    cache.clean_probe(set, now);
+                }
+            }
+            prop_assert_eq!(cache.dirty_line_count(), cache.recount_dirty_lines());
+        }
+    }
+
+    // ---------------- write buffer -------------------------------------
+
+    /// The write buffer never exceeds capacity, coalesces exactly on line
+    /// match, and retires FIFO.
+    #[test]
+    fn write_buffer_model(
+        pushes in proptest::collection::vec((0u64..8, 0usize..8), 1..200)
+    ) {
+        let mut wb = WriteBuffer::new(4, 8);
+        let mut model: Vec<u64> = Vec::new(); // line order
+        for (i, &(line, word)) in pushes.iter().enumerate() {
+            let line = LineAddr(line);
+            let outcome = wb.push(line, word, i as u64, i as u64);
+            let expected = if model.contains(&line.0) {
+                PushOutcome::Coalesced
+            } else if model.len() == 4 {
+                PushOutcome::Full
+            } else {
+                model.push(line.0);
+                PushOutcome::Inserted
+            };
+            prop_assert_eq!(outcome, expected);
+            prop_assert!(wb.len() <= 4);
+            if outcome == PushOutcome::Full {
+                // Drain one (as the hierarchy does) and retry.
+                let popped = wb.pop().expect("full buffer pops");
+                prop_assert_eq!(popped.line.0, model.remove(0));
+                prop_assert_eq!(wb.push(line, word, i as u64, i as u64), PushOutcome::Inserted);
+                model.push(line.0);
+            }
+        }
+        // Full FIFO drain.
+        for expected in model {
+            prop_assert_eq!(wb.pop().expect("entry").line.0, expected);
+        }
+        prop_assert!(wb.pop().is_none());
+    }
+
+    // ---------------- proposed-scheme invariant ------------------------
+
+    /// Under any stream of reads/writes/cleanings, the shared-ECC-array
+    /// invariant holds: at most one dirty line per set, and the ECC entry
+    /// always tracks exactly the dirty line.
+    #[test]
+    fn nonuniform_invariant_under_random_traffic(
+        ops in proptest::collection::vec((0u64..96, 0u8..4), 1..300)
+    ) {
+        let cfg = CacheConfig::tiny_l2();
+        let mut scheme = NonUniformScheme::new(&cfg);
+        let mut l2 = Cache::new(cfg);
+        l2.set_event_emission(true);
+        let mut mem = MainMemory::new(10, 8);
+
+        for (i, &(line, op)) in ops.iter().enumerate() {
+            let line = LineAddr(line);
+            let now = i as u64;
+            match op {
+                0 => {
+                    // Read (fill from memory on miss).
+                    if !l2.lookup(line, AccessKind::Read, now).is_hit() {
+                        let data = mem.read_line(line);
+                        l2.install(line, false, now, Some(data));
+                    }
+                }
+                1 | 2 => {
+                    // Write (write-allocate on miss).
+                    if !l2.lookup(line, AccessKind::Write, now).is_hit() {
+                        let data = mem.read_line(line);
+                        l2.install(line, true, now, Some(data));
+                    }
+                }
+                _ => {
+                    let set = line.set_index(l2.sets() as u64);
+                    for cleaned in l2.clean_probe(set, now) {
+                        if let Some(data) = cleaned.data {
+                            mem.write_line(cleaned.line, data);
+                        }
+                    }
+                }
+            }
+            // Drain events, applying ECC-eviction directives.
+            loop {
+                let events = l2.take_events();
+                if events.is_empty() {
+                    break;
+                }
+                let mut directives = Vec::new();
+                for event in &events {
+                    scheme.on_event(event, &l2, &mut directives);
+                }
+                for Directive::ForceClean { set, way } in directives {
+                    if let Some(ev) = l2.force_clean(set, way, now, WbClass::EccEviction) {
+                        if let Some(data) = ev.data {
+                            mem.write_line(ev.line, data);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(scheme.find_invariant_violation(&l2), None, "after op {}", i);
+        }
+
+        // Every dirty line is recoverable from a single-bit strike.
+        for set in 0..l2.sets() {
+            for way in 0..l2.ways() {
+                let view = l2.line_view(set, way);
+                if view.valid && view.dirty {
+                    let before = l2.line_data(set, way).unwrap().to_vec();
+                    l2.strike(set, way, 0, 7);
+                    let outcome = scheme.verify_line(&mut l2, set, way, &mut mem);
+                    prop_assert!(outcome.is_recovered());
+                    prop_assert_eq!(l2.line_data(set, way).unwrap(), before.as_slice());
+                }
+            }
+        }
+    }
+}
+
+// ---------------- trace codec -------------------------------------------
+
+use aep::cpu::trace::{TraceReader, TraceWriter};
+use aep::cpu::{MicroOp, OpClass};
+use aep::mem::Addr;
+
+fn arb_op() -> impl Strategy<Value = MicroOp> {
+    (
+        any::<u64>(),
+        0u8..7,
+        proptest::option::of(0u8..64),
+        proptest::option::of(0u8..64),
+        proptest::option::of(0u8..64),
+        any::<u64>(),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(pc, class, src1, src2, dst, addr, taken, target)| {
+            let class = match class {
+                0 => OpClass::IntAlu,
+                1 => OpClass::IntMul,
+                2 => OpClass::FpAdd,
+                3 => OpClass::FpMul,
+                4 => OpClass::Load,
+                5 => OpClass::Store,
+                _ => OpClass::Branch,
+            };
+            MicroOp {
+                pc,
+                class,
+                src1,
+                src2,
+                dst,
+                addr: class.is_mem().then_some(Addr::new(addr)),
+                taken,
+                target,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any op sequence survives a trace encode/decode roundtrip exactly.
+    #[test]
+    fn trace_codec_roundtrips(ops in proptest::collection::vec(arb_op(), 0..64)) {
+        let mut buf = Vec::new();
+        let mut writer = TraceWriter::new(&mut buf).expect("vec sink");
+        for op in &ops {
+            writer.write_op(op).expect("vec sink");
+        }
+        writer.flush().expect("vec sink");
+        let decoded = TraceReader::new(buf.as_slice())
+            .expect("magic")
+            .read_all()
+            .expect("well-formed");
+        prop_assert_eq!(decoded, ops);
+    }
+
+    /// Corrupting the magic header is always rejected.
+    #[test]
+    fn trace_reader_rejects_bad_magic(byte in 0usize..8, delta in 1u8..=255) {
+        let mut buf = Vec::new();
+        TraceWriter::new(&mut buf).expect("vec sink").flush().expect("vec sink");
+        buf[byte] = buf[byte].wrapping_add(delta);
+        prop_assert!(TraceReader::new(buf.as_slice()).is_err());
+    }
+}
