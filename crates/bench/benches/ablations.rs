@@ -126,7 +126,10 @@ fn ablation_ecc_entries_per_set(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0u64;
             for entries in 1..=4u64 {
-                total += model.proposed_with_entries(black_box(entries)).total().bits();
+                total += model
+                    .proposed_with_entries(black_box(entries))
+                    .total()
+                    .bits();
             }
             black_box(total)
         });

@@ -1,11 +1,17 @@
 //! `exp` — regenerate every table and figure of the paper.
 //!
-//! Usage: `exp <command> [--scale paper|quick|smoke] [--csv] [bench ...]`
+//! Usage: `exp <command> [--scale paper|quick|smoke] [--jobs N]
+//! [--no-cache] [--csv|--md] [--out DIR]`
 //!
 //! Commands: `table1`, `fig1`, `fig2`, `fig3`, `fig4`, `fig5`, `fig6`,
-//! `fig7`, `fig8`, `perf`, `area`, `calibrate`, `all`.
+//! `fig7`, `fig8`, `perf`, `area`, `calibrate`, `bench`, `all`.
+//!
+//! Experiments fan out across `--jobs` worker threads (default: all
+//! available cores) and results persist in `results/cache/` so repeated
+//! invocations render instantly; `--no-cache` forces fresh runs.
 
 use aep_bench::experiments::{self, Lab, Scale};
+use aep_bench::runcache::RunCache;
 use aep_core::area::AreaModel;
 use aep_core::CleaningLogic;
 use aep_cpu::CoreConfig;
@@ -18,6 +24,8 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut csv = false;
     let mut md = false;
+    let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut use_cache = true;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     if let Some(c) = it.next() {
@@ -32,6 +40,14 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--jobs" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                jobs = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    eprintln!("--jobs requires a positive integer, got '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--no-cache" => use_cache = false,
             "--csv" => csv = true,
             "--md" => md = true,
             "--out" => {
@@ -84,7 +100,10 @@ fn main() {
             println!("{}", fig.to_text());
         }
     };
-    let mut lab = Lab::new(scale).verbose();
+    let mut lab = Lab::new(scale).verbose().jobs(jobs);
+    if use_cache {
+        lab = lab.with_disk_cache(RunCache::default_under("."));
+    }
 
     match command.as_str() {
         "table1" => print_table1(),
@@ -107,7 +126,11 @@ fn main() {
         "energy" => emit(experiments::energy(&mut lab)),
         "cleaners" => emit(experiments::cleaners(scale)),
         "seeds" => emit(experiments::seeds(scale, 5)),
+        "bench" => run_engine_bench(scale),
         "all" => {
+            // One up-front plan covering every figure below, so the whole
+            // session executes as a single parallel batch.
+            lab.prefetch(&experiments::all_configs());
             print_table1();
             emit(experiments::fig1(&mut lab));
             print_fig2();
@@ -124,7 +147,8 @@ fn main() {
         _ => {
             println!(
                 "exp — regenerate the paper's tables and figures\n\n\
-                 usage: exp <command> [--scale paper|quick|smoke] [--csv|--md] [--out DIR]\n\n\
+                 usage: exp <command> [--scale paper|quick|smoke] [--jobs N]\n\
+                 \x20                 [--no-cache] [--csv|--md] [--out DIR]\n\n\
                  commands:\n\
                  \x20 table1     baseline processor configuration (Table 1)\n\
                  \x20 fig1       % dirty L2 lines per cycle, org\n\
@@ -136,8 +160,27 @@ fn main() {
                  \x20 perf       IPC org vs proposed (§5.2)\n\
                  \x20 area       area accounting, 132KB vs 54KB (§5.2)\n\
                  \x20 calibrate  workload-calibration sweep\n\
-                 \x20 all        everything above in order"
+                 \x20 bench      engine-throughput harness (BENCH_engine.json)\n\
+                 \x20 all        everything above in order\n\n\
+                 flags:\n\
+                 \x20 --jobs N     worker threads for experiment fan-out\n\
+                 \x20              (default: available cores; output is\n\
+                 \x20              identical for every N)\n\
+                 \x20 --no-cache   ignore and do not write results/cache/"
             );
+        }
+    }
+}
+
+fn run_engine_bench(scale: Scale) {
+    let report = aep_bench::engine_bench::run_engine_bench(scale, aep_workloads::Benchmark::Gap);
+    println!("{}", report.to_text());
+    let path = std::path::Path::new("BENCH_engine.json");
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => eprintln!("[bench] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
         }
     }
 }
@@ -171,7 +214,10 @@ fn print_table1() {
         )
     };
     println!("L1 instruction cache    {}", cache(&hier.l1i));
-    println!("L1 data cache           {} (write-through)", cache(&hier.l1d));
+    println!(
+        "L1 data cache           {} (write-through)",
+        cache(&hier.l1d)
+    );
     println!(
         "Write buffer            fully associative, {} entries",
         hier.write_buffer_entries
@@ -192,13 +238,19 @@ fn print_fig2() {
     let fsm = CleaningLogic::new(1024 * 1024, hier.l2.sets() as usize);
     println!("Figure 2: cleaning logic and ECC storage architecture (structural)");
     println!("-------------------------------------------------------------------");
-    println!("parity arrays           one per way ({} ways), 1 bit / 64 data bits", hier.l2.ways);
+    println!(
+        "parity arrays           one per way ({} ways), 1 bit / 64 data bits",
+        hier.l2.ways
+    );
     println!(
         "shared ECC array        one entry per set: {} entries x {} B",
         hier.l2.sets(),
         hier.l2.line_bytes / 8
     );
-    println!("written bits            1 per line ({} bits)", hier.l2.lines());
+    println!(
+        "written bits            1 per line ({} bits)",
+        hier.l2.lines()
+    );
     println!(
         "cleaning FSM            cycle counter + {}-bit next-set latch",
         fsm.latch_bits()

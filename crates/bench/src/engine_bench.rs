@@ -1,0 +1,186 @@
+//! Dependency-free engine throughput harness (`exp bench`).
+//!
+//! Criterion measures the simulator's micro-substrates; this harness
+//! answers the coarser engineering question — *how many simulated cycles
+//! per wall-clock second does the full system sustain under each
+//! protection scheme?* — with nothing but [`std::time::Instant`], so it
+//! runs in the offline container and in CI. Results are printed as a
+//! table and written as hand-rolled JSON to `BENCH_engine.json` for
+//! machine comparison across commits.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use aep_core::SchemeKind;
+use aep_sim::{Runner, Table};
+use aep_workloads::Benchmark;
+
+use crate::experiments::{proposed, Scale};
+use crate::runcache::scheme_slug;
+
+/// One scheme's throughput measurement.
+#[derive(Debug, Clone)]
+pub struct EngineSample {
+    /// Human label (`org`, `proposed@1M`, …).
+    pub label: String,
+    /// Machine-parseable scheme slug.
+    pub slug: String,
+    /// Simulated cycles executed (warm-up + measured window).
+    pub cycles: u64,
+    /// Wall-clock milliseconds for the whole run.
+    pub wall_ms: f64,
+    /// Throughput in simulated megacycles per wall-clock second.
+    pub mcycles_per_sec: f64,
+}
+
+/// A full `exp bench` report.
+#[derive(Debug, Clone)]
+pub struct EngineBenchReport {
+    /// Scale the runs used.
+    pub scale: Scale,
+    /// Benchmark the runs used.
+    pub benchmark: Benchmark,
+    /// Per-scheme samples, in execution order.
+    pub samples: Vec<EngineSample>,
+}
+
+/// The scheme ladder the harness times: the baseline, each added
+/// mechanism, and the full proposal (1- and 2-entry ECC arrays).
+#[must_use]
+pub fn bench_schemes() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::Uniform,
+        SchemeKind::ParityOnly,
+        SchemeKind::UniformWithCleaning {
+            cleaning_interval: 1024 * 1024,
+        },
+        proposed(),
+        SchemeKind::ProposedMulti {
+            cleaning_interval: 1024 * 1024,
+            entries_per_set: 2,
+        },
+    ]
+}
+
+/// Runs the harness: one timed end-to-end run per scheme on `benchmark`
+/// at `scale`, never consulting any cache (throughput is the point).
+#[must_use]
+pub fn run_engine_bench(scale: Scale, benchmark: Benchmark) -> EngineBenchReport {
+    let samples = bench_schemes()
+        .into_iter()
+        .map(|scheme| {
+            let cfg = scale.config(benchmark, scheme);
+            let cycles = cfg.warmup_cycles + cfg.measure_cycles;
+            eprintln!(
+                "[bench] {} / {} ({} Mcycles)...",
+                benchmark,
+                scheme.label(),
+                cycles / 1_000_000
+            );
+            let started = Instant::now();
+            let stats = Runner::new(cfg).run();
+            let wall = started.elapsed();
+            // Fold a result field into stderr so the run cannot be
+            // optimised away and obvious breakage is visible.
+            eprintln!(
+                "[bench]   ipc {:.3}, {:.0} ms",
+                stats.ipc,
+                wall.as_secs_f64() * 1e3
+            );
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            EngineSample {
+                label: scheme.label(),
+                slug: scheme_slug(scheme),
+                cycles,
+                wall_ms,
+                mcycles_per_sec: cycles as f64 / 1e6 / wall.as_secs_f64(),
+            }
+        })
+        .collect();
+    EngineBenchReport {
+        scale,
+        benchmark,
+        samples,
+    }
+}
+
+impl EngineBenchReport {
+    /// Renders the report as an aligned text table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut t = Table::new(vec![
+            "scheme".into(),
+            "Mcycles".into(),
+            "wall ms".into(),
+            "Mcycles/s".into(),
+        ]);
+        for s in &self.samples {
+            t.numeric_row(
+                &s.label,
+                &[s.cycles as f64 / 1e6, s.wall_ms, s.mcycles_per_sec],
+                1,
+            );
+        }
+        format!(
+            "Engine throughput: {} @ {} scale\n{}",
+            self.benchmark,
+            self.scale.name(),
+            t.to_text()
+        )
+    }
+
+    /// Renders the report as JSON (hand-rolled; no serde in the tree).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"harness\": \"engine\",");
+        let _ = writeln!(s, "  \"scale\": \"{}\",", self.scale.name());
+        let _ = writeln!(s, "  \"benchmark\": \"{}\",", self.benchmark.name());
+        s.push_str("  \"schemes\": [\n");
+        for (i, sample) in self.samples.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"scheme\": \"{}\", \"label\": \"{}\", \"cycles\": {}, \
+                 \"wall_ms\": {:.3}, \"mcycles_per_sec\": {:.3}}}{}",
+                sample.slug,
+                sample.label,
+                sample.cycles,
+                sample.wall_ms,
+                sample.mcycles_per_sec,
+                if i + 1 < self.samples.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_produces_positive_throughput() {
+        let report = run_engine_bench(Scale::Smoke, Benchmark::Gzip);
+        assert_eq!(report.samples.len(), bench_schemes().len());
+        for s in &report.samples {
+            assert!(s.mcycles_per_sec > 0.0, "{} throughput", s.label);
+            assert!(s.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn json_shape_is_wellformed_enough() {
+        let report = run_engine_bench(Scale::Smoke, Benchmark::Gzip);
+        let json = report.to_json();
+        assert!(json.contains("\"harness\": \"engine\""));
+        assert!(json.contains("\"scheme\": \"uniform\""));
+        assert!(json.contains("mcycles_per_sec"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

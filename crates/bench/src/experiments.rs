@@ -6,13 +6,25 @@
 //! Figures 3 and 5 are two views of the same interval sweep — so all
 //! functions draw their runs from a memoizing [`Lab`]: each configuration
 //! is simulated exactly once per process.
+//!
+//! Execution is **plan-then-execute**: each figure has a `*_configs()`
+//! companion declaring the exact (benchmark, scheme) set it needs, and
+//! the figure function submits that plan to [`Lab::prefetch`] before
+//! reading any result. The lab dedupes the plan against its memo and the
+//! optional on-disk [`RunCache`], then fans the remaining runs out across
+//! [`std::thread::scope`] workers (`Lab::jobs`). Runs are deterministic
+//! in their config alone, so the worker count never changes a figure —
+//! only how fast it arrives.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use aep_core::SchemeKind;
 use aep_sim::{RunStats, Runner, Table};
 use aep_workloads::calibration::{CHOSEN_INTERVAL, CLEANING_INTERVALS};
 use aep_workloads::{BenchKind, Benchmark};
+
+use crate::runcache::RunCache;
 
 /// How long to run each experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,25 +58,45 @@ impl Scale {
             _ => None,
         }
     }
+
+    /// The scale's CLI / cache-key name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+            Scale::Smoke => "smoke",
+        }
+    }
 }
 
+/// One planned experiment: a (benchmark, scheme) pair to run at the
+/// lab's scale.
+pub type PlannedRun = (Benchmark, SchemeKind);
+
 /// A memoizing experiment laboratory: runs each (benchmark, scheme)
-/// configuration at most once.
+/// configuration at most once per process, optionally spilling results
+/// to (and recalling them from) an on-disk [`RunCache`], and executing
+/// batched plans across worker threads.
 #[derive(Debug)]
 pub struct Lab {
     scale: Scale,
-    cache: HashMap<(Benchmark, SchemeKind), RunStats>,
+    cache: HashMap<PlannedRun, RunStats>,
     verbose: bool,
+    jobs: usize,
+    disk: Option<RunCache>,
 }
 
 impl Lab {
-    /// Creates a lab at the given scale.
+    /// Creates a serial lab at the given scale (no disk cache).
     #[must_use]
     pub fn new(scale: Scale) -> Self {
         Lab {
             scale,
             cache: HashMap::new(),
             verbose: false,
+            jobs: 1,
+            disk: None,
         }
     }
 
@@ -75,10 +107,74 @@ impl Lab {
         self
     }
 
+    /// Sets the worker-thread count used by [`Lab::prefetch`] (clamped to
+    /// at least 1). Runs are pure functions of their config, so the
+    /// figure output is identical for every worker count.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Attaches a persistent result cache consulted before simulating and
+    /// updated after every fresh run.
+    #[must_use]
+    pub fn with_disk_cache(mut self, disk: RunCache) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
     /// The lab's scale.
     #[must_use]
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// Ensures every configuration in `plan` is resolved, fanning cache
+    /// misses out across up to `jobs` worker threads.
+    ///
+    /// The plan is deduplicated (first occurrence wins), then satisfied
+    /// in three tiers: the in-process memo, the disk cache (if attached),
+    /// and finally fresh simulation. Fresh results merge into the memo in
+    /// plan order — deterministically, regardless of which worker
+    /// finished first — and are written back to the disk cache.
+    pub fn prefetch(&mut self, plan: &[PlannedRun]) {
+        // Plan: dedupe, drop memo hits.
+        let mut pending: Vec<PlannedRun> = Vec::new();
+        for &run in plan {
+            if !self.cache.contains_key(&run) && !pending.contains(&run) {
+                pending.push(run);
+            }
+        }
+        // Recall tier: the disk cache.
+        let mut misses: Vec<PlannedRun> = Vec::new();
+        for (benchmark, scheme) in pending {
+            if let Some(disk) = &self.disk {
+                let key = RunCache::key(self.scale.name(), &self.scale.config(benchmark, scheme));
+                if let Some(stats) = disk.load(&key) {
+                    if self.verbose {
+                        eprintln!("[lab] disk hit {} / {}", benchmark, scheme.label());
+                    }
+                    self.cache.insert((benchmark, scheme), stats);
+                    continue;
+                }
+            }
+            misses.push((benchmark, scheme));
+        }
+        // Execute tier: simulate the misses, in parallel when asked.
+        let results = run_plan(self.scale, &misses, self.jobs, self.verbose);
+        for (&(benchmark, scheme), stats) in misses.iter().zip(results) {
+            if let Some(disk) = &self.disk {
+                let key = RunCache::key(self.scale.name(), &self.scale.config(benchmark, scheme));
+                if let Err(e) = disk.store(&key, &stats) {
+                    eprintln!(
+                        "[lab] warning: cannot write cache entry {key}: {e} \
+                         (continuing uncached)"
+                    );
+                }
+            }
+            self.cache.insert((benchmark, scheme), stats);
+        }
     }
 
     /// Runs (or recalls) one configuration.
@@ -86,19 +182,59 @@ impl Lab {
         if let Some(hit) = self.cache.get(&(benchmark, scheme)) {
             return hit.clone();
         }
-        if self.verbose {
-            eprintln!("[lab] running {} / {}", benchmark, scheme.label());
-        }
-        let stats = Runner::new(self.scale.config(benchmark, scheme)).run();
-        self.cache.insert((benchmark, scheme), stats.clone());
-        stats
+        self.prefetch(&[(benchmark, scheme)]);
+        self.cache[&(benchmark, scheme)].clone()
     }
 
-    /// Number of distinct configurations simulated so far.
+    /// Number of distinct configurations resolved so far (simulated or
+    /// recalled from disk).
     #[must_use]
     pub fn runs(&self) -> usize {
         self.cache.len()
     }
+}
+
+/// Executes `plan` at `scale` and returns the stats in plan order.
+///
+/// With `jobs > 1`, a [`std::thread::scope`] pool pulls plan indices from
+/// a shared atomic counter (cheap work stealing — run lengths vary a lot
+/// between benchmarks), and the indexed results are re-sorted before
+/// returning, so callers observe plan order no matter the interleaving.
+fn run_plan(scale: Scale, plan: &[PlannedRun], jobs: usize, verbose: bool) -> Vec<RunStats> {
+    let one = |benchmark: Benchmark, scheme: SchemeKind| {
+        if verbose {
+            eprintln!("[lab] running {} / {}", benchmark, scheme.label());
+        }
+        Runner::new(scale.config(benchmark, scheme)).run()
+    };
+    let workers = jobs.min(plan.len());
+    if workers <= 1 {
+        return plan.iter().map(|&(b, k)| one(b, k)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, RunStats)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(benchmark, scheme)) = plan.get(i) else {
+                            break;
+                        };
+                        out.push((i, one(benchmark, scheme)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("lab worker panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, stats)| stats).collect()
 }
 
 /// One figure's data: column labels plus (benchmark, values) rows.
@@ -195,13 +331,125 @@ pub fn proposed() -> SchemeKind {
     }
 }
 
+/// Cross product of benchmarks × schemes, in row-major (benchmark) order.
+fn cross(benches: &[Benchmark], schemes: &[SchemeKind]) -> Vec<PlannedRun> {
+    benches
+        .iter()
+        .flat_map(|&b| schemes.iter().map(move |&k| (b, k)))
+        .collect()
+}
+
+/// The interval-sweep scheme set of Figures 3–6: every cleaning interval
+/// plus the uncleaned `org` reference.
+fn interval_sweep_schemes() -> Vec<SchemeKind> {
+    let mut schemes: Vec<SchemeKind> = CLEANING_INTERVALS
+        .iter()
+        .map(|&cleaning_interval| SchemeKind::UniformWithCleaning { cleaning_interval })
+        .collect();
+    schemes.push(SchemeKind::Uniform);
+    schemes
+}
+
+/// The runs [`fig1`] needs.
+#[must_use]
+pub fn fig1_configs() -> Vec<PlannedRun> {
+    cross(&benchmarks_of(None), &[SchemeKind::Uniform])
+}
+
+/// The runs [`fig3_fig4`] needs for `kind`.
+#[must_use]
+pub fn fig3_fig4_configs(kind: BenchKind) -> Vec<PlannedRun> {
+    cross(&benchmarks_of(Some(kind)), &interval_sweep_schemes())
+}
+
+/// The runs [`fig5_fig6`] needs for `kind` (same sweep as Figures 3/4).
+#[must_use]
+pub fn fig5_fig6_configs(kind: BenchKind) -> Vec<PlannedRun> {
+    fig3_fig4_configs(kind)
+}
+
+/// The runs [`fig7`] needs.
+#[must_use]
+pub fn fig7_configs() -> Vec<PlannedRun> {
+    cross(&benchmarks_of(None), &[proposed()])
+}
+
+/// The runs [`fig8`] needs.
+#[must_use]
+pub fn fig8_configs() -> Vec<PlannedRun> {
+    cross(&benchmarks_of(None), &[proposed()])
+}
+
+/// The runs [`perf`] needs.
+#[must_use]
+pub fn perf_configs() -> Vec<PlannedRun> {
+    cross(&benchmarks_of(None), &[SchemeKind::Uniform, proposed()])
+}
+
+/// The runs [`calibrate`] needs.
+#[must_use]
+pub fn calibrate_configs() -> Vec<PlannedRun> {
+    cross(&benchmarks_of(None), &[SchemeKind::Uniform])
+}
+
+/// The runs [`ablation_schemes`] needs.
+#[must_use]
+pub fn ablation_configs() -> Vec<PlannedRun> {
+    cross(
+        &benchmarks_of(None),
+        &[
+            SchemeKind::Uniform,
+            SchemeKind::UniformWithCleaning {
+                cleaning_interval: CHOSEN_INTERVAL,
+            },
+            proposed(),
+            SchemeKind::ProposedMulti {
+                cleaning_interval: CHOSEN_INTERVAL,
+                entries_per_set: 2,
+            },
+        ],
+    )
+}
+
+/// The runs [`reliability`] needs.
+#[must_use]
+pub fn reliability_configs() -> Vec<PlannedRun> {
+    cross(&benchmarks_of(None), &[SchemeKind::Uniform, proposed()])
+}
+
+/// The runs [`energy`] needs.
+#[must_use]
+pub fn energy_configs() -> Vec<PlannedRun> {
+    cross(&benchmarks_of(None), &[SchemeKind::Uniform, proposed()])
+}
+
+/// The union of every lab-driven figure's plan, in `exp all` emission
+/// order — `exp all` submits this once up front so the whole session
+/// parallelises as a single batch instead of figure by figure.
+#[must_use]
+pub fn all_configs() -> Vec<PlannedRun> {
+    let mut plan = fig1_configs();
+    plan.extend(fig3_fig4_configs(BenchKind::Fp));
+    plan.extend(fig3_fig4_configs(BenchKind::Int));
+    plan.extend(fig5_fig6_configs(BenchKind::Fp));
+    plan.extend(fig5_fig6_configs(BenchKind::Int));
+    plan.extend(fig7_configs());
+    plan.extend(fig8_configs());
+    plan.extend(perf_configs());
+    plan
+}
+
 /// **Figure 1**: percentage of dirty L2 lines per cycle, org configuration.
 pub fn fig1(lab: &mut Lab) -> FigureData {
+    lab.prefetch(&fig1_configs());
     let rows = benchmarks_of(None)
         .into_iter()
         .map(|b| {
             let stats = lab.stats(b, SchemeKind::Uniform);
-            (b.name().to_owned(), vec![stats.l2.avg_dirty_fraction * 100.0])
+            (
+                b.name().to_owned(),
+                vec![stats.l2.avg_dirty_fraction * 100.0],
+            )
         })
         .collect();
     FigureData {
@@ -225,6 +473,7 @@ fn interval_columns() -> Vec<String> {
 /// **Figures 3/4**: % dirty lines per cycle vs cleaning interval
 /// (Figure 3 = FP, Figure 4 = INT).
 pub fn fig3_fig4(lab: &mut Lab, kind: BenchKind) -> FigureData {
+    lab.prefetch(&fig3_fig4_configs(kind));
     let rows = benchmarks_of(Some(kind))
         .into_iter()
         .map(|b| {
@@ -259,6 +508,7 @@ pub fn fig3_fig4(lab: &mut Lab, kind: BenchKind) -> FigureData {
 /// **Figures 5/6**: write-back traffic (% of loads/stores) vs interval
 /// (Figure 5 = FP, Figure 6 = INT), including the `org` bar.
 pub fn fig5_fig6(lab: &mut Lab, kind: BenchKind) -> FigureData {
+    lab.prefetch(&fig5_fig6_configs(kind));
     let rows = benchmarks_of(Some(kind))
         .into_iter()
         .map(|b| {
@@ -294,11 +544,15 @@ pub fn fig5_fig6(lab: &mut Lab, kind: BenchKind) -> FigureData {
 /// **Figure 7**: % dirty lines per cycle under the full proposed scheme
 /// (cleaning @ 1M + shared per-set ECC array).
 pub fn fig7(lab: &mut Lab) -> FigureData {
+    lab.prefetch(&fig7_configs());
     let rows = benchmarks_of(None)
         .into_iter()
         .map(|b| {
             let stats = lab.stats(b, proposed());
-            (b.name().to_owned(), vec![stats.l2.avg_dirty_fraction * 100.0])
+            (
+                b.name().to_owned(),
+                vec![stats.l2.avg_dirty_fraction * 100.0],
+            )
         })
         .collect();
     FigureData {
@@ -313,6 +567,7 @@ pub fn fig7(lab: &mut Lab) -> FigureData {
 /// **Figure 8**: write-back breakdown (Clean-WB / WB / ECC-WB as % of all
 /// loads/stores) under the proposed scheme.
 pub fn fig8(lab: &mut Lab) -> FigureData {
+    lab.prefetch(&fig8_configs());
     let rows = benchmarks_of(None)
         .into_iter()
         .map(|b| {
@@ -345,6 +600,7 @@ pub fn fig8(lab: &mut Lab) -> FigureData {
 
 /// **§5.2 performance**: IPC of org vs proposed, and the loss percentage.
 pub fn perf(lab: &mut Lab) -> FigureData {
+    lab.prefetch(&perf_configs());
     let rows = benchmarks_of(None)
         .into_iter()
         .map(|b| {
@@ -366,6 +622,7 @@ pub fn perf(lab: &mut Lab) -> FigureData {
 /// Calibration sweep: org dirty%, WB%, IPC, and cache behaviour for every
 /// benchmark (used to tune the workload models; not a paper figure).
 pub fn calibrate(lab: &mut Lab) -> FigureData {
+    lab.prefetch(&calibrate_configs());
     let rows = benchmarks_of(None)
         .into_iter()
         .map(|b| {
@@ -404,6 +661,7 @@ pub fn calibrate(lab: &mut Lab) -> FigureData {
 /// ablation here contrasts the proposed scheme against cleaning-only and
 /// parity-only at the chosen interval.
 pub fn ablation_schemes(lab: &mut Lab) -> FigureData {
+    lab.prefetch(&ablation_configs());
     let configs = [
         ("org", SchemeKind::Uniform),
         (
@@ -485,6 +743,110 @@ mod tests {
         assert_eq!(lab.runs(), 1, "second call must hit the cache");
         assert_eq!(a, b);
     }
+
+    /// Asserts two stats are equal down to the f64 bit patterns (plain
+    /// `==` would also accept `-0.0 == 0.0`).
+    fn assert_bit_identical(a: &RunStats, b: &RunStats) {
+        assert_eq!(a, b);
+        for (x, y) in [
+            (a.ipc, b.ipc),
+            (a.l2.avg_dirty_fraction, b.l2.avg_dirty_fraction),
+            (a.l2.avg_dirty_lines, b.l2.avg_dirty_lines),
+            (a.l2.final_dirty_fraction, b.l2.final_dirty_fraction),
+            (a.mispredict_ratio, b.mispredict_ratio),
+            (a.l1d_miss_ratio, b.l1d_miss_ratio),
+            (a.l2_miss_ratio, b.l2_miss_ratio),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_prefetch_is_bit_identical_to_serial() {
+        let plan = cross(
+            &[Benchmark::Gzip, Benchmark::Mcf, Benchmark::Applu],
+            &[SchemeKind::Uniform, proposed()],
+        );
+        let mut serial = Lab::new(Scale::Smoke);
+        serial.prefetch(&plan);
+        let mut parallel = Lab::new(Scale::Smoke).jobs(4);
+        parallel.prefetch(&plan);
+        assert_eq!(serial.runs(), plan.len());
+        assert_eq!(parallel.runs(), plan.len());
+        for &(b, k) in &plan {
+            assert_bit_identical(&serial.stats(b, k), &parallel.stats(b, k));
+        }
+    }
+
+    #[test]
+    fn disk_cache_roundtrip_through_lab_is_lossless() {
+        let dir = std::env::temp_dir().join(format!("aep-lab-cache-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let mut warm = Lab::new(Scale::Smoke).with_disk_cache(RunCache::new(&dir));
+        let fresh = warm.stats(Benchmark::Gzip, proposed());
+
+        // A new lab over the same directory recalls the identical stats.
+        let mut cold = Lab::new(Scale::Smoke).with_disk_cache(RunCache::new(&dir));
+        let recalled = cold.stats(Benchmark::Gzip, proposed());
+        assert_bit_identical(&fresh, &recalled);
+
+        // Prove the disk tier is actually consulted (determinism alone
+        // would mask a silent re-run): plant a sentinel entry and check
+        // the lab serves it instead of simulating.
+        let cache = RunCache::new(&dir);
+        let cfg = Scale::Smoke.config(Benchmark::Mcf, SchemeKind::Uniform);
+        let mut sentinel = fresh.clone();
+        sentinel.benchmark = Benchmark::Mcf;
+        sentinel.scheme = SchemeKind::Uniform;
+        sentinel.committed = 123_456_789;
+        cache
+            .store(&RunCache::key("smoke", &cfg), &sentinel)
+            .expect("store sentinel");
+        let mut planted = Lab::new(Scale::Smoke).with_disk_cache(cache);
+        assert_eq!(
+            planted.stats(Benchmark::Mcf, SchemeKind::Uniform).committed,
+            123_456_789,
+            "lab must serve the disk entry, not re-simulate"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plans_cover_their_figures() {
+        // Each figure's plan must contain every config the figure reads;
+        // run at smoke scale and confirm no figure triggers extra runs
+        // beyond its declared plan.
+        let mut lab = Lab::new(Scale::Smoke);
+        lab.prefetch(&fig1_configs());
+        let declared = lab.runs();
+        let _ = fig1(&mut lab);
+        assert_eq!(lab.runs(), declared, "fig1 ran outside its plan");
+
+        let mut lab = Lab::new(Scale::Smoke);
+        lab.prefetch(&perf_configs());
+        let declared = lab.runs();
+        let _ = perf(&mut lab);
+        assert_eq!(lab.runs(), declared, "perf ran outside its plan");
+    }
+
+    #[test]
+    fn all_configs_is_the_union_of_figure_plans() {
+        let all = all_configs();
+        for plan in [
+            fig1_configs(),
+            fig3_fig4_configs(BenchKind::Fp),
+            fig5_fig6_configs(BenchKind::Int),
+            fig7_configs(),
+            fig8_configs(),
+            perf_configs(),
+        ] {
+            for run in plan {
+                assert!(all.contains(&run), "{run:?} missing from all_configs");
+            }
+        }
+    }
 }
 
 /// A cheap, single-benchmark probe of each table/figure's pipeline, used
@@ -552,9 +914,8 @@ impl FigureProbe {
 /// Runs one probe and returns its headline metric.
 #[must_use]
 pub fn run_figure_probe(probe: FigureProbe) -> f64 {
-    let smoke = |b: Benchmark, k: SchemeKind| {
-        Runner::new(aep_sim::ExperimentConfig::fast_test(b, k)).run()
-    };
+    let smoke =
+        |b: Benchmark, k: SchemeKind| Runner::new(aep_sim::ExperimentConfig::fast_test(b, k)).run();
     let clean = |i: u64| SchemeKind::UniformWithCleaning {
         cleaning_interval: i,
     };
@@ -566,13 +927,19 @@ pub fn run_figure_probe(probe: FigureProbe) -> f64 {
             (core.ruu_entries + hier.write_buffer_entries) as f64
         }
         FigureProbe::Fig1 => {
-            smoke(Benchmark::Gap, SchemeKind::Uniform).l2.avg_dirty_fraction
+            smoke(Benchmark::Gap, SchemeKind::Uniform)
+                .l2
+                .avg_dirty_fraction
         }
         FigureProbe::Fig3 => {
-            smoke(Benchmark::Applu, clean(256 * 1024)).l2.avg_dirty_fraction
+            smoke(Benchmark::Applu, clean(256 * 1024))
+                .l2
+                .avg_dirty_fraction
         }
         FigureProbe::Fig4 => {
-            smoke(Benchmark::Gap, clean(256 * 1024)).l2.avg_dirty_fraction
+            smoke(Benchmark::Gap, clean(256 * 1024))
+                .l2
+                .avg_dirty_fraction
         }
         FigureProbe::Fig5 => smoke(Benchmark::Equake, clean(1024 * 1024)).l2.wb_percent(),
         FigureProbe::Fig6 => smoke(Benchmark::Parser, clean(1024 * 1024)).l2.wb_percent(),
@@ -600,6 +967,7 @@ pub fn run_figure_probe(probe: FigureProbe) -> f64 {
 /// FIT for each protection design (see `aep_core::reliability`).
 pub fn reliability(lab: &mut Lab) -> FigureData {
     use aep_core::SoftErrorModel;
+    lab.prefetch(&reliability_configs());
     let l2 = aep_mem::CacheConfig::date2006_l2();
     let model = SoftErrorModel::date2006_typical();
     let rows = Benchmark::all()
@@ -616,14 +984,15 @@ pub fn reliability(lab: &mut Lab) -> FigureData {
                     parity_org.due_fit,
                     parity_ours.due_fit,
                     model.uniform_ecc(&l2).user_visible_fit(),
-                    model.proposed(&l2, ours.l2.avg_dirty_fraction).user_visible_fit(),
+                    model
+                        .proposed(&l2, ours.l2.avg_dirty_fraction)
+                        .user_visible_fit(),
                 ],
             )
         })
         .collect();
     FigureData {
-        title: "Reliability: first-order FIT by design (1000 FIT/Mbit raw; DUE+SDC shown)"
-            .into(),
+        title: "Reliability: first-order FIT by design (1000 FIT/Mbit raw; DUE+SDC shown)".into(),
         row_header: "benchmark".into(),
         columns: vec![
             "none(SDC)".into(),
@@ -643,9 +1012,7 @@ pub fn reliability(lab: &mut Lab) -> FigureData {
 #[must_use]
 pub fn campaign(strikes: u64, p_double: f64) -> FigureData {
     use aep_core::verify::run_campaign;
-    use aep_core::{
-        NonUniformScheme, ParityOnlyScheme, ProtectionScheme, UniformEccScheme,
-    };
+    use aep_core::{NonUniformScheme, ParityOnlyScheme, ProtectionScheme, UniformEccScheme};
     use aep_mem::cache::Cache;
     use aep_mem::memory::mix64;
     use aep_mem::{CacheConfig, LineAddr, MainMemory};
@@ -830,6 +1197,7 @@ pub fn sensitivity(scale: Scale) -> FigureData {
 /// each configuration adds over org.
 pub fn energy(lab: &mut Lab) -> FigureData {
     use aep_core::EnergyModel;
+    lab.prefetch(&energy_configs());
     let model = EnergyModel::default_2006();
     let rows = Benchmark::all()
         .into_iter()
@@ -840,8 +1208,7 @@ pub fn energy(lab: &mut Lab) -> FigureData {
             let org_checks = model.protection_energy_pj(org.energy);
             let ours_checks = model.protection_energy_pj(ours.energy);
             let extra_wb = ours.l2.wb_total().saturating_sub(org.l2.wb_total());
-            let ours_total =
-                model.total_energy_pj(ours.energy, extra_wb);
+            let ours_total = model.total_energy_pj(ours.energy, extra_wb);
             (
                 b.name().to_owned(),
                 vec![
@@ -959,10 +1326,7 @@ pub fn seeds(scale: Scale, n_seeds: u64) -> FigureData {
                     Runner::new(cfg).run().l2.avg_dirty_fraction * 100.0
                 })
                 .collect();
-            (
-                b.name().to_owned(),
-                vec![mean(&samples), stddev(&samples)],
-            )
+            (b.name().to_owned(), vec![mean(&samples), stddev(&samples)])
         })
         .collect();
     FigureData {

@@ -16,6 +16,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine_bench;
 pub mod experiments;
+pub mod runcache;
 
+pub use engine_bench::EngineBenchReport;
 pub use experiments::{FigureData, Lab, Scale};
+pub use runcache::RunCache;

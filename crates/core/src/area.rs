@@ -81,7 +81,10 @@ impl AreaModel {
         AreaReport {
             scheme: "conventional (uniform ECC)",
             components: vec![
-                ("data SECDED (8b/64b)", CodeArea::from_ratio(self.data_bits, 8, 64)),
+                (
+                    "data SECDED (8b/64b)",
+                    CodeArea::from_ratio(self.data_bits, 8, 64),
+                ),
                 ("tag+status protection", CodeArea::from_bits(self.lines * 2)),
             ],
         }
@@ -93,7 +96,10 @@ impl AreaModel {
         AreaReport {
             scheme: "proposed (non-uniform)",
             components: vec![
-                ("data parity (1b/64b)", CodeArea::from_ratio(self.data_bits, 1, 64)),
+                (
+                    "data parity (1b/64b)",
+                    CodeArea::from_ratio(self.data_bits, 1, 64),
+                ),
                 ("written bits (1b/line)", CodeArea::from_bits(self.lines)),
                 ("tag parity (1b/line)", CodeArea::from_bits(self.lines)),
                 ("status parity (1b/line)", CodeArea::from_bits(self.lines)),
@@ -108,7 +114,10 @@ impl AreaModel {
         AreaReport {
             scheme: "parity-only",
             components: vec![
-                ("data parity (1b/64b)", CodeArea::from_ratio(self.data_bits, 1, 64)),
+                (
+                    "data parity (1b/64b)",
+                    CodeArea::from_ratio(self.data_bits, 1, 64),
+                ),
                 ("tag parity (1b/line)", CodeArea::from_bits(self.lines)),
                 ("status parity (1b/line)", CodeArea::from_bits(self.lines)),
             ],
@@ -197,7 +206,13 @@ mod tests {
     #[test]
     fn table_rendering_mentions_every_component() {
         let t = model().proposed().to_table();
-        for needle in ["data parity", "written bits", "tag parity", "ECC array", "TOTAL"] {
+        for needle in [
+            "data parity",
+            "written bits",
+            "tag parity",
+            "ECC array",
+            "TOTAL",
+        ] {
             assert!(t.contains(needle), "missing {needle} in\n{t}");
         }
     }

@@ -264,7 +264,10 @@ impl CleaningPolicy {
         match self {
             CleaningPolicy::None => "none".into(),
             CleaningPolicy::WrittenBit(fsm) => {
-                format!("written-bit@{}", crate::scheme::human_interval(fsm.interval()))
+                format!(
+                    "written-bit@{}",
+                    crate::scheme::human_interval(fsm.interval())
+                )
             }
             CleaningPolicy::Decay { window, .. } => {
                 format!("decay@{}", crate::scheme::human_interval(*window))

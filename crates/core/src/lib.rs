@@ -49,8 +49,8 @@ pub mod nonuniform;
 pub mod nonuniform_multi;
 pub mod parity_only;
 pub mod reliability;
-pub mod scrub;
 pub mod scheme;
+pub mod scrub;
 pub mod uniform;
 pub mod verify;
 
@@ -61,6 +61,6 @@ pub use nonuniform::NonUniformScheme;
 pub use nonuniform_multi::MultiEntryScheme;
 pub use parity_only::ParityOnlyScheme;
 pub use reliability::{FitReport, SoftErrorModel};
-pub use scrub::Scrubber;
 pub use scheme::{Directive, EnergyCounters, ProtectionScheme, RecoveryOutcome, SchemeKind};
+pub use scrub::Scrubber;
 pub use uniform::UniformEccScheme;

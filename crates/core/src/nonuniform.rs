@@ -21,8 +21,8 @@
 //! Recovery: dirty lines decode against their ECC entry (single-bit
 //! correction); clean lines that fail parity are refetched from memory.
 
-use aep_ecc::{Decoded, Secded64};
 use aep_ecc::parity::InterleavedParity;
+use aep_ecc::{Decoded, Secded64};
 use aep_mem::cache::{Cache, L2Event};
 use aep_mem::{CacheConfig, MainMemory};
 
@@ -110,13 +110,7 @@ impl NonUniformScheme {
 
     /// A write dirtied (`set`, `way`): claim or refresh the set's ECC
     /// entry, evicting another way's entry if necessary.
-    fn claim_entry(
-        &mut self,
-        l2: &Cache,
-        set: usize,
-        way: usize,
-        directives: &mut Vec<Directive>,
-    ) {
+    fn claim_entry(&mut self, l2: &Cache, set: usize, way: usize, directives: &mut Vec<Directive>) {
         let checks = self.encode_checks(l2, set, way);
         match &mut self.entries[set] {
             Some(entry) if entry.way == way => {
@@ -188,7 +182,9 @@ impl ProtectionScheme for NonUniformScheme {
 
     fn on_event(&mut self, event: &L2Event, l2: &Cache, directives: &mut Vec<Directive>) {
         match *event {
-            L2Event::Fill { set, way, write, .. } => {
+            L2Event::Fill {
+                set, way, write, ..
+            } => {
                 self.refresh_parity(l2, set, way);
                 self.energy.parity_encodes += 1;
                 if write {
@@ -203,7 +199,9 @@ impl ProtectionScheme for NonUniformScheme {
                 self.energy.parity_encodes += 1;
                 self.energy.ecc_encodes += 1;
             }
-            L2Event::Evict { set, way, dirty, .. } => {
+            L2Event::Evict {
+                set, way, dirty, ..
+            } => {
                 if dirty {
                     self.release_entry(set, way);
                 }
@@ -458,9 +456,7 @@ mod tests {
         let (set, way) = h.write_line(LineAddr(4), 77);
         let before = h.l2.line_data(set, way).unwrap().to_vec();
         h.l2.strike(set, way, 5, 50);
-        let outcome = h
-            .scheme
-            .verify_line(&mut h.l2, set, way, &mut h.mem);
+        let outcome = h.scheme.verify_line(&mut h.l2, set, way, &mut h.mem);
         assert_eq!(outcome, RecoveryOutcome::CorrectedByEcc { words: 1 });
         assert_eq!(h.l2.line_data(set, way).unwrap(), before.as_slice());
     }
@@ -472,9 +468,7 @@ mod tests {
         let (set, way) = h.read_fill(line);
         let pristine = h.mem.read_line(line);
         h.l2.strike(set, way, 2, 20);
-        let outcome = h
-            .scheme
-            .verify_line(&mut h.l2, set, way, &mut h.mem);
+        let outcome = h.scheme.verify_line(&mut h.l2, set, way, &mut h.mem);
         assert_eq!(outcome, RecoveryOutcome::RecoveredByRefetch);
         assert_eq!(h.l2.line_data(set, way).unwrap(), &*pristine);
     }
@@ -500,9 +494,7 @@ mod tests {
         h.write_line(LineAddr(16), 2); // evicts A's ECC entry, cleans A
         let expected = h.l2.line_data(set, way_a).unwrap().to_vec();
         h.l2.strike(set, way_a, 3, 30);
-        let outcome = h
-            .scheme
-            .verify_line(&mut h.l2, set, way_a, &mut h.mem);
+        let outcome = h.scheme.verify_line(&mut h.l2, set, way_a, &mut h.mem);
         assert_eq!(outcome, RecoveryOutcome::RecoveredByRefetch);
         assert_eq!(h.l2.line_data(set, way_a).unwrap(), expected.as_slice());
     }

@@ -163,7 +163,9 @@ impl ProtectionScheme for MultiEntryScheme {
 
     fn on_event(&mut self, event: &L2Event, l2: &Cache, directives: &mut Vec<Directive>) {
         match *event {
-            L2Event::Fill { set, way, write, .. } => {
+            L2Event::Fill {
+                set, way, write, ..
+            } => {
                 self.refresh_parity(l2, set, way);
                 if write {
                     self.claim(l2, set, way, directives);
@@ -173,7 +175,9 @@ impl ProtectionScheme for MultiEntryScheme {
                 self.refresh_parity(l2, set, way);
                 self.claim(l2, set, way, directives);
             }
-            L2Event::Evict { set, way, dirty, .. } => {
+            L2Event::Evict {
+                set, way, dirty, ..
+            } => {
                 if dirty {
                     self.release(set, way);
                 }
@@ -367,17 +371,17 @@ mod tests {
                     single.on_event(ev, &single_l2, &mut dirs);
                 }
                 for Directive::ForceClean { set, way } in dirs {
-                    if single_l2.force_clean(set, way, 0, WbClass::EccEviction).is_some() {
+                    if single_l2
+                        .force_clean(set, way, 0, WbClass::EccEviction)
+                        .is_some()
+                    {
                         single_wb += 1;
                     }
                 }
             }
         }
         assert_eq!(multi.ecc_wb, single_wb, "k=1 must match the paper scheme");
-        assert_eq!(
-            multi.l2.dirty_line_count(),
-            single_l2.dirty_line_count()
-        );
+        assert_eq!(multi.l2.dirty_line_count(), single_l2.dirty_line_count());
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl SoftErrorModel {
     /// Panics if `dirty_fraction` is not in `0.0..=1.0`.
     #[must_use]
     pub fn parity_only(&self, l2: &CacheConfig, dirty_fraction: f64) -> FitReport {
-        assert!((0.0..=1.0).contains(&dirty_fraction), "fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&dirty_fraction),
+            "fraction out of range"
+        );
         let data = CodeArea::from_bytes(l2.size_bytes);
         let parity = CodeArea::from_ratio(l2.size_bytes * 8, 1, 64);
         let data_fit = self.raw_fit(data);
@@ -123,7 +126,10 @@ impl SoftErrorModel {
     /// Panics if `dirty_fraction` is not in `0.0..=1.0`.
     #[must_use]
     pub fn proposed(&self, l2: &CacheConfig, dirty_fraction: f64) -> FitReport {
-        assert!((0.0..=1.0).contains(&dirty_fraction), "fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&dirty_fraction),
+            "fraction out of range"
+        );
         let data = CodeArea::from_bytes(l2.size_bytes);
         let parity = CodeArea::from_ratio(l2.size_bytes * 8, 1, 64);
         let ecc_array = CodeArea::from_bytes(l2.sets() * (l2.line_bytes / 8));

@@ -151,7 +151,16 @@ mod tests {
         }
         assert_eq!(
             visited,
-            [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1), (3, 0), (3, 1)]
+            [
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (3, 0),
+                (3, 1)
+            ]
         );
         assert_eq!(s.sweep_cycles(), 8);
     }

@@ -134,7 +134,12 @@ mod tests {
         (l2, scheme, MainMemory::new(100, 8))
     }
 
-    fn fill(l2: &mut Cache, scheme: &mut UniformEccScheme, line: LineAddr, data: Vec<u64>) -> (usize, usize) {
+    fn fill(
+        l2: &mut Cache,
+        scheme: &mut UniformEccScheme,
+        line: LineAddr,
+        data: Vec<u64>,
+    ) -> (usize, usize) {
         l2.set_event_emission(true);
         let out = l2.install(line, false, 0, Some(data.into_boxed_slice()));
         let mut dirs = Vec::new();

@@ -119,7 +119,10 @@ impl BranchPredictor {
         assert!(cfg.pht_bits <= 28, "PHT too large");
         assert!(cfg.btb_ways > 0 && cfg.btb_entries.is_multiple_of(cfg.btb_ways));
         let btb_sets = cfg.btb_entries / cfg.btb_ways;
-        assert!(btb_sets.is_power_of_two(), "BTB sets must be a power of two");
+        assert!(
+            btb_sets.is_power_of_two(),
+            "BTB sets must be a power of two"
+        );
         BranchPredictor {
             history: 0,
             pht: vec![1u8; 1 << cfg.pht_bits], // weakly not-taken
@@ -209,7 +212,7 @@ impl BranchPredictor {
         }
 
         // Grade the prediction.
-        
+
         if prediction.taken != taken {
             self.stats.dir_mispredicts += 1;
             true

@@ -65,7 +65,10 @@ impl FuPool {
     #[must_use]
     pub fn new(cfg: &FuConfig) -> Self {
         assert!(
-            cfg.int_alu > 0 && cfg.int_mul > 0 && cfg.fp_add > 0 && cfg.fp_mul > 0
+            cfg.int_alu > 0
+                && cfg.int_mul > 0
+                && cfg.fp_add > 0
+                && cfg.fp_mul > 0
                 && cfg.mem_ports > 0,
             "every unit class needs at least one unit"
         );

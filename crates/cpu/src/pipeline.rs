@@ -341,7 +341,9 @@ impl<S: InstrStream> Pipeline<S> {
             if self.ruu.len() >= self.cfg.ruu_entries {
                 break;
             }
-            let Some(front) = self.fetch_queue.front() else { break };
+            let Some(front) = self.fetch_queue.front() else {
+                break;
+            };
             if front.op.class.is_mem() && self.lsq.len() >= self.cfg.lsq_entries {
                 break;
             }
@@ -349,9 +351,8 @@ impl<S: InstrStream> Pipeline<S> {
             let seq = self.next_seq;
             self.next_seq += 1;
 
-            let src_of = |r: Option<u8>, map: &[Option<u64>; NUM_REGS]| {
-                r.and_then(|r| map[r as usize])
-            };
+            let src_of =
+                |r: Option<u8>, map: &[Option<u64>; NUM_REGS]| r.and_then(|r| map[r as usize]);
             let src_seqs = [
                 src_of(fetched.op.src1, &self.reg_producer),
                 src_of(fetched.op.src2, &self.reg_producer),
@@ -415,8 +416,8 @@ impl<S: InstrStream> Pipeline<S> {
             let mut taken_break = false;
             if op.class == OpClass::Branch {
                 let pred = self.bpred.predict(op.pc);
-                let mispredict = pred.taken != op.taken
-                    || (op.taken && pred.target != Some(op.target));
+                let mispredict =
+                    pred.taken != op.taken || (op.taken && pred.target != Some(op.target));
                 entry.prediction = Some(pred);
                 entry.mispredicted = mispredict;
                 if mispredict {

@@ -68,7 +68,10 @@ impl Tlb {
     /// of sets.
     #[must_use]
     pub fn new(entries: usize, ways: usize, miss_penalty: u64) -> Self {
-        assert!(ways > 0 && entries.is_multiple_of(ways), "ragged TLB geometry");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "ragged TLB geometry"
+        );
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "TLB sets must be a power of two");
         Tlb {

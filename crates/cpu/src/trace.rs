@@ -349,7 +349,10 @@ mod tests {
         assert_eq!(writer.ops_written(), 5);
         writer.flush().unwrap();
 
-        let decoded = TraceReader::new(buf.as_slice()).unwrap().read_all().unwrap();
+        let decoded = TraceReader::new(buf.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap();
         assert_eq!(decoded, sample_ops());
     }
 
@@ -386,7 +389,10 @@ mod tests {
         let seen: Vec<MicroOp> = (0..5).map(|_| rec.next_op()).collect();
         let (_, buf) = rec.finish().unwrap();
         assert_eq!(seen, sample_ops());
-        let decoded = TraceReader::new(buf.as_slice()).unwrap().read_all().unwrap();
+        let decoded = TraceReader::new(buf.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap();
         assert_eq!(decoded, sample_ops());
     }
 
@@ -426,7 +432,10 @@ mod tests {
         let mut buf = Vec::new();
         let mut writer = TraceWriter::new(&mut buf).unwrap();
         writer.write_op(&MicroOp::alu(4, None, None, None)).unwrap();
-        let ops = TraceReader::new(buf.as_slice()).unwrap().read_all().unwrap();
+        let ops = TraceReader::new(buf.as_slice())
+            .unwrap()
+            .read_all()
+            .unwrap();
         assert_eq!(ops[0].addr, None);
     }
 }

@@ -303,7 +303,10 @@ mod tests {
         let mut w = ParityWord::store(0xFFFF);
         w.flip_data_bit(0);
         assert_eq!(w.load(), Err(ParityMismatch));
-        assert_eq!(ParityMismatch.to_string(), "stored word fails its parity check");
+        assert_eq!(
+            ParityMismatch.to_string(),
+            "stored word fails its parity check"
+        );
     }
 
     #[test]

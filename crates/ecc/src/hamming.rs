@@ -121,8 +121,7 @@ impl Secded64 {
                 syndrome |= 1 << c;
             }
         }
-        let overall_mismatch =
-            self.overall_parity(data, check & 0x7F) != (check & (1 << 7) != 0);
+        let overall_mismatch = self.overall_parity(data, check & 0x7F) != (check & (1 << 7) != 0);
 
         match (syndrome, overall_mismatch) {
             (0, false) => Decoded::Clean { data },
@@ -186,7 +185,13 @@ mod tests {
     #[test]
     fn clean_roundtrip() {
         let c = code();
-        for data in [0u64, 1, u64::MAX, 0xDEAD_BEEF_0BAD_F00D, 0x8000_0000_0000_0001] {
+        for data in [
+            0u64,
+            1,
+            u64::MAX,
+            0xDEAD_BEEF_0BAD_F00D,
+            0x8000_0000_0000_0001,
+        ] {
             let check = c.encode(data);
             assert_eq!(c.decode(data, check), Decoded::Clean { data });
         }

@@ -7,8 +7,7 @@
 //! [`FaultSpec`]s — (word, bit) coordinates plus single/double multiplicity —
 //! which `aep-core`'s recovery logic then applies and must survive.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aep_rng::SmallRng;
 
 /// One soft-error event to apply to a protected line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -164,7 +164,10 @@ mod tests {
             what: "line size",
             constraint: "must be a multiple of 8 bytes",
         };
-        assert_eq!(e.to_string(), "invalid line size: must be a multiple of 8 bytes");
+        assert_eq!(
+            e.to_string(),
+            "invalid line size: must be a multiple of 8 bytes"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl Addr {
     /// Panics if `line_bytes` is not a power of two.
     #[must_use]
     pub fn line(self, line_bytes: u64) -> LineAddr {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineAddr(self.0 >> line_bytes.trailing_zeros())
     }
 
@@ -44,7 +47,10 @@ impl Addr {
     /// Panics if `line_bytes` is not a power of two.
     #[must_use]
     pub fn offset(self, line_bytes: u64) -> u64 {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         self.0 & (line_bytes - 1)
     }
 }

@@ -328,8 +328,25 @@ impl Cache {
     }
 
     /// Drains all events recorded since the last call.
+    ///
+    /// Allocates a fresh `Vec` per call; the per-cycle simulation loop uses
+    /// [`Cache::drain_events_into`] instead, which recycles one buffer.
     pub fn take_events(&mut self) -> Vec<L2Event> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Drains all pending events into `buf` (cleared first) by swapping
+    /// buffers, so the steady-state hot loop performs no allocation: the
+    /// cache and the caller ping-pong the same two backing stores.
+    pub fn drain_events_into(&mut self, buf: &mut Vec<L2Event>) {
+        buf.clear();
+        std::mem::swap(&mut self.events, buf);
+    }
+
+    /// Whether any events are pending (cheaper than draining to look).
+    #[must_use]
+    pub fn has_pending_events(&self) -> bool {
+        !self.events.is_empty()
     }
 
     fn emit(&mut self, event: L2Event) {
@@ -470,10 +487,7 @@ impl Cache {
                 found_invalid = true;
                 break;
             }
-            assert!(
-                l.tag != tag,
-                "install of an already-resident line {line}"
-            );
+            assert!(l.tag != tag, "install of an already-resident line {line}");
             if l.lru < best_lru {
                 best_lru = l.lru;
                 victim = way;
@@ -769,7 +783,10 @@ impl Cache {
         let slot = self.slot(set, way);
         let l = &mut self.lines[slot];
         assert!(l.valid, "strike on an invalid line");
-        let data = l.data.as_mut().expect("strike requires a data-storing cache");
+        let data = l
+            .data
+            .as_mut()
+            .expect("strike requires a data-storing cache");
         data[word] ^= 1u64 << bit;
     }
 
@@ -831,7 +848,11 @@ mod tests {
         c.lookup(line, AccessKind::Write, 0);
         c.install(line, false, 0, data(8, 2)); // fill from a read-style install
         match c.lookup(line, AccessKind::Write, 1) {
-            Lookup::Hit { first_write, set, way } => {
+            Lookup::Hit {
+                first_write,
+                set,
+                way,
+            } => {
                 assert!(first_write);
                 let v = c.line_view(set, way);
                 assert!(v.dirty && !v.written);
@@ -839,7 +860,11 @@ mod tests {
             other => panic!("expected hit, got {other:?}"),
         }
         match c.lookup(line, AccessKind::Write, 2) {
-            Lookup::Hit { first_write, set, way } => {
+            Lookup::Hit {
+                first_write,
+                set,
+                way,
+            } => {
                 assert!(!first_write);
                 let v = c.line_view(set, way);
                 assert!(v.dirty && v.written);
@@ -869,7 +894,9 @@ mod tests {
         }
         // Touch lines 0,1,3 — line 2*16 becomes LRU.
         for i in [0u64, 1, 3] {
-            assert!(c.lookup(LineAddr(i * 16), AccessKind::Read, 10 + i).is_hit());
+            assert!(c
+                .lookup(LineAddr(i * 16), AccessKind::Read, 10 + i)
+                .is_hit());
         }
         let out = c.install(LineAddr(4 * 16), false, 20, data(8, 9));
         let ev = out.evicted.expect("a line must be displaced");
@@ -901,7 +928,7 @@ mod tests {
         let b = LineAddr(16);
         c.install(b, true, 0, data(8, 2));
         c.lookup(b, AccessKind::Write, 1); // sets written
-        // Way C: clean -> untouched.
+                                           // Way C: clean -> untouched.
         let cc = LineAddr(32);
         c.install(cc, false, 0, data(8, 3));
 
@@ -1066,7 +1093,10 @@ mod alt_cleaning_tests {
         assert_eq!(cleaned.len(), 1, "only the idle line decays");
         assert_eq!(cleaned[0].line, LineAddr(16));
         let (set, way) = c.peek(LineAddr(0)).unwrap();
-        assert!(c.line_view(set, way).dirty, "recently touched line survives");
+        assert!(
+            c.line_view(set, way).dirty,
+            "recently touched line survives"
+        );
     }
 
     #[test]

@@ -169,7 +169,7 @@ mod tests {
         assert_eq!(h.bucket(1), 2);
         assert_eq!(h.bucket(10), 1);
         assert_eq!(h.samples(), 5);
-        assert!((h.mean() - (0 + 1 + 2 + 3 + 1024) as f64 / 5.0).abs() < 1e-12);
+        assert!((h.mean() - (1 + 2 + 3 + 1024) as f64 / 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -67,7 +67,8 @@ impl MemoryHierarchy {
     /// Panics if `cfg` fails [`HierarchyConfig::validate`].
     #[must_use]
     pub fn new(cfg: HierarchyConfig) -> Self {
-        cfg.validate().expect("hierarchy configuration must be valid");
+        cfg.validate()
+            .expect("hierarchy configuration must be valid");
         let l2_words = cfg.l2.words_per_line();
         MemoryHierarchy {
             l1i: Cache::new(cfg.l1i.clone()),
@@ -102,14 +103,15 @@ impl MemoryHierarchy {
     pub fn fetch(&mut self, addr: Addr, now: Cycle) -> Cycle {
         self.ops.fetches += 1;
         let l1_line = addr.line(self.cfg.l1i.line_bytes);
-        if self
-            .l1i
-            .lookup(l1_line, AccessKind::Fetch, now)
-            .is_hit()
-        {
+        if self.l1i.lookup(l1_line, AccessKind::Fetch, now).is_hit() {
             return now + self.cfg.l1i.hit_latency;
         }
-        let done = self.l2_access(addr, AccessKind::Fetch, now + self.cfg.l1i.hit_latency, None);
+        let done = self.l2_access(
+            addr,
+            AccessKind::Fetch,
+            now + self.cfg.l1i.hit_latency,
+            None,
+        );
         self.l1i.install(l1_line, false, done, None);
         done
     }
@@ -345,8 +347,23 @@ impl MemoryHierarchy {
     }
 
     /// Drains L2 events for the protection scheme.
+    ///
+    /// Allocates per call; the per-cycle loop uses
+    /// [`MemoryHierarchy::drain_l2_events_into`] instead.
     pub fn take_l2_events(&mut self) -> Vec<L2Event> {
         self.l2.take_events()
+    }
+
+    /// Drains pending L2 events into `buf` (cleared first) without
+    /// allocating: the swap-buffer protocol of [`Cache::drain_events_into`].
+    pub fn drain_l2_events_into(&mut self, buf: &mut Vec<L2Event>) {
+        self.l2.drain_events_into(buf);
+    }
+
+    /// Whether the L2 has undrained events.
+    #[must_use]
+    pub fn has_pending_l2_events(&self) -> bool {
+        self.l2.has_pending_events()
     }
 
     /// Enables the L2 event stream (protection schemes need it).

@@ -95,7 +95,11 @@ impl MainMemory {
     ///
     /// Panics if `data` is not exactly one line.
     pub fn write_line(&mut self, line: LineAddr, data: Box<[u64]>) {
-        assert_eq!(data.len(), self.words_per_line, "write must be one full line");
+        assert_eq!(
+            data.len(),
+            self.words_per_line,
+            "write must be one full line"
+        );
         self.writes += 1;
         self.image.insert(line, data);
     }

@@ -95,11 +95,9 @@ impl CacheStats {
             write_hits: self.write_hits - earlier.write_hits,
             write_misses: self.write_misses - earlier.write_misses,
             evictions: self.evictions - earlier.evictions,
-            writebacks_replacement: self.writebacks_replacement
-                - earlier.writebacks_replacement,
+            writebacks_replacement: self.writebacks_replacement - earlier.writebacks_replacement,
             writebacks_cleaning: self.writebacks_cleaning - earlier.writebacks_cleaning,
-            writebacks_ecc_eviction: self.writebacks_ecc_eviction
-                - earlier.writebacks_ecc_eviction,
+            writebacks_ecc_eviction: self.writebacks_ecc_eviction - earlier.writebacks_ecc_eviction,
         }
     }
 }

@@ -23,5 +23,5 @@ pub mod runner;
 pub mod system;
 
 pub use report::Table;
-pub use runner::{ExperimentConfig, RunStats, Runner};
+pub use runner::{ExperimentConfig, L2Window, RunStats, Runner};
 pub use system::System;

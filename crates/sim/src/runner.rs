@@ -163,10 +163,16 @@ impl Runner {
     ///
     /// # Panics
     ///
-    /// Panics if the hierarchy configuration is invalid (via the system's
-    /// constructors).
+    /// Panics if `config.measure_cycles` is zero — every per-cycle average
+    /// (IPC, dirty fractions) would silently come out NaN — or if the
+    /// hierarchy configuration is invalid (via the system's constructors).
     #[must_use]
     pub fn new(config: ExperimentConfig) -> Self {
+        assert!(
+            config.measure_cycles > 0,
+            "measure_cycles must be positive: a zero-length window has no \
+             defined IPC or dirty-census averages"
+        );
         Runner { config }
     }
 
@@ -190,17 +196,13 @@ impl Runner {
         let committed_before = sys.cpu.stats().committed;
         let energy_before = sys.scheme.energy_counters();
 
-        let mut dirty_sum: f64 = 0.0;
         let total_lines = sys.hier.l2().total_lines() as f64;
-        for tick in now..now + cfg.measure_cycles {
-            sys.step(tick);
-            dirty_sum += sys.hier.l2().dirty_line_count() as f64;
-        }
+        let dirty_sum = sys.run_census(now, cfg.measure_cycles);
 
         let l2_after = sys.hier.l2().stats().since(&l2_before);
         let ops_after = sys.hier.ops();
         let committed = sys.cpu.stats().committed - committed_before;
-        let avg_dirty_lines = dirty_sum / cfg.measure_cycles as f64;
+        let avg_dirty_lines = dirty_sum as f64 / cfg.measure_cycles as f64;
 
         RunStats {
             benchmark: cfg.benchmark,
@@ -275,6 +277,14 @@ mod tests {
         // ≤ 1 dirty line per 4-way set, structurally.
         assert!(stats.l2.avg_dirty_fraction <= 0.25 + 1e-9);
         assert!(stats.l2.final_dirty_fraction <= 0.25 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "measure_cycles must be positive")]
+    fn zero_measure_window_is_rejected() {
+        let mut cfg = ExperimentConfig::fast_test(Benchmark::Gzip, SchemeKind::Uniform);
+        cfg.measure_cycles = 0;
+        let _ = Runner::new(cfg);
     }
 
     #[test]

@@ -304,7 +304,11 @@ fn streaming_fp(
         name,
         mix: InstrMix::fp_default(),
         regions: vec![
-            hot(8 * KIB, 1.0 - read_stream_share - 0.02, 1.0 - write_stream_share),
+            hot(
+                8 * KIB,
+                1.0 - read_stream_share - 0.02,
+                1.0 - write_stream_share,
+            ),
             Region::new(
                 Pattern::StreamRead {
                     bytes: 256 * MIB,
@@ -373,7 +377,11 @@ fn resident_dirty(
             taken_prob: if kind == BenchKind::Int { 0.92 } else { 0.94 },
             noise: if kind == BenchKind::Int { 0.08 } else { 0.04 },
         },
-        code_bytes: if kind == BenchKind::Int { 32 * KIB } else { 20 * KIB },
+        code_bytes: if kind == BenchKind::Int {
+            32 * KIB
+        } else {
+            20 * KIB
+        },
         dep_frac: if kind == BenchKind::Int { 0.5 } else { 0.4 },
     }
 }

@@ -38,5 +38,5 @@ pub mod bench;
 pub mod calibration;
 pub mod model;
 
-pub use bench::{Benchmark, BenchKind};
+pub use bench::{BenchKind, Benchmark};
 pub use model::{Generator, InstrMix, Pattern, Region, WorkloadSpec};

@@ -23,8 +23,7 @@
 
 use aep_cpu::isa::{InstrStream, MicroOp, OpClass};
 use aep_mem::Addr;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aep_rng::SmallRng;
 
 /// Fractions of each op class in the dynamic instruction stream.
 ///
@@ -397,14 +396,22 @@ impl Generator {
     }
 
     fn pick_region(&mut self, write: bool) -> usize {
-        let cdf = if write { &self.write_cdf } else { &self.read_cdf };
+        let cdf = if write {
+            &self.write_cdf
+        } else {
+            &self.read_cdf
+        };
         let x: f64 = self.rng.gen();
         cdf.iter().position(|&c| x <= c).unwrap_or(cdf.len() - 1)
     }
 
     fn next_dst(&mut self) -> u8 {
         // Rotate through r1..=r31 (r0 reserved as always-ready).
-        self.last_dst = if self.last_dst >= 31 { 1 } else { self.last_dst + 1 };
+        self.last_dst = if self.last_dst >= 31 {
+            1
+        } else {
+            self.last_dst + 1
+        };
         self.last_dst
     }
 
@@ -548,13 +555,7 @@ mod tests {
             mix: InstrMix::int_default(),
             regions: vec![
                 Region::new(Pattern::HotRandom { bytes: 8 * 1024 }, 0.9, 0.9),
-                Region::new(
-                    Pattern::SweepWrite {
-                        bytes: 256 * 1024,
-                    },
-                    0.0,
-                    0.1,
-                ),
+                Region::new(Pattern::SweepWrite { bytes: 256 * 1024 }, 0.0, 0.1),
                 Region::new(
                     Pattern::StreamRead {
                         bytes: 64 * 1024 * 1024,
@@ -609,7 +610,11 @@ mod tests {
             }
         }
         let f = |c: i32| f64::from(c) / f64::from(n);
-        assert!((f(loads) - s.mix.load).abs() < 0.01, "load frac {}", f(loads));
+        assert!(
+            (f(loads) - s.mix.load).abs() < 0.01,
+            "load frac {}",
+            f(loads)
+        );
         assert!((f(stores) - s.mix.store).abs() < 0.01);
         assert!((f(branches) - s.mix.branch).abs() < 0.01);
     }
@@ -643,7 +648,11 @@ mod tests {
             let (fresh, echo) = (pair[0], pair[1]);
             assert_eq!(fresh % 64, 0);
             // Echo trails the *advanced* cursor (fresh + 64) by `lag`.
-            assert_eq!(echo, (fresh + 64 + bytes - lag) % bytes, "echo lags the cursor");
+            assert_eq!(
+                echo,
+                (fresh + 64 + bytes - lag) % bytes,
+                "echo lags the cursor"
+            );
         }
         // Fresh writes advance line by line and wrap the region.
         let fresh: Vec<u64> = sweep_addrs.iter().step_by(2).copied().collect();
@@ -713,13 +722,7 @@ mod chase_tests {
             mix: InstrMix::int_default(),
             regions: vec![
                 Region::new(Pattern::HotRandom { bytes: 8 * 1024 }, 0.5, 1.0),
-                Region::new(
-                    Pattern::PointerChase {
-                        bytes: 1024 * 1024,
-                    },
-                    0.5,
-                    0.0,
-                ),
+                Region::new(Pattern::PointerChase { bytes: 1024 * 1024 }, 0.5, 0.0),
             ],
             branch: BranchModel {
                 taken_prob: 0.9,

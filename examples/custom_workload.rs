@@ -33,13 +33,7 @@ fn commit_log_service() -> WorkloadSpec {
             // The hot index: most traffic, fits in the L1D.
             Region::new(Pattern::HotRandom { bytes: 16 * 1024 }, 0.80, 0.70),
             // The object heap: large, read-mostly, L2-resident tail.
-            Region::new(
-                Pattern::ResidentRead {
-                    bytes: 512 * 1024,
-                },
-                0.16,
-                0.0,
-            ),
+            Region::new(Pattern::ResidentRead { bytes: 512 * 1024 }, 0.16, 0.0),
             // Cold scans (analytics) over a huge footprint.
             Region::new(
                 Pattern::StreamRead {
@@ -50,13 +44,7 @@ fn commit_log_service() -> WorkloadSpec {
                 0.0,
             ),
             // The commit log: generational dirty bursts over 600 KB.
-            Region::new(
-                Pattern::SweepWrite {
-                    bytes: 600 * 1024,
-                },
-                0.0,
-                0.30,
-            ),
+            Region::new(Pattern::SweepWrite { bytes: 600 * 1024 }, 0.0, 0.30),
         ],
         branch: BranchModel {
             taken_prob: 0.93,

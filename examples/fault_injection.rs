@@ -71,7 +71,14 @@ fn main() {
 
     for scheme in &mut schemes {
         let (mut l2, mut mem) = populate(scheme.as_mut());
-        let report = run_campaign(&mut l2, scheme.as_mut(), &mut mem, 0xDA7E_2006, STRIKES, P_DOUBLE);
+        let report = run_campaign(
+            &mut l2,
+            scheme.as_mut(),
+            &mut mem,
+            0xDA7E_2006,
+            STRIKES,
+            P_DOUBLE,
+        );
         let area: CodeArea = scheme.area().total();
         println!(
             "{:<22} {:>9} {:>9} {:>9} {:>10} {:>9.2}% {:>9}",

@@ -29,7 +29,10 @@ fn main() {
     let l2 = HierarchyConfig::date2006().l2;
     let model = SoftErrorModel::date2006_typical();
 
-    println!("soft-error model: {} FIT/Mbit raw upset rate", model.fit_per_mbit);
+    println!(
+        "soft-error model: {} FIT/Mbit raw upset rate",
+        model.fit_per_mbit
+    );
     println!("benchmark: {benchmark}\n");
     println!(
         "{:<34} {:>10} {:>9} {:>9}",
@@ -43,7 +46,10 @@ fn main() {
     };
     row("unprotected", model.unprotected(&l2));
     row(
-        &format!("parity-only (dirty {:.0}%)", org.l2.avg_dirty_fraction * 100.0),
+        &format!(
+            "parity-only (dirty {:.0}%)",
+            org.l2.avg_dirty_fraction * 100.0
+        ),
         model.parity_only(&l2, org.l2.avg_dirty_fraction),
     );
     row(

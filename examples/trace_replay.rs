@@ -31,7 +31,10 @@ fn main() -> std::io::Result<()> {
     );
 
     // 2. Replay the same bytes under each scheme.
-    println!("{:<16} {:>10} {:>8} {:>8}", "scheme", "committed", "IPC", "%WB");
+    println!(
+        "{:<16} {:>10} {:>8} {:>8}",
+        "scheme", "committed", "IPC", "%WB"
+    );
     for scheme in [
         SchemeKind::Uniform,
         SchemeKind::Proposed {
@@ -52,8 +55,7 @@ fn main() -> std::io::Result<()> {
         );
         sys.run(0, CYCLES);
         let committed = sys.cpu.stats().committed;
-        let wb = sys.hier.l2().stats().writebacks() as f64
-            / sys.hier.ops().loads_stores() as f64
+        let wb = sys.hier.l2().stats().writebacks() as f64 / sys.hier.ops().loads_stores() as f64
             * 100.0;
         println!(
             "{:<16} {committed:>10} {:>8.3} {wb:>7.2}%",

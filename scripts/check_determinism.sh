@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Verifies the parallel experiment engine is deterministic: `exp all`
+# must be byte-identical between --jobs 1 and --jobs N.
+#
+# Usage: scripts/check_determinism.sh [scale] [jobs]
+#          scale  paper|quick|smoke   (default: smoke)
+#          jobs   worker count for the parallel run (default: 4)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-smoke}"
+jobs="${2:-4}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cargo build --release -p aep-bench --bin exp
+
+echo "==> exp all --scale $scale --jobs 1 --no-cache"
+./target/release/exp all --scale "$scale" --jobs 1 --no-cache \
+  > "$tmp/serial.txt" 2> /dev/null
+
+echo "==> exp all --scale $scale --jobs $jobs --no-cache"
+./target/release/exp all --scale "$scale" --jobs "$jobs" --no-cache \
+  > "$tmp/parallel.txt" 2> /dev/null
+
+if cmp -s "$tmp/serial.txt" "$tmp/parallel.txt"; then
+  echo "==> determinism: byte-identical (--jobs 1 vs --jobs $jobs, $scale)"
+else
+  echo "==> determinism FAILED: outputs differ" >&2
+  diff "$tmp/serial.txt" "$tmp/parallel.txt" | head -n 40 >&2
+  exit 1
+fi

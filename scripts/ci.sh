@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the full test suite.
+#
+# Everything runs with --offline semantics — the workspace has no
+# registry dependencies (see the root Cargo.toml), so this script works
+# on a machine with no network access at all.
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> ci: all green"

@@ -1,6 +1,8 @@
 //! The paper's exact numeric claims: Table 1 and the §5.2 area accounting.
 
-use aep::core::{AreaModel, NonUniformScheme, ParityOnlyScheme, ProtectionScheme, UniformEccScheme};
+use aep::core::{
+    AreaModel, NonUniformScheme, ParityOnlyScheme, ProtectionScheme, UniformEccScheme,
+};
 use aep::cpu::CoreConfig;
 use aep::mem::{CacheConfig, HierarchyConfig, WritePolicy};
 use aep::workloads::calibration::PAPER_AREA_REDUCTION_PERCENT;

@@ -1,89 +1,130 @@
-//! Property-based tests on the core data structures and invariants,
-//! spanning crates (proptest).
+//! Randomized property tests on the core data structures and invariants,
+//! spanning crates.
+//!
+//! Formerly written with `proptest`; the workspace must now build with no
+//! crates.io access, so the same properties are exercised with a seeded
+//! [`aep_rng::SmallRng`] driving hand-rolled input generators. Every test
+//! is deterministic: a failure reproduces from the fixed seeds below.
 
 use aep::core::{Directive, NonUniformScheme, ProtectionScheme};
-use aep::ecc::parity::{InterleavedParity, ParityBit};
+use aep::ecc::parity::{InterleavedParity, ParityBit, ParityError};
 use aep::ecc::{Decoded, Secded64};
 use aep::mem::cache::{AccessKind, Cache, WbClass};
 use aep::mem::write_buffer::{PushOutcome, WriteBuffer};
 use aep::mem::{CacheConfig, LineAddr, MainMemory};
-use proptest::prelude::*;
+use aep_rng::SmallRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+// ---------------- SECDED ------------------------------------------------
 
-    // ---------------- SECDED ------------------------------------------
-
-    /// Any single flipped data bit is corrected back to the original.
-    #[test]
-    fn secded_corrects_any_single_data_flip(data: u64, bit in 0u8..64) {
-        let code = Secded64::new();
+/// Any single flipped data bit is corrected back to the original.
+#[test]
+fn secded_corrects_any_single_data_flip() {
+    let code = Secded64::new();
+    let mut rng = SmallRng::seed_from_u64(0x05ec_ded1);
+    for _ in 0..8 {
+        let data: u64 = rng.gen();
         let check = code.encode(data);
-        let decoded = code.decode(data ^ (1u64 << bit), check);
-        prop_assert_eq!(decoded.data(), Some(data));
+        for bit in 0..64 {
+            let decoded = code.decode(data ^ (1u64 << bit), check);
+            assert_eq!(decoded.data(), Some(data), "bit {bit} of {data:#x}");
+        }
     }
+}
 
-    /// Any single flipped check bit leaves the data intact.
-    #[test]
-    fn secded_survives_any_single_check_flip(data: u64, bit in 0u8..8) {
-        let code = Secded64::new();
+/// Any single flipped check bit leaves the data intact.
+#[test]
+fn secded_survives_any_single_check_flip() {
+    let code = Secded64::new();
+    let mut rng = SmallRng::seed_from_u64(0x05ec_ded2);
+    for _ in 0..32 {
+        let data: u64 = rng.gen();
         let check = code.encode(data);
-        let decoded = code.decode(data, check ^ (1 << bit));
-        prop_assert_eq!(decoded.data(), Some(data));
+        for bit in 0..8 {
+            let decoded = code.decode(data, check ^ (1 << bit));
+            assert_eq!(decoded.data(), Some(data), "check bit {bit}");
+        }
     }
+}
 
-    /// Any double data-bit flip is detected (never silently accepted or
-    /// "corrected" to the wrong value).
-    #[test]
-    fn secded_detects_any_double_data_flip(data: u64, a in 0u8..64, b in 0u8..64) {
-        prop_assume!(a != b);
-        let code = Secded64::new();
+/// Any double data-bit flip is detected (never silently accepted or
+/// "corrected" to the wrong value).
+#[test]
+fn secded_detects_any_double_data_flip() {
+    let code = Secded64::new();
+    let mut rng = SmallRng::seed_from_u64(0x05ec_ded3);
+    for _ in 0..512 {
+        let data: u64 = rng.gen();
+        let a = rng.gen_range(0..64u8);
+        let mut b = rng.gen_range(0..64u8);
+        while b == a {
+            b = rng.gen_range(0..64u8);
+        }
         let check = code.encode(data);
         let decoded = code.decode(data ^ (1u64 << a) ^ (1u64 << b), check);
-        prop_assert_eq!(decoded, Decoded::Uncorrectable);
+        assert_eq!(decoded, Decoded::Uncorrectable, "bits {a},{b}");
     }
+}
 
-    /// Clean decode is the identity.
-    #[test]
-    fn secded_clean_roundtrip(data: u64) {
-        let code = Secded64::new();
+/// Clean decode is the identity.
+#[test]
+fn secded_clean_roundtrip() {
+    let code = Secded64::new();
+    let mut rng = SmallRng::seed_from_u64(0x05ec_ded4);
+    for _ in 0..512 {
+        let data: u64 = rng.gen();
         let check = code.encode(data);
-        prop_assert_eq!(code.decode(data, check), Decoded::Clean { data });
+        assert_eq!(code.decode(data, check), Decoded::Clean { data });
     }
+}
 
-    // ---------------- parity -------------------------------------------
+// ---------------- parity -------------------------------------------------
 
-    /// Parity detects every odd-weight error pattern and misses every
-    /// even-weight one (the documented limitation).
-    #[test]
-    fn parity_detects_exactly_odd_weight_errors(data: u64, pattern: u64) {
+/// Parity detects every odd-weight error pattern and misses every
+/// even-weight one (the documented limitation).
+#[test]
+fn parity_detects_exactly_odd_weight_errors() {
+    let mut rng = SmallRng::seed_from_u64(0xba51);
+    for _ in 0..512 {
+        let data: u64 = rng.gen();
+        let pattern: u64 = rng.gen();
         let p = ParityBit::encode(data);
         let consistent = ParityBit::verify(data ^ pattern, p);
-        prop_assert_eq!(consistent, pattern.count_ones() % 2 == 0);
+        assert_eq!(
+            consistent,
+            pattern.count_ones().is_multiple_of(2),
+            "{pattern:#x}"
+        );
     }
+}
 
-    /// Interleaved parity localises the first corrupted word.
-    #[test]
-    fn interleaved_parity_flags_corrupted_word(
-        words in proptest::collection::vec(any::<u64>(), 1..16),
-        idx in any::<prop::sample::Index>(),
-        bit in 0u8..64,
-    ) {
+/// Interleaved parity localises the first corrupted word.
+#[test]
+fn interleaved_parity_flags_corrupted_word() {
+    let mut rng = SmallRng::seed_from_u64(0xba52);
+    for _ in 0..256 {
+        let len = rng.gen_range(1..16usize);
+        let words: Vec<u64> = (0..len).map(|_| rng.gen()).collect();
+        let word = rng.gen_range(0..len);
+        let bit = rng.gen_range(0..64u8);
         let code = InterleavedParity::encode(&words);
-        let word = idx.index(words.len());
         let mut bad = words.clone();
         bad[word] ^= 1u64 << bit;
-        prop_assert_eq!(InterleavedParity::verify(&bad, code), Err(aep::ecc::parity::ParityError { word }));
+        assert_eq!(
+            InterleavedParity::verify(&bad, code),
+            Err(ParityError { word }),
+            "word {word} bit {bit}"
+        );
     }
+}
 
-    // ---------------- cache LRU vs reference model ---------------------
+// ---------------- cache LRU vs reference model ---------------------------
 
-    /// The cache agrees with a brute-force reference model of a
-    /// set-associative LRU cache on any access sequence.
-    #[test]
-    fn cache_matches_reference_lru_model(
-        lines in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)
-    ) {
+/// The cache agrees with a brute-force reference model of a
+/// set-associative LRU cache on any access sequence.
+#[test]
+fn cache_matches_reference_lru_model() {
+    let mut rng = SmallRng::seed_from_u64(0xca0e);
+    for round in 0..16 {
         let mut cfg = CacheConfig::tiny_l2();
         cfg.store_data = false;
         cfg.track_written = false;
@@ -91,16 +132,22 @@ proptest! {
         let ways = cfg.ways as usize;
         let mut cache = Cache::new(cfg);
 
-        // Reference: per-set Vec<(line)> in LRU order (front = LRU).
+        // Reference: per-set Vec<line> in LRU order (front = LRU).
         let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets as usize];
 
-        for (i, &(line, is_write)) in lines.iter().enumerate() {
-            let line = LineAddr(line);
+        let accesses = rng.gen_range(1..300usize);
+        for i in 0..accesses {
+            let line = LineAddr(rng.gen_range(0..64u64));
+            let is_write: bool = rng.gen();
             let set = line.set_index(sets);
-            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if is_write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let hit = cache.lookup(line, kind, i as u64).is_hit();
             let model_hit = model[set].contains(&line.0);
-            prop_assert_eq!(hit, model_hit, "access {} to {:?}", i, line);
+            assert_eq!(hit, model_hit, "round {round} access {i} to {line:?}");
             if model_hit {
                 model[set].retain(|&l| l != line.0);
                 model[set].push(line.0);
@@ -108,29 +155,31 @@ proptest! {
                 let outcome = cache.install(line, false, i as u64, None);
                 if model[set].len() == ways {
                     let victim = model[set].remove(0);
-                    prop_assert_eq!(
+                    assert_eq!(
                         outcome.evicted.as_ref().map(|e| e.line.0),
                         Some(victim),
                         "LRU victim mismatch"
                     );
                 } else {
-                    prop_assert!(outcome.evicted.is_none());
+                    assert!(outcome.evicted.is_none());
                 }
                 model[set].push(line.0);
             }
         }
     }
+}
 
-    /// The incremental dirty counter always equals a full recount.
-    #[test]
-    fn dirty_counter_matches_recount(
-        ops in proptest::collection::vec((0u64..128, 0u8..3), 1..300)
-    ) {
+/// The incremental dirty counter always equals a full recount.
+#[test]
+fn dirty_counter_matches_recount() {
+    let mut rng = SmallRng::seed_from_u64(0xd127);
+    for _ in 0..16 {
         let mut cache = Cache::new(CacheConfig::tiny_l2());
-        for (i, &(line, op)) in ops.iter().enumerate() {
-            let line = LineAddr(line);
+        let ops = rng.gen_range(1..300usize);
+        for i in 0..ops {
+            let line = LineAddr(rng.gen_range(0..128u64));
             let now = i as u64;
-            match op {
+            match rng.gen_range(0..3u8) {
                 0 => {
                     if !cache.lookup(line, AccessKind::Read, now).is_hit() {
                         cache.install(line, false, now, Some(vec![0; 8].into()));
@@ -146,22 +195,25 @@ proptest! {
                     cache.clean_probe(set, now);
                 }
             }
-            prop_assert_eq!(cache.dirty_line_count(), cache.recount_dirty_lines());
+            assert_eq!(cache.dirty_line_count(), cache.recount_dirty_lines());
         }
     }
+}
 
-    // ---------------- write buffer -------------------------------------
+// ---------------- write buffer -------------------------------------------
 
-    /// The write buffer never exceeds capacity, coalesces exactly on line
-    /// match, and retires FIFO.
-    #[test]
-    fn write_buffer_model(
-        pushes in proptest::collection::vec((0u64..8, 0usize..8), 1..200)
-    ) {
+/// The write buffer never exceeds capacity, coalesces exactly on line
+/// match, and retires FIFO.
+#[test]
+fn write_buffer_model() {
+    let mut rng = SmallRng::seed_from_u64(0x3b);
+    for _ in 0..16 {
         let mut wb = WriteBuffer::new(4, 8);
         let mut model: Vec<u64> = Vec::new(); // line order
-        for (i, &(line, word)) in pushes.iter().enumerate() {
-            let line = LineAddr(line);
+        let pushes = rng.gen_range(1..200usize);
+        for i in 0..pushes {
+            let line = LineAddr(rng.gen_range(0..8u64));
+            let word = rng.gen_range(0..8usize);
             let outcome = wb.push(line, word, i as u64, i as u64);
             let expected = if model.contains(&line.0) {
                 PushOutcome::Coalesced
@@ -171,42 +223,47 @@ proptest! {
                 model.push(line.0);
                 PushOutcome::Inserted
             };
-            prop_assert_eq!(outcome, expected);
-            prop_assert!(wb.len() <= 4);
+            assert_eq!(outcome, expected);
+            assert!(wb.len() <= 4);
             if outcome == PushOutcome::Full {
                 // Drain one (as the hierarchy does) and retry.
                 let popped = wb.pop().expect("full buffer pops");
-                prop_assert_eq!(popped.line.0, model.remove(0));
-                prop_assert_eq!(wb.push(line, word, i as u64, i as u64), PushOutcome::Inserted);
+                assert_eq!(popped.line.0, model.remove(0));
+                assert_eq!(
+                    wb.push(line, word, i as u64, i as u64),
+                    PushOutcome::Inserted
+                );
                 model.push(line.0);
             }
         }
         // Full FIFO drain.
         for expected in model {
-            prop_assert_eq!(wb.pop().expect("entry").line.0, expected);
+            assert_eq!(wb.pop().expect("entry").line.0, expected);
         }
-        prop_assert!(wb.pop().is_none());
+        assert!(wb.pop().is_none());
     }
+}
 
-    // ---------------- proposed-scheme invariant ------------------------
+// ---------------- proposed-scheme invariant ------------------------------
 
-    /// Under any stream of reads/writes/cleanings, the shared-ECC-array
-    /// invariant holds: at most one dirty line per set, and the ECC entry
-    /// always tracks exactly the dirty line.
-    #[test]
-    fn nonuniform_invariant_under_random_traffic(
-        ops in proptest::collection::vec((0u64..96, 0u8..4), 1..300)
-    ) {
+/// Under any stream of reads/writes/cleanings, the shared-ECC-array
+/// invariant holds: at most one dirty line per set, and the ECC entry
+/// always tracks exactly the dirty line.
+#[test]
+fn nonuniform_invariant_under_random_traffic() {
+    let mut rng = SmallRng::seed_from_u64(0x10_4a7);
+    for round in 0..8 {
         let cfg = CacheConfig::tiny_l2();
         let mut scheme = NonUniformScheme::new(&cfg);
         let mut l2 = Cache::new(cfg);
         l2.set_event_emission(true);
         let mut mem = MainMemory::new(10, 8);
 
-        for (i, &(line, op)) in ops.iter().enumerate() {
-            let line = LineAddr(line);
+        let ops = rng.gen_range(1..300usize);
+        for i in 0..ops {
+            let line = LineAddr(rng.gen_range(0..96u64));
             let now = i as u64;
-            match op {
+            match rng.gen_range(0..4u8) {
                 0 => {
                     // Read (fill from memory on miss).
                     if !l2.lookup(line, AccessKind::Read, now).is_hit() {
@@ -248,7 +305,11 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(scheme.find_invariant_violation(&l2), None, "after op {}", i);
+            assert_eq!(
+                scheme.find_invariant_violation(&l2),
+                None,
+                "round {round} after op {i}"
+            );
         }
 
         // Every dirty line is recoverable from a single-bit strike.
@@ -259,60 +320,52 @@ proptest! {
                     let before = l2.line_data(set, way).unwrap().to_vec();
                     l2.strike(set, way, 0, 7);
                     let outcome = scheme.verify_line(&mut l2, set, way, &mut mem);
-                    prop_assert!(outcome.is_recovered());
-                    prop_assert_eq!(l2.line_data(set, way).unwrap(), before.as_slice());
+                    assert!(outcome.is_recovered());
+                    assert_eq!(l2.line_data(set, way).unwrap(), before.as_slice());
                 }
             }
         }
     }
 }
 
-// ---------------- trace codec -------------------------------------------
+// ---------------- trace codec --------------------------------------------
 
 use aep::cpu::trace::{TraceReader, TraceWriter};
 use aep::cpu::{MicroOp, OpClass};
 use aep::mem::Addr;
 
-fn arb_op() -> impl Strategy<Value = MicroOp> {
-    (
-        any::<u64>(),
-        0u8..7,
-        proptest::option::of(0u8..64),
-        proptest::option::of(0u8..64),
-        proptest::option::of(0u8..64),
-        any::<u64>(),
-        any::<bool>(),
-        any::<u64>(),
-    )
-        .prop_map(|(pc, class, src1, src2, dst, addr, taken, target)| {
-            let class = match class {
-                0 => OpClass::IntAlu,
-                1 => OpClass::IntMul,
-                2 => OpClass::FpAdd,
-                3 => OpClass::FpMul,
-                4 => OpClass::Load,
-                5 => OpClass::Store,
-                _ => OpClass::Branch,
-            };
-            MicroOp {
-                pc,
-                class,
-                src1,
-                src2,
-                dst,
-                addr: class.is_mem().then_some(Addr::new(addr)),
-                taken,
-                target,
-            }
-        })
+fn arb_op(rng: &mut SmallRng) -> MicroOp {
+    let class = match rng.gen_range(0..7u8) {
+        0 => OpClass::IntAlu,
+        1 => OpClass::IntMul,
+        2 => OpClass::FpAdd,
+        3 => OpClass::FpMul,
+        4 => OpClass::Load,
+        5 => OpClass::Store,
+        _ => OpClass::Branch,
+    };
+    let maybe_reg =
+        |rng: &mut SmallRng| -> Option<u8> { rng.gen::<bool>().then(|| rng.gen_range(0..64u8)) };
+    let addr: u64 = rng.gen();
+    MicroOp {
+        pc: rng.gen(),
+        class,
+        src1: maybe_reg(rng),
+        src2: maybe_reg(rng),
+        dst: maybe_reg(rng),
+        addr: class.is_mem().then_some(Addr::new(addr)),
+        taken: rng.gen(),
+        target: rng.gen(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Any op sequence survives a trace encode/decode roundtrip exactly.
-    #[test]
-    fn trace_codec_roundtrips(ops in proptest::collection::vec(arb_op(), 0..64)) {
+/// Any op sequence survives a trace encode/decode roundtrip exactly.
+#[test]
+fn trace_codec_roundtrips() {
+    let mut rng = SmallRng::seed_from_u64(0x7ace);
+    for _ in 0..64 {
+        let n = rng.gen_range(0..64usize);
+        let ops: Vec<MicroOp> = (0..n).map(|_| arb_op(&mut rng)).collect();
         let mut buf = Vec::new();
         let mut writer = TraceWriter::new(&mut buf).expect("vec sink");
         for op in &ops {
@@ -323,15 +376,23 @@ proptest! {
             .expect("magic")
             .read_all()
             .expect("well-formed");
-        prop_assert_eq!(decoded, ops);
+        assert_eq!(decoded, ops);
     }
+}
 
-    /// Corrupting the magic header is always rejected.
-    #[test]
-    fn trace_reader_rejects_bad_magic(byte in 0usize..8, delta in 1u8..=255) {
+/// Corrupting the magic header is always rejected.
+#[test]
+fn trace_reader_rejects_bad_magic() {
+    let mut rng = SmallRng::seed_from_u64(0x7acf);
+    for _ in 0..64 {
+        let byte = rng.gen_range(0..8usize);
+        let delta = rng.gen_range(1..256u16) as u8;
         let mut buf = Vec::new();
-        TraceWriter::new(&mut buf).expect("vec sink").flush().expect("vec sink");
+        TraceWriter::new(&mut buf)
+            .expect("vec sink")
+            .flush()
+            .expect("vec sink");
         buf[byte] = buf[byte].wrapping_add(delta);
-        prop_assert!(TraceReader::new(buf.as_slice()).is_err());
+        assert!(TraceReader::new(buf.as_slice()).is_err());
     }
 }

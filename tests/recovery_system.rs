@@ -93,9 +93,7 @@ fn dirty_line_strike_roundtrip_on_live_state() {
 
     let mut l2 = sys.hier.l2().clone();
     let mut memory = sys.hier.memory().clone();
-    let outcome = sys
-        .scheme
-        .verify_line(&mut l2, set, way, &mut memory);
+    let outcome = sys.scheme.verify_line(&mut l2, set, way, &mut memory);
     assert_eq!(outcome, RecoveryOutcome::CorrectedByEcc { words: 1 });
     assert_eq!(l2.line_data(set, way).unwrap(), original.as_slice());
 }

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so the real criterion
+//! cannot be downloaded. This vendored crate implements the (small) API
+//! surface the workspace's benches use — `Criterion`, benchmark groups,
+//! `Bencher::iter`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — on top of `std::time::Instant`. It reports
+//! median time per iteration (and derived throughput) on stderr instead of
+//! criterion's statistical HTML reports; the numbers are honest wall-clock
+//! medians, good enough to compare runs by hand.
+//!
+//! Enabled through the `criterion-benches` cargo feature of `aep-bench`,
+//! which is off by default so `cargo build`/`cargo test` never need it.
+
+use std::time::Instant;
+
+/// How measured iteration counts are scaled when reporting throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Passed to bench closures; runs and times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    last_median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median over `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes ≥ ~2 ms (or we hit a cap), so Instant overhead vanishes.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_micros() >= 2_000 || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size.max(3))
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn report(name: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let human = |ns: f64| -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    };
+    let extra = match throughput {
+        Some(Throughput::Bytes(b)) if median_ns > 0.0 => {
+            let gib = b as f64 / median_ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+            format!("  ({gib:.3} GiB/s)")
+        }
+        Some(Throughput::Elements(e)) if median_ns > 0.0 => {
+            let meps = e as f64 / median_ns * 1e9 / 1e6;
+            format!("  ({meps:.3} Melem/s)")
+        }
+        _ => String::new(),
+    };
+    eprintln!("bench: {name:<40} {}{extra}", human(median_ns));
+}
+
+/// Top-level benchmark driver (offline stand-in).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last_median_ns: 0.0,
+        };
+        f(&mut b);
+        report(&name.into(), b.last_median_ns, None);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last_median_ns: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.into()),
+            b.last_median_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (parity with criterion's API; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into one callable group, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits a `main` running each group (parity with criterion's API).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
