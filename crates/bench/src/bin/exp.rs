@@ -11,6 +11,7 @@
 //! invocations render instantly; `--no-cache` forces fresh runs.
 
 use aep_bench::experiments::{self, Lab, Scale};
+use aep_bench::faults::{self, FaultsOptions};
 use aep_bench::runcache::RunCache;
 use aep_core::area::AreaModel;
 use aep_core::CleaningLogic;
@@ -27,6 +28,7 @@ fn main() {
     let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut use_cache = true;
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut faults_opts = FaultsOptions::default();
     let mut it = args.iter();
     if let Some(c) = it.next() {
         command = c.clone();
@@ -50,6 +52,41 @@ fn main() {
             "--no-cache" => use_cache = false,
             "--csv" => csv = true,
             "--md" => md = true,
+            "--trials" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                faults_opts.trials = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    eprintln!("--trials requires a positive integer, got '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--p-double" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                faults_opts.p_double = v
+                    .parse()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .unwrap_or_else(|| {
+                        eprintln!("--p-double requires a probability in [0,1], got '{v}'");
+                        std::process::exit(2);
+                    });
+            }
+            "--seed" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                faults_opts.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed requires an unsigned integer, got '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--bench" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                faults_opts.benchmark = aep_workloads::Benchmark::all()
+                    .into_iter()
+                    .find(|b| b.name() == v)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown benchmark '{v}'");
+                        std::process::exit(2);
+                    });
+            }
             "--out" => {
                 let dir = it.next().unwrap_or_else(|| {
                     eprintln!("--out requires a directory");
@@ -121,6 +158,17 @@ fn main() {
         "ablation" => emit(experiments::ablation_schemes(&mut lab)),
         "reliability" => emit(experiments::reliability(&mut lab)),
         "campaign" => emit(experiments::campaign(50_000, 0.02)),
+        "faults" => {
+            let disk = use_cache.then(|| RunCache::default_under("."));
+            emit(faults::faults_figure(
+                scale,
+                &faults_opts,
+                jobs,
+                disk.as_ref(),
+                &mut lab,
+                true,
+            ));
+        }
         "lifetimes" => emit(experiments::lifetimes(scale)),
         "sensitivity" => emit(experiments::sensitivity(scale)),
         "energy" => emit(experiments::energy(&mut lab)),
@@ -144,32 +192,39 @@ fn main() {
             print_area();
             eprintln!("[lab] total distinct runs: {}", lab.runs());
         }
-        _ => {
-            println!(
-                "exp — regenerate the paper's tables and figures\n\n\
-                 usage: exp <command> [--scale paper|quick|smoke] [--jobs N]\n\
-                 \x20                 [--no-cache] [--csv|--md] [--out DIR]\n\n\
-                 commands:\n\
-                 \x20 table1     baseline processor configuration (Table 1)\n\
-                 \x20 fig1       % dirty L2 lines per cycle, org\n\
-                 \x20 fig2       cleaning-logic / ECC-array structural summary\n\
-                 \x20 fig3,fig4  dirty lines vs cleaning interval (FP / INT)\n\
-                 \x20 fig5,fig6  write-back traffic vs interval (FP / INT)\n\
-                 \x20 fig7       dirty lines, proposed scheme\n\
-                 \x20 fig8       write-back breakdown, proposed scheme\n\
-                 \x20 perf       IPC org vs proposed (§5.2)\n\
-                 \x20 area       area accounting, 132KB vs 54KB (§5.2)\n\
-                 \x20 calibrate  workload-calibration sweep\n\
-                 \x20 bench      engine-throughput harness (BENCH_engine.json)\n\
-                 \x20 all        everything above in order\n\n\
-                 flags:\n\
-                 \x20 --jobs N     worker threads for experiment fan-out\n\
-                 \x20              (default: available cores; output is\n\
-                 \x20              identical for every N)\n\
-                 \x20 --no-cache   ignore and do not write results/cache/"
-            );
+        "help" | "--help" | "-h" => println!("{}", usage()),
+        other => {
+            eprintln!("exp: unknown command '{other}'\n\n{}", usage());
+            std::process::exit(2);
         }
     }
+}
+
+fn usage() -> String {
+    "exp — regenerate the paper's tables and figures\n\n\
+     usage: exp <command> [--scale paper|quick|smoke] [--jobs N]\n\
+     \x20                 [--no-cache] [--csv|--md] [--out DIR]\n\n\
+     commands:\n\
+     \x20 table1     baseline processor configuration (Table 1)\n\
+     \x20 fig1       % dirty L2 lines per cycle, org\n\
+     \x20 fig2       cleaning-logic / ECC-array structural summary\n\
+     \x20 fig3,fig4  dirty lines vs cleaning interval (FP / INT)\n\
+     \x20 fig5,fig6  write-back traffic vs interval (FP / INT)\n\
+     \x20 fig7       dirty lines, proposed scheme\n\
+     \x20 fig8       write-back breakdown, proposed scheme\n\
+     \x20 perf       IPC org vs proposed (§5.2)\n\
+     \x20 area       area accounting, 132KB vs 54KB (§5.2)\n\
+     \x20 calibrate  workload-calibration sweep\n\
+     \x20 faults     live fault-injection campaign per scheme\n\
+     \x20            [--trials N] [--p-double P] [--seed S] [--bench B]\n\
+     \x20 bench      engine-throughput harness (BENCH_engine.json)\n\
+     \x20 all        everything above in order\n\n\
+     flags:\n\
+     \x20 --jobs N     worker threads for experiment fan-out\n\
+     \x20              (default: available cores; output is\n\
+     \x20              identical for every N)\n\
+     \x20 --no-cache   ignore and do not write results/cache/"
+        .to_owned()
 }
 
 fn run_engine_bench(scale: Scale) {

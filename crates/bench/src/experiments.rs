@@ -17,9 +17,9 @@
 //! only how fast it arrives.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use aep_core::SchemeKind;
+use aep_faultsim::fan_out;
 use aep_sim::{RunStats, Runner, Table};
 use aep_workloads::calibration::{CHOSEN_INTERVAL, CLEANING_INTERVALS};
 use aep_workloads::{BenchKind, Benchmark};
@@ -196,45 +196,17 @@ impl Lab {
 
 /// Executes `plan` at `scale` and returns the stats in plan order.
 ///
-/// With `jobs > 1`, a [`std::thread::scope`] pool pulls plan indices from
-/// a shared atomic counter (cheap work stealing — run lengths vary a lot
-/// between benchmarks), and the indexed results are re-sorted before
-/// returning, so callers observe plan order no matter the interleaving.
+/// Fans out over [`aep_faultsim::fan_out`]'s work-stealing pool (run
+/// lengths vary a lot between benchmarks); results come back in plan
+/// order no matter the interleaving.
 fn run_plan(scale: Scale, plan: &[PlannedRun], jobs: usize, verbose: bool) -> Vec<RunStats> {
-    let one = |benchmark: Benchmark, scheme: SchemeKind| {
+    fan_out(plan.len(), jobs, |i| {
+        let (benchmark, scheme) = plan[i];
         if verbose {
             eprintln!("[lab] running {} / {}", benchmark, scheme.label());
         }
         Runner::new(scale.config(benchmark, scheme)).run()
-    };
-    let workers = jobs.min(plan.len());
-    if workers <= 1 {
-        return plan.iter().map(|&(b, k)| one(b, k)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, RunStats)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(benchmark, scheme)) = plan.get(i) else {
-                            break;
-                        };
-                        out.push((i, one(benchmark, scheme)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("lab worker panicked"))
-            .collect()
-    });
-    indexed.sort_unstable_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, stats)| stats).collect()
+    })
 }
 
 /// One figure's data: column labels plus (benchmark, values) rows.

@@ -1,0 +1,352 @@
+//! The `exp faults` experiment: a live Monte Carlo fault-injection
+//! campaign per protection scheme, with an empirical-vs-analytical FIT
+//! cross-check.
+//!
+//! This is the dynamic counterpart of `exp campaign` (which strikes a
+//! *statically* populated cache): here every trial flips real bits in the
+//! running system's L2 via [`aep_faultsim`] and follows the upset to its
+//! architectural end. Finished campaigns persist as raw [`RunCache`]
+//! entries keyed on (scale, benchmark, scheme, seed, trials, config
+//! hash), so a repeated invocation renders from disk instantly.
+//!
+//! The FIT columns translate rates into failure units: the empirical FIT
+//! is `raw_fit(data array) × (DUE+SDC)/trials` (strikes sample all frames
+//! uniformly, matching the analytical model's whole-array normalisation);
+//! the analytical FIT comes from [`SoftErrorModel`] fed with the lab's
+//! measured dirty fraction for the same workload — which is what makes
+//! `exp faults` also *reuse* the `RunStats` run cache. The empirical
+//! value sits at or below the analytical one: the first-order model
+//! charges every dirty-line upset as a DUE, while in the live machine
+//! some dirty strikes are overwritten by later stores or cleaned/written
+//! back before any consumer sees them (tolerance documented in
+//! EXPERIMENTS.md).
+
+use aep_core::{SchemeKind, SoftErrorModel};
+use aep_ecc::CodeArea;
+use aep_faultsim::{run_campaign, CampaignConfig, OutcomeTable};
+use aep_workloads::calibration::CHOSEN_INTERVAL;
+use aep_workloads::Benchmark;
+
+use crate::experiments::{proposed, FigureData, Lab, Scale};
+use crate::runcache::{fnv1a, scheme_slug, RunCache};
+
+/// Raw cache-entry format version; bump on layout changes **or** on
+/// semantic changes to the schemes/campaign that invalidate stored
+/// outcome tables.
+const FORMAT_VERSION: u64 = 2;
+
+/// CLI-visible knobs of an `exp faults` session.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultsOptions {
+    /// Workload executing while faults arrive.
+    pub benchmark: Benchmark,
+    /// Trials per scheme.
+    pub trials: u32,
+    /// Probability of a double-bit (same-word) strike.
+    pub p_double: f64,
+    /// Master campaign seed.
+    pub seed: u64,
+}
+
+impl Default for FaultsOptions {
+    fn default() -> Self {
+        FaultsOptions {
+            benchmark: Benchmark::Gap,
+            trials: 1000,
+            p_double: 0.0,
+            seed: 2006,
+        }
+    }
+}
+
+/// The scheme set the campaign table compares (the ablation line-up plus
+/// parity-only, which the static figures omit).
+#[must_use]
+pub fn faults_schemes() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::Uniform,
+        SchemeKind::UniformWithCleaning {
+            cleaning_interval: CHOSEN_INTERVAL,
+        },
+        SchemeKind::ParityOnly,
+        proposed(),
+        SchemeKind::ProposedMulti {
+            cleaning_interval: CHOSEN_INTERVAL,
+            entries_per_set: 2,
+        },
+    ]
+}
+
+/// The campaign geometry for one scheme at a given scale.
+///
+/// Smoke uses the tiny hierarchy (high valid-frame density, so unit tests
+/// and the determinism script get strong statistics in well under a
+/// second); quick and paper strike the full Table 1 machine with
+/// progressively longer warm-up and resolution horizons.
+#[must_use]
+pub fn campaign_config(scale: Scale, opts: &FaultsOptions, scheme: SchemeKind) -> CampaignConfig {
+    // Quick/paper warm-ups match the lab's experiment warm-up at the same
+    // scale, so the cache the strikes sample has the same dirty occupancy
+    // the analytical column is fed with; longer chunks amortise the cost.
+    let mut cfg = match scale {
+        Scale::Smoke => CampaignConfig::fast_test(opts.benchmark, scheme),
+        Scale::Quick => CampaignConfig {
+            warmup_cycles: 1_500_000,
+            horizon_cycles: 60_000,
+            trials_per_chunk: 50,
+            ..CampaignConfig::new(opts.benchmark, scheme)
+        },
+        Scale::Paper => CampaignConfig {
+            warmup_cycles: 4_000_000,
+            horizon_cycles: 200_000,
+            mean_gap_cycles: 5_000.0,
+            trials_per_chunk: 100,
+            ..CampaignConfig::new(opts.benchmark, scheme)
+        },
+    };
+    cfg.trials = opts.trials;
+    cfg.p_double = opts.p_double;
+    cfg.seed = opts.seed;
+    cfg
+}
+
+/// The raw-cache key for one scheme's campaign.
+#[must_use]
+pub fn campaign_key(scale: Scale, cfg: &CampaignConfig) -> String {
+    format!(
+        "faults-{}-{}-{}-s{}-t{}-{:016x}",
+        scale.name(),
+        cfg.benchmark.name(),
+        scheme_slug(cfg.scheme),
+        cfg.seed,
+        cfg.trials,
+        fnv1a(format!("{cfg:?}").as_bytes())
+    )
+}
+
+/// Renders an [`OutcomeTable`] as the raw cache-entry text.
+#[must_use]
+pub fn render_table(t: &OutcomeTable) -> String {
+    format!(
+        "version={FORMAT_VERSION}\nmasked={}\ncorrected={}\nrefetch={}\ndue={}\nsdc={}\n\
+         struck_valid={}\nstruck_dirty={}\n",
+        t.masked, t.corrected, t.refetch_recovered, t.due, t.sdc, t.struck_valid, t.struck_dirty
+    )
+}
+
+/// Parses cache-entry text back into an [`OutcomeTable`] (`None` on any
+/// malformed or version-mismatched input — the caller re-runs).
+#[must_use]
+pub fn parse_table(text: &str) -> Option<OutcomeTable> {
+    let mut fields = std::collections::HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once('=')?;
+        fields.insert(k, v.parse::<u64>().ok()?);
+    }
+    if *fields.get("version")? != FORMAT_VERSION {
+        return None;
+    }
+    Some(OutcomeTable {
+        masked: *fields.get("masked")?,
+        corrected: *fields.get("corrected")?,
+        refetch_recovered: *fields.get("refetch")?,
+        due: *fields.get("due")?,
+        sdc: *fields.get("sdc")?,
+        struck_valid: *fields.get("struck_valid")?,
+        struck_dirty: *fields.get("struck_dirty")?,
+    })
+}
+
+/// Runs (or recalls) one scheme's campaign.
+fn campaign_for(
+    scale: Scale,
+    opts: &FaultsOptions,
+    scheme: SchemeKind,
+    jobs: usize,
+    disk: Option<&RunCache>,
+    verbose: bool,
+) -> OutcomeTable {
+    let cfg = campaign_config(scale, opts, scheme);
+    let key = campaign_key(scale, &cfg);
+    if let Some(disk) = disk {
+        if let Some(table) = disk.load_raw(&key).as_deref().and_then(parse_table) {
+            if verbose {
+                eprintln!("[faults] disk hit {}", scheme.label());
+            }
+            return table;
+        }
+    }
+    if verbose {
+        eprintln!(
+            "[faults] campaign {} / {} ({} trials)",
+            cfg.benchmark,
+            scheme.label(),
+            cfg.trials
+        );
+    }
+    let table = run_campaign(&cfg, jobs);
+    if let Some(disk) = disk {
+        if let Err(e) = disk.store_raw(&key, &render_table(&table)) {
+            eprintln!("[faults] warning: cannot write cache entry {key}: {e}");
+        }
+    }
+    table
+}
+
+/// The first-order analytical user-visible FIT for `scheme`, fed with the
+/// lab's measured dirty fraction where the model needs one.
+fn analytical_fit(
+    model: &SoftErrorModel,
+    l2: &aep_mem::CacheConfig,
+    scheme: SchemeKind,
+    lab: &mut Lab,
+    benchmark: Benchmark,
+) -> f64 {
+    match scheme {
+        SchemeKind::Uniform | SchemeKind::UniformWithCleaning { .. } => {
+            model.uniform_ecc(l2).user_visible_fit()
+        }
+        SchemeKind::ParityOnly => {
+            let dirty = lab
+                .stats(benchmark, SchemeKind::ParityOnly)
+                .l2
+                .avg_dirty_fraction;
+            model.parity_only(l2, dirty).user_visible_fit()
+        }
+        SchemeKind::Proposed { .. } | SchemeKind::ProposedMulti { .. } => {
+            let dirty = lab.stats(benchmark, scheme).l2.avg_dirty_fraction;
+            model.proposed(l2, dirty).user_visible_fit()
+        }
+    }
+}
+
+/// Empirical/analytical FIT ratio with the edge conventions documented in
+/// EXPERIMENTS.md: both zero (schemes whose first-order loss rate is
+/// zero, confirmed by the campaign) reads 1.0; a nonzero empirical rate
+/// against a zero prediction reads +inf (a model violation worth seeing).
+#[must_use]
+pub fn fit_ratio(empirical: f64, analytical: f64) -> f64 {
+    if analytical > 0.0 {
+        empirical / analytical
+    } else if empirical == 0.0 {
+        1.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// **`exp faults`**: per-scheme outcome table plus the FIT cross-check.
+pub fn faults_figure(
+    scale: Scale,
+    opts: &FaultsOptions,
+    jobs: usize,
+    disk: Option<&RunCache>,
+    lab: &mut Lab,
+    verbose: bool,
+) -> FigureData {
+    let model = SoftErrorModel::date2006_typical();
+    let rows = faults_schemes()
+        .into_iter()
+        .map(|scheme| {
+            let table = campaign_for(scale, opts, scheme, jobs, disk, verbose);
+            let l2 = &campaign_config(scale, opts, scheme).hierarchy.l2;
+            let raw = model.raw_fit(CodeArea::from_bytes(l2.size_bytes));
+            let empirical = raw * (table.due_rate() + table.sdc_rate());
+            let analytical = analytical_fit(&model, l2, scheme, lab, opts.benchmark);
+            (
+                scheme.label().to_owned(),
+                vec![
+                    table.masked as f64,
+                    table.corrected as f64,
+                    table.refetch_recovered as f64,
+                    table.due as f64,
+                    table.sdc as f64,
+                    table.dirty_strike_fraction() * 100.0,
+                    empirical,
+                    analytical,
+                    fit_ratio(empirical, analytical),
+                ],
+            )
+        })
+        .collect();
+    FigureData {
+        title: format!(
+            "Fault injection (live): {} trials on {}, p(double)={:.2}, seed {}",
+            opts.trials,
+            opts.benchmark.name(),
+            opts.p_double,
+            opts.seed
+        ),
+        row_header: "scheme".into(),
+        columns: vec![
+            "masked".into(),
+            "corrected".into(),
+            "refetch".into(),
+            "DUE".into(),
+            "SDC".into(),
+            "dirty%".into(),
+            "emp FIT".into(),
+            "ana FIT".into(),
+            "ratio".into(),
+        ],
+        rows,
+        decimals: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aep_faultsim::TrialOutcome;
+
+    #[test]
+    fn table_text_roundtrip() {
+        let mut t = OutcomeTable::default();
+        t.record(TrialOutcome::Masked, false, false);
+        t.record(TrialOutcome::Due, true, true);
+        t.record(TrialOutcome::Corrected, true, true);
+        assert_eq!(parse_table(&render_table(&t)), Some(t));
+        assert_eq!(parse_table(""), None);
+        assert_eq!(parse_table("version=99\nmasked=1\n"), None);
+        assert_eq!(parse_table("masked=zzz\n"), None);
+    }
+
+    #[test]
+    fn keys_separate_campaigns() {
+        let opts = FaultsOptions::default();
+        let a = campaign_key(
+            Scale::Smoke,
+            &campaign_config(Scale::Smoke, &opts, SchemeKind::Uniform),
+        );
+        let b = campaign_key(
+            Scale::Smoke,
+            &campaign_config(Scale::Smoke, &opts, SchemeKind::ParityOnly),
+        );
+        let mut more_trials = opts;
+        more_trials.trials += 1;
+        let c = campaign_key(
+            Scale::Smoke,
+            &campaign_config(Scale::Smoke, &more_trials, SchemeKind::Uniform),
+        );
+        let mut other_seed = opts;
+        other_seed.seed ^= 1;
+        let d = campaign_key(
+            Scale::Smoke,
+            &campaign_config(Scale::Smoke, &other_seed, SchemeKind::Uniform),
+        );
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn fit_ratio_conventions() {
+        assert!((fit_ratio(50.0, 100.0) - 0.5).abs() < 1e-12);
+        assert_eq!(fit_ratio(0.0, 0.0), 1.0);
+        assert_eq!(fit_ratio(1.0, 0.0), f64::INFINITY);
+    }
+}

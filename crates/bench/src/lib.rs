@@ -18,8 +18,10 @@
 
 pub mod engine_bench;
 pub mod experiments;
+pub mod faults;
 pub mod runcache;
 
 pub use engine_bench::EngineBenchReport;
 pub use experiments::{FigureData, Lab, Scale};
+pub use faults::FaultsOptions;
 pub use runcache::RunCache;

@@ -93,6 +93,28 @@ impl RunCache {
         std::fs::rename(&tmp, &path)
     }
 
+    /// Loads an arbitrary text entry stored with [`RunCache::store_raw`]
+    /// (non-`RunStats` results — e.g. fault-injection campaign tables).
+    #[must_use]
+    pub fn load_raw(&self, key: &str) -> Option<String> {
+        std::fs::read_to_string(self.path_for(key)).ok()
+    }
+
+    /// Stores an arbitrary text entry under `key` with the same
+    /// write-then-rename discipline as [`RunCache::store`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing the
+    /// file.
+    pub fn store_raw(&self, key: &str, text: &str) -> io::Result<()> {
+        std::fs::create_dir_all(&self.root)?;
+        let path = self.path_for(key);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, &path)
+    }
+
     fn path_for(&self, key: &str) -> PathBuf {
         self.root.join(format!("{key}.run"))
     }
@@ -145,7 +167,7 @@ pub fn parse_scheme_slug(slug: &str) -> Option<SchemeKind> {
 }
 
 /// 64-bit FNV-1a over `bytes`.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -298,10 +320,20 @@ mod tests {
 
     #[test]
     fn non_finite_floats_roundtrip() {
+        // The hex-bit encoding must survive every non-finite class — a
+        // decimal format would turn these into "NaN"/"inf" and miss.
+        let quiet_nan_with_payload = f64::from_bits(0x7ff8_dead_beef_0123);
         let mut stats = sample_stats();
         stats.l2_miss_ratio = f64::INFINITY;
+        stats.l1d_miss_ratio = f64::NEG_INFINITY;
+        stats.ipc = quiet_nan_with_payload;
+        stats.mispredict_ratio = -0.0;
         let parsed = parse_stats(&render_stats(&stats)).expect("parses");
         assert_eq!(parsed.l2_miss_ratio.to_bits(), f64::INFINITY.to_bits());
+        assert_eq!(parsed.l1d_miss_ratio.to_bits(), f64::NEG_INFINITY.to_bits());
+        // NaN payload bits preserved exactly (NaN != NaN, so compare bits).
+        assert_eq!(parsed.ipc.to_bits(), quiet_nan_with_payload.to_bits());
+        assert_eq!(parsed.mispredict_ratio.to_bits(), (-0.0f64).to_bits());
     }
 
     #[test]
@@ -354,6 +386,25 @@ mod tests {
                 assert_ne!(x, y);
             }
         }
+    }
+
+    #[test]
+    fn raw_entries_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "aep-runcache-raw-test-{}-{:x}",
+            std::process::id(),
+            fnv1a(b"raw_roundtrip")
+        ));
+        let cache = RunCache::new(&dir);
+        assert!(cache.load_raw("faults-x").is_none());
+        cache
+            .store_raw("faults-x", "version=1\nmasked=3\n")
+            .expect("store succeeds");
+        assert_eq!(
+            cache.load_raw("faults-x").as_deref(),
+            Some("version=1\nmasked=3\n")
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

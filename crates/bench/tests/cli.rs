@@ -1,0 +1,53 @@
+//! Black-box tests of the `exp` binary's CLI contract: `help` renders
+//! usage on stdout and succeeds, while unknown commands and malformed
+//! flags render usage/diagnostics on stderr and exit nonzero.
+
+use std::process::Command;
+
+fn exp(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_exp"))
+        .args(args)
+        .output()
+        .expect("exp binary runs")
+}
+
+#[test]
+fn help_prints_usage_on_stdout_and_succeeds() {
+    for args in [&[][..], &["help"][..], &["--help"][..]] {
+        let out = exp(args);
+        assert!(out.status.success(), "{args:?} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage: exp <command>"), "{args:?}");
+        assert!(stdout.contains("faults"), "usage must list every command");
+    }
+}
+
+#[test]
+fn unknown_command_prints_usage_on_stderr_and_fails() {
+    let out = exp(&["figure99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command 'figure99'"));
+    assert!(stderr.contains("usage: exp <command>"));
+    assert!(
+        out.stdout.is_empty(),
+        "diagnostics belong on stderr, not stdout"
+    );
+}
+
+#[test]
+fn malformed_flags_fail_with_a_diagnostic() {
+    for (args, needle) in [
+        (&["fig1", "--scale", "huge"][..], "unknown scale"),
+        (&["fig1", "--jobs", "0"][..], "--jobs requires"),
+        (&["faults", "--trials", "none"][..], "--trials requires"),
+        (&["faults", "--p-double", "2.0"][..], "--p-double requires"),
+        (&["faults", "--bench", "nosuch"][..], "unknown benchmark"),
+        (&["fig1", "--frobnicate"][..], "unknown argument"),
+    ] {
+        let out = exp(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: stderr was {stderr}");
+    }
+}

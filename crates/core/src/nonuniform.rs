@@ -55,6 +55,13 @@ pub struct NonUniformScheme {
     parity: Vec<InterleavedParity>,
     /// The shared ECC array: one optional entry per set.
     entries: Vec<Option<EccEntry>>,
+    /// Entries displaced by [`Self::claim_entry`] whose forced clean-back
+    /// (ECC-WB) has not yet completed. The displaced check bits travel
+    /// with the write-back — "which must be written back to the main
+    /// memory" — so they keep protecting the displaced line until its
+    /// `Cleaned`/`Evict` event retires them. This is in-flight state, not
+    /// extra storage: it models the ECC data on the write-back path.
+    retiring: Vec<Vec<EccEntry>>,
     ways: usize,
     area: AreaModel,
     stats: NonUniformStats,
@@ -69,6 +76,7 @@ impl NonUniformScheme {
             code: Secded64::new(),
             parity: vec![InterleavedParity::default(); l2.lines() as usize],
             entries: vec![None; l2.sets() as usize],
+            retiring: vec![Vec::new(); l2.sets() as usize],
             ways: l2.ways as usize,
             area: AreaModel::new(l2),
             stats: NonUniformStats::default(),
@@ -125,8 +133,12 @@ impl NonUniformScheme {
                     set,
                     way: entry.way,
                 });
+                let displaced = EccEntry {
+                    way: entry.way,
+                    checks: std::mem::replace(&mut entry.checks, checks),
+                };
                 entry.way = way;
-                entry.checks = checks;
+                self.retiring[set].push(displaced);
                 self.stats.entries_evicted += 1;
             }
             slot @ None => {
@@ -140,6 +152,21 @@ impl NonUniformScheme {
         if self.entries[set].as_ref().is_some_and(|e| e.way == way) {
             self.entries[set] = None;
         }
+        self.retiring[set].retain(|e| e.way != way);
+    }
+
+    /// The check bytes currently protecting (`set`, `way`): the set's
+    /// live entry if this way owns it, else the freshest retiring entry
+    /// riding the way's in-flight ECC-WB.
+    fn checks_for(&self, set: usize, way: usize) -> Option<&[u8]> {
+        if let Some(e) = self.entries[set].as_ref().filter(|e| e.way == way) {
+            return Some(&e.checks);
+        }
+        self.retiring[set]
+            .iter()
+            .rev()
+            .find(|e| e.way == way)
+            .map(|e| &*e.checks)
     }
 
     /// Cross-checks the at-most-one-dirty-line-per-set invariant against
@@ -165,6 +192,10 @@ impl NonUniformScheme {
                 // A dirty line must own the entry; an entry must have a
                 // dirty owner.
                 _ => return Some(set),
+            }
+            // Once directives settle, no ECC-WB is in flight.
+            if !self.retiring[set].is_empty() {
+                return Some(set);
             }
         }
         None
@@ -199,12 +230,10 @@ impl ProtectionScheme for NonUniformScheme {
                 self.energy.parity_encodes += 1;
                 self.energy.ecc_encodes += 1;
             }
-            L2Event::Evict {
-                set, way, dirty, ..
-            } => {
-                if dirty {
-                    self.release_entry(set, way);
-                }
+            L2Event::Evict { set, way, .. } => {
+                // The frame changes identity: release the entry if this
+                // way owned it and retire any in-flight ECC-WB checks.
+                self.release_entry(set, way);
             }
             L2Event::Cleaned { set, way, .. } => {
                 self.release_entry(set, way);
@@ -221,22 +250,24 @@ impl ProtectionScheme for NonUniformScheme {
         }
     }
 
-    fn verify_line(
+    fn verify_access(
         &mut self,
         l2: &mut Cache,
         set: usize,
         way: usize,
+        was_dirty: bool,
         memory: &mut MainMemory,
     ) -> RecoveryOutcome {
         let view = l2.line_view(set, way);
         if !view.valid {
             return RecoveryOutcome::Clean;
         }
-        if view.dirty {
-            // The scheme guarantees every dirty line has its ECC entry.
-            let checks = match &self.entries[set] {
-                Some(e) if e.way == way => e.checks.clone(),
-                _ => {
+        if was_dirty {
+            // Every dirty line has check bits: the live entry, or the
+            // retiring copy travelling with its in-flight ECC-WB.
+            let checks = match self.checks_for(set, way) {
+                Some(c) => c.to_vec(),
+                None => {
                     debug_assert!(false, "dirty line without an ECC entry");
                     return RecoveryOutcome::Unrecoverable;
                 }
@@ -280,6 +311,36 @@ impl ProtectionScheme for NonUniformScheme {
             }
             self.refresh_parity(l2, set, way);
             RecoveryOutcome::RecoveredByRefetch
+        }
+    }
+
+    fn verify_writeback(&mut self, set: usize, way: usize, data: &mut [u64]) -> RecoveryOutcome {
+        if let Some(checks) = self.checks_for(set, way) {
+            let checks = checks.to_vec();
+            let mut repaired = 0usize;
+            for (i, w) in data.iter_mut().enumerate() {
+                match self.code.decode(*w, checks[i]) {
+                    Decoded::Clean { .. } => {}
+                    Decoded::Corrected { data, .. } => {
+                        *w = data;
+                        repaired += 1;
+                    }
+                    Decoded::Uncorrectable => return RecoveryOutcome::Unrecoverable,
+                }
+            }
+            if repaired > 0 {
+                RecoveryOutcome::CorrectedByEcc { words: repaired }
+            } else {
+                RecoveryOutcome::Clean
+            }
+        } else {
+            // No ECC entry for this line: parity detection only.
+            let stored = self.parity[self.parity_slot(set, way)];
+            if InterleavedParity::verify(data, stored).is_ok() {
+                RecoveryOutcome::Clean
+            } else {
+                RecoveryOutcome::Unrecoverable
+            }
         }
     }
 
@@ -497,6 +558,46 @@ mod tests {
         let outcome = h.scheme.verify_line(&mut h.l2, set, way_a, &mut h.mem);
         assert_eq!(outcome, RecoveryOutcome::RecoveredByRefetch);
         assert_eq!(h.l2.line_data(set, way_a).unwrap(), expected.as_slice());
+    }
+
+    #[test]
+    fn displaced_entry_still_corrects_during_its_ecc_writeback() {
+        // Between claim_entry() reassigning the set's entry and the
+        // ForceClean directive draining, the displaced dirty line is
+        // protected by the retiring checks riding its ECC-WB: a strike
+        // landing in that window must still be correctable.
+        let mut h = Harness::new();
+        let (set, way_a) = h.write_line(LineAddr(0), 1);
+        // Displace A's entry by hand, holding the directive un-executed.
+        h.l2.lookup(LineAddr(16), AccessKind::Write, 0);
+        let data: Box<[u64]> = (0..8).map(|i| 2 ^ i).collect();
+        let out = h.l2.install(LineAddr(16), true, 0, Some(data));
+        assert_ne!(out.way, way_a);
+        let events = h.l2.take_events();
+        let mut dirs = Vec::new();
+        for ev in &events {
+            h.scheme.on_event(ev, &h.l2, &mut dirs);
+        }
+        assert_eq!(dirs.len(), 1, "the displacement queues one ECC-WB");
+        assert_eq!(h.scheme.entry_owner(set), Some(out.way));
+
+        // Strike the displaced line mid-window and verify the write-back
+        // payload heals via the retiring checks (not parity-DUE).
+        let before = h.l2.line_data(set, way_a).unwrap().to_vec();
+        h.l2.strike(set, way_a, 4, 13);
+        let mut buf = h.l2.line_data(set, way_a).unwrap().to_vec();
+        let outcome = h.scheme.verify_writeback(set, way_a, &mut buf);
+        assert_eq!(outcome, RecoveryOutcome::CorrectedByEcc { words: 1 });
+        assert_eq!(buf, before, "the write-back payload is repaired");
+
+        // Completing the clean-back retires the in-flight checks.
+        for Directive::ForceClean { set, way } in dirs {
+            if let Some(ev) = h.l2.force_clean(set, way, 0, WbClass::EccEviction) {
+                h.mem.write_line(ev.line, ev.data.unwrap());
+            }
+        }
+        h.drain();
+        h.assert_invariant();
     }
 
     #[test]

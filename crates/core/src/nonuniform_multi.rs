@@ -33,6 +33,10 @@ pub struct MultiEntryScheme {
     parity: Vec<InterleavedParity>,
     /// `entries[set]` holds at most `entries_per_set` dirty-line entries.
     entries: Vec<Vec<Entry>>,
+    /// Displaced entries whose forced clean-back (ECC-WB) is in flight:
+    /// the checks travel with the write-back and keep protecting the
+    /// displaced line until its `Cleaned`/`Evict` event retires them.
+    retiring: Vec<Vec<Entry>>,
     entries_per_set: usize,
     ways: usize,
     area: AreaModel,
@@ -60,6 +64,7 @@ impl MultiEntryScheme {
             code: Secded64::new(),
             parity: vec![InterleavedParity::default(); l2.lines() as usize],
             entries: vec![Vec::with_capacity(entries_per_set); l2.sets() as usize],
+            retiring: vec![Vec::new(); l2.sets() as usize],
             entries_per_set,
             ways: l2.ways as usize,
             area: AreaModel::new(l2),
@@ -118,6 +123,7 @@ impl MultiEntryScheme {
                 set,
                 way: victim.way,
             });
+            self.retiring[set].push(victim);
             self.evictions += 1;
         }
         self.entries[set].push(Entry { way, checks, stamp });
@@ -125,6 +131,20 @@ impl MultiEntryScheme {
 
     fn release(&mut self, set: usize, way: usize) {
         self.entries[set].retain(|e| e.way != way);
+        self.retiring[set].retain(|e| e.way != way);
+    }
+
+    /// The check bytes currently protecting (`set`, `way`): a live entry,
+    /// or the freshest retiring entry riding the way's in-flight ECC-WB.
+    fn checks_for(&self, set: usize, way: usize) -> Option<&[u8]> {
+        if let Some(e) = self.entries[set].iter().find(|e| e.way == way) {
+            return Some(&e.checks);
+        }
+        self.retiring[set]
+            .iter()
+            .rev()
+            .find(|e| e.way == way)
+            .map(|e| &*e.checks)
     }
 
     /// Checks the generalised invariant: at most `k` dirty lines per set,
@@ -145,6 +165,10 @@ impl MultiEntryScheme {
             dirty.sort_unstable();
             owned.sort_unstable();
             if dirty != owned {
+                return Some(set);
+            }
+            // Once directives settle, no ECC-WB is in flight.
+            if !self.retiring[set].is_empty() {
                 return Some(set);
             }
         }
@@ -175,12 +199,10 @@ impl ProtectionScheme for MultiEntryScheme {
                 self.refresh_parity(l2, set, way);
                 self.claim(l2, set, way, directives);
             }
-            L2Event::Evict {
-                set, way, dirty, ..
-            } => {
-                if dirty {
-                    self.release(set, way);
-                }
+            L2Event::Evict { set, way, .. } => {
+                // The frame changes identity: drop the live entry and any
+                // retiring checks bound to this way.
+                self.release(set, way);
             }
             L2Event::Cleaned { set, way, .. } => {
                 self.release(set, way);
@@ -189,20 +211,21 @@ impl ProtectionScheme for MultiEntryScheme {
         }
     }
 
-    fn verify_line(
+    fn verify_access(
         &mut self,
         l2: &mut Cache,
         set: usize,
         way: usize,
+        was_dirty: bool,
         memory: &mut MainMemory,
     ) -> RecoveryOutcome {
         let view = l2.line_view(set, way);
         if !view.valid {
             return RecoveryOutcome::Clean;
         }
-        if view.dirty {
-            let checks = match self.entries[set].iter().find(|e| e.way == way) {
-                Some(e) => e.checks.clone(),
+        if was_dirty {
+            let checks = match self.checks_for(set, way) {
+                Some(c) => c.to_vec(),
                 None => {
                     debug_assert!(false, "dirty line without an ECC entry");
                     return RecoveryOutcome::Unrecoverable;
@@ -246,6 +269,35 @@ impl ProtectionScheme for MultiEntryScheme {
             }
             self.refresh_parity(l2, set, way);
             RecoveryOutcome::RecoveredByRefetch
+        }
+    }
+
+    fn verify_writeback(&mut self, set: usize, way: usize, data: &mut [u64]) -> RecoveryOutcome {
+        if let Some(checks) = self.checks_for(set, way) {
+            let checks = checks.to_vec();
+            let mut repaired = 0usize;
+            for (i, w) in data.iter_mut().enumerate() {
+                match self.code.decode(*w, checks[i]) {
+                    Decoded::Clean { .. } => {}
+                    Decoded::Corrected { data, .. } => {
+                        *w = data;
+                        repaired += 1;
+                    }
+                    Decoded::Uncorrectable => return RecoveryOutcome::Unrecoverable,
+                }
+            }
+            if repaired > 0 {
+                RecoveryOutcome::CorrectedByEcc { words: repaired }
+            } else {
+                RecoveryOutcome::Clean
+            }
+        } else {
+            let stored = self.parity[self.parity_slot(set, way)];
+            if InterleavedParity::verify(data, stored).is_ok() {
+                RecoveryOutcome::Clean
+            } else {
+                RecoveryOutcome::Unrecoverable
+            }
         }
     }
 
@@ -382,6 +434,46 @@ mod tests {
         }
         assert_eq!(multi.ecc_wb, single_wb, "k=1 must match the paper scheme");
         assert_eq!(multi.l2.dirty_line_count(), single_l2.dirty_line_count());
+    }
+
+    #[test]
+    fn displaced_entry_still_corrects_during_its_ecc_writeback() {
+        // FIFO displacement queues a ForceClean; until it drains, the
+        // victim's checks ride the ECC-WB and must still correct strikes.
+        let mut h = Harness::new(1);
+        h.write_line(LineAddr(0), 1);
+        let (set, way_a) = h.l2.peek(LineAddr(0)).unwrap();
+        h.l2.lookup(LineAddr(16), AccessKind::Write, 0);
+        let data: Box<[u64]> = (0..8).map(|i| 2 ^ i).collect();
+        let out = h.l2.install(LineAddr(16), true, 0, Some(data));
+        assert_ne!(out.way, way_a);
+        let events = h.l2.take_events();
+        let mut dirs = Vec::new();
+        for ev in &events {
+            h.scheme.on_event(ev, &h.l2, &mut dirs);
+        }
+        assert_eq!(dirs.len(), 1, "the displacement queues one ECC-WB");
+
+        let before = h.l2.line_data(set, way_a).unwrap().to_vec();
+        h.l2.strike(set, way_a, 6, 21);
+        let mut buf = h.l2.line_data(set, way_a).unwrap().to_vec();
+        let outcome = h.scheme.verify_writeback(set, way_a, &mut buf);
+        assert_eq!(outcome, RecoveryOutcome::CorrectedByEcc { words: 1 });
+        assert_eq!(buf, before, "the write-back payload is repaired");
+
+        for Directive::ForceClean { set, way } in dirs {
+            if let Some(ev) = h.l2.force_clean(set, way, 0, WbClass::EccEviction) {
+                h.mem.write_line(ev.line, ev.data.unwrap());
+                h.ecc_wb += 1;
+            }
+        }
+        let events = h.l2.take_events();
+        let mut dirs = Vec::new();
+        for ev in &events {
+            h.scheme.on_event(ev, &h.l2, &mut dirs);
+        }
+        assert!(dirs.is_empty());
+        assert_eq!(h.scheme.find_invariant_violation(&h.l2), None);
     }
 
     #[test]

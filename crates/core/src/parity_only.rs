@@ -67,11 +67,12 @@ impl ProtectionScheme for ParityOnlyScheme {
         }
     }
 
-    fn verify_line(
+    fn verify_access(
         &mut self,
         l2: &mut Cache,
         set: usize,
         way: usize,
+        was_dirty: bool,
         memory: &mut MainMemory,
     ) -> RecoveryOutcome {
         let view = l2.line_view(set, way);
@@ -85,7 +86,7 @@ impl ProtectionScheme for ParityOnlyScheme {
         if InterleavedParity::verify(data, stored).is_ok() {
             return RecoveryOutcome::Clean;
         }
-        if view.dirty {
+        if was_dirty {
             // The only copy of the data is corrupt: detected, not
             // recoverable — precisely the gap the paper's ECC array closes.
             return RecoveryOutcome::Unrecoverable;
@@ -97,6 +98,16 @@ impl ProtectionScheme for ParityOnlyScheme {
         }
         self.refresh(l2, set, way);
         RecoveryOutcome::RecoveredByRefetch
+    }
+
+    fn verify_writeback(&mut self, set: usize, way: usize, data: &mut [u64]) -> RecoveryOutcome {
+        let stored = self.parity[self.slot(set, way)];
+        if InterleavedParity::verify(data, stored).is_ok() {
+            RecoveryOutcome::Clean
+        } else {
+            // Parity detects but cannot repair an outbound dirty image.
+            RecoveryOutcome::Unrecoverable
+        }
     }
 
     fn protected_dirty_lines(&self) -> usize {

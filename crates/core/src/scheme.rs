@@ -182,13 +182,40 @@ pub trait ProtectionScheme {
     /// Verifies line (`set`, `way`) against the check storage, repairing
     /// the cached data when possible (ECC correction, or refetch from
     /// `memory` for clean lines).
+    ///
+    /// `was_dirty` is the line's dirty state *at the access being
+    /// verified* — for a write hit the check storage still describes the
+    /// pre-store image, whose dirty state may differ from the line's
+    /// current bit, so the caller supplies it explicitly.
+    fn verify_access(
+        &mut self,
+        l2: &mut Cache,
+        set: usize,
+        way: usize,
+        was_dirty: bool,
+        memory: &mut MainMemory,
+    ) -> RecoveryOutcome;
+
+    /// Verifies line (`set`, `way`) using the line's current dirty bit
+    /// (the common read-time case).
     fn verify_line(
         &mut self,
         l2: &mut Cache,
         set: usize,
         way: usize,
         memory: &mut MainMemory,
-    ) -> RecoveryOutcome;
+    ) -> RecoveryOutcome {
+        let was_dirty = l2.line_view(set, way).dirty;
+        self.verify_access(l2, set, way, was_dirty, memory)
+    }
+
+    /// Verifies an outbound write-back image of line (`set`, `way`)
+    /// against the check storage, repairing `data` in place when the
+    /// scheme can (SECDED). Used at eviction/cleaning time, when the data
+    /// is leaving for memory rather than being re-read: detection-only
+    /// schemes report [`RecoveryOutcome::Unrecoverable`] (a dirty line
+    /// cannot be refetched).
+    fn verify_writeback(&mut self, set: usize, way: usize, data: &mut [u64]) -> RecoveryOutcome;
 
     /// Number of dirty lines whose ECC the scheme currently stores
     /// (diagnostics; the proposed scheme's occupancy is bounded by the set

@@ -78,13 +78,15 @@ impl ProtectionScheme for UniformEccScheme {
         }
     }
 
-    fn verify_line(
+    fn verify_access(
         &mut self,
         l2: &mut Cache,
         set: usize,
         way: usize,
+        _was_dirty: bool,
         _memory: &mut MainMemory,
     ) -> RecoveryOutcome {
+        // Uniform SECDED covers clean and dirty lines identically.
         if !l2.line_view(set, way).valid {
             return RecoveryOutcome::Clean;
         }
@@ -99,6 +101,26 @@ impl ProtectionScheme for UniformEccScheme {
                 Decoded::Clean { .. } => {}
                 Decoded::Corrected { data, .. } => {
                     l2.write_word(set, way, i, data);
+                    repaired += 1;
+                }
+                Decoded::Uncorrectable => return RecoveryOutcome::Unrecoverable,
+            }
+        }
+        if repaired == 0 {
+            RecoveryOutcome::Clean
+        } else {
+            RecoveryOutcome::CorrectedByEcc { words: repaired }
+        }
+    }
+
+    fn verify_writeback(&mut self, set: usize, way: usize, data: &mut [u64]) -> RecoveryOutcome {
+        let base = self.slot(set, way);
+        let mut repaired = 0usize;
+        for (i, w) in data.iter_mut().enumerate() {
+            match self.code.decode(*w, self.checks[base + i]) {
+                Decoded::Clean { .. } => {}
+                Decoded::Corrected { data, .. } => {
+                    *w = data;
                     repaired += 1;
                 }
                 Decoded::Uncorrectable => return RecoveryOutcome::Unrecoverable,

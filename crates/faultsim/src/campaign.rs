@@ -1,0 +1,320 @@
+//! Monte Carlo fault-injection campaigns over the live timing simulator.
+//!
+//! A campaign runs `trials` independent strike experiments against one
+//! (benchmark, scheme) pair. Strikes arrive at seeded pseudo-Poisson times
+//! *during* simulation: the machine runs an exponential gap, one L2 frame
+//! is chosen uniformly over the whole array (invalid frames count as
+//! immediately masked strikes — the same normalisation the analytical
+//! [`aep_core::SoftErrorModel`] uses), real bits are flipped in the live
+//! data array, and the system keeps executing until the upset is consumed
+//! by the scheme's detect/correct path or the per-trial horizon expires.
+//!
+//! # Determinism
+//!
+//! Trials are grouped into fixed-size chunks. Each chunk builds its own
+//! [`System`], warms it up identically, and derives its injection RNG from
+//! `mix64(seed, chunk)` — so a chunk's outcome depends only on the config
+//! and its index, never on which worker thread ran it or in what order.
+//! [`fan_out`] re-sorts chunk tables by index before the in-order merge,
+//! which makes `--jobs N` byte-identical to `--jobs 1`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aep_cpu::CoreConfig;
+use aep_ecc::inject::FaultInjector;
+use aep_mem::memory::mix64;
+use aep_mem::HierarchyConfig;
+use aep_rng::SmallRng;
+use aep_sim::System;
+use aep_workloads::Benchmark;
+
+use aep_core::{RecoveryOutcome, SchemeKind};
+
+use crate::monitor::{PendingStrike, StrikeCell, StrikeProbe, StrikeState};
+use crate::outcome::{OutcomeTable, TrialOutcome};
+use crate::pool::fan_out;
+
+/// Everything that determines a campaign's result. Two equal configs
+/// produce bit-identical [`OutcomeTable`]s regardless of `jobs`.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Workload executing while faults arrive.
+    pub benchmark: Benchmark,
+    /// Protection scheme under test.
+    pub scheme: SchemeKind,
+    /// Master seed: drives the workload, strike times, targets, and bits.
+    pub seed: u64,
+    /// Number of strike trials.
+    pub trials: u32,
+    /// Probability that a strike flips two bits in the same word
+    /// (spatial multi-bit upset).
+    pub p_double: f64,
+    /// Cycles each chunk's fresh system runs before its first strike.
+    pub warmup_cycles: u64,
+    /// Per-trial resolution budget: cycles to wait for the struck line to
+    /// be accessed, cleaned, or evicted before force-resolving.
+    pub horizon_cycles: u64,
+    /// Mean of the exponential inter-strike gap, in cycles.
+    pub mean_gap_cycles: f64,
+    /// Trials per chunk (the unit of parallelism and determinism).
+    pub trials_per_chunk: u32,
+    /// Core configuration.
+    pub core: CoreConfig,
+    /// Memory-system configuration (`l2.store_data` must be `true`).
+    pub hierarchy: HierarchyConfig,
+}
+
+impl CampaignConfig {
+    /// The standard campaign geometry: the paper's Table 1 machine, a
+    /// short warm-up, and a horizon long enough for the working set to
+    /// turn over.
+    #[must_use]
+    pub fn new(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+        CampaignConfig {
+            benchmark,
+            scheme,
+            seed: 2006,
+            trials: 1000,
+            p_double: 0.0,
+            warmup_cycles: 30_000,
+            horizon_cycles: 50_000,
+            mean_gap_cycles: 2_000.0,
+            trials_per_chunk: 25,
+            core: CoreConfig::date2006(),
+            hierarchy: HierarchyConfig::date2006(),
+        }
+    }
+
+    /// A miniature geometry for unit tests: tiny caches (so strikes land
+    /// on valid lines quickly) and short windows.
+    #[must_use]
+    pub fn fast_test(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+        CampaignConfig {
+            warmup_cycles: 10_000,
+            horizon_cycles: 8_000,
+            mean_gap_cycles: 200.0,
+            trials_per_chunk: 10,
+            trials: 40,
+            hierarchy: HierarchyConfig::tiny(),
+            ..CampaignConfig::new(benchmark, scheme)
+        }
+    }
+
+    fn chunks(&self) -> usize {
+        (self.trials as usize).div_ceil(self.trials_per_chunk.max(1) as usize)
+    }
+}
+
+/// Runs the whole campaign, fanning chunks over up to `jobs` threads.
+/// The result is identical for every `jobs` value.
+#[must_use]
+pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> OutcomeTable {
+    assert!(
+        cfg.hierarchy.l2.store_data,
+        "fault injection needs a data-holding L2 (store_data = true)"
+    );
+    let tables = fan_out(cfg.chunks(), jobs, |chunk| run_chunk(cfg, chunk));
+    let mut total = OutcomeTable::default();
+    for t in &tables {
+        total.merge(t);
+    }
+    total
+}
+
+/// Runs one chunk of trials on a fresh, identically-warmed system.
+fn run_chunk(cfg: &CampaignConfig, chunk: usize) -> OutcomeTable {
+    let done = chunk as u64 * u64::from(cfg.trials_per_chunk);
+    let trials_here = u64::from(cfg.trials_per_chunk).min(u64::from(cfg.trials) - done);
+
+    let mut sys = System::new(
+        cfg.core.clone(),
+        cfg.hierarchy.clone(),
+        cfg.scheme,
+        cfg.benchmark.generator(cfg.seed),
+    );
+    let cell: StrikeCell = Rc::new(RefCell::new(StrikeState::default()));
+    sys.set_injection_probe(Box::new(StrikeProbe::new(Rc::clone(&cell))));
+    let mut now = sys.run(0, cfg.warmup_cycles);
+
+    // Chunk-indexed seed: depends only on (master seed, chunk index).
+    let chunk_seed = mix64(cfg.seed ^ mix64(0xFA01_7B17 ^ chunk as u64));
+    let mut rng = SmallRng::seed_from_u64(chunk_seed);
+    let mut injector = FaultInjector::with_seed(mix64(chunk_seed));
+
+    let mut table = OutcomeTable::default();
+    for _ in 0..trials_here {
+        // Exponential inter-arrival gap (inverse-CDF on [0,1), min 1 cycle).
+        let u: f64 = rng.gen();
+        let gap = ((-(1.0 - u).ln()) * cfg.mean_gap_cycles).ceil().max(1.0) as u64;
+        now = sys.run(now, gap);
+
+        let (set, way, view) = {
+            let l2 = sys.hier.l2();
+            let set = rng.gen_range(0..l2.sets());
+            let way = rng.gen_range(0..l2.ways());
+            (set, way, l2.line_view(set, way))
+        };
+        if !view.valid {
+            // Strikes on empty frames are benign; counting them keeps the
+            // empirical rates normalised over the whole array.
+            table.record(TrialOutcome::Masked, false, false);
+            continue;
+        }
+        let snapshot: Box<[u64]> = sys
+            .hier
+            .l2()
+            .line_data(set, way)
+            .expect("store_data caches hold line data")
+            .into();
+        let dirty = view.dirty;
+        let spec = injector.weighted(snapshot.len(), cfg.p_double);
+        {
+            let l2 = sys.hier.l2_mut();
+            l2.strike(set, way, spec.word, spec.bit);
+            if let Some(second) = spec.second_bit {
+                l2.strike(set, way, spec.word, second);
+            }
+        }
+        cell.borrow_mut().arm(PendingStrike {
+            set,
+            way,
+            line: view.line,
+            spec,
+            snapshot,
+        });
+
+        let deadline = now + cfg.horizon_cycles;
+        let mut outcome = None;
+        while now < deadline {
+            sys.step(now);
+            now += 1;
+            if let Some(o) = cell.borrow_mut().take_outcome() {
+                outcome = Some(o);
+                break;
+            }
+        }
+        let outcome = outcome.unwrap_or_else(|| finalize_at_horizon(&mut sys, &cell));
+        table.record(outcome, true, dirty);
+    }
+    table
+}
+
+/// Force-resolves a strike that nothing consumed within the horizon.
+///
+/// A clean struck line counts as masked: main memory still holds the
+/// intact copy, so the latent flip can always be recovered by refetch and
+/// never becomes loss on its own. A dirty struck line is resolved as if it
+/// were written back now — the scheme's outbound check decides whether the
+/// latent upset would have been corrected, declared DUE, or silently
+/// escaped to memory.
+fn finalize_at_horizon<S: aep_cpu::InstrStream>(
+    sys: &mut System<S>,
+    cell: &StrikeCell,
+) -> TrialOutcome {
+    let strike = cell
+        .borrow_mut()
+        .take_pending()
+        .expect("horizon expiry implies an unresolved strike");
+    let (l2, _memory) = sys.hier.l2_and_memory_mut();
+    let view = l2.line_view(strike.set, strike.way);
+    debug_assert!(
+        view.valid && view.line == strike.line,
+        "a struck line can only leave its frame via a witnessed eviction"
+    );
+    let outcome = if !view.dirty {
+        TrialOutcome::Masked
+    } else {
+        let mut buf: Vec<u64> = l2
+            .line_data(strike.set, strike.way)
+            .expect("struck lines hold data")
+            .to_vec();
+        match sys
+            .scheme
+            .verify_writeback(strike.set, strike.way, &mut buf)
+        {
+            RecoveryOutcome::Clean => TrialOutcome::Sdc,
+            RecoveryOutcome::CorrectedByEcc { .. } => TrialOutcome::Corrected,
+            RecoveryOutcome::RecoveredByRefetch => TrialOutcome::RefetchRecovered,
+            RecoveryOutcome::Unrecoverable => TrialOutcome::Due,
+        }
+    };
+    // Scrub the latent flip out of the array before the next trial.
+    sys.hier.l2_mut().write_word(
+        strike.set,
+        strike.way,
+        strike.spec.word,
+        strike.snapshot[strike.spec.word],
+    );
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aep_workloads::calibration::CHOSEN_INTERVAL;
+
+    fn cfg(scheme: SchemeKind) -> CampaignConfig {
+        CampaignConfig::fast_test(Benchmark::Swim, scheme)
+    }
+
+    #[test]
+    fn jobs_count_does_not_change_the_result() {
+        let c = cfg(SchemeKind::ParityOnly);
+        let serial = run_campaign(&c, 1);
+        let parallel = run_campaign(&c, 3);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.trials(), u64::from(c.trials));
+    }
+
+    #[test]
+    fn uniform_ecc_never_loses_data_under_single_bit_faults() {
+        let c = cfg(SchemeKind::Uniform);
+        let table = run_campaign(&c, 2);
+        assert_eq!(table.sdc, 0, "SECDED must catch every single-bit flip");
+        assert_eq!(table.due, 0, "single-bit flips are always correctable");
+        assert!(table.corrected > 0, "some strikes must reach the scheme");
+    }
+
+    #[test]
+    fn parity_only_loses_dirty_lines_but_never_silently() {
+        let c = cfg(SchemeKind::ParityOnly);
+        let table = run_campaign(&c, 2);
+        assert_eq!(table.sdc, 0, "parity detects every single-bit flip");
+        assert!(
+            table.due > 0,
+            "dirty strikes under parity-only must be unrecoverable"
+        );
+    }
+
+    #[test]
+    fn proposed_scheme_cuts_due_versus_parity_only() {
+        let parity = run_campaign(&cfg(SchemeKind::ParityOnly), 2);
+        let proposed = run_campaign(
+            &cfg(SchemeKind::Proposed {
+                cleaning_interval: CHOSEN_INTERVAL,
+            }),
+            2,
+        );
+        assert!(
+            proposed.due < parity.due,
+            "nonuniform ECC + cleaning must reduce DUE ({} vs {})",
+            proposed.due,
+            parity.due
+        );
+        // Single-bit strikes are always recoverable under the proposed
+        // scheme: dirty lines decode against the shared ECC entry (live or
+        // riding an in-flight ECC-WB), clean lines refetch on parity.
+        assert_eq!(proposed.due, 0, "proposed must fully protect single bits");
+        assert_eq!(proposed.sdc, 0, "no strike may escape silently");
+    }
+
+    #[test]
+    fn double_bit_faults_defeat_secded() {
+        let mut c = cfg(SchemeKind::Uniform);
+        c.p_double = 1.0;
+        let table = run_campaign(&c, 2);
+        assert_eq!(table.corrected, 0, "double flips are never correctable");
+        assert!(table.due > 0, "SECDED must detect double flips as DUE");
+    }
+}

@@ -1,0 +1,29 @@
+//! Monte Carlo soft-error campaigns over the live timing simulator.
+//!
+//! Where [`aep_core::verify`] checks schemes against *static* injected
+//! faults, this crate measures what actually happens when an upset lands
+//! in a busy machine: real bits flip in the data-holding L2 at seeded
+//! pseudo-Poisson arrival times, the workload keeps executing, and the
+//! upset is routed through the active scheme's detect/correct path at the
+//! next access, cleaning probe, or eviction that touches the struck line.
+//!
+//! * [`outcome`] — the per-trial taxonomy (masked / corrected /
+//!   refetch-recovered / DUE / SDC) and campaign tallies.
+//! * [`monitor`] — the [`aep_sim::InjectionProbe`] that resolves a pending
+//!   strike at the first event touching the struck frame.
+//! * [`campaign`] — chunked, jobs-invariant campaign driver.
+//! * [`pool`] — the order-preserving thread fan-out shared with the
+//!   experiment engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod monitor;
+pub mod outcome;
+pub mod pool;
+
+pub use campaign::{run_campaign, CampaignConfig};
+pub use monitor::{PendingStrike, StrikeCell, StrikeProbe, StrikeState};
+pub use outcome::{OutcomeTable, TrialOutcome};
+pub use pool::fan_out;

@@ -1,0 +1,301 @@
+//! The strike monitor: resolves a pending upset at the first L2 event
+//! that touches the struck frame.
+//!
+//! The monitor is installed as the system's [`InjectionProbe`], so it
+//! observes every L2 event *before* the protection scheme does — while the
+//! scheme's check storage still encodes the pre-strike line image. That
+//! ordering is what lets it drive the scheme's real detect/correct path
+//! (`verify_access` / `verify_writeback`) against the corrupted data and
+//! classify the end-to-end outcome.
+//!
+//! After classifying, the monitor repairs the machine back to a
+//! snapshot-consistent state (cache data, memory image) so that subsequent
+//! trials in the same chunk observe an uncorrupted system. The repair is
+//! exactly what a real recovery would have produced where one exists; for
+//! DUE/SDC outcomes it models the post-mortem state an error-free machine
+//! would have had.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aep_core::{ProtectionScheme, RecoveryOutcome};
+use aep_ecc::inject::FaultSpec;
+use aep_mem::addr::LineAddr;
+use aep_mem::cache::{Cache, L2Event};
+use aep_mem::{Cycle, MainMemory};
+use aep_sim::InjectionProbe;
+
+use crate::outcome::TrialOutcome;
+
+/// One armed strike awaiting resolution.
+#[derive(Debug, Clone)]
+pub struct PendingStrike {
+    /// Struck set.
+    pub set: usize,
+    /// Struck way.
+    pub way: usize,
+    /// The line resident in the struck frame when the fault landed.
+    pub line: LineAddr,
+    /// The injected fault.
+    pub spec: FaultSpec,
+    /// The frame's data immediately before the strike.
+    pub snapshot: Box<[u64]>,
+}
+
+/// Shared state between the campaign loop (arms strikes, polls outcomes)
+/// and the probe wired into the system's event drain.
+#[derive(Debug, Default)]
+pub struct StrikeState {
+    pending: Option<PendingStrike>,
+    outcome: Option<TrialOutcome>,
+}
+
+impl StrikeState {
+    /// Arms a strike for resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a strike is already pending — trials are strictly
+    /// sequential within a chunk.
+    pub fn arm(&mut self, strike: PendingStrike) {
+        assert!(self.pending.is_none(), "one strike at a time");
+        self.outcome = None;
+        self.pending = Some(strike);
+    }
+
+    /// Removes and returns the resolved outcome, if the probe produced one.
+    pub fn take_outcome(&mut self) -> Option<TrialOutcome> {
+        self.outcome.take()
+    }
+
+    /// Removes and returns the still-unresolved strike (horizon expiry).
+    pub fn take_pending(&mut self) -> Option<PendingStrike> {
+        self.pending.take()
+    }
+}
+
+/// Shared handle to a [`StrikeState`] (single-threaded per chunk worker).
+pub type StrikeCell = Rc<RefCell<StrikeState>>;
+
+/// The [`InjectionProbe`] half of the monitor.
+#[derive(Debug)]
+pub struct StrikeProbe {
+    cell: StrikeCell,
+}
+
+impl StrikeProbe {
+    /// Wraps a shared strike cell.
+    #[must_use]
+    pub fn new(cell: StrikeCell) -> Self {
+        StrikeProbe { cell }
+    }
+}
+
+impl InjectionProbe for StrikeProbe {
+    fn on_l2_event(
+        &mut self,
+        event: &L2Event,
+        l2: &mut Cache,
+        scheme: &mut dyn ProtectionScheme,
+        memory: &mut MainMemory,
+        _now: Cycle,
+    ) {
+        let mut state = self.cell.borrow_mut();
+        let Some(strike) = state.pending.take() else {
+            return;
+        };
+        let resolved = match *event {
+            L2Event::ReadHit {
+                set,
+                way,
+                line,
+                dirty,
+            } if hits(&strike, set, way, line) => {
+                Some(resolve_read(&strike, l2, scheme, memory, dirty))
+            }
+            L2Event::WriteHit {
+                set,
+                way,
+                line,
+                first_write,
+            } if hits(&strike, set, way, line) => {
+                Some(resolve_write(&strike, l2, scheme, memory, first_write))
+            }
+            L2Event::Evict {
+                set,
+                way,
+                line,
+                dirty,
+            } if hits(&strike, set, way, line) => {
+                Some(resolve_evict(&strike, scheme, memory, dirty))
+            }
+            L2Event::Cleaned { set, way, line, .. } if hits(&strike, set, way, line) => {
+                Some(resolve_cleaned(&strike, l2, scheme, memory))
+            }
+            _ => None,
+        };
+        match resolved {
+            Some(outcome) => state.outcome = Some(outcome),
+            None => state.pending = Some(strike),
+        }
+    }
+}
+
+fn hits(strike: &PendingStrike, set: usize, way: usize, line: LineAddr) -> bool {
+    strike.set == set && strike.way == way && strike.line == line
+}
+
+/// Writes the pre-strike value of the struck word back into the cache —
+/// the repair for outcomes where no scheme recovery fired.
+fn restore_struck_word(strike: &PendingStrike, l2: &mut Cache) {
+    l2.write_word(
+        strike.set,
+        strike.way,
+        strike.spec.word,
+        strike.snapshot[strike.spec.word],
+    );
+}
+
+/// A load reads the struck line: the scheme's access-time check runs
+/// against the corrupted data.
+fn resolve_read(
+    strike: &PendingStrike,
+    l2: &mut Cache,
+    scheme: &mut dyn ProtectionScheme,
+    memory: &mut MainMemory,
+    dirty: bool,
+) -> TrialOutcome {
+    match scheme.verify_access(l2, strike.set, strike.way, dirty, memory) {
+        RecoveryOutcome::Clean => {
+            // The check missed: corrupted data reached the core.
+            restore_struck_word(strike, l2);
+            TrialOutcome::Sdc
+        }
+        RecoveryOutcome::CorrectedByEcc { .. } => TrialOutcome::Corrected,
+        RecoveryOutcome::RecoveredByRefetch => TrialOutcome::RefetchRecovered,
+        RecoveryOutcome::Unrecoverable => {
+            restore_struck_word(strike, l2);
+            TrialOutcome::Due
+        }
+    }
+}
+
+/// A store hits the struck line. By the time the event drains, the store
+/// data has already been merged into the line, so the pre-store image is
+/// reconstructed first: the check storage describes *that* image, and a
+/// real controller checks before it merges.
+fn resolve_write(
+    strike: &PendingStrike,
+    l2: &mut Cache,
+    scheme: &mut dyn ProtectionScheme,
+    memory: &mut MainMemory,
+    first_write: bool,
+) -> TrialOutcome {
+    let current: Vec<u64> = l2
+        .line_data(strike.set, strike.way)
+        .expect("struck lines hold data")
+        .to_vec();
+    let mut corrupt = strike.snapshot.clone();
+    strike.spec.apply_to(&mut corrupt);
+    // Words that differ from the corrupted pre-store image are the store's.
+    let cpu_words: Vec<usize> = (0..current.len())
+        .filter(|&i| current[i] != corrupt[i])
+        .collect();
+    if cpu_words.contains(&strike.spec.word) {
+        // The store overwrote the struck word before anything consumed it;
+        // the scheme re-encodes over the merged line right after this.
+        return TrialOutcome::Masked;
+    }
+    // Rebuild the pre-store image and run the access-time check on it.
+    for &i in &cpu_words {
+        l2.write_word(strike.set, strike.way, i, corrupt[i]);
+    }
+    let was_dirty = !first_write;
+    let outcome = match scheme.verify_access(l2, strike.set, strike.way, was_dirty, memory) {
+        RecoveryOutcome::Clean => {
+            restore_struck_word(strike, l2);
+            TrialOutcome::Sdc
+        }
+        RecoveryOutcome::CorrectedByEcc { .. } => TrialOutcome::Corrected,
+        RecoveryOutcome::RecoveredByRefetch => TrialOutcome::RefetchRecovered,
+        RecoveryOutcome::Unrecoverable => {
+            restore_struck_word(strike, l2);
+            TrialOutcome::Due
+        }
+    };
+    // Re-merge the store's words over the recovered line.
+    for &i in &cpu_words {
+        l2.write_word(strike.set, strike.way, i, current[i]);
+    }
+    outcome
+}
+
+/// The struck line is evicted. Clean: the corrupted copy is dropped and
+/// memory still holds intact data. Dirty: the corrupted write-back has
+/// already landed in memory, so the outbound image is checked and memory
+/// repaired accordingly.
+fn resolve_evict(
+    strike: &PendingStrike,
+    scheme: &mut dyn ProtectionScheme,
+    memory: &mut MainMemory,
+    dirty: bool,
+) -> TrialOutcome {
+    if !dirty {
+        return TrialOutcome::Masked;
+    }
+    let mut buf = memory.read_line(strike.line);
+    match scheme.verify_writeback(strike.set, strike.way, &mut buf) {
+        RecoveryOutcome::Clean => {
+            if memory.line_matches(strike.line, &strike.snapshot) {
+                TrialOutcome::Masked
+            } else {
+                memory.write_line(strike.line, strike.snapshot.clone());
+                TrialOutcome::Sdc
+            }
+        }
+        RecoveryOutcome::CorrectedByEcc { .. } => {
+            memory.write_line(strike.line, buf);
+            TrialOutcome::Corrected
+        }
+        RecoveryOutcome::RecoveredByRefetch => TrialOutcome::RefetchRecovered,
+        RecoveryOutcome::Unrecoverable => {
+            memory.write_line(strike.line, strike.snapshot.clone());
+            TrialOutcome::Due
+        }
+    }
+}
+
+/// The struck dirty line was cleaned (written back but kept resident).
+/// The corrupted image reached memory *and* still sits in the cache, so
+/// both copies are checked/repaired.
+fn resolve_cleaned(
+    strike: &PendingStrike,
+    l2: &mut Cache,
+    scheme: &mut dyn ProtectionScheme,
+    memory: &mut MainMemory,
+) -> TrialOutcome {
+    let mut buf = memory.read_line(strike.line);
+    let outcome = match scheme.verify_writeback(strike.set, strike.way, &mut buf) {
+        RecoveryOutcome::Clean => {
+            if memory.line_matches(strike.line, &strike.snapshot) {
+                TrialOutcome::Masked
+            } else {
+                memory.write_line(strike.line, strike.snapshot.clone());
+                TrialOutcome::Sdc
+            }
+        }
+        RecoveryOutcome::CorrectedByEcc { .. } => {
+            memory.write_line(strike.line, buf);
+            TrialOutcome::Corrected
+        }
+        RecoveryOutcome::RecoveredByRefetch => TrialOutcome::RefetchRecovered,
+        RecoveryOutcome::Unrecoverable => {
+            memory.write_line(strike.line, strike.snapshot.clone());
+            TrialOutcome::Due
+        }
+    };
+    // The resident copy is now clean and must equal memory's repaired
+    // image (the clean-line refetch invariant).
+    restore_struck_word(strike, l2);
+    outcome
+}

@@ -1,0 +1,186 @@
+//! End-to-end trial outcome taxonomy and campaign tallies.
+//!
+//! Each Monte Carlo trial strikes one resident L2 frame and follows the
+//! upset through the protection scheme until it is *architecturally*
+//! resolved. The classes refine the paper's §2 failure taxonomy
+//! (benign / detected-recoverable / detected-unrecoverable / undetected)
+//! with the recovery mechanism that fired.
+
+/// How one injected fault ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrialOutcome {
+    /// The upset never mattered: it hit an invalid frame, the struck word
+    /// was overwritten by a store, or the clean corrupted line was
+    /// dropped at eviction while memory still held intact data.
+    Masked,
+    /// SECDED corrected the flipped bit(s) in place.
+    Corrected,
+    /// Parity detected the error on a clean line and the intact copy was
+    /// refetched from main memory.
+    RefetchRecovered,
+    /// Detected but unrecoverable: parity on a dirty line, or a
+    /// double-bit error under SECDED.
+    Due,
+    /// Silent data corruption: the corrupted data reached main memory or
+    /// the core with no scheme noticing.
+    Sdc,
+}
+
+impl TrialOutcome {
+    /// Short column label used in tables and cache entries.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TrialOutcome::Masked => "masked",
+            TrialOutcome::Corrected => "corrected",
+            TrialOutcome::RefetchRecovered => "refetch",
+            TrialOutcome::Due => "due",
+            TrialOutcome::Sdc => "sdc",
+        }
+    }
+}
+
+/// Tallies over a campaign (or a chunk of one). Merging chunk tables in
+/// chunk order reproduces the serial campaign exactly, which is what keeps
+/// `--jobs N` byte-identical to `--jobs 1`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTable {
+    /// Trials classified [`TrialOutcome::Masked`].
+    pub masked: u64,
+    /// Trials classified [`TrialOutcome::Corrected`].
+    pub corrected: u64,
+    /// Trials classified [`TrialOutcome::RefetchRecovered`].
+    pub refetch_recovered: u64,
+    /// Trials classified [`TrialOutcome::Due`].
+    pub due: u64,
+    /// Trials classified [`TrialOutcome::Sdc`].
+    pub sdc: u64,
+    /// Strikes that landed on a valid (data-holding) frame.
+    pub struck_valid: u64,
+    /// Strikes that landed on a valid *dirty* line — the empirical twin of
+    /// the analytical model's dirty fraction.
+    pub struck_dirty: u64,
+}
+
+impl OutcomeTable {
+    /// Books one finished trial.
+    pub fn record(&mut self, outcome: TrialOutcome, valid: bool, dirty: bool) {
+        match outcome {
+            TrialOutcome::Masked => self.masked += 1,
+            TrialOutcome::Corrected => self.corrected += 1,
+            TrialOutcome::RefetchRecovered => self.refetch_recovered += 1,
+            TrialOutcome::Due => self.due += 1,
+            TrialOutcome::Sdc => self.sdc += 1,
+        }
+        if valid {
+            self.struck_valid += 1;
+        }
+        if dirty {
+            self.struck_dirty += 1;
+        }
+    }
+
+    /// Adds another table's counts (chunk merge).
+    pub fn merge(&mut self, other: &OutcomeTable) {
+        self.masked += other.masked;
+        self.corrected += other.corrected;
+        self.refetch_recovered += other.refetch_recovered;
+        self.due += other.due;
+        self.sdc += other.sdc;
+        self.struck_valid += other.struck_valid;
+        self.struck_dirty += other.struck_dirty;
+    }
+
+    /// Total trials recorded.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.masked + self.corrected + self.refetch_recovered + self.due + self.sdc
+    }
+
+    /// Fraction of trials ending in detected-unrecoverable loss.
+    #[must_use]
+    pub fn due_rate(&self) -> f64 {
+        self.rate(self.due)
+    }
+
+    /// Fraction of trials ending in silent corruption.
+    #[must_use]
+    pub fn sdc_rate(&self) -> f64 {
+        self.rate(self.sdc)
+    }
+
+    /// Fraction of strikes that found a dirty line (empirical dirty
+    /// fraction over the whole array, invalid frames included — the same
+    /// normalisation the analytical model uses).
+    #[must_use]
+    pub fn dirty_strike_fraction(&self) -> f64 {
+        self.rate(self.struck_dirty)
+    }
+
+    /// Fraction of trials that lost no data (everything but DUE and SDC).
+    #[must_use]
+    pub fn survival_rate(&self) -> f64 {
+        self.rate(self.masked + self.corrected + self.refetch_recovered)
+    }
+
+    fn rate(&self, count: u64) -> f64 {
+        let trials = self.trials();
+        if trials == 0 {
+            0.0
+        } else {
+            count as f64 / trials as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut t = OutcomeTable::default();
+        t.record(TrialOutcome::Masked, false, false);
+        t.record(TrialOutcome::Corrected, true, true);
+        t.record(TrialOutcome::Due, true, true);
+        t.record(TrialOutcome::Sdc, true, false);
+        assert_eq!(t.trials(), 4);
+        assert_eq!(t.struck_valid, 3);
+        assert_eq!(t.struck_dirty, 2);
+        assert!((t.due_rate() - 0.25).abs() < 1e-12);
+        assert!((t.sdc_rate() - 0.25).abs() < 1e-12);
+        assert!((t.survival_rate() - 0.5).abs() < 1e-12);
+        assert!((t.dirty_strike_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_counterwise_addition() {
+        let mut a = OutcomeTable::default();
+        a.record(TrialOutcome::RefetchRecovered, true, false);
+        let mut b = OutcomeTable::default();
+        b.record(TrialOutcome::Due, true, true);
+        b.record(TrialOutcome::Masked, false, false);
+        a.merge(&b);
+        assert_eq!(a.trials(), 3);
+        assert_eq!(a.refetch_recovered, 1);
+        assert_eq!(a.due, 1);
+        assert_eq!(a.masked, 1);
+    }
+
+    #[test]
+    fn empty_table_rates_are_zero() {
+        let t = OutcomeTable::default();
+        assert_eq!(t.due_rate(), 0.0);
+        assert_eq!(t.sdc_rate(), 0.0);
+        assert_eq!(t.survival_rate(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        // These labels appear in cache entries and report columns; changing
+        // one silently invalidates cached campaigns.
+        assert_eq!(TrialOutcome::Masked.label(), "masked");
+        assert_eq!(TrialOutcome::RefetchRecovered.label(), "refetch");
+        assert_eq!(TrialOutcome::Sdc.label(), "sdc");
+    }
+}

@@ -919,6 +919,40 @@ mod tests {
     }
 
     #[test]
+    fn evicted_dirty_data_is_the_last_written_data() {
+        // The fault campaign's corruption witness relies on this exact
+        // contract: under `store_data`, whatever was last stored into a
+        // dirty line is byte-for-byte what eviction hands back.
+        let mut c = tiny();
+        let line = LineAddr(9);
+        c.lookup(line, AccessKind::Write, 0);
+        let out = c.install(line, true, 0, data(8, 0xDEAD));
+        // Overwrite individual words after the fill, as store retirement does.
+        c.write_word(out.set, out.way, 0, 0x1111);
+        c.write_word(out.set, out.way, 7, 0x7777);
+        let mut expected: Vec<u64> = (0..8u64).map(|i| 0xDEAD ^ i).collect();
+        expected[0] = 0x1111;
+        expected[7] = 0x7777;
+        assert_eq!(c.line_data(out.set, out.way).unwrap(), expected.as_slice());
+        // Displace the line by filling the other ways of its set, then one more.
+        for k in 1..=4u64 {
+            let filler = LineAddr(9 + 16 * k);
+            c.lookup(filler, AccessKind::Read, k);
+            let fill_out = c.install(filler, false, k, data(8, k));
+            if let Some(ev) = fill_out.evicted {
+                assert_eq!(ev.line, line, "LRU victim is the dirty line");
+                assert!(ev.dirty);
+                assert_eq!(
+                    &*ev.data.expect("store_data caches hand data back"),
+                    expected.as_slice()
+                );
+                return;
+            }
+        }
+        panic!("the dirty line was never evicted");
+    }
+
+    #[test]
     fn clean_probe_implements_paper_fsm() {
         let mut c = tiny();
         // Way A: dirty, not written (written-once, now idle) -> cleaned.

@@ -120,6 +120,18 @@ impl MainMemory {
         self.image.insert(line, current);
     }
 
+    /// Corruption witness: `true` when the line's current memory image
+    /// (explicit or pristine) equals `expected`. Unlike [`Self::read_line`]
+    /// this does not count as an access, so fault-injection bookkeeping
+    /// never perturbs traffic statistics.
+    #[must_use]
+    pub fn line_matches(&self, line: LineAddr, expected: &[u64]) -> bool {
+        match self.image.get(&line) {
+            Some(data) => &**data == expected,
+            None => *Self::pristine(line, self.words_per_line) == *expected,
+        }
+    }
+
     /// Number of line reads served.
     #[must_use]
     pub fn reads(&self) -> u64 {
@@ -187,6 +199,20 @@ mod tests {
         assert_eq!(after[6], 0xBB);
         assert_eq!(after[0], pristine[0]);
         assert_eq!(after[7], pristine[7]);
+    }
+
+    #[test]
+    fn line_matches_witnesses_without_counting_accesses() {
+        let mut mem = MainMemory::new(100, 8);
+        let pristine = MainMemory::pristine(LineAddr(3), 8);
+        assert!(mem.line_matches(LineAddr(3), &pristine));
+        let mut wrong = pristine.clone();
+        wrong[0] ^= 1;
+        assert!(!mem.line_matches(LineAddr(3), &wrong));
+        mem.write_line(LineAddr(3), wrong.clone());
+        assert!(mem.line_matches(LineAddr(3), &wrong));
+        assert!(!mem.line_matches(LineAddr(3), &pristine));
+        assert_eq!(mem.reads(), 0, "witness must not count as traffic");
     }
 
     #[test]

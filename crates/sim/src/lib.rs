@@ -24,4 +24,4 @@ pub mod system;
 
 pub use report::Table;
 pub use runner::{ExperimentConfig, L2Window, RunStats, Runner};
-pub use system::System;
+pub use system::{InjectionProbe, System};

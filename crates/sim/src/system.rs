@@ -5,8 +5,25 @@ use aep_core::scrub::Scrubber;
 use aep_core::{CleaningLogic, Directive, ProtectionScheme, SchemeKind};
 use aep_core::{MultiEntryScheme, NonUniformScheme, ParityOnlyScheme, UniformEccScheme};
 use aep_cpu::{CoreConfig, InstrStream, Pipeline};
-use aep_mem::cache::WbClass;
-use aep_mem::{Cycle, HierarchyConfig, L2Event, MemoryHierarchy};
+use aep_mem::cache::{Cache, WbClass};
+use aep_mem::{Cycle, HierarchyConfig, L2Event, MainMemory, MemoryHierarchy};
+
+/// An observer wired into the event-drain loop *ahead of* the protection
+/// scheme: it sees every L2 event while the scheme's check storage still
+/// describes the pre-event line image. The fault-injection campaign uses
+/// this to resolve a pending strike at the first access or eviction that
+/// touches the struck frame.
+pub trait InjectionProbe {
+    /// Called for each L2 event before the scheme observes it.
+    fn on_l2_event(
+        &mut self,
+        event: &L2Event,
+        l2: &mut Cache,
+        scheme: &mut dyn ProtectionScheme,
+        memory: &mut MainMemory,
+        now: Cycle,
+    );
+}
 
 /// Builds the protection scheme for `kind` over the given L2 geometry.
 #[must_use]
@@ -39,6 +56,7 @@ pub struct System<S> {
     event_buf: Vec<L2Event>,
     respect_written_bit: bool,
     scrubber: Option<Scrubber>,
+    probe: Option<Box<dyn InjectionProbe>>,
 }
 
 impl<S: InstrStream> System<S> {
@@ -65,7 +83,14 @@ impl<S: InstrStream> System<S> {
             event_buf: Vec::new(),
             respect_written_bit: true,
             scrubber: None,
+            probe: None,
         }
+    }
+
+    /// Installs an [`InjectionProbe`] that intercepts L2 events ahead of
+    /// the scheme (fault-injection campaigns).
+    pub fn set_injection_probe(&mut self, probe: Box<dyn InjectionProbe>) {
+        self.probe = Some(probe);
     }
 
     /// Enables background scrubbing: one line verified (and repaired if a
@@ -126,6 +151,10 @@ impl<S: InstrStream> System<S> {
                 break;
             }
             for event in &self.event_buf {
+                if let Some(probe) = self.probe.as_deref_mut() {
+                    let (l2, memory) = self.hier.l2_and_memory_mut();
+                    probe.on_l2_event(event, l2, self.scheme.as_mut(), memory, now);
+                }
                 self.scheme
                     .on_event(event, self.hier.l2(), &mut self.directive_buf);
             }

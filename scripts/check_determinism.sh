@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Verifies the parallel experiment engine is deterministic: `exp all`
-# must be byte-identical between --jobs 1 and --jobs N.
+# and the Monte Carlo fault campaign (`exp faults`) must both be
+# byte-identical between --jobs 1 and --jobs N.
 #
 # Usage: scripts/check_determinism.sh [scale] [jobs]
 #          scale  paper|quick|smoke   (default: smoke)
@@ -29,5 +30,21 @@ if cmp -s "$tmp/serial.txt" "$tmp/parallel.txt"; then
 else
   echo "==> determinism FAILED: outputs differ" >&2
   diff "$tmp/serial.txt" "$tmp/parallel.txt" | head -n 40 >&2
+  exit 1
+fi
+
+echo "==> exp faults --scale $scale --jobs 1 --no-cache"
+./target/release/exp faults --scale "$scale" --jobs 1 --no-cache \
+  > "$tmp/faults_serial.txt" 2> /dev/null
+
+echo "==> exp faults --scale $scale --jobs $jobs --no-cache"
+./target/release/exp faults --scale "$scale" --jobs "$jobs" --no-cache \
+  > "$tmp/faults_parallel.txt" 2> /dev/null
+
+if cmp -s "$tmp/faults_serial.txt" "$tmp/faults_parallel.txt"; then
+  echo "==> faults determinism: byte-identical (--jobs 1 vs --jobs $jobs, $scale)"
+else
+  echo "==> faults determinism FAILED: outputs differ" >&2
+  diff "$tmp/faults_serial.txt" "$tmp/faults_parallel.txt" | head -n 40 >&2
   exit 1
 fi
