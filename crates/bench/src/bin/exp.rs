@@ -12,7 +12,8 @@
 
 use aep_bench::experiments::{self, Lab, Scale};
 use aep_bench::faults::{self, FaultsOptions};
-use aep_bench::runcache::RunCache;
+use aep_bench::gate;
+use aep_bench::runcache::{parse_scheme_slug, RunCache};
 use aep_core::area::AreaModel;
 use aep_core::CleaningLogic;
 use aep_cpu::CoreConfig;
@@ -23,12 +24,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = String::from("help");
     let mut scale = Scale::Quick;
+    let mut scale_set = false;
     let mut csv = false;
     let mut md = false;
     let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut use_cache = true;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut faults_opts = FaultsOptions::default();
+    let mut scheme: Option<aep_core::SchemeKind> = None;
+    let mut stats_json = false;
+    let mut regen = false;
+    let mut golden_dir = gate::default_golden_dir(".");
+    let mut trace_capacity = gate::DEFAULT_TRACE_CAPACITY;
+    let mut faults_trials: Option<u32> = None;
     let mut it = args.iter();
     if let Some(c) = it.next() {
         command = c.clone();
@@ -41,6 +49,40 @@ fn main() {
                     eprintln!("unknown scale '{v}' (use paper|quick|smoke)");
                     std::process::exit(2);
                 });
+                scale_set = true;
+            }
+            "--scheme" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                scheme = Some(parse_scheme_slug(v).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown scheme '{v}' (use uniform|parity|uniform_clean:N|\
+                         proposed:N|proposed_multi:N:E)"
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--stats-json" => stats_json = true,
+            "--regen" => regen = true,
+            "--golden" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("--golden requires a directory");
+                    std::process::exit(2);
+                });
+                golden_dir = std::path::PathBuf::from(dir);
+            }
+            "--capacity" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                trace_capacity = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    eprintln!("--capacity requires a positive integer, got '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--faults-trials" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                faults_trials = Some(v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    eprintln!("--faults-trials requires a positive integer, got '{v}'");
+                    std::process::exit(2);
+                }));
             }
             "--jobs" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
@@ -169,6 +211,46 @@ fn main() {
                 true,
             ));
         }
+        "run" => {
+            let kind = scheme.unwrap_or_else(experiments::proposed);
+            let faults_table = faults_trials.map(|trials| {
+                let mut opts = faults_opts;
+                opts.trials = trials;
+                let cfg = faults::campaign_config(scale, &opts, kind);
+                eprintln!(
+                    "[run] attaching fault campaign: {trials} trials on {}",
+                    cfg.benchmark.name()
+                );
+                aep_faultsim::run_campaign(&cfg, jobs)
+            });
+            let snap = gate::snapshot(scale, faults_opts.benchmark, kind, faults_table.as_ref());
+            if stats_json {
+                print!("{}", snap.to_json());
+            } else {
+                for (k, v) in &snap.meta {
+                    println!("# {k} = {v}");
+                }
+                for (k, v) in &snap.stats {
+                    match v {
+                        aep_obs::StatValue::Counter(n) => println!("{k} = {n}"),
+                        aep_obs::StatValue::Rate(x) => println!("{k} = {x}"),
+                    }
+                }
+            }
+        }
+        "trace" => {
+            let kind = scheme.unwrap_or_else(experiments::proposed);
+            let run = gate::observed(scale, faults_opts.benchmark, kind, Some(trace_capacity));
+            let trace = run.trace.expect("trace was enabled for this run");
+            print!("{}", trace.to_jsonl());
+        }
+        "gate" => {
+            if !scale_set {
+                scale = Scale::Smoke;
+            }
+            let code = gate::gate_command(scale, faults_opts.benchmark, &golden_dir, regen);
+            std::process::exit(code);
+        }
         "lifetimes" => emit(experiments::lifetimes(scale)),
         "sensitivity" => emit(experiments::sensitivity(scale)),
         "energy" => emit(experiments::energy(&mut lab)),
@@ -217,13 +299,24 @@ fn usage() -> String {
      \x20 calibrate  workload-calibration sweep\n\
      \x20 faults     live fault-injection campaign per scheme\n\
      \x20            [--trials N] [--p-double P] [--seed S] [--bench B]\n\
+     \x20 run        one observed experiment: full stats snapshot\n\
+     \x20            [--bench B] [--scheme S] [--stats-json]\n\
+     \x20            [--faults-trials N]\n\
+     \x20 trace      dump the cycle trace of one run as JSONL\n\
+     \x20            [--bench B] [--scheme S] [--capacity N]\n\
+     \x20 gate       stats-regression gate vs results/golden/\n\
+     \x20            (default scale: smoke) [--golden DIR] [--regen]\n\
      \x20 bench      engine-throughput harness (BENCH_engine.json)\n\
      \x20 all        everything above in order\n\n\
      flags:\n\
      \x20 --jobs N     worker threads for experiment fan-out\n\
      \x20              (default: available cores; output is\n\
      \x20              identical for every N)\n\
-     \x20 --no-cache   ignore and do not write results/cache/"
+     \x20 --scheme S   scheme slug: uniform | parity | uniform_clean:N |\n\
+     \x20              proposed:N | proposed_multi:N:E (default: proposed\n\
+     \x20              at the calibrated interval)\n\
+     \x20 --no-cache   ignore and do not write results/cache/\n\n\
+     exit codes: 0 success, 1 stats-gate regression, 2 usage error"
         .to_owned()
 }
 

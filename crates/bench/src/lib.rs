@@ -19,6 +19,7 @@
 pub mod engine_bench;
 pub mod experiments;
 pub mod faults;
+pub mod gate;
 pub mod runcache;
 
 pub use engine_bench::EngineBenchReport;

@@ -1,6 +1,12 @@
 //! Black-box tests of the `exp` binary's CLI contract: `help` renders
 //! usage on stdout and succeeds, while unknown commands and malformed
 //! flags render usage/diagnostics on stderr and exit nonzero.
+//!
+//! Exit-code contract (documented in `exp help`):
+//!   0 — success (including a passing `exp gate`)
+//!   1 — stats-gate regression (counter drift, missing/extra keys,
+//!       missing or malformed goldens)
+//!   2 — usage errors (unknown command, malformed flag)
 
 use std::process::Command;
 
@@ -44,10 +50,123 @@ fn malformed_flags_fail_with_a_diagnostic() {
         (&["faults", "--p-double", "2.0"][..], "--p-double requires"),
         (&["faults", "--bench", "nosuch"][..], "unknown benchmark"),
         (&["fig1", "--frobnicate"][..], "unknown argument"),
+        (&["run", "--scheme", "nosuch"][..], "unknown scheme"),
+        (&["trace", "--capacity", "0"][..], "--capacity requires"),
+        (
+            &["run", "--faults-trials", "no"][..],
+            "--faults-trials requires",
+        ),
+        (&["gate", "--golden"][..], "--golden requires"),
     ] {
         let out = exp(args);
         assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains(needle), "{args:?}: stderr was {stderr}");
     }
+}
+
+/// A scratch golden directory that cleans up after itself.
+struct TempGolden(std::path::PathBuf);
+
+impl TempGolden {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("aep-gate-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp golden dir");
+        TempGolden(dir)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempGolden {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// The full gate exit-code contract in one pass over a scratch golden
+/// directory: regenerate (0), pass (0), tolerated rate drift (0, noted),
+/// hard counter regression (1), missing goldens (1).
+#[test]
+fn gate_exit_codes_cover_pass_drift_and_regression() {
+    let golden = TempGolden::new("contract");
+
+    // Missing goldens: hard failure with a regeneration hint.
+    let out = exp(&["gate", "--golden", golden.path()]);
+    assert_eq!(out.status.code(), Some(1), "empty golden dir must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing golden"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("--regen"),
+        "must hint the regeneration flow"
+    );
+
+    // Regenerate, then the gate passes with exit 0.
+    let out = exp(&["gate", "--golden", golden.path(), "--regen"]);
+    assert!(out.status.success(), "regen must succeed");
+    let out = exp(&["gate", "--golden", golden.path()]);
+    assert_eq!(out.status.code(), Some(0), "fresh goldens must pass");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("gate PASS"), "stdout: {stdout}");
+
+    // Tolerated drift: nudge one rate by ~1 % (inside the ±2 % band).
+    // window.ipc is a plain decimal in every snapshot, so rewrite it.
+    let victim = std::fs::read_dir(&golden.0)
+        .expect("golden dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "json"))
+        .expect("at least one golden");
+    let original = std::fs::read_to_string(&victim).expect("read golden");
+    let drifted = nudge_rate(&original, "window.ipc", 1.01);
+    std::fs::write(&victim, &drifted).expect("write drifted golden");
+    let out = exp(&["gate", "--golden", golden.path()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "1% rate drift must be tolerated"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("rate drift (tolerated)"),
+        "drift must be noted: {stdout}"
+    );
+
+    // Hard regression: a counter perturbation must exit 1.
+    let perturbed = original.replace(
+        "\"cpu.pipeline.committed\": { \"kind\": \"counter\", \"value\": ",
+        "\"cpu.pipeline.committed\": { \"kind\": \"counter\", \"value\": 9",
+    );
+    assert_ne!(perturbed, original, "perturbation must hit the snapshot");
+    std::fs::write(&victim, &perturbed).expect("write perturbed golden");
+    let out = exp(&["gate", "--golden", golden.path()]);
+    assert_eq!(out.status.code(), Some(1), "counter drift must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("counter mismatch"), "stdout: {stdout}");
+    assert!(stdout.contains("gate FAIL"), "stdout: {stdout}");
+}
+
+/// Multiplies the decimal value of `key`'s rate line by `factor`,
+/// re-rendering with full precision (snapshot rates are shortest
+/// round-trip decimals, so parse-perturb-print stays in tolerance).
+fn nudge_rate(json: &str, key: &str, factor: f64) -> String {
+    let needle = format!("\"{key}\": {{ \"kind\": \"rate\", \"value\": ");
+    let mut out = String::new();
+    for line in json.lines() {
+        if let Some(pos) = line.find(&needle) {
+            let value_start = pos + needle.len();
+            let rest = &line[value_start..];
+            let end = rest.find(' ').expect("rate value ends with space");
+            let value: f64 = rest[..end].parse().expect("rate parses");
+            out.push_str(&line[..value_start]);
+            out.push_str(&format!("{:?}", value * factor));
+            out.push_str(&rest[end..]);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
 }

@@ -28,6 +28,15 @@ pub struct CleaningStats {
     pub deferred: u64,
 }
 
+impl CleaningStats {
+    /// Publishes every counter into the registry under the current scope.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("probes", self.probes);
+        reg.counter("lines_cleaned", self.lines_cleaned);
+        reg.counter("deferred", self.deferred);
+    }
+}
+
 /// The cycle counter + next-set latch FSM.
 ///
 /// ```
@@ -256,6 +265,17 @@ impl CleaningPolicy {
     #[must_use]
     pub fn eager(sets: usize) -> Self {
         CleaningPolicy::Eager { next_set: 0, sets }
+    }
+
+    /// Publishes the policy's statistics into the registry under the
+    /// current scope. Policies without an FSM (none/eager) publish zeroed
+    /// counters so snapshot keys stay identical across schemes.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        let stats = match self {
+            CleaningPolicy::WrittenBit(fsm) | CleaningPolicy::Decay { fsm, .. } => fsm.stats(),
+            CleaningPolicy::None | CleaningPolicy::Eager { .. } => CleaningStats::default(),
+        };
+        stats.register_stats(reg);
     }
 
     /// Short label for reports.

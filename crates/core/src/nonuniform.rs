@@ -45,6 +45,19 @@ pub struct NonUniformStats {
     pub entries_refreshed: u64,
     /// Entries evicted by a write to a different way (each one an ECC-WB).
     pub entries_evicted: u64,
+    /// Displaced in-flight entries retired by the completion of their
+    /// ECC-WB (or the displaced line's eviction).
+    pub entries_retired: u64,
+}
+
+impl NonUniformStats {
+    /// Publishes every counter into the registry under the current scope.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("entries_allocated", self.entries_allocated);
+        reg.counter("entries_refreshed", self.entries_refreshed);
+        reg.counter("entries_evicted", self.entries_evicted);
+        reg.counter("entries_retired", self.entries_retired);
+    }
 }
 
 /// The paper's non-uniform protection scheme.
@@ -152,7 +165,9 @@ impl NonUniformScheme {
         if self.entries[set].as_ref().is_some_and(|e| e.way == way) {
             self.entries[set] = None;
         }
+        let before = self.retiring[set].len();
         self.retiring[set].retain(|e| e.way != way);
+        self.stats.entries_retired += (before - self.retiring[set].len()) as u64;
     }
 
     /// The check bytes currently protecting (`set`, `way`): the set's
@@ -350,6 +365,18 @@ impl ProtectionScheme for NonUniformScheme {
 
     fn energy_counters(&self) -> EnergyCounters {
         self.energy
+    }
+
+    fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("protected_dirty_lines", self.protected_dirty_lines() as u64);
+        reg.scoped("energy", |r| self.energy.register_stats(r));
+        reg.scoped("ecc_array", |r| {
+            self.stats.register_stats(r);
+            r.counter(
+                "in_flight_retiring",
+                self.retiring.iter().map(|v| v.len() as u64).sum(),
+            );
+        });
     }
 }
 

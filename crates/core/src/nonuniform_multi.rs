@@ -16,6 +16,7 @@ use aep_mem::cache::{Cache, L2Event};
 use aep_mem::{CacheConfig, MainMemory};
 
 use crate::area::{AreaModel, AreaReport};
+use crate::nonuniform::NonUniformStats;
 use crate::scheme::{Directive, ProtectionScheme, RecoveryOutcome};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,9 +42,7 @@ pub struct MultiEntryScheme {
     ways: usize,
     area: AreaModel,
     stamp: u64,
-    /// ECC-WB count caused by entry eviction (the quantity the ablation
-    /// compares across `k`).
-    pub evictions: u64,
+    stats: NonUniformStats,
 }
 
 impl MultiEntryScheme {
@@ -69,7 +68,7 @@ impl MultiEntryScheme {
             ways: l2.ways as usize,
             area: AreaModel::new(l2),
             stamp: 0,
-            evictions: 0,
+            stats: NonUniformStats::default(),
         }
     }
 
@@ -77,6 +76,14 @@ impl MultiEntryScheme {
     #[must_use]
     pub fn entries_per_set(&self) -> usize {
         self.entries_per_set
+    }
+
+    /// Scheme-specific statistics. `entries_evicted` is the ECC-WB count
+    /// caused by entry eviction — the quantity the ablation compares
+    /// across `k`.
+    #[must_use]
+    pub fn stats(&self) -> NonUniformStats {
+        self.stats
     }
 
     fn parity_slot(&self, set: usize, way: usize) -> usize {
@@ -107,6 +114,7 @@ impl MultiEntryScheme {
         if let Some(entry) = slot.iter_mut().find(|e| e.way == way) {
             entry.checks = checks;
             entry.stamp = stamp;
+            self.stats.entries_refreshed += 1;
             return;
         }
         if slot.len() == self.entries_per_set {
@@ -124,14 +132,17 @@ impl MultiEntryScheme {
                 way: victim.way,
             });
             self.retiring[set].push(victim);
-            self.evictions += 1;
+            self.stats.entries_evicted += 1;
         }
         self.entries[set].push(Entry { way, checks, stamp });
+        self.stats.entries_allocated += 1;
     }
 
     fn release(&mut self, set: usize, way: usize) {
         self.entries[set].retain(|e| e.way != way);
+        let before = self.retiring[set].len();
         self.retiring[set].retain(|e| e.way != way);
+        self.stats.entries_retired += (before - self.retiring[set].len()) as u64;
     }
 
     /// The check bytes currently protecting (`set`, `way`): a live entry,
@@ -303,6 +314,19 @@ impl ProtectionScheme for MultiEntryScheme {
 
     fn protected_dirty_lines(&self) -> usize {
         self.entries.iter().map(Vec::len).sum()
+    }
+
+    fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("protected_dirty_lines", self.protected_dirty_lines() as u64);
+        reg.scoped("energy", |r| self.energy_counters().register_stats(r));
+        reg.scoped("ecc_array", |r| {
+            self.stats.register_stats(r);
+            r.counter("entries_per_set", self.entries_per_set as u64);
+            r.counter(
+                "in_flight_retiring",
+                self.retiring.iter().map(|v| v.len() as u64).sum(),
+            );
+        });
     }
 }
 

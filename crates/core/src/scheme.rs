@@ -164,6 +164,14 @@ impl EnergyCounters {
     pub fn total_ops(&self) -> u64 {
         self.parity_checks + self.ecc_checks + self.parity_encodes + self.ecc_encodes
     }
+
+    /// Publishes every counter into the registry under the current scope.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("parity_checks", self.parity_checks);
+        reg.counter("ecc_checks", self.ecc_checks);
+        reg.counter("parity_encodes", self.parity_encodes);
+        reg.counter("ecc_encodes", self.ecc_encodes);
+    }
 }
 
 /// A cache protection scheme attached to the L2.
@@ -227,6 +235,15 @@ pub trait ProtectionScheme {
     /// track them).
     fn energy_counters(&self) -> EnergyCounters {
         EnergyCounters::default()
+    }
+
+    /// Publishes this scheme's statistics into the registry under the
+    /// current scope. The default covers what every scheme has — energy
+    /// counters and the protected-dirty-line census; schemes with richer
+    /// state (the proposed ECC-array variants) extend it.
+    fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("protected_dirty_lines", self.protected_dirty_lines() as u64);
+        reg.scoped("energy", |r| self.energy_counters().register_stats(r));
     }
 }
 

@@ -30,6 +30,16 @@ pub struct ScrubStats {
     pub unrecoverable: u64,
 }
 
+impl ScrubStats {
+    /// Publishes every counter into the registry under the current scope.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("scrubbed", self.scrubbed);
+        reg.counter("corrected", self.corrected);
+        reg.counter("refetched", self.refetched);
+        reg.counter("unrecoverable", self.unrecoverable);
+    }
+}
+
 /// A background scrubbing engine walking the cache line by line.
 ///
 /// ```

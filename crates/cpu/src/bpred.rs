@@ -70,6 +70,13 @@ impl BpredStats {
             self.mispredicts() as f64 / self.lookups as f64
         }
     }
+
+    /// Publishes every counter into the registry under the current scope.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("lookups", self.lookups);
+        reg.counter("dir_mispredicts", self.dir_mispredicts);
+        reg.counter("target_mispredicts", self.target_mispredicts);
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]

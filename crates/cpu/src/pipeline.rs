@@ -79,6 +79,15 @@ impl PipelineStats {
             self.committed as f64 / cycles as f64
         }
     }
+
+    /// Publishes every counter into the registry under the current scope.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("committed", self.committed);
+        reg.counter("fetched", self.fetched);
+        reg.counter("forwarded_loads", self.forwarded_loads);
+        reg.counter("fetch_stall_cycles", self.fetch_stall_cycles);
+        reg.counter("store_stall_cycles", self.store_stall_cycles);
+    }
 }
 
 /// The 4-issue out-of-order core of Table 1.
@@ -170,6 +179,15 @@ impl<S: InstrStream> Pipeline<S> {
     #[must_use]
     pub fn dtlb(&self) -> &Tlb {
         &self.dtlb
+    }
+
+    /// Publishes pipeline, branch-predictor, and TLB statistics under the
+    /// current scope (`pipeline.*`, `bpred.*`, `itlb.*`, `dtlb.*`).
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.scoped("pipeline", |r| self.stats.register_stats(r));
+        reg.scoped("bpred", |r| self.bpred.stats().register_stats(r));
+        reg.scoped("itlb", |r| self.itlb.stats().register_stats(r));
+        reg.scoped("dtlb", |r| self.dtlb.stats().register_stats(r));
     }
 
     /// Advances the core by one cycle against `hier`.

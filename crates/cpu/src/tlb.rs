@@ -19,6 +19,12 @@ pub struct TlbStats {
 }
 
 impl TlbStats {
+    /// Publishes every counter into the registry under the current scope.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("hits", self.hits);
+        reg.counter("misses", self.misses);
+    }
+
     /// Miss ratio over all translations (0.0 when idle).
     #[must_use]
     pub fn miss_ratio(&self) -> f64 {

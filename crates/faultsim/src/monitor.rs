@@ -81,13 +81,17 @@ pub type StrikeCell = Rc<RefCell<StrikeState>>;
 #[derive(Debug)]
 pub struct StrikeProbe {
     cell: StrikeCell,
+    resolutions: Vec<(usize, usize, &'static str)>,
 }
 
 impl StrikeProbe {
     /// Wraps a shared strike cell.
     #[must_use]
     pub fn new(cell: StrikeCell) -> Self {
-        StrikeProbe { cell }
+        StrikeProbe {
+            cell,
+            resolutions: Vec::new(),
+        }
     }
 }
 
@@ -135,9 +139,17 @@ impl InjectionProbe for StrikeProbe {
             _ => None,
         };
         match resolved {
-            Some(outcome) => state.outcome = Some(outcome),
+            Some(outcome) => {
+                self.resolutions
+                    .push((strike.set, strike.way, outcome.label()));
+                state.outcome = Some(outcome);
+            }
             None => state.pending = Some(strike),
         }
+    }
+
+    fn drain_resolutions(&mut self, out: &mut Vec<(usize, usize, &'static str)>) {
+        out.append(&mut self.resolutions);
     }
 }
 

@@ -131,6 +131,25 @@ impl OutcomeTable {
             count as f64 / trials as f64
         }
     }
+
+    /// Publishes the outcome taxonomy into the registry under the current
+    /// scope: one counter per class plus the derived rates. A default
+    /// (all-zero) table publishes the same keys, so plain timing runs and
+    /// fault campaigns share one snapshot schema.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("trials", self.trials());
+        reg.counter("masked", self.masked);
+        reg.counter("corrected", self.corrected);
+        reg.counter("refetch_recovered", self.refetch_recovered);
+        reg.counter("due", self.due);
+        reg.counter("sdc", self.sdc);
+        reg.counter("struck_valid", self.struck_valid);
+        reg.counter("struck_dirty", self.struck_dirty);
+        reg.rate("due_rate", self.due_rate());
+        reg.rate("sdc_rate", self.sdc_rate());
+        reg.rate("survival_rate", self.survival_rate());
+        reg.rate("dirty_strike_fraction", self.dirty_strike_fraction());
+    }
 }
 
 #[cfg(test)]

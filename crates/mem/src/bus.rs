@@ -22,6 +22,15 @@ pub struct BusStats {
     pub queue_delay: u64,
 }
 
+impl BusStats {
+    /// Publishes every counter into the registry under the current scope.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("transactions", self.transactions);
+        reg.counter("busy_cycles", self.busy_cycles);
+        reg.counter("queue_delay", self.queue_delay);
+    }
+}
+
 /// An occupancy-modelled split-transaction bus.
 ///
 /// ```

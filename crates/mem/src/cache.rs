@@ -51,6 +51,18 @@ pub enum WbClass {
     EccEviction,
 }
 
+impl WbClass {
+    /// Short machine-readable label used in traces and snapshot keys.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WbClass::Replacement => "replacement",
+            WbClass::Cleaning => "cleaning",
+            WbClass::EccEviction => "ecc_eviction",
+        }
+    }
+}
+
 /// A line displaced by a fill.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvictedLine {
@@ -795,6 +807,13 @@ impl Cache {
     #[must_use]
     pub fn recount_dirty_lines(&self) -> u64 {
         self.lines.iter().filter(|l| l.valid && l.dirty).count() as u64
+    }
+
+    /// Counts resident lines with the written bit set (O(lines) scan; meant
+    /// for snapshot/census time, not the per-cycle hot path).
+    #[must_use]
+    pub fn written_line_count(&self) -> u64 {
+        self.lines.iter().filter(|l| l.valid && l.written).count() as u64
     }
 
     /// True when configured write-through (the L1D in the paper).

@@ -434,6 +434,31 @@ impl MemoryHierarchy {
     pub fn l2_dirty_fraction(&self) -> f64 {
         self.l2.dirty_line_count() as f64 / self.l2.total_lines() as f64
     }
+
+    /// Publishes the whole hierarchy's statistics into the registry: the
+    /// three caches (with an end-of-run dirty/written census for the L2),
+    /// write buffer, bus, DRAM, and CPU-visible operation counts.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.scoped("l1i", |r| self.l1i.stats().register_stats(r));
+        reg.scoped("l1d", |r| self.l1d.stats().register_stats(r));
+        reg.scoped("l2", |r| {
+            self.l2.stats().register_stats(r);
+            r.counter("dirty_lines", self.l2.dirty_line_count());
+            r.counter("written_lines", self.l2.written_line_count());
+            r.counter("total_lines", self.l2.total_lines());
+        });
+        reg.scoped("write_buffer", |r| self.wb.stats().register_stats(r));
+        reg.scoped("bus", |r| self.bus.stats().register_stats(r));
+        reg.scoped("dram", |r| {
+            r.counter("reads", self.mem.reads());
+            r.counter("writes", self.mem.writes());
+        });
+        reg.scoped("ops", |r| {
+            r.counter("loads", self.ops.loads);
+            r.counter("stores", self.ops.stores);
+            r.counter("fetches", self.ops.fetches);
+        });
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,18 @@ impl CacheStats {
         }
     }
 
+    /// Publishes every counter into the registry under the current scope.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("read_hits", self.read_hits);
+        reg.counter("read_misses", self.read_misses);
+        reg.counter("write_hits", self.write_hits);
+        reg.counter("write_misses", self.write_misses);
+        reg.counter("evictions", self.evictions);
+        reg.counter("writebacks_replacement", self.writebacks_replacement);
+        reg.counter("writebacks_cleaning", self.writebacks_cleaning);
+        reg.counter("writebacks_ecc_eviction", self.writebacks_ecc_eviction);
+    }
+
     /// Counter-wise difference `self - earlier` (for measurement windows).
     ///
     /// # Panics

@@ -47,6 +47,16 @@ pub struct WriteBufferStats {
     pub retired: u64,
 }
 
+impl WriteBufferStats {
+    /// Publishes every counter into the registry under the current scope.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        reg.counter("coalesced", self.coalesced);
+        reg.counter("inserted", self.inserted);
+        reg.counter("full_stalls", self.full_stalls);
+        reg.counter("retired", self.retired);
+    }
+}
+
 /// A fully associative, FIFO-retired, coalescing write buffer.
 ///
 /// ```

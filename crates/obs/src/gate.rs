@@ -1,0 +1,298 @@
+//! Stats-regression gate: compares a freshly-produced [`StatsSnapshot`]
+//! against a checked-in golden snapshot.
+//!
+//! Tolerance model:
+//! - **Counters** are architectural counts; any difference is a regression.
+//! - **Rates** are derived values; a symmetric relative drift within
+//!   [`RATE_TOLERANCE`] is reported but tolerated, anything larger fails.
+//! - Missing or extra keys, kind changes, and metadata mismatches (comparing
+//!   snapshots from different configurations) always fail.
+
+use crate::registry::StatValue;
+use crate::snapshot::StatsSnapshot;
+
+/// Default relative tolerance for rate-valued stats (±2 %).
+pub const RATE_TOLERANCE: f64 = 0.02;
+
+/// Classification of a single gate finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// An exact counter changed value.
+    CounterMismatch,
+    /// A rate drifted beyond the tolerance.
+    RateOutOfTolerance,
+    /// A rate drifted, but within the tolerance (informational).
+    RateDrift,
+    /// A key present in the golden snapshot is absent from the current one.
+    MissingKey,
+    /// A key absent from the golden snapshot appeared in the current one.
+    ExtraKey,
+    /// A key changed kind (counter ↔ rate).
+    KindMismatch,
+    /// A metadata field differs — the snapshots describe different runs.
+    MetaMismatch,
+}
+
+impl FindingKind {
+    /// Whether this finding fails the gate.
+    pub fn is_fatal(self) -> bool {
+        !matches!(self, FindingKind::RateDrift)
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            FindingKind::CounterMismatch => "counter mismatch",
+            FindingKind::RateOutOfTolerance => "rate out of tolerance",
+            FindingKind::RateDrift => "rate drift (tolerated)",
+            FindingKind::MissingKey => "missing key",
+            FindingKind::ExtraKey => "extra key",
+            FindingKind::KindMismatch => "kind mismatch",
+            FindingKind::MetaMismatch => "meta mismatch",
+        }
+    }
+}
+
+/// A single difference found while comparing snapshots.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub kind: FindingKind,
+    /// The stat (or meta) key involved.
+    pub key: String,
+    /// Human-readable golden-vs-current detail.
+    pub detail: String,
+}
+
+/// Outcome of comparing a current snapshot against a golden one.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Number of stat keys compared (intersection of both snapshots).
+    pub compared: usize,
+    /// All findings, fatal and informational, in deterministic key order.
+    pub findings: Vec<Finding>,
+}
+
+impl GateReport {
+    /// True when no fatal finding was recorded.
+    pub fn passed(&self) -> bool {
+        !self.findings.iter().any(|f| f.kind.is_fatal())
+    }
+
+    /// Iterates only the fatal findings.
+    pub fn failures(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.kind.is_fatal())
+    }
+
+    /// Renders a one-line-per-finding report followed by a verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let marker = if f.kind.is_fatal() { "FAIL" } else { "note" };
+            out.push_str(&format!(
+                "{marker} [{}] {}: {}\n",
+                f.kind.label(),
+                f.key,
+                f.detail
+            ));
+        }
+        let fatal = self.failures().count();
+        if fatal == 0 {
+            out.push_str(&format!(
+                "gate PASS: {} stats compared, {} tolerated drift(s)\n",
+                self.compared,
+                self.findings.len()
+            ));
+        } else {
+            out.push_str(&format!(
+                "gate FAIL: {fatal} regression(s) across {} compared stats\n",
+                self.compared
+            ));
+        }
+        out
+    }
+}
+
+/// Compares `current` against `golden` with the given rate tolerance.
+///
+/// `rate_tolerance` is a symmetric relative bound: a rate passes when
+/// `|current - golden| <= tol * max(|golden|, |current|)` (exact-equal rates,
+/// including both-zero and both-NaN, always pass).
+pub fn compare_snapshots(
+    golden: &StatsSnapshot,
+    current: &StatsSnapshot,
+    rate_tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+
+    for (key, gv) in &golden.meta {
+        match current.meta.get(key) {
+            Some(cv) if cv == gv => {}
+            Some(cv) => report.findings.push(Finding {
+                kind: FindingKind::MetaMismatch,
+                key: format!("meta.{key}"),
+                detail: format!("golden {gv:?}, current {cv:?}"),
+            }),
+            None => report.findings.push(Finding {
+                kind: FindingKind::MetaMismatch,
+                key: format!("meta.{key}"),
+                detail: format!("golden {gv:?}, current missing"),
+            }),
+        }
+    }
+    for key in current.meta.keys() {
+        if !golden.meta.contains_key(key) {
+            report.findings.push(Finding {
+                kind: FindingKind::MetaMismatch,
+                key: format!("meta.{key}"),
+                detail: "present only in current snapshot".into(),
+            });
+        }
+    }
+
+    for (key, gv) in &golden.stats {
+        let Some(cv) = current.stats.get(key) else {
+            report.findings.push(Finding {
+                kind: FindingKind::MissingKey,
+                key: key.clone(),
+                detail: "present in golden, absent in current".into(),
+            });
+            continue;
+        };
+        report.compared += 1;
+        match (gv, cv) {
+            (StatValue::Counter(g), StatValue::Counter(c)) => {
+                if g != c {
+                    report.findings.push(Finding {
+                        kind: FindingKind::CounterMismatch,
+                        key: key.clone(),
+                        detail: format!("golden {g}, current {c}"),
+                    });
+                }
+            }
+            (StatValue::Rate(g), StatValue::Rate(c)) => {
+                if let Some(rel) = rate_divergence(*g, *c) {
+                    let kind = if rel <= rate_tolerance {
+                        FindingKind::RateDrift
+                    } else {
+                        FindingKind::RateOutOfTolerance
+                    };
+                    report.findings.push(Finding {
+                        kind,
+                        key: key.clone(),
+                        detail: format!("golden {g}, current {c} ({:+.3}% relative)", rel * 100.0),
+                    });
+                }
+            }
+            (g, c) => {
+                report.findings.push(Finding {
+                    kind: FindingKind::KindMismatch,
+                    key: key.clone(),
+                    detail: format!("golden is {}, current is {}", g.kind(), c.kind()),
+                });
+            }
+        }
+    }
+    for key in current.stats.keys() {
+        if !golden.stats.contains_key(key) {
+            report.findings.push(Finding {
+                kind: FindingKind::ExtraKey,
+                key: key.clone(),
+                detail: "present in current, absent in golden".into(),
+            });
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| a.key.cmp(&b.key).then_with(|| a.detail.cmp(&b.detail)));
+    report
+}
+
+/// Relative divergence between two rates, or `None` when they agree exactly
+/// (including both-NaN, which `!=` would report as different forever).
+fn rate_divergence(golden: f64, current: f64) -> Option<f64> {
+    if golden == current || (golden.is_nan() && current.is_nan()) {
+        return None;
+    }
+    let scale = golden.abs().max(current.abs());
+    if scale == 0.0 || !scale.is_finite() {
+        // Differing signs of zero, or a finite-vs-infinite change: treat as
+        // maximal divergence.
+        return Some(f64::INFINITY);
+    }
+    Some((golden - current).abs() / scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn snap(counter: u64, rate: f64) -> StatsSnapshot {
+        let mut reg = Registry::new();
+        reg.counter("c", counter);
+        reg.rate("r", rate);
+        StatsSnapshot::from_registry(reg, &[("benchmark", "gap")])
+    }
+
+    #[test]
+    fn identical_snapshots_pass_clean() {
+        let report = compare_snapshots(&snap(5, 0.5), &snap(5, 0.5), RATE_TOLERANCE);
+        assert!(report.passed());
+        assert!(report.findings.is_empty());
+        assert_eq!(report.compared, 2);
+    }
+
+    #[test]
+    fn counter_change_is_fatal() {
+        let report = compare_snapshots(&snap(5, 0.5), &snap(6, 0.5), RATE_TOLERANCE);
+        assert!(!report.passed());
+        assert_eq!(report.failures().count(), 1);
+        assert_eq!(report.findings[0].kind, FindingKind::CounterMismatch);
+    }
+
+    #[test]
+    fn small_rate_drift_is_tolerated_but_reported() {
+        let report = compare_snapshots(&snap(5, 0.5), &snap(5, 0.505), RATE_TOLERANCE);
+        assert!(report.passed());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].kind, FindingKind::RateDrift);
+    }
+
+    #[test]
+    fn large_rate_drift_is_fatal() {
+        let report = compare_snapshots(&snap(5, 0.5), &snap(5, 0.6), RATE_TOLERANCE);
+        assert!(!report.passed());
+        assert_eq!(report.findings[0].kind, FindingKind::RateOutOfTolerance);
+    }
+
+    #[test]
+    fn zero_to_nonzero_rate_is_fatal() {
+        let report = compare_snapshots(&snap(5, 0.0), &snap(5, 0.001), RATE_TOLERANCE);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_fatal() {
+        let golden = snap(5, 0.5);
+        let mut reg = Registry::new();
+        reg.counter("c", 5);
+        reg.rate("r2", 0.5);
+        let current = StatsSnapshot::from_registry(reg, &[("benchmark", "gap")]);
+        let report = compare_snapshots(&golden, &current, RATE_TOLERANCE);
+        assert!(!report.passed());
+        let kinds: Vec<FindingKind> = report.findings.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&FindingKind::MissingKey));
+        assert!(kinds.contains(&FindingKind::ExtraKey));
+    }
+
+    #[test]
+    fn meta_mismatch_is_fatal() {
+        let golden = snap(5, 0.5);
+        let mut current = snap(5, 0.5);
+        current.meta.insert("benchmark".into(), "ocean".into());
+        let report = compare_snapshots(&golden, &current, RATE_TOLERANCE);
+        assert!(!report.passed());
+        assert_eq!(report.findings[0].kind, FindingKind::MetaMismatch);
+    }
+}

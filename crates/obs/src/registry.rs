@@ -1,0 +1,357 @@
+//! Hierarchical stats registry.
+//!
+//! Components publish statistics into a [`Registry`] under scoped prefixes
+//! (e.g. `l2.read_hits`, `scheme.cleaning.lines_cleaned`). The registry is a
+//! `BTreeMap`, so iteration order — and therefore every serialized snapshot —
+//! is deterministic. Keys must be unique; publishing the same key twice is a
+//! programming error and panics.
+
+use std::collections::BTreeMap;
+
+/// A single exported statistic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatValue {
+    /// An exact architectural count (events, cycles, lines, ...). Compared
+    /// exactly by the stats gate.
+    Counter(u64),
+    /// A derived rate or fraction (IPC, miss ratio, dirty fraction, ...).
+    /// Compared with a relative tolerance by the stats gate.
+    Rate(f64),
+}
+
+impl StatValue {
+    /// Short kind tag used in the JSON encoding (`"counter"` / `"rate"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StatValue::Counter(_) => "counter",
+            StatValue::Rate(_) => "rate",
+        }
+    }
+}
+
+/// Deterministic, hierarchical collection of named statistics.
+///
+/// ```
+/// use aep_obs::Registry;
+/// let mut reg = Registry::new();
+/// reg.scoped("l2", |r| {
+///     r.counter("read_hits", 10);
+///     r.counter("read_misses", 2);
+/// });
+/// assert_eq!(reg.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    prefix: String,
+    entries: BTreeMap<String, StatValue>,
+}
+
+impl Registry {
+    /// Creates an empty registry with no active prefix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with `scope` pushed onto the key prefix. Scopes nest:
+    /// `reg.scoped("a", |r| r.scoped("b", |r| r.counter("c", 1)))` publishes
+    /// the key `a.b.c`.
+    pub fn scoped(&mut self, scope: &str, f: impl FnOnce(&mut Registry)) {
+        validate_segment(scope);
+        let saved = self.prefix.len();
+        if !self.prefix.is_empty() {
+            self.prefix.push('.');
+        }
+        self.prefix.push_str(scope);
+        f(self);
+        self.prefix.truncate(saved);
+    }
+
+    /// Publishes an exact count under the current prefix.
+    ///
+    /// # Panics
+    /// Panics if the resulting key was already published.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.insert(name, StatValue::Counter(value));
+    }
+
+    /// Publishes a derived rate under the current prefix.
+    ///
+    /// # Panics
+    /// Panics if the resulting key was already published.
+    pub fn rate(&mut self, name: &str, value: f64) {
+        self.insert(name, StatValue::Rate(value));
+    }
+
+    /// Publishes the summary of a [`Histogram`] under `name.*`:
+    /// `count`, `sum`, `max`, and one `bucket_NN` counter per non-empty
+    /// power-of-two bucket.
+    pub fn histogram(&mut self, name: &str, hist: &Histogram) {
+        self.scoped(name, |r| {
+            r.counter("count", hist.count());
+            r.counter("sum", hist.sum());
+            r.counter("max", hist.max());
+            for (bucket, n) in hist.nonzero_buckets() {
+                r.counter(&format!("bucket_{bucket:02}"), n);
+            }
+        });
+    }
+
+    /// Publishes the summary of a [`RateOverTime`] series under `name.*`:
+    /// `interval` and `samples` counters plus `mean` and `last` rates.
+    pub fn rate_series(&mut self, name: &str, series: &RateOverTime) {
+        self.scoped(name, |r| {
+            r.counter("interval", series.interval());
+            r.counter("samples", series.samples().len() as u64);
+            r.rate("mean", series.mean());
+            r.rate("last", series.last().unwrap_or(0.0));
+        });
+    }
+
+    fn insert(&mut self, name: &str, value: StatValue) {
+        validate_segment(name);
+        let key = if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{name}", self.prefix)
+        };
+        if self.entries.insert(key.clone(), value).is_some() {
+            panic!("duplicate stats key: {key}");
+        }
+    }
+
+    /// Number of published entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a published entry by full key.
+    pub fn get(&self, key: &str) -> Option<&StatValue> {
+        self.entries.get(key)
+    }
+
+    /// Iterates entries in deterministic (sorted-key) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &StatValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Consumes the registry, returning its entry map (sorted by key).
+    pub fn into_entries(self) -> BTreeMap<String, StatValue> {
+        self.entries
+    }
+}
+
+/// Keys must stay machine-friendly: lowercase alphanumerics plus `_`, with
+/// `.` reserved as the hierarchy separator and `:` allowed for scheme slugs.
+fn validate_segment(segment: &str) {
+    assert!(!segment.is_empty(), "empty stats key segment");
+    assert!(
+        segment
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b':'),
+        "invalid stats key segment: {segment:?}"
+    );
+}
+
+/// Power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `k` holds samples whose bit length is `k` (bucket 0 holds the value
+/// 0, bucket 1 holds 1, bucket 2 holds 2..=3, bucket 3 holds 4..=7, ...), so
+/// 65 buckets cover the full `u64` range with no allocation.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Iterates `(bucket_index, count)` for non-empty buckets in order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (i, n))
+    }
+}
+
+/// A rate sampled on a configurable cycle interval.
+///
+/// The owner calls [`RateOverTime::tick`] every cycle (or at whatever cadence
+/// it advances time); a sample is taken only when the cycle lands on the
+/// interval, so the value closure runs rarely and the series stays bounded.
+#[derive(Debug, Clone)]
+pub struct RateOverTime {
+    interval: u64,
+    samples: Vec<(u64, f64)>,
+}
+
+impl RateOverTime {
+    /// Creates a sampler taking one sample every `interval` cycles.
+    ///
+    /// # Panics
+    /// Panics if `interval` is 0.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "RateOverTime interval must be non-zero");
+        Self {
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Samples `value()` when `cycle` is a multiple of the interval.
+    pub fn tick(&mut self, cycle: u64, value: impl FnOnce() -> f64) {
+        if cycle.is_multiple_of(self.interval) {
+            self.samples.push((cycle, value()));
+        }
+    }
+
+    /// Unconditionally records a sample at `cycle` (e.g. a final sample at
+    /// the end of the measured window).
+    pub fn record(&mut self, cycle: u64, value: f64) {
+        self.samples.push((cycle, value));
+    }
+
+    /// The configured sampling interval in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// All `(cycle, value)` samples in recording order.
+    pub fn samples(&self) -> &[(u64, f64)] {
+        &self.samples
+    }
+
+    /// Mean of all sampled values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// The most recent sampled value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_prefixes_nest_and_restore() {
+        let mut reg = Registry::new();
+        reg.scoped("a", |r| {
+            r.counter("x", 1);
+            r.scoped("b", |r| r.counter("y", 2));
+            r.counter("z", 3);
+        });
+        reg.counter("top", 4);
+        let keys: Vec<&str> = reg.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a.b.y", "a.x", "a.z", "top"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate stats key")]
+    fn duplicate_key_panics() {
+        let mut reg = Registry::new();
+        reg.counter("x", 1);
+        reg.counter("x", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stats key segment")]
+    fn uppercase_key_rejected() {
+        let mut reg = Registry::new();
+        reg.counter("Bad", 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), u64::MAX);
+        let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (2, 2), (3, 2), (4, 1), (64, 1)]
+        );
+    }
+
+    #[test]
+    fn rate_over_time_samples_on_interval() {
+        let mut s = RateOverTime::new(10);
+        let mut calls = 0;
+        for cycle in 0..=25 {
+            s.tick(cycle, || {
+                calls += 1;
+                cycle as f64
+            });
+        }
+        assert_eq!(calls, 3); // cycles 0, 10, 20
+        assert_eq!(s.samples().len(), 3);
+        assert_eq!(s.mean(), 10.0);
+        assert_eq!(s.last(), Some(20.0));
+    }
+}

@@ -1,0 +1,256 @@
+//! Ring-buffered cycle trace of typed micro-architectural events.
+//!
+//! A [`CycleTrace`] has a fixed capacity; once full, the oldest events are
+//! dropped (and counted) so tracing a long run costs bounded memory. The
+//! simulator only records into a trace when one is attached, so the default
+//! (untraced) configuration pays nothing beyond an `Option` check on the
+//! rare drained-event path.
+
+use std::collections::VecDeque;
+
+/// The typed payload of one trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A line was filled into the L2 (miss refill).
+    Fill {
+        /// L2 set index.
+        set: usize,
+        /// Way within the set.
+        way: usize,
+        /// Whether the triggering access was a write.
+        write: bool,
+    },
+    /// First write to a clean resident line (dirty transition).
+    FirstWrite {
+        /// L2 set index.
+        set: usize,
+        /// Way within the set.
+        way: usize,
+    },
+    /// A write to an already-dirty line.
+    SecondWrite {
+        /// L2 set index.
+        set: usize,
+        /// Way within the set.
+        way: usize,
+    },
+    /// A dirty line was written back by the cleaning logic or an ECC-array
+    /// displacement, leaving the line resident but clean.
+    CleanBack {
+        /// L2 set index.
+        set: usize,
+        /// Way within the set.
+        way: usize,
+        /// Write-back class label (`"cleaning"` / `"ecc_eviction"` / ...).
+        class: &'static str,
+    },
+    /// A line was evicted from the L2.
+    Evict {
+        /// L2 set index.
+        set: usize,
+        /// Way within the set.
+        way: usize,
+        /// Whether the line was dirty (and therefore written back).
+        dirty: bool,
+    },
+    /// An injected fault reached its resolution point.
+    FaultResolved {
+        /// L2 set index of the struck line.
+        set: usize,
+        /// Way within the set.
+        way: usize,
+        /// Outcome label (`"masked"` / `"corrected"` / `"sdc"` / ...).
+        outcome: &'static str,
+    },
+}
+
+impl TraceKind {
+    fn label(&self) -> &'static str {
+        match self {
+            TraceKind::Fill { .. } => "fill",
+            TraceKind::FirstWrite { .. } => "first_write",
+            TraceKind::SecondWrite { .. } => "second_write",
+            TraceKind::CleanBack { .. } => "clean_back",
+            TraceKind::Evict { .. } => "evict",
+            TraceKind::FaultResolved { .. } => "fault_resolved",
+        }
+    }
+}
+
+/// One recorded event with its cycle timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle at which the event was drained.
+    pub cycle: u64,
+    /// The typed payload.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Renders this event as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let head = format!(
+            "{{\"cycle\":{},\"kind\":\"{}\"",
+            self.cycle,
+            self.kind.label()
+        );
+        match &self.kind {
+            TraceKind::Fill { set, way, write } => {
+                format!("{head},\"set\":{set},\"way\":{way},\"write\":{write}}}")
+            }
+            TraceKind::FirstWrite { set, way } | TraceKind::SecondWrite { set, way } => {
+                format!("{head},\"set\":{set},\"way\":{way}}}")
+            }
+            TraceKind::CleanBack { set, way, class } => {
+                format!("{head},\"set\":{set},\"way\":{way},\"class\":\"{class}\"}}")
+            }
+            TraceKind::Evict { set, way, dirty } => {
+                format!("{head},\"set\":{set},\"way\":{way},\"dirty\":{dirty}}}")
+            }
+            TraceKind::FaultResolved { set, way, outcome } => {
+                format!("{head},\"set\":{set},\"way\":{way},\"outcome\":\"{outcome}\"}}")
+            }
+        }
+    }
+}
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct CycleTrace {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl CycleTrace {
+    /// Creates a trace retaining at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        Self {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, evicting the oldest if the buffer is full.
+    pub fn record(&mut self, cycle: u64, kind: TraceKind) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TraceEvent { cycle, kind });
+        self.recorded += 1;
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded (including dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained events oldest-first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Renders the retained events as JSONL, preceded by a header line with
+    /// the recorded/dropped totals.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = format!(
+            "{{\"trace\":\"header\",\"recorded\":{},\"dropped\":{},\"retained\":{}}}\n",
+            self.recorded,
+            self.dropped,
+            self.buf.len()
+        );
+        for ev in &self.buf {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = CycleTrace::new(2);
+        t.record(1, TraceKind::FirstWrite { set: 0, way: 0 });
+        t.record(2, TraceKind::SecondWrite { set: 0, way: 0 });
+        t.record(
+            3,
+            TraceKind::Evict {
+                set: 0,
+                way: 0,
+                dirty: true,
+            },
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.recorded(), 3);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.events().next().unwrap().cycle, 2);
+    }
+
+    #[test]
+    fn jsonl_contains_header_and_events() {
+        let mut t = CycleTrace::new(8);
+        t.record(
+            5,
+            TraceKind::Fill {
+                set: 1,
+                way: 2,
+                write: false,
+            },
+        );
+        t.record(
+            9,
+            TraceKind::CleanBack {
+                set: 1,
+                way: 2,
+                class: "cleaning",
+            },
+        );
+        let text = t.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"recorded\":2"));
+        assert_eq!(
+            lines[1],
+            "{\"cycle\":5,\"kind\":\"fill\",\"set\":1,\"way\":2,\"write\":false}"
+        );
+        assert!(lines[2].contains("\"class\":\"cleaning\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        CycleTrace::new(0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the observability layer: randomly generated
+//! registries must survive the snapshot JSON round trip bit-exactly, and
+//! the gate must be reflexive (a snapshot always passes against itself).
+
+use aep_obs::{compare_snapshots, Registry, StatValue, StatsSnapshot, RATE_TOLERANCE};
+use aep_rng::SmallRng;
+
+/// Key alphabet matching the registry's segment validator.
+fn random_segment(rng: &mut SmallRng) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_:";
+    let len = rng.gen_range(1usize..12);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0usize..ALPHABET.len())] as char)
+        .collect()
+}
+
+/// An f64 drawn from the interesting corners as well as the bulk: exact
+/// integers, subnormals, negatives, zero, and shortest-round-trip
+/// stress values. (Non-finite rates are exercised separately — they
+/// serialize as strings and re-parse as the same class, but NaN breaks
+/// `PartialEq`-based assertions.)
+fn random_rate(rng: &mut SmallRng) -> f64 {
+    match rng.gen_range(0u32..6) {
+        0 => 0.0,
+        1 => -0.0,
+        2 => rng.gen::<u32>() as f64,
+        3 => f64::from_bits(rng.gen::<u64>() >> 12), // subnormal-ish tiny
+        4 => -(rng.gen::<f64>()),
+        _ => rng.gen::<f64>() * 1e6,
+    }
+}
+
+fn random_registry(rng: &mut SmallRng) -> Registry {
+    let mut reg = Registry::new();
+    let entries = rng.gen_range(1usize..60);
+    for i in 0..entries {
+        // A unique numeric suffix sidesteps duplicate-key panics while the
+        // prefix stays adversarially random.
+        let name = format!("{}_{i:03}", random_segment(rng));
+        let scope = random_segment(rng);
+        reg.scoped(&scope, |r| {
+            if rng.gen_bool(0.5) {
+                r.counter(&name, rng.gen::<u64>());
+            } else {
+                r.rate(&name, random_rate(rng));
+            }
+        });
+    }
+    reg
+}
+
+#[test]
+fn random_snapshots_roundtrip_bit_exactly() {
+    let mut rng = SmallRng::seed_from_u64(0x0b5_2006);
+    for trial in 0..200 {
+        let reg = random_registry(&mut rng);
+        let snap = StatsSnapshot::from_registry(
+            reg,
+            &[("trial", &trial.to_string()), ("scale", "property")],
+        );
+        let json = snap.to_json();
+        let reparsed = StatsSnapshot::from_json(&json)
+            .unwrap_or_else(|e| panic!("trial {trial}: parse error {e}\n{json}"));
+        assert_eq!(reparsed, snap, "trial {trial} round trip");
+        // Bit-exact rates, not merely PartialEq-equal (−0.0 == 0.0 but
+        // must reload as −0.0):
+        for (key, value) in &snap.stats {
+            if let StatValue::Rate(x) = value {
+                let StatValue::Rate(y) = reparsed.stats[key] else {
+                    panic!("kind flip for {key}");
+                };
+                assert_eq!(x.to_bits(), y.to_bits(), "trial {trial} key {key}");
+            }
+        }
+        // Serialization is canonical: a reload re-serializes identically.
+        assert_eq!(reparsed.to_json(), json, "trial {trial} canonical form");
+    }
+}
+
+#[test]
+fn nonfinite_rates_roundtrip_by_class() {
+    let mut reg = Registry::new();
+    reg.rate("nan", f64::NAN);
+    reg.rate("pinf", f64::INFINITY);
+    reg.rate("ninf", f64::NEG_INFINITY);
+    let snap = StatsSnapshot::from_registry(reg, &[]);
+    let reparsed = StatsSnapshot::from_json(&snap.to_json()).expect("parses");
+    let rate = |k: &str| match reparsed.stats[k] {
+        StatValue::Rate(x) => x,
+        StatValue::Counter(_) => panic!("kind flip for {k}"),
+    };
+    assert!(rate("nan").is_nan());
+    assert_eq!(rate("pinf"), f64::INFINITY);
+    assert_eq!(rate("ninf"), f64::NEG_INFINITY);
+}
+
+#[test]
+fn gate_is_reflexive_on_random_snapshots() {
+    let mut rng = SmallRng::seed_from_u64(0xfeed_2006);
+    for trial in 0..50 {
+        let reg = random_registry(&mut rng);
+        let snap = StatsSnapshot::from_registry(reg, &[("trial", &trial.to_string())]);
+        let report = compare_snapshots(&snap, &snap.clone(), RATE_TOLERANCE);
+        assert!(report.passed(), "trial {trial}: self-compare must pass");
+        assert!(
+            report.findings.is_empty(),
+            "trial {trial}: self-compare must not even drift"
+        );
+    }
+}

@@ -14,14 +14,18 @@
 //!   percentages by class, and IPC.
 //! * [`report`] — plain-text/CSV table rendering for the `exp` binary that
 //!   regenerates each of the paper's figures.
+//! * [`observe`] — observed runs: the full [`aep_obs`] stats registry and
+//!   optional ring-buffered cycle trace collected alongside [`RunStats`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod observe;
 pub mod report;
 pub mod runner;
 pub mod system;
 
+pub use observe::ObservedRun;
 pub use report::Table;
 pub use runner::{ExperimentConfig, L2Window, RunStats, Runner};
 pub use system::{InjectionProbe, System};

@@ -1,0 +1,54 @@
+//! Snapshot assembly for observed runs.
+//!
+//! [`Runner::run_observed`](crate::Runner::run_observed) produces an
+//! [`ObservedRun`]: the headline [`RunStats`] plus a full [`Registry`] of
+//! every component's counters and, when requested, the cycle trace. The
+//! registry is returned open (not yet frozen into a snapshot) so callers —
+//! `exp run` / `exp gate` in `aep-bench` — can append their own sections
+//! (fault-campaign outcomes, run metadata) before serializing.
+
+use aep_obs::{CycleTrace, Histogram, RateOverTime, Registry};
+
+use crate::runner::RunStats;
+
+/// The full observability output of one experiment run.
+pub struct ObservedRun {
+    /// Headline measured-window statistics (what `Runner::run` returns).
+    pub stats: RunStats,
+    /// Every component's registered statistics: `cpu.*`, `mem.*`,
+    /// `scheme.*`, `cleaning.*`, `scrub.*` (whole-run counters) and
+    /// `window.*` (measured-window deltas and derived rates).
+    pub registry: Registry,
+    /// The cycle trace, when tracing was enabled for the run.
+    pub trace: Option<CycleTrace>,
+}
+
+/// Publishes the measured-window statistics under `window.*`: exact
+/// counter deltas, derived rates, the sampled dirty-fraction time series,
+/// and the per-cycle dirty-line histogram.
+pub(crate) fn register_window(
+    stats: &RunStats,
+    dirty_series: &RateOverTime,
+    dirty_hist: &Histogram,
+    reg: &mut Registry,
+) {
+    reg.scoped("window", |r| {
+        r.counter("cycles", stats.cycles);
+        r.counter("committed", stats.committed);
+        r.rate("ipc", stats.ipc);
+        r.counter("wb_replacement", stats.l2.wb_replacement);
+        r.counter("wb_cleaning", stats.l2.wb_cleaning);
+        r.counter("wb_ecc", stats.l2.wb_ecc);
+        r.counter("loads_stores", stats.l2.loads_stores);
+        r.rate("wb_percent", stats.l2.wb_percent());
+        r.rate("avg_dirty_fraction", stats.l2.avg_dirty_fraction);
+        r.rate("avg_dirty_lines", stats.l2.avg_dirty_lines);
+        r.rate("final_dirty_fraction", stats.l2.final_dirty_fraction);
+        r.rate("mispredict_ratio", stats.mispredict_ratio);
+        r.rate("l1d_miss_ratio", stats.l1d_miss_ratio);
+        r.rate("l2_miss_ratio", stats.l2_miss_ratio);
+        r.scoped("energy", |r| stats.energy.register_stats(r));
+        r.rate_series("dirty_fraction", dirty_series);
+        r.histogram("dirty_lines", dirty_hist);
+    });
+}

@@ -10,9 +10,15 @@
 use aep_core::{EnergyCounters, SchemeKind};
 use aep_cpu::CoreConfig;
 use aep_mem::{Cycle, HierarchyConfig};
+use aep_obs::{Histogram, RateOverTime, Registry};
 use aep_workloads::Benchmark;
 
+use crate::observe::{register_window, ObservedRun};
 use crate::system::System;
+
+/// Number of dirty-fraction samples targeted over a measured window (the
+/// sampling interval is `measure_cycles / DIRTY_SERIES_SAMPLES`, min 1).
+const DIRTY_SERIES_SAMPLES: u64 = 64;
 
 /// One experiment: a benchmark, a scheme, and window sizes.
 #[derive(Debug, Clone)]
@@ -180,28 +186,105 @@ impl Runner {
     #[must_use]
     pub fn run(self) -> RunStats {
         let cfg = self.config;
+        let mut sys = Self::build_system(&cfg);
+
+        let mut now: Cycle = 0;
+        now = sys.run(now, cfg.warmup_cycles);
+
+        let window = WindowSnapshot::take(&sys);
+        let dirty_sum = sys.run_census(now, cfg.measure_cycles);
+        window.finish(&cfg, &sys, dirty_sum)
+    }
+
+    /// Executes warm-up plus measurement like [`Runner::run`], additionally
+    /// collecting the full stats registry and (when `trace_capacity` is
+    /// `Some`) a ring-buffered cycle trace.
+    ///
+    /// The measured window steps the identical cycle sequence as `run` —
+    /// same per-cycle census, same counter snapshots — so the returned
+    /// [`RunStats`] is bit-identical to what `run` would report; the only
+    /// additions are registry sampling (a histogram point per cycle and a
+    /// dirty-fraction sample every `measure_cycles / 64` cycles) layered on
+    /// top of the same walk.
+    #[must_use]
+    pub fn run_observed(self, trace_capacity: Option<usize>) -> ObservedRun {
+        let cfg = self.config;
+        let mut sys = Self::build_system(&cfg);
+        if let Some(capacity) = trace_capacity {
+            sys.enable_trace(capacity);
+        }
+
+        let mut now: Cycle = 0;
+        now = sys.run(now, cfg.warmup_cycles);
+
+        let window = WindowSnapshot::take(&sys);
+        let total_lines = sys.hier.l2().total_lines() as f64;
+
+        let interval = (cfg.measure_cycles / DIRTY_SERIES_SAMPLES).max(1);
+        let mut dirty_series = RateOverTime::new(interval);
+        let mut dirty_hist = Histogram::new();
+        let mut dirty_sum: u64 = 0;
+        for cycle in now..now + cfg.measure_cycles {
+            sys.step(cycle);
+            let dirty = sys.hier.l2().dirty_line_count();
+            dirty_sum += dirty;
+            dirty_hist.record(dirty);
+            dirty_series.tick(cycle - now, || dirty as f64 / total_lines);
+        }
+
+        let stats = window.finish(&cfg, &sys, dirty_sum);
+
+        let mut registry = Registry::new();
+        sys.register_stats(&mut registry);
+        register_window(&stats, &dirty_series, &dirty_hist, &mut registry);
+
+        ObservedRun {
+            stats,
+            registry,
+            trace: sys.take_trace(),
+        }
+    }
+
+    fn build_system(cfg: &ExperimentConfig) -> System<aep_workloads::Generator> {
         let stream = cfg.benchmark.generator(cfg.seed);
         let mut sys = System::new(cfg.core.clone(), cfg.hierarchy.clone(), cfg.scheme, stream);
         sys.set_respect_written_bit(cfg.respect_written_bit);
         if let Some(period) = cfg.scrub_period {
             sys.enable_scrubbing(period);
         }
+        sys
+    }
+}
 
-        let mut now: Cycle = 0;
-        now = sys.run(now, cfg.warmup_cycles);
+/// Counter values captured at the start of the measured window, so the
+/// reported statistics are deltas that exclude warm-up.
+struct WindowSnapshot {
+    l2_before: aep_mem::CacheStats,
+    ops_before: aep_mem::OpCounts,
+    committed_before: u64,
+    energy_before: EnergyCounters,
+}
 
-        // Snapshot at the start of the measured window.
-        let l2_before = *sys.hier.l2().stats();
-        let ops_before = sys.hier.ops();
-        let committed_before = sys.cpu.stats().committed;
-        let energy_before = sys.scheme.energy_counters();
+impl WindowSnapshot {
+    fn take<S: aep_cpu::InstrStream>(sys: &System<S>) -> Self {
+        WindowSnapshot {
+            l2_before: *sys.hier.l2().stats(),
+            ops_before: sys.hier.ops(),
+            committed_before: sys.cpu.stats().committed,
+            energy_before: sys.scheme.energy_counters(),
+        }
+    }
 
+    fn finish<S: aep_cpu::InstrStream>(
+        &self,
+        cfg: &ExperimentConfig,
+        sys: &System<S>,
+        dirty_sum: u64,
+    ) -> RunStats {
         let total_lines = sys.hier.l2().total_lines() as f64;
-        let dirty_sum = sys.run_census(now, cfg.measure_cycles);
-
-        let l2_after = sys.hier.l2().stats().since(&l2_before);
+        let l2_after = sys.hier.l2().stats().since(&self.l2_before);
         let ops_after = sys.hier.ops();
-        let committed = sys.cpu.stats().committed - committed_before;
+        let committed = sys.cpu.stats().committed - self.committed_before;
         let avg_dirty_lines = dirty_sum as f64 / cfg.measure_cycles as f64;
 
         RunStats {
@@ -217,12 +300,12 @@ impl Runner {
                 wb_replacement: l2_after.writebacks_replacement,
                 wb_cleaning: l2_after.writebacks_cleaning,
                 wb_ecc: l2_after.writebacks_ecc_eviction,
-                loads_stores: ops_after.loads_stores() - ops_before.loads_stores(),
+                loads_stores: ops_after.loads_stores() - self.ops_before.loads_stores(),
             },
             mispredict_ratio: sys.cpu.bpred().stats().mispredict_ratio(),
             l1d_miss_ratio: sys.hier.l1d().stats().miss_ratio(),
             l2_miss_ratio: sys.hier.l2().stats().miss_ratio(),
-            energy: sys.scheme.energy_counters().since(&energy_before),
+            energy: sys.scheme.energy_counters().since(&self.energy_before),
         }
     }
 }

@@ -7,6 +7,7 @@ use aep_core::{MultiEntryScheme, NonUniformScheme, ParityOnlyScheme, UniformEccS
 use aep_cpu::{CoreConfig, InstrStream, Pipeline};
 use aep_mem::cache::{Cache, WbClass};
 use aep_mem::{Cycle, HierarchyConfig, L2Event, MainMemory, MemoryHierarchy};
+use aep_obs::{CycleTrace, Registry, TraceKind};
 
 /// An observer wired into the event-drain loop *ahead of* the protection
 /// scheme: it sees every L2 event while the scheme's check storage still
@@ -23,6 +24,11 @@ pub trait InjectionProbe {
         memory: &mut MainMemory,
         now: Cycle,
     );
+
+    /// Appends `(set, way, outcome-label)` tuples for faults the probe
+    /// resolved since the last call — consumed by the cycle trace. The
+    /// default (never resolves anything) suits passive probes.
+    fn drain_resolutions(&mut self, _out: &mut Vec<(usize, usize, &'static str)>) {}
 }
 
 /// Builds the protection scheme for `kind` over the given L2 geometry.
@@ -37,6 +43,44 @@ pub fn build_scheme(kind: SchemeKind, hier: &HierarchyConfig) -> Box<dyn Protect
         SchemeKind::ProposedMulti {
             entries_per_set, ..
         } => Box::new(MultiEntryScheme::new(&hier.l2, entries_per_set)),
+    }
+}
+
+/// Maps one drained L2 event to its trace record. Read hits are skipped:
+/// they carry no state transition and would swamp the ring with the least
+/// interesting event class.
+fn record_event(trace: &mut CycleTrace, now: Cycle, event: &L2Event) {
+    match *event {
+        L2Event::Fill {
+            set, way, write, ..
+        } => trace.record(now, TraceKind::Fill { set, way, write }),
+        L2Event::WriteHit {
+            set,
+            way,
+            first_write,
+            ..
+        } => {
+            let kind = if first_write {
+                TraceKind::FirstWrite { set, way }
+            } else {
+                TraceKind::SecondWrite { set, way }
+            };
+            trace.record(now, kind);
+        }
+        L2Event::Evict {
+            set, way, dirty, ..
+        } => trace.record(now, TraceKind::Evict { set, way, dirty }),
+        L2Event::Cleaned {
+            set, way, class, ..
+        } => trace.record(
+            now,
+            TraceKind::CleanBack {
+                set,
+                way,
+                class: class.label(),
+            },
+        ),
+        L2Event::ReadHit { .. } => {}
     }
 }
 
@@ -57,6 +101,8 @@ pub struct System<S> {
     respect_written_bit: bool,
     scrubber: Option<Scrubber>,
     probe: Option<Box<dyn InjectionProbe>>,
+    trace: Option<CycleTrace>,
+    resolution_buf: Vec<(usize, usize, &'static str)>,
 }
 
 impl<S: InstrStream> System<S> {
@@ -84,7 +130,41 @@ impl<S: InstrStream> System<S> {
             respect_written_bit: true,
             scrubber: None,
             probe: None,
+            trace: None,
+            resolution_buf: Vec::new(),
         }
+    }
+
+    /// Attaches a cycle trace retaining the most recent `capacity` events.
+    /// Without one (the default) the event drain pays only a dead `Option`
+    /// check per drained event.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(CycleTrace::new(capacity));
+    }
+
+    /// The attached cycle trace, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&CycleTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Detaches and returns the cycle trace (tracing stops).
+    pub fn take_trace(&mut self) -> Option<CycleTrace> {
+        self.trace.take()
+    }
+
+    /// Publishes the whole machine's statistics under the current scope:
+    /// `cpu.*` (pipeline, branch predictor, TLBs), `mem.*` (caches, write
+    /// buffer, bus, DRAM), `scheme.*`, `cleaning.*`, and `scrub.*`
+    /// (zeroed when scrubbing is disabled, so keys stay stable).
+    pub fn register_stats(&self, reg: &mut Registry) {
+        reg.scoped("cpu", |r| self.cpu.register_stats(r));
+        reg.scoped("mem", |r| self.hier.register_stats(r));
+        reg.scoped("scheme", |r| self.scheme.register_stats(r));
+        reg.scoped("cleaning", |r| self.cleaning.register_stats(r));
+        reg.scoped("scrub", |r| {
+            self.scrub_stats().unwrap_or_default().register_stats(r);
+        });
     }
 
     /// Installs an [`InjectionProbe`] that intercepts L2 events ahead of
@@ -155,8 +235,17 @@ impl<S: InstrStream> System<S> {
                     let (l2, memory) = self.hier.l2_and_memory_mut();
                     probe.on_l2_event(event, l2, self.scheme.as_mut(), memory, now);
                 }
+                if let Some(trace) = self.trace.as_mut() {
+                    record_event(trace, now, event);
+                }
                 self.scheme
                     .on_event(event, self.hier.l2(), &mut self.directive_buf);
+            }
+            if let (Some(trace), Some(probe)) = (self.trace.as_mut(), self.probe.as_deref_mut()) {
+                probe.drain_resolutions(&mut self.resolution_buf);
+                for (set, way, outcome) in self.resolution_buf.drain(..) {
+                    trace.record(now, TraceKind::FaultResolved { set, way, outcome });
+                }
             }
             for directive in self.directive_buf.drain(..) {
                 match directive {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Verifies the parallel experiment engine is deterministic: `exp all`
-# and the Monte Carlo fault campaign (`exp faults`) must both be
-# byte-identical between --jobs 1 and --jobs N.
+# Verifies the parallel experiment engine is deterministic: `exp all`,
+# the Monte Carlo fault campaign (`exp faults`), and the observability
+# snapshot (`exp run --stats-json`) must all be byte-identical between
+# --jobs 1 and --jobs N.
 #
 # Usage: scripts/check_determinism.sh [scale] [jobs]
 #          scale  paper|quick|smoke   (default: smoke)
@@ -46,5 +47,21 @@ if cmp -s "$tmp/faults_serial.txt" "$tmp/faults_parallel.txt"; then
 else
   echo "==> faults determinism FAILED: outputs differ" >&2
   diff "$tmp/faults_serial.txt" "$tmp/faults_parallel.txt" | head -n 40 >&2
+  exit 1
+fi
+
+echo "==> exp run --scale $scale --stats-json --jobs 1"
+./target/release/exp run --scale "$scale" --stats-json --jobs 1 \
+  > "$tmp/snap_serial.json" 2> /dev/null
+
+echo "==> exp run --scale $scale --stats-json --jobs $jobs"
+./target/release/exp run --scale "$scale" --stats-json --jobs "$jobs" \
+  > "$tmp/snap_parallel.json" 2> /dev/null
+
+if cmp -s "$tmp/snap_serial.json" "$tmp/snap_parallel.json"; then
+  echo "==> snapshot determinism: byte-identical (--jobs 1 vs --jobs $jobs, $scale)"
+else
+  echo "==> snapshot determinism FAILED: snapshots differ" >&2
+  diff "$tmp/snap_serial.json" "$tmp/snap_parallel.json" | head -n 40 >&2
   exit 1
 fi

@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Offline CI gate: formatting, lints, and the full test suite.
+# Offline CI legs: formatting, lints, the full test suite, and the
+# stats-regression gate, with per-step elapsed time. The GitHub workflow
+# (.github/workflows/ci.yml) runs these same steps as parallel jobs;
+# this script is the one-shot local equivalent.
 #
 # Everything runs with --offline semantics — the workspace has no
 # registry dependencies (see the root Cargo.toml), so this script works
@@ -10,13 +13,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+step() {
+  local label="$1"
+  shift
+  echo "==> $label"
+  local start elapsed
+  start=$(date +%s)
+  "$@"
+  elapsed=$(( $(date +%s) - start ))
+  echo "==> $label: done in ${elapsed}s"
+}
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+step "cargo fmt --check" cargo fmt --check
+step "cargo clippy --workspace -- -D warnings" \
+  cargo clippy --workspace --all-targets -- -D warnings
+step "cargo test -q --workspace" cargo test -q --workspace
+step "stats gate (smoke)" scripts/stats_gate.sh smoke
 
 echo "==> ci: all green"

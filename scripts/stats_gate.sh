@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Stats-regression gate: every scheme's smoke-scale StatsSnapshot must
+# match the golden snapshots checked in under results/golden/ (counters
+# exactly, derived rates within ±2 %).
+#
+# After the real gate passes, a self-check perturbs a counter in a copy
+# of the goldens and asserts the gate *fails* against it — so a broken
+# comparator can never report green.
+#
+# Intentional stat changes are regenerated with ONE command:
+#
+#     ./target/release/exp gate --regen      # then commit results/golden/
+#
+# Usage: scripts/stats_gate.sh [scale]
+#          scale  paper|quick|smoke   (default: smoke, the checked-in set)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-smoke}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cargo build --release -p aep-bench --bin exp
+
+echo "==> exp gate --scale $scale"
+./target/release/exp gate --scale "$scale"
+
+echo "==> self-check: a perturbed golden must FAIL the gate"
+cp -r results/golden "$tmp/golden"
+sample="$(ls "$tmp"/golden/${scale}_*.snap.json | head -n 1)"
+# Bump the committed-instruction counter by one: an architectural count,
+# so the gate must flag it as a hard failure.
+sed -i 's/\("cpu.pipeline.committed": { "kind": "counter", "value": \)\([0-9]*\)/\1999999999/' \
+  "$sample"
+if ./target/release/exp gate --scale "$scale" --golden "$tmp/golden" > "$tmp/out.txt" 2>&1; then
+  echo "==> stats gate self-check FAILED: perturbed golden passed" >&2
+  cat "$tmp/out.txt" >&2
+  exit 1
+fi
+grep -q "counter mismatch" "$tmp/out.txt" || {
+  echo "==> stats gate self-check FAILED: no counter-mismatch finding" >&2
+  cat "$tmp/out.txt" >&2
+  exit 1
+}
+
+echo "==> stats gate: all schemes match golden snapshots ($scale)"
