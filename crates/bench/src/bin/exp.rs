@@ -41,6 +41,12 @@ fn main() {
     if let Some(c) = it.next() {
         command = c.clone();
     }
+    // `explore` has its own flag grammar (--axes, --objectives, --budget,
+    // --in); hand the remaining args over before the generic loop below
+    // rejects them.
+    if command == "explore" {
+        std::process::exit(aep_bench::explore::run(&args[1..]));
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
@@ -306,6 +312,8 @@ fn usage() -> String {
      \x20            [--bench B] [--scheme S] [--capacity N]\n\
      \x20 gate       stats-regression gate vs results/golden/\n\
      \x20            (default scale: smoke) [--golden DIR] [--regen]\n\
+     \x20 explore    design-space exploration: grid | refine | frontier\n\
+     \x20            (see `exp explore help` for axes and objectives)\n\
      \x20 bench      engine-throughput harness (BENCH_engine.json)\n\
      \x20 all        everything above in order\n\n\
      flags:\n\

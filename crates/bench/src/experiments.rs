@@ -21,70 +21,67 @@ use std::collections::HashMap;
 use aep_core::SchemeKind;
 use aep_faultsim::fan_out;
 use aep_sim::{RunStats, Runner, Table};
-use aep_workloads::calibration::{CHOSEN_INTERVAL, CLEANING_INTERVALS};
+use aep_workloads::calibration::CHOSEN_INTERVAL;
 use aep_workloads::{BenchKind, Benchmark};
 
 use crate::runcache::RunCache;
 
-/// How long to run each experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// The full windows (12 M warm-up + 20 M measured cycles).
-    Paper,
-    /// ~10× shorter windows for quick looks.
-    Quick,
-    /// Minimal windows for smoke tests.
-    Smoke,
-}
+// `Scale` lives in `aep-sim` now (the explorer and the figure pipeline
+// share it); re-exported here so existing call sites keep compiling.
+pub use aep_sim::Scale;
 
-impl Scale {
-    /// Builds an experiment config at this scale.
-    #[must_use]
-    pub fn config(self, benchmark: Benchmark, scheme: SchemeKind) -> aep_sim::ExperimentConfig {
-        match self {
-            Scale::Paper => aep_sim::ExperimentConfig::paper(benchmark, scheme),
-            Scale::Quick => aep_sim::ExperimentConfig::quick(benchmark, scheme),
-            Scale::Smoke => aep_sim::ExperimentConfig::fast_test(benchmark, scheme),
-        }
-    }
-
-    /// Parses a CLI scale flag.
-    #[must_use]
-    pub fn parse(s: &str) -> Option<Scale> {
-        match s {
-            "paper" => Some(Scale::Paper),
-            "quick" => Some(Scale::Quick),
-            "smoke" => Some(Scale::Smoke),
-            _ => None,
-        }
-    }
-
-    /// The scale's CLI / cache-key name.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            Scale::Paper => "paper",
-            Scale::Quick => "quick",
-            Scale::Smoke => "smoke",
-        }
-    }
-}
+// The scheme sets behind every figure live in the `aep-dse` registry —
+// one declaration serves the figure pipeline and the explorer's default
+// axes alike.
+pub use aep_dse::registry::{
+    ablation_schemes as ablation_scheme_set, comparison_schemes, interval_axis,
+    interval_sweep_schemes, proposed,
+};
 
 /// One planned experiment: a (benchmark, scheme) pair to run at the
 /// lab's scale.
 pub type PlannedRun = (Benchmark, SchemeKind);
 
-/// A memoizing experiment laboratory: runs each (benchmark, scheme)
-/// configuration at most once per process, optionally spilling results
-/// to (and recalling them from) an on-disk [`RunCache`], and executing
-/// batched plans across worker threads.
+/// How one [`Lab::prefetch_configs`] batch was satisfied, tier by tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Distinct configurations in the batch (after dedup).
+    pub planned: usize,
+    /// Satisfied by the in-process memo.
+    pub memo_hits: usize,
+    /// Recalled from the on-disk [`RunCache`].
+    pub disk_hits: usize,
+    /// Freshly simulated.
+    pub evaluated: usize,
+}
+
+impl BatchSummary {
+    fn accumulate(&mut self, other: BatchSummary) {
+        self.planned += other.planned;
+        self.memo_hits += other.memo_hits;
+        self.disk_hits += other.disk_hits;
+        self.evaluated += other.evaluated;
+    }
+}
+
+/// A memoizing experiment laboratory: runs each configuration at most
+/// once per process, optionally spilling results to (and recalling them
+/// from) an on-disk [`RunCache`], and executing batched plans across
+/// worker threads.
+///
+/// The memo is keyed by the full [`RunCache`] key — scale, benchmark,
+/// scheme, seed, and a hash of the whole [`aep_sim::ExperimentConfig`] —
+/// so the explorer's off-grid points (non-Table-1 geometry, scrubbing)
+/// share the same engine and cache as the figure pipeline's
+/// (benchmark, scheme) plans.
 #[derive(Debug)]
 pub struct Lab {
     scale: Scale,
-    cache: HashMap<PlannedRun, RunStats>,
+    cache: HashMap<String, RunStats>,
     verbose: bool,
     jobs: usize,
     disk: Option<RunCache>,
+    totals: BatchSummary,
 }
 
 impl Lab {
@@ -97,6 +94,7 @@ impl Lab {
             verbose: false,
             jobs: 1,
             disk: None,
+            totals: BatchSummary::default(),
         }
     }
 
@@ -130,42 +128,81 @@ impl Lab {
         self.scale
     }
 
+    /// Ensures every (benchmark, scheme) configuration in `plan` is
+    /// resolved at the lab's scale — see [`Lab::prefetch_configs`].
+    pub fn prefetch(&mut self, plan: &[PlannedRun]) {
+        let configs: Vec<aep_sim::ExperimentConfig> = plan
+            .iter()
+            .map(|&(benchmark, scheme)| self.scale.config(benchmark, scheme))
+            .collect();
+        self.prefetch_configs(&configs);
+    }
+
     /// Ensures every configuration in `plan` is resolved, fanning cache
-    /// misses out across up to `jobs` worker threads.
+    /// misses out across up to `jobs` worker threads, and emits a
+    /// one-line batch summary (planned / memo hits / disk hits /
+    /// evaluated) on stderr.
     ///
     /// The plan is deduplicated (first occurrence wins), then satisfied
     /// in three tiers: the in-process memo, the disk cache (if attached),
     /// and finally fresh simulation. Fresh results merge into the memo in
     /// plan order — deterministically, regardless of which worker
     /// finished first — and are written back to the disk cache.
-    pub fn prefetch(&mut self, plan: &[PlannedRun]) {
-        // Plan: dedupe, drop memo hits.
-        let mut pending: Vec<PlannedRun> = Vec::new();
-        for &run in plan {
-            if !self.cache.contains_key(&run) && !pending.contains(&run) {
-                pending.push(run);
+    /// Cache-directory I/O errors are reported (and treated as misses)
+    /// instead of silently recomputing.
+    pub fn prefetch_configs(&mut self, plan: &[aep_sim::ExperimentConfig]) {
+        let mut summary = BatchSummary::default();
+        // Plan: dedupe (first occurrence wins), count memo hits.
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut pending: Vec<(String, &aep_sim::ExperimentConfig)> = Vec::new();
+        for cfg in plan {
+            let key = RunCache::key(self.scale.name(), cfg);
+            if !seen.insert(key.clone()) {
+                continue;
             }
+            summary.planned += 1;
+            if self.cache.contains_key(&key) {
+                summary.memo_hits += 1;
+                continue;
+            }
+            pending.push((key, cfg));
         }
         // Recall tier: the disk cache.
-        let mut misses: Vec<PlannedRun> = Vec::new();
-        for (benchmark, scheme) in pending {
+        let mut misses: Vec<(String, &aep_sim::ExperimentConfig)> = Vec::new();
+        for (key, cfg) in pending {
             if let Some(disk) = &self.disk {
-                let key = RunCache::key(self.scale.name(), &self.scale.config(benchmark, scheme));
-                if let Some(stats) = disk.load(&key) {
-                    if self.verbose {
-                        eprintln!("[lab] disk hit {} / {}", benchmark, scheme.label());
+                match disk.load_checked(&key) {
+                    Ok(Some(stats)) => {
+                        if self.verbose {
+                            eprintln!("[lab] disk hit {} / {}", cfg.benchmark, cfg.scheme.label());
+                        }
+                        summary.disk_hits += 1;
+                        self.cache.insert(key, stats);
+                        continue;
                     }
-                    self.cache.insert((benchmark, scheme), stats);
-                    continue;
+                    Ok(None) => {}
+                    Err(e) => {
+                        eprintln!(
+                            "[lab] warning: cannot read cache entry {key}: {e} \
+                             (re-simulating)"
+                        );
+                    }
                 }
             }
-            misses.push((benchmark, scheme));
+            misses.push((key, cfg));
         }
         // Execute tier: simulate the misses, in parallel when asked.
-        let results = run_plan(self.scale, &misses, self.jobs, self.verbose);
-        for (&(benchmark, scheme), stats) in misses.iter().zip(results) {
+        summary.evaluated = misses.len();
+        let verbose = self.verbose;
+        let results = fan_out(misses.len(), self.jobs, |i| {
+            let cfg = misses[i].1;
+            if verbose {
+                eprintln!("[lab] running {} / {}", cfg.benchmark, cfg.scheme.label());
+            }
+            Runner::new(cfg.clone()).run()
+        });
+        for ((key, _), stats) in misses.into_iter().zip(results) {
             if let Some(disk) = &self.disk {
-                let key = RunCache::key(self.scale.name(), &self.scale.config(benchmark, scheme));
                 if let Err(e) = disk.store(&key, &stats) {
                     eprintln!(
                         "[lab] warning: cannot write cache entry {key}: {e} \
@@ -173,17 +210,32 @@ impl Lab {
                     );
                 }
             }
-            self.cache.insert((benchmark, scheme), stats);
+            self.cache.insert(key, stats);
         }
+        if summary.planned > 0 {
+            eprintln!(
+                "[lab] batch: {} planned, {} memo hits, {} disk hits, {} evaluated",
+                summary.planned, summary.memo_hits, summary.disk_hits, summary.evaluated
+            );
+        }
+        self.totals.accumulate(summary);
     }
 
-    /// Runs (or recalls) one configuration.
+    /// Runs (or recalls) one (benchmark, scheme) configuration at the
+    /// lab's scale.
     pub fn stats(&mut self, benchmark: Benchmark, scheme: SchemeKind) -> RunStats {
-        if let Some(hit) = self.cache.get(&(benchmark, scheme)) {
+        self.stats_config(&self.scale.config(benchmark, scheme))
+    }
+
+    /// Runs (or recalls) one arbitrary configuration (the explorer's
+    /// entry point: geometry and scrub deviations welcome).
+    pub fn stats_config(&mut self, cfg: &aep_sim::ExperimentConfig) -> RunStats {
+        let key = RunCache::key(self.scale.name(), cfg);
+        if let Some(hit) = self.cache.get(&key) {
             return hit.clone();
         }
-        self.prefetch(&[(benchmark, scheme)]);
-        self.cache[&(benchmark, scheme)].clone()
+        self.prefetch_configs(std::slice::from_ref(cfg));
+        self.cache[&key].clone()
     }
 
     /// Number of distinct configurations resolved so far (simulated or
@@ -192,21 +244,12 @@ impl Lab {
     pub fn runs(&self) -> usize {
         self.cache.len()
     }
-}
 
-/// Executes `plan` at `scale` and returns the stats in plan order.
-///
-/// Fans out over [`aep_faultsim::fan_out`]'s work-stealing pool (run
-/// lengths vary a lot between benchmarks); results come back in plan
-/// order no matter the interleaving.
-fn run_plan(scale: Scale, plan: &[PlannedRun], jobs: usize, verbose: bool) -> Vec<RunStats> {
-    fan_out(plan.len(), jobs, |i| {
-        let (benchmark, scheme) = plan[i];
-        if verbose {
-            eprintln!("[lab] running {} / {}", benchmark, scheme.label());
-        }
-        Runner::new(scale.config(benchmark, scheme)).run()
-    })
+    /// Cumulative tier accounting across every batch this lab resolved.
+    #[must_use]
+    pub fn totals(&self) -> BatchSummary {
+        self.totals
+    }
 }
 
 /// One figure's data: column labels plus (benchmark, values) rows.
@@ -295,31 +338,12 @@ fn benchmarks_of(kind: Option<BenchKind>) -> Vec<Benchmark> {
     }
 }
 
-/// The proposed configuration the paper settles on (§5.2).
-#[must_use]
-pub fn proposed() -> SchemeKind {
-    SchemeKind::Proposed {
-        cleaning_interval: CHOSEN_INTERVAL,
-    }
-}
-
 /// Cross product of benchmarks × schemes, in row-major (benchmark) order.
 fn cross(benches: &[Benchmark], schemes: &[SchemeKind]) -> Vec<PlannedRun> {
     benches
         .iter()
         .flat_map(|&b| schemes.iter().map(move |&k| (b, k)))
         .collect()
-}
-
-/// The interval-sweep scheme set of Figures 3–6: every cleaning interval
-/// plus the uncleaned `org` reference.
-fn interval_sweep_schemes() -> Vec<SchemeKind> {
-    let mut schemes: Vec<SchemeKind> = CLEANING_INTERVALS
-        .iter()
-        .map(|&cleaning_interval| SchemeKind::UniformWithCleaning { cleaning_interval })
-        .collect();
-    schemes.push(SchemeKind::Uniform);
-    schemes
 }
 
 /// The runs [`fig1`] needs.
@@ -355,7 +379,7 @@ pub fn fig8_configs() -> Vec<PlannedRun> {
 /// The runs [`perf`] needs.
 #[must_use]
 pub fn perf_configs() -> Vec<PlannedRun> {
-    cross(&benchmarks_of(None), &[SchemeKind::Uniform, proposed()])
+    cross(&benchmarks_of(None), &comparison_schemes())
 }
 
 /// The runs [`calibrate`] needs.
@@ -367,32 +391,19 @@ pub fn calibrate_configs() -> Vec<PlannedRun> {
 /// The runs [`ablation_schemes`] needs.
 #[must_use]
 pub fn ablation_configs() -> Vec<PlannedRun> {
-    cross(
-        &benchmarks_of(None),
-        &[
-            SchemeKind::Uniform,
-            SchemeKind::UniformWithCleaning {
-                cleaning_interval: CHOSEN_INTERVAL,
-            },
-            proposed(),
-            SchemeKind::ProposedMulti {
-                cleaning_interval: CHOSEN_INTERVAL,
-                entries_per_set: 2,
-            },
-        ],
-    )
+    cross(&benchmarks_of(None), &ablation_scheme_set())
 }
 
 /// The runs [`reliability`] needs.
 #[must_use]
 pub fn reliability_configs() -> Vec<PlannedRun> {
-    cross(&benchmarks_of(None), &[SchemeKind::Uniform, proposed()])
+    cross(&benchmarks_of(None), &comparison_schemes())
 }
 
 /// The runs [`energy`] needs.
 #[must_use]
 pub fn energy_configs() -> Vec<PlannedRun> {
-    cross(&benchmarks_of(None), &[SchemeKind::Uniform, proposed()])
+    cross(&benchmarks_of(None), &comparison_schemes())
 }
 
 /// The union of every lab-driven figure's plan, in `exp all` emission
@@ -434,9 +445,9 @@ pub fn fig1(lab: &mut Lab) -> FigureData {
 }
 
 fn interval_columns() -> Vec<String> {
-    let mut columns: Vec<String> = CLEANING_INTERVALS
-        .iter()
-        .map(|&i| aep_core::scheme::human_interval(i))
+    let mut columns: Vec<String> = interval_axis()
+        .into_iter()
+        .map(aep_core::scheme::human_interval)
         .collect();
     columns.push("org".into());
     columns
@@ -449,9 +460,9 @@ pub fn fig3_fig4(lab: &mut Lab, kind: BenchKind) -> FigureData {
     let rows = benchmarks_of(Some(kind))
         .into_iter()
         .map(|b| {
-            let mut values: Vec<f64> = CLEANING_INTERVALS
-                .iter()
-                .map(|&interval| {
+            let mut values: Vec<f64> = interval_axis()
+                .into_iter()
+                .map(|interval| {
                     lab.stats(
                         b,
                         SchemeKind::UniformWithCleaning {
@@ -484,9 +495,9 @@ pub fn fig5_fig6(lab: &mut Lab, kind: BenchKind) -> FigureData {
     let rows = benchmarks_of(Some(kind))
         .into_iter()
         .map(|b| {
-            let mut values: Vec<f64> = CLEANING_INTERVALS
-                .iter()
-                .map(|&interval| {
+            let mut values: Vec<f64> = interval_axis()
+                .into_iter()
+                .map(|interval| {
                     lab.stats(
                         b,
                         SchemeKind::UniformWithCleaning {

@@ -1,0 +1,546 @@
+//! The `exp explore` subcommand: design-space exploration through the
+//! lab.
+//!
+//! This module is the glue between the `aep-dse` engine (spaces,
+//! objectives, Pareto analysis, search driver) and this crate's execution
+//! machinery (the parallel [`Lab`], the persistent [`RunCache`], and the
+//! fault-injection campaigns for the empirical DUE/SDC objectives). The
+//! division of labour: `aep-dse` decides *what* to evaluate and how to
+//! rank it, [`LabEvaluator`] decides *how* — batching every rung through
+//! [`Lab::prefetch_configs`] so points fan out across `--jobs` workers
+//! and recur from the disk cache on repeat invocations.
+//!
+//! Everything downstream of the evaluator is a pure function of the
+//! space and the objective spec, so every report under `results/dse/` is
+//! byte-identical for any `--jobs` count — `scripts/check_determinism.sh`
+//! asserts exactly that on the frontier JSON.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use aep_dse::registry;
+use aep_dse::{
+    analyze, expand_schemes, explore_grid, frontier_csv, frontier_json, frontier_markdown,
+    objectives_from_run, parse_records, points_csv, refine, write_records, Analysis,
+    EvaluatedPoint, Evaluator, ExplorePoint, Geometry, ObjectiveKey, ObjectiveSpec,
+    ObjectiveVector, SchemeTemplate, Space,
+};
+use aep_workloads::Benchmark;
+
+use crate::experiments::{Lab, Scale};
+use crate::faults::{self, FaultsOptions};
+use crate::runcache::RunCache;
+
+/// Parses a cycle-count axis value: plain cycles, or with a `K`/`M`
+/// (×1024 / ×1024²) suffix, e.g. `64K`, `1M`, `1048576`.
+#[must_use]
+pub fn parse_cycles(s: &str) -> Option<u64> {
+    if let Some(k) = s.strip_suffix(['K', 'k']) {
+        return k.parse::<u64>().ok().map(|v| v * 1024);
+    }
+    if let Some(m) = s.strip_suffix(['M', 'm']) {
+        return m.parse::<u64>().ok().map(|v| v * 1024 * 1024);
+    }
+    s.parse().ok()
+}
+
+fn parse_bench_list(values: &str) -> Result<Vec<Benchmark>, String> {
+    let mut out = Vec::new();
+    for v in values.split(',').map(str::trim).filter(|v| !v.is_empty()) {
+        match v {
+            "all" => out.extend(Benchmark::all()),
+            "fp" => out.extend(Benchmark::fp()),
+            "int" => out.extend(Benchmark::int()),
+            name => out.push(
+                Benchmark::all()
+                    .into_iter()
+                    .find(|b| b.name() == name)
+                    .ok_or_else(|| format!("unknown benchmark '{name}'"))?,
+            ),
+        }
+    }
+    if out.is_empty() {
+        return Err("the bench axis has no values".into());
+    }
+    Ok(out)
+}
+
+/// Builds the design space from a `--axes` spec: semicolon-separated
+/// `key=value,value` groups over the axes `scheme`, `interval`, `bench`,
+/// `scrub`, and `l2`. Omitted axes take the registry defaults (the
+/// paper's scheme templates and interval ladder on `gap`, no scrubbing,
+/// Table 1 geometry).
+///
+/// ```text
+/// scheme=uniform,proposed;interval=256K,1M;bench=gzip,gap;scrub=none,4096;l2=512K
+/// ```
+///
+/// # Errors
+///
+/// Returns a message naming the malformed group or value.
+pub fn parse_axes(spec: &str) -> Result<Space, String> {
+    let mut templates = registry::default_templates();
+    let mut intervals = registry::interval_axis();
+    let mut benchmarks = vec![Benchmark::Gap];
+    let mut scrubs: Vec<Option<u64>> = Vec::new();
+    let mut geometries: Vec<Geometry> = Vec::new();
+    for group in spec.split(';').filter(|g| !g.trim().is_empty()) {
+        let (key, values) = group
+            .split_once('=')
+            .ok_or_else(|| format!("axis group '{group}' is not key=value,..."))?;
+        let list = || values.split(',').map(str::trim).filter(|v| !v.is_empty());
+        match key.trim() {
+            "scheme" => {
+                templates = list()
+                    .map(|v| {
+                        SchemeTemplate::parse(v).ok_or_else(|| format!("unknown scheme '{v}'"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "interval" => {
+                intervals = list()
+                    .map(|v| parse_cycles(v).ok_or_else(|| format!("bad interval '{v}'")))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "bench" => benchmarks = parse_bench_list(values)?,
+            "scrub" => {
+                scrubs = list()
+                    .map(|v| match v {
+                        "none" => Ok(None),
+                        _ => parse_cycles(v)
+                            .filter(|&p| p > 0)
+                            .map(Some)
+                            .ok_or_else(|| format!("bad scrub period '{v}'")),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "l2" => {
+                geometries = list()
+                    .map(|v| Geometry::parse(v).ok_or_else(|| format!("bad geometry '{v}'")))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            other => return Err(format!("unknown axis '{other}'")),
+        }
+    }
+    let space = Space::grid(
+        &benchmarks,
+        &expand_schemes(&templates, &intervals),
+        &scrubs,
+        &geometries,
+    );
+    space.validate().map_err(|e| e.to_string())?;
+    Ok(space)
+}
+
+/// An [`Evaluator`] backed by this crate's machinery: one [`Lab`] per
+/// scale (so refinement rungs each get the right warm-up/window), the
+/// shared disk cache, and — when the spec asks for the empirical DUE/SDC
+/// objectives — the fault-injection campaigns of `exp faults`.
+pub struct LabEvaluator {
+    jobs: usize,
+    use_cache: bool,
+    /// Campaign trials per point for the empirical objectives.
+    trials: u32,
+    labs: HashMap<Scale, Lab>,
+}
+
+impl LabEvaluator {
+    /// A fresh evaluator (labs are created per scale on first use).
+    #[must_use]
+    pub fn new(jobs: usize, use_cache: bool, trials: u32) -> Self {
+        LabEvaluator {
+            jobs,
+            use_cache,
+            trials,
+            labs: HashMap::new(),
+        }
+    }
+
+    /// Total runs freshly simulated (vs. recalled) across every scale —
+    /// the number the warm-cache acceptance check watches.
+    #[must_use]
+    pub fn evaluated_runs(&self) -> usize {
+        self.labs.values().map(|lab| lab.totals().evaluated).sum()
+    }
+
+    fn campaign_outcome(&self, scale: Scale, point: &ExplorePoint) -> aep_faultsim::OutcomeTable {
+        let opts = FaultsOptions {
+            benchmark: point.benchmark,
+            trials: self.trials,
+            ..FaultsOptions::default()
+        };
+        let mut cfg = faults::campaign_config(scale, &opts, point.scheme);
+        if point.geometry != Geometry::date2006() {
+            point.geometry.apply(&mut cfg.hierarchy.l2);
+        }
+        let key = faults::campaign_key(scale, &cfg);
+        let disk = self.use_cache.then(|| RunCache::default_under("."));
+        if let Some(disk) = &disk {
+            if let Some(table) = disk.load_raw(&key).as_deref().and_then(faults::parse_table) {
+                return table;
+            }
+        }
+        eprintln!(
+            "[explore] fault campaign {} ({} trials)",
+            point.id(),
+            cfg.trials
+        );
+        let table = aep_faultsim::run_campaign(&cfg, self.jobs);
+        if let Some(disk) = &disk {
+            if let Err(e) = disk.store_raw(&key, &faults::render_table(&table)) {
+                eprintln!("[explore] warning: cannot write cache entry {key}: {e}");
+            }
+        }
+        table
+    }
+}
+
+impl Evaluator for LabEvaluator {
+    fn evaluate(
+        &mut self,
+        scale: Scale,
+        points: &[ExplorePoint],
+        spec: &ObjectiveSpec,
+    ) -> Vec<ObjectiveVector> {
+        let configs: Vec<aep_sim::ExperimentConfig> =
+            points.iter().map(|p| p.config(scale)).collect();
+        let mut vectors = {
+            let jobs = self.jobs;
+            let use_cache = self.use_cache;
+            let lab = self.labs.entry(scale).or_insert_with(|| {
+                let mut lab = Lab::new(scale).jobs(jobs);
+                if use_cache {
+                    lab = lab.with_disk_cache(RunCache::default_under("."));
+                }
+                lab
+            });
+            lab.prefetch_configs(&configs);
+            points
+                .iter()
+                .zip(&configs)
+                .map(|(p, cfg)| objectives_from_run(&lab.stats_config(cfg), p, spec))
+                .collect::<Vec<_>>()
+        };
+        if spec.keys().iter().any(|k| k.is_empirical()) {
+            for (p, v) in points.iter().zip(vectors.iter_mut()) {
+                let table = self.campaign_outcome(scale, p);
+                v.set(spec, ObjectiveKey::DueRate, table.due_rate());
+                v.set(spec, ObjectiveKey::SdcRate, table.sdc_rate());
+            }
+        }
+        vectors
+    }
+}
+
+/// Writes the full report family for one evaluated batch under `dir`
+/// with the given file prefix (`grid_quick`, `refine_paper`, …): the
+/// lossless `.dse` records plus frontier JSON / CSV / markdown and the
+/// all-points CSV.
+///
+/// # Errors
+///
+/// Returns the first I/O error.
+pub fn write_reports(
+    dir: &Path,
+    prefix: &str,
+    scale_name: &str,
+    spec: &ObjectiveSpec,
+    evaluated: &[EvaluatedPoint],
+    analysis: &Analysis,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let files = [
+        (
+            format!("{prefix}.dse"),
+            write_records(scale_name, spec, evaluated),
+        ),
+        (
+            format!("{prefix}_frontier.json"),
+            frontier_json(scale_name, spec, evaluated, analysis),
+        ),
+        (
+            format!("{prefix}_frontier.csv"),
+            frontier_csv(spec, evaluated, analysis),
+        ),
+        (
+            format!("{prefix}_frontier.md"),
+            frontier_markdown(scale_name, spec, evaluated, analysis),
+        ),
+        (
+            format!("{prefix}_points.csv"),
+            points_csv(spec, evaluated, analysis),
+        ),
+    ];
+    for (name, content) in files {
+        let path = dir.join(name);
+        std::fs::write(&path, content)?;
+        eprintln!("[explore] wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn fail_usage(msg: &str) -> i32 {
+    eprintln!("exp explore: {msg}\n\n{}", usage());
+    2
+}
+
+/// The `exp explore` usage text.
+#[must_use]
+pub fn usage() -> String {
+    "exp explore — multi-objective design-space exploration\n\n\
+     usage: exp explore <grid|refine|frontier>\n\
+     \x20      [--axes SPEC] [--objectives LIST] [--scale paper|quick|smoke]\n\
+     \x20      [--budget N] [--jobs N] [--trials N] [--no-cache]\n\
+     \x20      [--out DIR] [--in FILE]\n\n\
+     modes:\n\
+     \x20 grid      evaluate every point of the space at --scale\n\
+     \x20 refine    successive halving up the smoke->quick->paper ladder\n\
+     \x20           (ending at --scale), within --budget evaluations\n\
+     \x20 frontier  re-analyse a persisted .dse records file (--in)\n\n\
+     axes (semicolon-separated key=value,... groups; defaults in\n\
+     brackets):\n\
+     \x20 scheme    uniform | parity | uniform_clean | proposed |\n\
+     \x20           proposed_multi:<entries>   [uniform,parity,\n\
+     \x20           uniform_clean,proposed]\n\
+     \x20 interval  cleaning intervals, K/M suffixes  [64K,256K,1M,4M]\n\
+     \x20 bench     benchmark names, or all|fp|int    [gap]\n\
+     \x20 scrub     scrub periods in cycles, or none  [none]\n\
+     \x20 l2        geometries <KiB>K[x<ways>x<line>] [1024Kx4x64]\n\n\
+     objectives (comma list, first-class columns of every report):\n\
+     \x20 ipc (max), area, traffic, energy, fit, due, sdc (min)\n\
+     \x20 default: ipc,area,traffic,fit; due/sdc run fault campaigns\n\n\
+     outputs under --out (default results/dse/): <mode>_<scale>.dse\n\
+     records plus frontier .json/.csv/.md and all-points .csv; the\n\
+     frontier JSON is byte-identical for every --jobs count.\n\n\
+     exit codes: 0 success, 1 I/O failure, 2 usage error"
+        .to_owned()
+}
+
+/// Runs `exp explore` with the raw CLI args (everything after the
+/// `explore` command word); returns the process exit code.
+#[must_use]
+pub fn run(args: &[String]) -> i32 {
+    let Some(mode) = args.first().map(String::as_str) else {
+        return fail_usage("missing mode (grid|refine|frontier)");
+    };
+    if matches!(mode, "help" | "--help" | "-h") {
+        println!("{}", usage());
+        return 0;
+    }
+    if !matches!(mode, "grid" | "refine" | "frontier") {
+        return fail_usage(&format!("unknown mode '{mode}'"));
+    }
+
+    let mut axes: Option<String> = None;
+    let mut objectives = ObjectiveSpec::paper_tradeoff();
+    let mut scale = Scale::Quick;
+    let mut budget: Option<usize> = None;
+    let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut trials: u32 = 200;
+    let mut use_cache = true;
+    let mut out_dir = PathBuf::from("results/dse");
+    let mut input: Option<PathBuf> = None;
+
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--axes" => match it.next() {
+                Some(v) => axes = Some(v.clone()),
+                None => return fail_usage("--axes requires a spec"),
+            },
+            "--objectives" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match ObjectiveSpec::parse(v) {
+                    Ok(spec) => objectives = spec,
+                    Err(e) => return fail_usage(&e),
+                }
+            }
+            "--scale" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match Scale::parse(v) {
+                    Some(s) => scale = s,
+                    None => return fail_usage(&format!("unknown scale '{v}'")),
+                }
+            }
+            "--budget" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse().ok().filter(|&n| n > 0) {
+                    Some(n) => budget = Some(n),
+                    None => {
+                        return fail_usage(&format!("--budget needs a positive count, got '{v}'"))
+                    }
+                }
+            }
+            "--jobs" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse().ok().filter(|&n| n >= 1) {
+                    Some(n) => jobs = n,
+                    None => {
+                        return fail_usage(&format!("--jobs needs a positive count, got '{v}'"))
+                    }
+                }
+            }
+            "--trials" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse().ok().filter(|&n| n >= 1) {
+                    Some(n) => trials = n,
+                    None => {
+                        return fail_usage(&format!("--trials needs a positive count, got '{v}'"))
+                    }
+                }
+            }
+            "--no-cache" => use_cache = false,
+            "--out" => match it.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => return fail_usage("--out requires a directory"),
+            },
+            "--in" => match it.next() {
+                Some(v) => input = Some(PathBuf::from(v)),
+                None => return fail_usage("--in requires a file"),
+            },
+            other => return fail_usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    if mode == "frontier" {
+        let path = input.unwrap_or_else(|| out_dir.join(format!("grid_{}.dse", scale.name())));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("exp explore: cannot read {}: {e}", path.display());
+                return 1;
+            }
+        };
+        let Some((scale_name, spec, evaluated)) = parse_records(&text) else {
+            eprintln!(
+                "exp explore: {} is not a valid .dse records file",
+                path.display()
+            );
+            return 1;
+        };
+        let analysis = analyze(&spec, &evaluated);
+        print!(
+            "{}",
+            frontier_markdown(&scale_name, &spec, &evaluated, &analysis)
+        );
+        let prefix = format!("reanalysis_{scale_name}");
+        if let Err(e) = write_reports(&out_dir, &prefix, &scale_name, &spec, &evaluated, &analysis)
+        {
+            eprintln!("exp explore: cannot write reports: {e}");
+            return 1;
+        }
+        return 0;
+    }
+
+    let space = match parse_axes(axes.as_deref().unwrap_or("")) {
+        Ok(s) => s,
+        Err(e) => return fail_usage(&e),
+    };
+    eprintln!(
+        "[explore] space: {} points, objectives {}",
+        space.len(),
+        objectives.to_string_spec()
+    );
+    let mut evaluator = LabEvaluator::new(jobs, use_cache, trials);
+
+    let evaluated = if mode == "grid" {
+        explore_grid(&space, scale, &objectives, &mut evaluator)
+    } else {
+        let ladder: Vec<Scale> = Scale::LADDER
+            .iter()
+            .copied()
+            .take_while(|s| {
+                let pos = |x: Scale| Scale::LADDER.iter().position(|&l| l == x).unwrap();
+                pos(*s) <= pos(scale)
+            })
+            .collect();
+        let budget = budget.unwrap_or(2 * space.len());
+        let outcome = refine(&space, &ladder, budget, &objectives, &mut evaluator);
+        for rung in &outcome.rungs {
+            eprintln!(
+                "[explore] rung {}: {} evaluated, {} kept",
+                rung.scale.name(),
+                rung.evaluated,
+                rung.kept
+            );
+        }
+        outcome.survivors
+    };
+
+    let analysis = analyze(&objectives, &evaluated);
+    print!(
+        "{}",
+        frontier_markdown(scale.name(), &objectives, &evaluated, &analysis)
+    );
+    eprintln!(
+        "[explore] fresh simulations this invocation: {}",
+        evaluator.evaluated_runs()
+    );
+    let prefix = format!("{mode}_{}", scale.name());
+    if let Err(e) = write_reports(
+        &out_dir,
+        &prefix,
+        scale.name(),
+        &objectives,
+        &evaluated,
+        &analysis,
+    ) {
+        eprintln!("exp explore: cannot write reports: {e}");
+        return 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aep_core::SchemeKind;
+
+    #[test]
+    fn cycles_parse_with_suffixes() {
+        assert_eq!(parse_cycles("64K"), Some(64 * 1024));
+        assert_eq!(parse_cycles("1M"), Some(1024 * 1024));
+        assert_eq!(parse_cycles("1048576"), Some(1024 * 1024));
+        assert_eq!(parse_cycles("1.5M"), None);
+        assert_eq!(parse_cycles(""), None);
+    }
+
+    #[test]
+    fn axes_default_to_the_registry_space() {
+        let space = parse_axes("").expect("defaults parse");
+        assert_eq!(space, registry::default_space(&[Benchmark::Gap]));
+    }
+
+    #[test]
+    fn axes_spec_builds_the_requested_grid() {
+        let space = parse_axes("scheme=uniform,proposed;interval=256K,1M;bench=gzip,gap")
+            .expect("axes parse");
+        // (uniform + proposed@256K + proposed@1M) × 2 benchmarks.
+        assert_eq!(space.len(), 6);
+        assert!(space.points().iter().any(|p| p.benchmark == Benchmark::Gzip
+            && p.scheme
+                == SchemeKind::Proposed {
+                    cleaning_interval: 1024 * 1024
+                }));
+        assert!(parse_axes("scheme=bogus").is_err());
+        assert!(parse_axes("interval=x").is_err());
+        assert!(parse_axes("nonsense").is_err());
+        assert!(parse_axes("orbit=low").is_err());
+        assert!(parse_axes("scrub=0").is_err());
+    }
+
+    #[test]
+    fn lab_evaluator_matches_direct_extraction() {
+        let space = parse_axes("scheme=uniform;bench=gzip").unwrap();
+        let spec = ObjectiveSpec::parse("ipc,area,traffic").unwrap();
+        let mut eval = LabEvaluator::new(1, false, 1);
+        let got = explore_grid(&space, Scale::Smoke, &spec, &mut eval);
+        assert_eq!(got.len(), 1);
+        let point = space.points()[0];
+        let stats = Lab::new(Scale::Smoke).stats_config(&point.config(Scale::Smoke));
+        let want = objectives_from_run(&stats, &point, &spec);
+        for (a, b) in got[0].objectives.values.iter().zip(&want.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

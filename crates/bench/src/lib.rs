@@ -18,11 +18,13 @@
 
 pub mod engine_bench;
 pub mod experiments;
+pub mod explore;
 pub mod faults;
 pub mod gate;
 pub mod runcache;
 
 pub use engine_bench::EngineBenchReport;
 pub use experiments::{FigureData, Lab, Scale};
+pub use explore::LabEvaluator;
 pub use faults::FaultsOptions;
 pub use runcache::RunCache;

@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use aep_core::{EnergyCounters, SchemeKind};
+use aep_core::EnergyCounters;
 use aep_sim::{ExperimentConfig, L2Window, RunStats};
 use aep_workloads::Benchmark;
 
@@ -74,8 +74,24 @@ impl RunCache {
     /// re-runs the experiment and overwrites them.
     #[must_use]
     pub fn load(&self, key: &str) -> Option<RunStats> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        parse_stats(&text)
+        self.load_checked(key).unwrap_or(None)
+    }
+
+    /// Like [`RunCache::load`], but distinguishes a plain miss from a
+    /// cache-directory I/O problem (permissions, bad mount, …) so callers
+    /// can warn instead of silently recomputing. A present-but-stale or
+    /// malformed entry is still an ordinary miss (`Ok(None)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error for any failure other than the
+    /// entry not existing.
+    pub fn load_checked(&self, key: &str) -> io::Result<Option<RunStats>> {
+        match std::fs::read_to_string(self.path_for(key)) {
+            Ok(text) => Ok(parse_stats(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     /// Stores `stats` under `key`, creating the cache directory if needed.
@@ -120,51 +136,9 @@ impl RunCache {
     }
 }
 
-/// A compact, parseable spelling of a [`SchemeKind`] for cache keys and
-/// cache-file bodies (`label()` is for humans; this one round-trips).
-#[must_use]
-pub fn scheme_slug(kind: SchemeKind) -> String {
-    match kind {
-        SchemeKind::Uniform => "uniform".to_owned(),
-        SchemeKind::ParityOnly => "parity".to_owned(),
-        SchemeKind::UniformWithCleaning { cleaning_interval } => {
-            format!("uniform_clean:{cleaning_interval}")
-        }
-        SchemeKind::Proposed { cleaning_interval } => {
-            format!("proposed:{cleaning_interval}")
-        }
-        SchemeKind::ProposedMulti {
-            cleaning_interval,
-            entries_per_set,
-        } => format!("proposed_multi:{cleaning_interval}:{entries_per_set}"),
-    }
-}
-
-/// Parses a [`scheme_slug`] back into a [`SchemeKind`].
-#[must_use]
-pub fn parse_scheme_slug(slug: &str) -> Option<SchemeKind> {
-    let mut parts = slug.split(':');
-    let head = parts.next()?;
-    let kind = match head {
-        "uniform" => SchemeKind::Uniform,
-        "parity" => SchemeKind::ParityOnly,
-        "uniform_clean" => SchemeKind::UniformWithCleaning {
-            cleaning_interval: parts.next()?.parse().ok()?,
-        },
-        "proposed" => SchemeKind::Proposed {
-            cleaning_interval: parts.next()?.parse().ok()?,
-        },
-        "proposed_multi" => SchemeKind::ProposedMulti {
-            cleaning_interval: parts.next()?.parse().ok()?,
-            entries_per_set: parts.next()?.parse().ok()?,
-        },
-        _ => return None,
-    };
-    if parts.next().is_some() {
-        return None;
-    }
-    Some(kind)
-}
+// The slug vocabulary lives beside `SchemeKind` in `aep-core` now (the
+// explorer's point IDs use it too); re-exported to keep call sites stable.
+pub use aep_core::{parse_scheme_slug, scheme_slug};
 
 /// 64-bit FNV-1a over `bytes`.
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
@@ -274,6 +248,7 @@ pub fn parse_stats(text: &str) -> Option<RunStats> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aep_core::SchemeKind;
 
     fn sample_stats() -> RunStats {
         RunStats {

@@ -148,6 +148,166 @@ fn gate_exit_codes_cover_pass_drift_and_regression() {
     assert!(stdout.contains("gate FAIL"), "stdout: {stdout}");
 }
 
+/// A scratch working directory for `exp explore` runs, so the relative
+/// `results/{cache,dse}` outputs land in temp space and clean up on drop.
+struct TempWorkdir(std::path::PathBuf);
+
+impl TempWorkdir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("aep-explore-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp workdir");
+        TempWorkdir(dir)
+    }
+}
+
+impl Drop for TempWorkdir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn exp_in(dir: &std::path::Path, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_exp"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("exp binary runs")
+}
+
+#[test]
+fn explore_help_renders_usage_and_succeeds() {
+    let out = exp(&["explore", "help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("exp explore"));
+    assert!(stdout.contains("grid"));
+    assert!(stdout.contains("frontier"));
+}
+
+#[test]
+fn explore_usage_errors_exit_2_with_a_diagnostic() {
+    for (args, needle) in [
+        (&["explore"][..], "missing mode"),
+        (&["explore", "walk"][..], "unknown mode 'walk'"),
+        (&["explore", "grid", "--scale", "huge"][..], "unknown scale"),
+        (&["explore", "grid", "--jobs", "0"][..], "--jobs needs"),
+        (&["explore", "grid", "--budget", "0"][..], "--budget needs"),
+        (
+            &["explore", "grid", "--objectives", "ipc,bogus"][..],
+            "unknown objective 'bogus'",
+        ),
+        (
+            &["explore", "grid", "--axes", "scheme=nosuch"][..],
+            "unknown scheme 'nosuch'",
+        ),
+        (
+            &["explore", "grid", "--axes", "scrub=0"][..],
+            "bad scrub period '0'",
+        ),
+        (&["explore", "grid", "--frobnicate"][..], "unknown argument"),
+    ] {
+        let out = exp(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: stderr was {stderr}");
+        assert!(
+            stderr.contains("usage: exp explore"),
+            "{args:?} must render the explore usage"
+        );
+    }
+}
+
+#[test]
+fn explore_frontier_without_records_exits_1() {
+    let work = TempWorkdir::new("no-records");
+    let out = exp_in(&work.0, &["explore", "frontier", "--in", "nope.dse"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "stderr: {stderr}");
+}
+
+/// The end-to-end acceptance path at smoke scale: a {scheme × interval}
+/// grid puts the proposed scheme at the 1M interval on the frontier, the
+/// frontier JSON is byte-identical across worker counts, a warm-cache
+/// rerun simulates nothing, and `explore frontier` re-analyses the
+/// persisted records to the identical report.
+#[test]
+fn explore_grid_acceptance_determinism_and_reanalysis() {
+    let work = TempWorkdir::new("grid");
+    let grid = |jobs: &str| {
+        exp_in(
+            &work.0,
+            &[
+                "explore",
+                "grid",
+                "--scale",
+                "smoke",
+                "--axes",
+                "scheme=uniform,proposed;interval=256K,1M;bench=gzip",
+                "--objectives",
+                "ipc,area,traffic",
+                "--jobs",
+                jobs,
+            ],
+        )
+    };
+
+    let out = grid("2");
+    assert!(
+        out.status.success(),
+        "grid run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("## Pareto frontier"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("gzip-proposed_1048576"),
+        "proposed@1M must make the frontier: {stdout}"
+    );
+
+    let json_path = work.0.join("results/dse/grid_smoke_frontier.json");
+    let first = std::fs::read_to_string(&json_path).expect("frontier JSON written");
+    let proposed_line = first
+        .lines()
+        .find(|l| l.contains("\"id\": \"gzip-proposed_1048576\""))
+        .expect("proposed@1M appears in the frontier JSON");
+    assert!(
+        proposed_line.contains("\"frontier\": true"),
+        "proposed@1M must be non-dominated: {proposed_line}"
+    );
+
+    // Warm rerun with a different worker count: zero fresh simulations
+    // and byte-identical frontier JSON.
+    let out = grid("1");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fresh simulations this invocation: 0"),
+        "warm cache must satisfy the rerun: {stderr}"
+    );
+    let second = std::fs::read_to_string(&json_path).expect("frontier JSON rewritten");
+    assert_eq!(first, second, "frontier JSON must not depend on --jobs");
+
+    // Re-analysis from the lossless records reproduces the same report.
+    let out = exp_in(
+        &work.0,
+        &["explore", "frontier", "--in", "results/dse/grid_smoke.dse"],
+    );
+    assert!(
+        out.status.success(),
+        "frontier mode failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reanalysis =
+        std::fs::read_to_string(work.0.join("results/dse/reanalysis_smoke_frontier.json"))
+            .expect("reanalysis JSON written");
+    assert_eq!(
+        first, reanalysis,
+        ".dse records must re-analyse bit-for-bit"
+    );
+}
+
 /// Multiplies the decimal value of `key`'s rate line by `factor`,
 /// re-rendering with full precision (snapshot rates are shortest
 /// round-trip decimals, so parse-perturb-print stays in tolerance).

@@ -144,6 +144,32 @@ impl AreaModel {
             .push(("shared ECC array", self.ecc_array_area(entries_per_set)));
         report
     }
+
+    /// The protection-storage accounting for any [`SchemeKind`] — the
+    /// explorer's area objective.
+    ///
+    /// Cleaning variants of the uniform baseline carry the written bits
+    /// the interval walker reads (§3), on top of the conventional SECDED
+    /// accounting.
+    #[must_use]
+    pub fn for_scheme(&self, kind: crate::SchemeKind) -> AreaReport {
+        use crate::SchemeKind;
+        match kind {
+            SchemeKind::Uniform => self.conventional(),
+            SchemeKind::ParityOnly => self.parity_only(),
+            SchemeKind::UniformWithCleaning { .. } => {
+                let mut report = self.conventional();
+                report
+                    .components
+                    .push(("written bits (1b/line)", CodeArea::from_bits(self.lines)));
+                report
+            }
+            SchemeKind::Proposed { .. } => self.proposed(),
+            SchemeKind::ProposedMulti {
+                entries_per_set, ..
+            } => self.proposed_with_entries(entries_per_set as u64),
+        }
+    }
 }
 
 #[cfg(test)]

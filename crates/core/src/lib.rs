@@ -61,6 +61,9 @@ pub use nonuniform::NonUniformScheme;
 pub use nonuniform_multi::MultiEntryScheme;
 pub use parity_only::ParityOnlyScheme;
 pub use reliability::{FitReport, SoftErrorModel};
-pub use scheme::{Directive, EnergyCounters, ProtectionScheme, RecoveryOutcome, SchemeKind};
+pub use scheme::{
+    parse_scheme_slug, scheme_slug, Directive, EnergyCounters, ProtectionScheme, RecoveryOutcome,
+    SchemeKind,
+};
 pub use scrub::Scrubber;
 pub use uniform::UniformEccScheme;

@@ -140,6 +140,36 @@ impl SoftErrorModel {
         }
     }
 
+    /// The first-order FIT accounting for any [`crate::SchemeKind`] given
+    /// the measured time-average `dirty_fraction` — the explorer's
+    /// reliability objective.
+    ///
+    /// Cleaning does not change uniform SECDED's first-order coverage
+    /// (singles are always corrected), so both uniform variants map to
+    /// [`SoftErrorModel::uniform_ecc`]; the multi-entry extension keeps the
+    /// proposed scheme's full coverage and maps to
+    /// [`SoftErrorModel::proposed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dirty_fraction` is not in `0.0..=1.0`.
+    #[must_use]
+    pub fn for_scheme(
+        &self,
+        kind: crate::SchemeKind,
+        l2: &CacheConfig,
+        dirty_fraction: f64,
+    ) -> FitReport {
+        use crate::SchemeKind;
+        match kind {
+            SchemeKind::Uniform | SchemeKind::UniformWithCleaning { .. } => self.uniform_ecc(l2),
+            SchemeKind::ParityOnly => self.parity_only(l2, dirty_fraction),
+            SchemeKind::Proposed { .. } | SchemeKind::ProposedMulti { .. } => {
+                self.proposed(l2, dirty_fraction)
+            }
+        }
+    }
+
     /// A wholly unprotected array: every upset is silent corruption.
     #[must_use]
     pub fn unprotected(&self, l2: &CacheConfig) -> FitReport {

@@ -82,6 +82,53 @@ impl SchemeKind {
     }
 }
 
+/// A compact, parseable spelling of a [`SchemeKind`] for cache keys,
+/// explorer point IDs, and cache-file bodies (`label()` is for humans;
+/// this one round-trips through [`parse_scheme_slug`]).
+#[must_use]
+pub fn scheme_slug(kind: SchemeKind) -> String {
+    match kind {
+        SchemeKind::Uniform => "uniform".to_owned(),
+        SchemeKind::ParityOnly => "parity".to_owned(),
+        SchemeKind::UniformWithCleaning { cleaning_interval } => {
+            format!("uniform_clean:{cleaning_interval}")
+        }
+        SchemeKind::Proposed { cleaning_interval } => {
+            format!("proposed:{cleaning_interval}")
+        }
+        SchemeKind::ProposedMulti {
+            cleaning_interval,
+            entries_per_set,
+        } => format!("proposed_multi:{cleaning_interval}:{entries_per_set}"),
+    }
+}
+
+/// Parses a [`scheme_slug`] back into a [`SchemeKind`].
+#[must_use]
+pub fn parse_scheme_slug(slug: &str) -> Option<SchemeKind> {
+    let mut parts = slug.split(':');
+    let head = parts.next()?;
+    let kind = match head {
+        "uniform" => SchemeKind::Uniform,
+        "parity" => SchemeKind::ParityOnly,
+        "uniform_clean" => SchemeKind::UniformWithCleaning {
+            cleaning_interval: parts.next()?.parse().ok()?,
+        },
+        "proposed" => SchemeKind::Proposed {
+            cleaning_interval: parts.next()?.parse().ok()?,
+        },
+        "proposed_multi" => SchemeKind::ProposedMulti {
+            cleaning_interval: parts.next()?.parse().ok()?,
+            entries_per_set: parts.next()?.parse().ok()?,
+        },
+        _ => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(kind)
+}
+
 /// Formats a cleaning interval the way the paper labels it (64K … 4M).
 #[must_use]
 pub fn human_interval(cycles: u64) -> String {

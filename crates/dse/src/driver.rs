@@ -1,0 +1,308 @@
+//! The search driver: exhaustive grids and budgeted successive halving.
+//!
+//! The driver is generic over an [`Evaluator`] so the expensive part —
+//! actually simulating a point — stays in `aep-bench`, which plugs in its
+//! parallel `Lab` and persistent run cache. The driver only decides *what*
+//! to evaluate and in *which order*; the evaluator decides *how* (and may
+//! batch, parallelise, and memoise internally), with the contract that
+//! the returned vectors align 1:1 with the requested points.
+//!
+//! Refinement is successive halving up a scale ladder: evaluate every
+//! candidate at the cheapest scale, keep the better half (Pareto rank,
+//! then knee distance, then ID — all deterministic), promote the
+//! survivors to the next scale, and repeat until the ladder or the
+//! evaluation budget runs out. Cheap scales prune, expensive scales
+//! decide.
+
+use aep_sim::Scale;
+
+use crate::objective::{ObjectiveSpec, ObjectiveVector};
+use crate::pareto::{knee_distance, pareto_ranks};
+use crate::space::{ExplorePoint, Space};
+
+/// Evaluates design points at a given scale.
+///
+/// Implementations must be deterministic: the same `(scale, points,
+/// spec)` request must yield the same vectors, and the result must align
+/// index-for-index with `points`.
+pub trait Evaluator {
+    /// Produces one objective vector per point, in point order.
+    fn evaluate(
+        &mut self,
+        scale: Scale,
+        points: &[ExplorePoint],
+        spec: &ObjectiveSpec,
+    ) -> Vec<ObjectiveVector>;
+}
+
+/// A design point together with its measured objective vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatedPoint {
+    /// The configuration.
+    pub point: ExplorePoint,
+    /// Its objectives, aligned with the spec the driver ran under.
+    pub objectives: ObjectiveVector,
+}
+
+/// Evaluates every point of `space` at `scale`, in space order.
+pub fn explore_grid(
+    space: &Space,
+    scale: Scale,
+    spec: &ObjectiveSpec,
+    eval: &mut dyn Evaluator,
+) -> Vec<EvaluatedPoint> {
+    let vectors = eval.evaluate(scale, space.points(), spec);
+    assert_eq!(
+        vectors.len(),
+        space.len(),
+        "evaluator must return one vector per point"
+    );
+    space
+        .points()
+        .iter()
+        .zip(vectors)
+        .map(|(&point, objectives)| EvaluatedPoint { point, objectives })
+        .collect()
+}
+
+/// One rung of a refinement run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RungSummary {
+    /// The scale this rung ran at.
+    pub scale: Scale,
+    /// Points evaluated at this rung.
+    pub evaluated: usize,
+    /// Points promoted to the next rung (or surviving the last).
+    pub kept: usize,
+}
+
+/// The result of a refinement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineOutcome {
+    /// Per-rung accounting, in ladder order.
+    pub rungs: Vec<RungSummary>,
+    /// The surviving points with their objectives from the last rung
+    /// reached, in space order.
+    pub survivors: Vec<EvaluatedPoint>,
+}
+
+/// Budgeted successive halving of `space` up `ladder`.
+///
+/// `budget` caps the total number of point evaluations across all rungs
+/// (an evaluator's internal cache hits still count — the budget is a
+/// planning construct, not a wall-clock one). When a rung's candidate
+/// list exceeds the remaining budget, the tail of the space-ordered
+/// candidate list is dropped; from the second rung on that list holds
+/// only prior survivors, so the budget squeezes already-pruned sets.
+///
+/// # Panics
+///
+/// Panics if `ladder` is empty or the evaluator breaks its length
+/// contract.
+pub fn refine(
+    space: &Space,
+    ladder: &[Scale],
+    budget: usize,
+    spec: &ObjectiveSpec,
+    eval: &mut dyn Evaluator,
+) -> RefineOutcome {
+    assert!(!ladder.is_empty(), "refinement needs at least one rung");
+    let mut candidates: Vec<ExplorePoint> = space.points().to_vec();
+    let mut rungs = Vec::new();
+    let mut survivors: Vec<EvaluatedPoint> = Vec::new();
+    let mut remaining = budget;
+
+    for (rung, &scale) in ladder.iter().enumerate() {
+        if remaining == 0 || candidates.is_empty() {
+            break;
+        }
+        candidates.truncate(remaining);
+        remaining -= candidates.len();
+
+        let vectors = eval.evaluate(scale, &candidates, spec);
+        assert_eq!(
+            vectors.len(),
+            candidates.len(),
+            "evaluator must return one vector per point"
+        );
+        let evaluated: Vec<EvaluatedPoint> = candidates
+            .iter()
+            .zip(&vectors)
+            .map(|(&point, objectives)| EvaluatedPoint {
+                point,
+                objectives: objectives.clone(),
+            })
+            .collect();
+
+        // Rank: Pareto layer first, then distance to the ideal point,
+        // then ID — a total, deterministic order.
+        let ranks = pareto_ranks(spec, &vectors);
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by(|&a, &b| {
+            ranks[a]
+                .cmp(&ranks[b])
+                .then_with(|| {
+                    knee_distance(spec, &vectors, a).total_cmp(&knee_distance(spec, &vectors, b))
+                })
+                .then_with(|| candidates[a].id().cmp(&candidates[b].id()))
+        });
+
+        let last_rung = rung == ladder.len() - 1;
+        let keep = if last_rung {
+            candidates.len()
+        } else {
+            candidates.len().div_ceil(2).max(1)
+        };
+        let mut kept: Vec<usize> = order[..keep].to_vec();
+        // Promote in space order so the next rung's evaluation plan (and
+        // any report drawn from it) is independent of ranking internals.
+        kept.sort_unstable();
+
+        rungs.push(RungSummary {
+            scale,
+            evaluated: candidates.len(),
+            kept: kept.len(),
+        });
+        survivors = kept.iter().map(|&i| evaluated[i].clone()).collect();
+        candidates = kept.iter().map(|&i| candidates[i]).collect();
+    }
+
+    RefineOutcome { rungs, survivors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::ObjectiveKey;
+    use aep_core::SchemeKind;
+    use aep_workloads::Benchmark;
+
+    /// Scores points analytically so tests need no simulation: IPC favours
+    /// short cleaning intervals weakly, area favours the proposed layout
+    /// strongly.
+    struct Analytic {
+        calls: Vec<(Scale, usize)>,
+    }
+
+    impl Evaluator for Analytic {
+        fn evaluate(
+            &mut self,
+            scale: Scale,
+            points: &[ExplorePoint],
+            spec: &ObjectiveSpec,
+        ) -> Vec<ObjectiveVector> {
+            self.calls.push((scale, points.len()));
+            points
+                .iter()
+                .map(|p| {
+                    let interval = p.scheme.cleaning_interval().unwrap_or(0) as f64;
+                    let proposed = matches!(
+                        p.scheme,
+                        SchemeKind::Proposed { .. } | SchemeKind::ProposedMulti { .. }
+                    );
+                    let values = spec
+                        .keys()
+                        .iter()
+                        .map(|k| match k {
+                            ObjectiveKey::Ipc => 1.0 - interval / 1e9,
+                            ObjectiveKey::AreaBits => {
+                                if proposed {
+                                    54.0
+                                } else {
+                                    132.0
+                                }
+                            }
+                            _ => 0.0,
+                        })
+                        .collect();
+                    ObjectiveVector { values }
+                })
+                .collect()
+        }
+    }
+
+    fn space() -> Space {
+        use crate::space::{expand_schemes, SchemeTemplate};
+        Space::grid(
+            &[Benchmark::Gzip],
+            &expand_schemes(
+                &[SchemeTemplate::Uniform, SchemeTemplate::Proposed],
+                &[64 * 1024, 256 * 1024, 1024 * 1024],
+            ),
+            &[],
+            &[],
+        )
+    }
+
+    #[test]
+    fn grid_preserves_space_order() {
+        let space = space();
+        let mut eval = Analytic { calls: Vec::new() };
+        let spec = ObjectiveSpec::parse("ipc,area").unwrap();
+        let got = explore_grid(&space, Scale::Smoke, &spec, &mut eval);
+        assert_eq!(got.len(), space.len());
+        for (e, p) in got.iter().zip(space.points()) {
+            assert_eq!(e.point, *p);
+        }
+        assert_eq!(eval.calls, vec![(Scale::Smoke, 4)]);
+    }
+
+    #[test]
+    fn refine_halves_up_the_ladder_within_budget() {
+        let space = space();
+        let mut eval = Analytic { calls: Vec::new() };
+        let spec = ObjectiveSpec::parse("ipc,area").unwrap();
+        let out = refine(&space, &[Scale::Smoke, Scale::Quick], 100, &spec, &mut eval);
+        assert_eq!(out.rungs.len(), 2);
+        assert_eq!(
+            out.rungs[0],
+            RungSummary {
+                scale: Scale::Smoke,
+                evaluated: 4,
+                kept: 2
+            }
+        );
+        assert_eq!(
+            out.rungs[1],
+            RungSummary {
+                scale: Scale::Quick,
+                evaluated: 2,
+                kept: 2
+            }
+        );
+        assert_eq!(out.survivors.len(), 2);
+        // The proposed scheme's dominant area keeps it alive to the top.
+        assert!(out
+            .survivors
+            .iter()
+            .any(|s| matches!(s.point.scheme, SchemeKind::Proposed { .. })));
+        // Survivors stay in space order.
+        let ids: Vec<String> = out.survivors.iter().map(|s| s.point.id()).collect();
+        let space_order: Vec<String> = space
+            .points()
+            .iter()
+            .map(ExplorePoint::id)
+            .filter(|id| ids.contains(id))
+            .collect();
+        assert_eq!(ids, space_order);
+    }
+
+    #[test]
+    fn budget_truncates_and_stops() {
+        let space = space();
+        let spec = ObjectiveSpec::parse("ipc,area").unwrap();
+
+        // Budget smaller than the first rung: truncation, single rung.
+        let mut eval = Analytic { calls: Vec::new() };
+        let out = refine(&space, &[Scale::Smoke, Scale::Quick], 3, &spec, &mut eval);
+        assert_eq!(out.rungs[0].evaluated, 3);
+        // 3 spent on rung 0, none left for rung 1.
+        assert_eq!(out.rungs.len(), 1);
+        assert!(!out.survivors.is_empty());
+
+        // Zero budget: nothing at all.
+        let mut eval = Analytic { calls: Vec::new() };
+        let out = refine(&space, &[Scale::Smoke], 0, &spec, &mut eval);
+        assert!(out.rungs.is_empty() && out.survivors.is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Multi-objective dominance analysis.
+//!
+//! The dominance relation is the textbook one, parameterised on the
+//! spec's per-objective directions: `a` dominates `b` when `a` is no
+//! worse on every objective and strictly better on at least one. Ties on
+//! every objective dominate in neither direction, which keeps frontier
+//! extraction deterministic and order-preserving — equal points all stay
+//! on the frontier rather than racing to exclude each other.
+//!
+//! `NaN` values (the unfilled empirical placeholders) poison every
+//! comparison: a vector containing `NaN` on a compared objective neither
+//! dominates nor is dominated, so it lands on the frontier rather than
+//! being silently dropped by an unmeasured axis.
+
+use crate::objective::{ObjectiveKey, ObjectiveSpec, ObjectiveVector};
+
+/// Whether `a` Pareto-dominates `b` under `spec`: no worse everywhere,
+/// strictly better somewhere. Irreflexive and antisymmetric by
+/// construction.
+#[must_use]
+pub fn dominates(spec: &ObjectiveSpec, a: &ObjectiveVector, b: &ObjectiveVector) -> bool {
+    let mut strictly_better = false;
+    for (i, key) in spec.keys().iter().enumerate() {
+        // Orient so that larger is always better.
+        let (va, vb) = if key.maximize() {
+            (a.values[i], b.values[i])
+        } else {
+            (-a.values[i], -b.values[i])
+        };
+        match va.partial_cmp(&vb) {
+            // Covers both "a worse than b" and NaN on either side.
+            None | Some(core::cmp::Ordering::Less) => return false,
+            Some(core::cmp::Ordering::Greater) => strictly_better = true,
+            Some(core::cmp::Ordering::Equal) => {}
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the non-dominated points of `vectors`, in input order.
+#[must_use]
+pub fn frontier_indices(spec: &ObjectiveSpec, vectors: &[ObjectiveVector]) -> Vec<usize> {
+    (0..vectors.len())
+        .filter(|&i| {
+            !vectors
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(spec, other, &vectors[i]))
+        })
+        .collect()
+}
+
+/// Non-dominated sorting by frontier peeling: rank 0 is the Pareto
+/// frontier, rank 1 the frontier of the remainder, and so on. Every point
+/// gets a rank.
+#[must_use]
+pub fn pareto_ranks(spec: &ObjectiveSpec, vectors: &[ObjectiveVector]) -> Vec<usize> {
+    let mut ranks = vec![usize::MAX; vectors.len()];
+    let mut remaining: Vec<usize> = (0..vectors.len()).collect();
+    let mut rank = 0;
+    while !remaining.is_empty() {
+        let layer: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !remaining
+                    .iter()
+                    .any(|&j| j != i && dominates(spec, &vectors[j], &vectors[i]))
+            })
+            .collect();
+        // A layer can only be empty if every remaining pair mutually
+        // dominates, which dominance's antisymmetry rules out — except
+        // when NaNs make points incomparable, where they all land in the
+        // current layer anyway (NaN never dominates). Guard regardless.
+        if layer.is_empty() {
+            for &i in &remaining {
+                ranks[i] = rank;
+            }
+            break;
+        }
+        for &i in &layer {
+            ranks[i] = rank;
+        }
+        remaining.retain(|i| !layer.contains(i));
+        rank += 1;
+    }
+    ranks
+}
+
+/// Per-objective normalised distance to the ideal point, the knee-point
+/// score: 0 is best. Objectives where the population is constant (or
+/// `NaN`) contribute nothing, so degenerate axes cannot mask real
+/// trade-offs.
+#[must_use]
+pub fn knee_distance(spec: &ObjectiveSpec, vectors: &[ObjectiveVector], index: usize) -> f64 {
+    let mut total = 0.0;
+    for (i, key) in spec.keys().iter().enumerate() {
+        let oriented = |v: &ObjectiveVector| {
+            if key.maximize() {
+                v.values[i]
+            } else {
+                -v.values[i]
+            }
+        };
+        let finite: Vec<f64> = vectors
+            .iter()
+            .map(oriented)
+            .filter(|v| v.is_finite())
+            .collect();
+        let Some(best) = finite.iter().copied().reduce(f64::max) else {
+            continue;
+        };
+        let worst = finite.iter().copied().reduce(f64::min).unwrap_or(best);
+        let span = best - worst;
+        if span <= 0.0 {
+            continue;
+        }
+        let v = oriented(&vectors[index]);
+        if v.is_finite() {
+            total += (best - v) / span;
+        } else {
+            // An unmeasured objective is maximally far from the ideal.
+            total += 1.0;
+        }
+    }
+    total
+}
+
+/// The knee point of a frontier: the index (into `vectors`) among
+/// `candidates` with the smallest normalised distance to the ideal point.
+/// Ties break to the earliest candidate, keeping the choice deterministic.
+#[must_use]
+pub fn knee_index(
+    spec: &ObjectiveSpec,
+    vectors: &[ObjectiveVector],
+    candidates: &[usize],
+) -> Option<usize> {
+    candidates
+        .iter()
+        .copied()
+        .map(|i| (i, knee_distance(spec, vectors, i)))
+        .reduce(|best, cur| if cur.1 < best.1 { cur } else { best })
+        .map(|(i, _)| i)
+}
+
+/// A feasibility bound on one objective for [`constrained_best`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraint {
+    /// The constrained objective.
+    pub key: ObjectiveKey,
+    /// Inclusive lower bound, if any.
+    pub min: Option<f64>,
+    /// Inclusive upper bound, if any.
+    pub max: Option<f64>,
+}
+
+impl Constraint {
+    /// Whether `v` satisfies the constraint (`NaN` never does).
+    #[must_use]
+    pub fn satisfied(&self, spec: &ObjectiveSpec, v: &ObjectiveVector) -> bool {
+        let Some(value) = v.get(spec, self.key) else {
+            return false;
+        };
+        self.min.is_none_or(|m| value >= m) && self.max.is_none_or(|m| value <= m)
+    }
+}
+
+/// The constrained optimum: among points satisfying every constraint,
+/// the one best on `target` ("min area s.t. IPC ≥ 99 % of best"). Ties
+/// break to the earliest index.
+#[must_use]
+pub fn constrained_best(
+    spec: &ObjectiveSpec,
+    vectors: &[ObjectiveVector],
+    target: ObjectiveKey,
+    constraints: &[Constraint],
+) -> Option<usize> {
+    let ti = spec.index_of(target)?;
+    vectors
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| {
+            v.values[ti].is_finite() && constraints.iter().all(|c| c.satisfied(spec, v))
+        })
+        .map(|(i, v)| {
+            let oriented = if target.maximize() {
+                v.values[ti]
+            } else {
+                -v.values[ti]
+            };
+            (i, oriented)
+        })
+        .reduce(|best, cur| if cur.1 > best.1 { cur } else { best })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec2() -> ObjectiveSpec {
+        // ipc (max), area (min)
+        ObjectiveSpec::parse("ipc,area").unwrap()
+    }
+
+    fn v(values: &[f64]) -> ObjectiveVector {
+        ObjectiveVector {
+            values: values.to_vec(),
+        }
+    }
+
+    #[test]
+    fn dominance_respects_directions() {
+        let spec = spec2();
+        // Higher IPC, lower area: clean domination.
+        assert!(dominates(&spec, &v(&[1.2, 100.0]), &v(&[1.0, 200.0])));
+        // Better on one axis, worse on the other: neither dominates.
+        assert!(!dominates(&spec, &v(&[1.2, 300.0]), &v(&[1.0, 200.0])));
+        assert!(!dominates(&spec, &v(&[1.0, 200.0]), &v(&[1.2, 300.0])));
+        // Exact ties dominate in neither direction.
+        assert!(!dominates(&spec, &v(&[1.0, 200.0]), &v(&[1.0, 200.0])));
+        // NaN poisons both directions.
+        assert!(!dominates(&spec, &v(&[f64::NAN, 100.0]), &v(&[1.0, 200.0])));
+        assert!(!dominates(&spec, &v(&[1.0, 200.0]), &v(&[f64::NAN, 100.0])));
+    }
+
+    #[test]
+    fn frontier_of_a_two_d_fixture() {
+        let spec = spec2();
+        let vectors = vec![
+            v(&[1.0, 100.0]), // A: frontier (cheapest)
+            v(&[1.5, 150.0]), // B: frontier (trade-off)
+            v(&[1.4, 180.0]), // C: dominated by B
+            v(&[2.0, 400.0]), // D: frontier (fastest)
+            v(&[0.9, 120.0]), // E: dominated by A
+        ];
+        assert_eq!(frontier_indices(&spec, &vectors), vec![0, 1, 3]);
+        assert_eq!(pareto_ranks(&spec, &vectors), vec![0, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn knee_prefers_the_balanced_point() {
+        let spec = spec2();
+        let vectors = vec![
+            v(&[1.0, 100.0]), // best area, worst ipc
+            v(&[1.9, 130.0]), // near-best on both: the knee
+            v(&[2.0, 400.0]), // best ipc, worst area
+        ];
+        let frontier = frontier_indices(&spec, &vectors);
+        assert_eq!(frontier, vec![0, 1, 2]);
+        assert_eq!(knee_index(&spec, &vectors, &frontier), Some(1));
+        assert_eq!(knee_index(&spec, &vectors, &[]), None);
+    }
+
+    #[test]
+    fn constrained_best_finds_min_area_at_ipc_floor() {
+        let spec = spec2();
+        let vectors = vec![v(&[1.0, 100.0]), v(&[1.5, 150.0]), v(&[2.0, 400.0])];
+        // min area s.t. ipc >= 1.4
+        let got = constrained_best(
+            &spec,
+            &vectors,
+            ObjectiveKey::AreaBits,
+            &[Constraint {
+                key: ObjectiveKey::Ipc,
+                min: Some(1.4),
+                max: None,
+            }],
+        );
+        assert_eq!(got, Some(1));
+        // Infeasible floor: no answer.
+        let none = constrained_best(
+            &spec,
+            &vectors,
+            ObjectiveKey::AreaBits,
+            &[Constraint {
+                key: ObjectiveKey::Ipc,
+                min: Some(9.0),
+                max: None,
+            }],
+        );
+        assert_eq!(none, None);
+    }
+}

@@ -1,0 +1,130 @@
+//! The shared scheme/axis registry.
+//!
+//! One place declares the scheme sets the repo sweeps, and both consumers
+//! draw from it: the figure pipeline in `aep-bench` (Figures 3–6 are the
+//! interval sweep; `perf`/`reliability`/`energy` are the org-vs-proposed
+//! comparison; `ablation` is the line-up) and the explorer (the same sets
+//! are its default axes). The paper's figures are therefore just *named
+//! points* of the design space — see [`interval_sweep_space`], which
+//! reconstructs the Figures 3–6 plan as a one-axis special case of the
+//! grid.
+
+use aep_core::SchemeKind;
+use aep_workloads::calibration::{CHOSEN_INTERVAL, CLEANING_INTERVALS};
+use aep_workloads::Benchmark;
+
+use crate::space::{expand_schemes, SchemeTemplate, Space};
+
+/// The proposed configuration the paper settles on (§5.2): cleaning at
+/// the calibrated 1 M-cycle interval plus the shared per-set ECC array.
+#[must_use]
+pub fn proposed() -> SchemeKind {
+    SchemeKind::Proposed {
+        cleaning_interval: CHOSEN_INTERVAL,
+    }
+}
+
+/// The paper's cleaning-interval axis (64 K … 4 M cycles).
+#[must_use]
+pub fn interval_axis() -> Vec<u64> {
+    CLEANING_INTERVALS.to_vec()
+}
+
+/// The interval-sweep scheme set of Figures 3–6: every cleaning interval
+/// plus the uncleaned `org` reference.
+#[must_use]
+pub fn interval_sweep_schemes() -> Vec<SchemeKind> {
+    let mut schemes: Vec<SchemeKind> = CLEANING_INTERVALS
+        .iter()
+        .map(|&cleaning_interval| SchemeKind::UniformWithCleaning { cleaning_interval })
+        .collect();
+    schemes.push(SchemeKind::Uniform);
+    schemes
+}
+
+/// The org-vs-proposed pair behind the `perf`, `reliability`, and
+/// `energy` tables.
+#[must_use]
+pub fn comparison_schemes() -> Vec<SchemeKind> {
+    vec![SchemeKind::Uniform, proposed()]
+}
+
+/// The ablation line-up: org, cleaning-only, proposed, and the two-entry
+/// extension, all at the chosen interval.
+#[must_use]
+pub fn ablation_schemes() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::Uniform,
+        SchemeKind::UniformWithCleaning {
+            cleaning_interval: CHOSEN_INTERVAL,
+        },
+        proposed(),
+        SchemeKind::ProposedMulti {
+            cleaning_interval: CHOSEN_INTERVAL,
+            entries_per_set: 2,
+        },
+    ]
+}
+
+/// The explorer's default scheme-template axis: the baseline, the
+/// strawman, the cleaning-only midpoint, and the proposal.
+#[must_use]
+pub fn default_templates() -> Vec<SchemeTemplate> {
+    vec![
+        SchemeTemplate::Uniform,
+        SchemeTemplate::ParityOnly,
+        SchemeTemplate::UniformClean,
+        SchemeTemplate::Proposed,
+    ]
+}
+
+/// The Figures 3–6 interval sweep as a one-axis special case of the
+/// design space: `benchmarks × (cleaning interval ∪ org)` at default
+/// scrub and geometry.
+#[must_use]
+pub fn interval_sweep_space(benchmarks: &[Benchmark]) -> Space {
+    Space::grid(benchmarks, &interval_sweep_schemes(), &[], &[])
+}
+
+/// The explorer's default space: the paper's benchmarks crossed with the
+/// default templates over the paper's interval axis.
+#[must_use]
+pub fn default_space(benchmarks: &[Benchmark]) -> Space {
+    Space::grid(
+        benchmarks,
+        &expand_schemes(&default_templates(), &interval_axis()),
+        &[],
+        &[],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_sweep_space_matches_scheme_list() {
+        let space = interval_sweep_space(&[Benchmark::Gzip]);
+        let schemes: Vec<SchemeKind> = space.points().iter().map(|p| p.scheme).collect();
+        assert_eq!(schemes, interval_sweep_schemes());
+    }
+
+    #[test]
+    fn default_space_contains_the_paper_operating_point() {
+        let space = default_space(&[Benchmark::Gap]);
+        assert!(space.points().iter().any(|p| p.scheme == proposed()));
+        // uniform and parity appear once each despite the interval axis.
+        let uniforms = space
+            .points()
+            .iter()
+            .filter(|p| p.scheme == SchemeKind::Uniform)
+            .count();
+        assert_eq!(uniforms, 1);
+        space.validate().expect("registry space validates");
+    }
+
+    #[test]
+    fn chosen_interval_is_on_the_interval_axis() {
+        assert!(interval_axis().contains(&CHOSEN_INTERVAL));
+    }
+}

@@ -1,0 +1,455 @@
+//! Deterministic frontier reports and the lossless point-record format.
+//!
+//! Three human-facing renderings (JSON, CSV, markdown) share one
+//! [`Analysis`] so they can never disagree about what is on the frontier,
+//! and all formatting is a pure function of its inputs — no timestamps,
+//! no hash-map iteration, no locale — so explorer output is byte-identical
+//! across runs and worker counts.
+//!
+//! Human formats round-trip floats through `Display`, which is shortest
+//! round-trip in Rust but still a decimal detour; the machine-facing
+//! record format ([`write_records`] / [`parse_records`]) therefore stores
+//! every objective as raw `f64` bits in hex, exactly like the run cache,
+//! so `explore frontier` can re-analyse persisted grids bit-for-bit.
+
+use aep_core::{parse_scheme_slug, scheme_slug};
+use aep_workloads::Benchmark;
+
+use crate::driver::EvaluatedPoint;
+use crate::objective::ObjectiveVector;
+use crate::objective::{ObjectiveKey, ObjectiveSpec};
+use crate::pareto::{constrained_best, frontier_indices, knee_index, Constraint};
+use crate::space::{ExplorePoint, Geometry};
+
+/// The shared non-dominated analysis of one evaluated batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// Indices of frontier points, in evaluation order.
+    pub frontier: Vec<usize>,
+    /// The frontier's knee point, if the frontier is non-empty.
+    pub knee: Option<usize>,
+    /// The canonical constraint query — min area such that IPC stays
+    /// within 99 % of the best observed — when the spec carries both
+    /// axes.
+    pub constrained: Option<usize>,
+}
+
+/// The IPC floor of the canonical constraint query, as a fraction of the
+/// best observed IPC.
+pub const IPC_FLOOR_FRACTION: f64 = 0.99;
+
+/// Runs the frontier / knee / constraint analysis once for all report
+/// formats.
+#[must_use]
+pub fn analyze(spec: &ObjectiveSpec, evaluated: &[EvaluatedPoint]) -> Analysis {
+    let vectors: Vec<ObjectiveVector> = evaluated.iter().map(|e| e.objectives.clone()).collect();
+    let frontier = frontier_indices(spec, &vectors);
+    let knee = knee_index(spec, &vectors, &frontier);
+    let constrained = (|| {
+        let ipc_i = spec.index_of(ObjectiveKey::Ipc)?;
+        spec.index_of(ObjectiveKey::AreaBits)?;
+        let best_ipc = vectors
+            .iter()
+            .map(|v| v.values[ipc_i])
+            .filter(|v| v.is_finite())
+            .reduce(f64::max)?;
+        constrained_best(
+            spec,
+            &vectors,
+            ObjectiveKey::AreaBits,
+            &[Constraint {
+                key: ObjectiveKey::Ipc,
+                min: Some(best_ipc * IPC_FLOOR_FRACTION),
+                max: None,
+            }],
+        )
+    })();
+    Analysis {
+        frontier,
+        knee,
+        constrained,
+    }
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn scrub_field(p: &ExplorePoint) -> String {
+    match p.scrub_period {
+        Some(period) => format!("{period}"),
+        None => "none".to_owned(),
+    }
+}
+
+/// Renders the evaluated batch as deterministic JSON: every point with
+/// its objective values, frontier membership, and the knee / constraint
+/// verdicts. Non-finite values serialise as `null`.
+#[must_use]
+pub fn frontier_json(
+    scale: &str,
+    spec: &ObjectiveSpec,
+    evaluated: &[EvaluatedPoint],
+    analysis: &Analysis,
+) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": 1,");
+    let _ = writeln!(out, "  \"scale\": \"{scale}\",");
+    let names: Vec<String> = spec
+        .keys()
+        .iter()
+        .map(|k| format!("\"{}\"", k.name()))
+        .collect();
+    let _ = writeln!(out, "  \"objectives\": [{}],", names.join(", "));
+    out.push_str("  \"points\": [\n");
+    for (i, e) in evaluated.iter().enumerate() {
+        let p = &e.point;
+        let values: Vec<String> = spec
+            .keys()
+            .iter()
+            .zip(&e.objectives.values)
+            .map(|(k, &v)| format!("\"{}\": {}", k.name(), json_number(v)))
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\"id\": \"{}\", \"benchmark\": \"{}\", \"scheme\": \"{}\", \
+             \"scrub\": {}, \"geometry\": \"{}\", {}, \"frontier\": {}, \"knee\": {}}}",
+            p.id(),
+            p.benchmark.name(),
+            scheme_slug(p.scheme),
+            match p.scrub_period {
+                Some(period) => format!("{period}"),
+                None => "null".to_owned(),
+            },
+            p.geometry.slug(),
+            values.join(", "),
+            analysis.frontier.contains(&i),
+            analysis.knee == Some(i),
+        );
+        out.push_str(if i + 1 < evaluated.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    match analysis.constrained {
+        Some(i) => {
+            let _ = writeln!(
+                out,
+                "  \"constraint\": {{\"query\": \"min area s.t. ipc >= 99% of best\", \
+                 \"id\": \"{}\"}}",
+                evaluated[i].point.id()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  \"constraint\": null");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders every evaluated point as CSV with `on_frontier` / `knee`
+/// columns, in evaluation order.
+#[must_use]
+pub fn points_csv(
+    spec: &ObjectiveSpec,
+    evaluated: &[EvaluatedPoint],
+    analysis: &Analysis,
+) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    let names: Vec<&str> = spec.keys().iter().map(|k| k.name()).collect();
+    let _ = writeln!(
+        out,
+        "id,benchmark,scheme,scrub,geometry,{},on_frontier,knee",
+        names.join(",")
+    );
+    for (i, e) in evaluated.iter().enumerate() {
+        let p = &e.point;
+        let values: Vec<String> = e.objectives.values.iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            p.id(),
+            p.benchmark.name(),
+            scheme_slug(p.scheme),
+            scrub_field(p),
+            p.geometry.slug(),
+            values.join(","),
+            analysis.frontier.contains(&i),
+            analysis.knee == Some(i),
+        );
+    }
+    out
+}
+
+/// Renders only the frontier as CSV, in evaluation order.
+#[must_use]
+pub fn frontier_csv(
+    spec: &ObjectiveSpec,
+    evaluated: &[EvaluatedPoint],
+    analysis: &Analysis,
+) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    let names: Vec<&str> = spec.keys().iter().map(|k| k.name()).collect();
+    let _ = writeln!(
+        out,
+        "id,benchmark,scheme,scrub,geometry,{}",
+        names.join(",")
+    );
+    for &i in &analysis.frontier {
+        let e = &evaluated[i];
+        let p = &e.point;
+        let values: Vec<String> = e.objectives.values.iter().map(|v| format!("{v}")).collect();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            p.id(),
+            p.benchmark.name(),
+            scheme_slug(p.scheme),
+            scrub_field(p),
+            p.geometry.slug(),
+            values.join(","),
+        );
+    }
+    out
+}
+
+/// Renders the frontier as a markdown table, marking the knee point and
+/// appending the canonical constraint verdict.
+#[must_use]
+pub fn frontier_markdown(
+    scale: &str,
+    spec: &ObjectiveSpec,
+    evaluated: &[EvaluatedPoint],
+    analysis: &Analysis,
+) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Pareto frontier ({} of {} points, scale {scale})\n",
+        analysis.frontier.len(),
+        evaluated.len()
+    );
+    let names: Vec<&str> = spec.keys().iter().map(|k| k.name()).collect();
+    let _ = writeln!(out, "| point | {} | knee |", names.join(" | "));
+    let _ = writeln!(out, "|---|{}---|", "---|".repeat(spec.keys().len()));
+    for &i in &analysis.frontier {
+        let e = &evaluated[i];
+        let values: Vec<String> = e
+            .objectives
+            .values
+            .iter()
+            .map(|v| {
+                if v.is_finite() {
+                    format!("{v:.4}")
+                } else {
+                    "—".to_owned()
+                }
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} |",
+            e.point.id(),
+            values.join(" | "),
+            if analysis.knee == Some(i) { "◆" } else { "" },
+        );
+    }
+    out.push('\n');
+    match analysis.constrained {
+        Some(i) => {
+            let _ = writeln!(
+                out,
+                "Min area s.t. IPC ≥ 99 % of best: **{}**",
+                evaluated[i].point.id()
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "Min-area-at-IPC-floor query needs both `ipc` and `area` objectives."
+            );
+        }
+    }
+    out
+}
+
+fn hex_bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Serialises an evaluated batch losslessly, one line per point, with
+/// objectives as raw `f64` bits — the format [`parse_records`] reads
+/// back bit-for-bit.
+#[must_use]
+pub fn write_records(scale: &str, spec: &ObjectiveSpec, evaluated: &[EvaluatedPoint]) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dse v1 scale={scale} objectives={}",
+        spec.to_string_spec()
+    );
+    for e in evaluated {
+        let p = &e.point;
+        let bits: Vec<String> = e.objectives.values.iter().map(|&v| hex_bits(v)).collect();
+        let _ = writeln!(
+            out,
+            "point={}|{}|{}|{}|{}|{}",
+            p.id(),
+            p.benchmark.name(),
+            scheme_slug(p.scheme),
+            scrub_field(p),
+            p.geometry.slug(),
+            bits.join(","),
+        );
+    }
+    out
+}
+
+/// Parses [`write_records`] output. Returns `None` on any malformed
+/// header, point, or value — a truncated file never yields a partial
+/// batch.
+#[must_use]
+pub fn parse_records(text: &str) -> Option<(String, ObjectiveSpec, Vec<EvaluatedPoint>)> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let rest = header.strip_prefix("dse v1 scale=")?;
+    let (scale, objectives) = rest.split_once(" objectives=")?;
+    let spec = ObjectiveSpec::parse(objectives).ok()?;
+    let mut evaluated = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let body = line.strip_prefix("point=")?;
+        let mut fields = body.split('|');
+        let _id = fields.next()?;
+        let bench_name = fields.next()?;
+        let benchmark = Benchmark::all()
+            .into_iter()
+            .find(|b| b.name() == bench_name)?;
+        let scheme = parse_scheme_slug(fields.next()?)?;
+        let scrub_period = match fields.next()? {
+            "none" => None,
+            s => Some(s.parse().ok()?),
+        };
+        let geometry = Geometry::parse(fields.next()?)?;
+        let values = fields
+            .next()?
+            .split(',')
+            .map(|h| u64::from_str_radix(h, 16).ok().map(f64::from_bits))
+            .collect::<Option<Vec<f64>>>()?;
+        if fields.next().is_some() || values.len() != spec.keys().len() {
+            return None;
+        }
+        evaluated.push(EvaluatedPoint {
+            point: ExplorePoint {
+                benchmark,
+                scheme,
+                scrub_period,
+                geometry,
+            },
+            objectives: ObjectiveVector { values },
+        });
+    }
+    Some((scale.to_owned(), spec, evaluated))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aep_core::SchemeKind;
+
+    fn batch() -> (ObjectiveSpec, Vec<EvaluatedPoint>) {
+        let spec = ObjectiveSpec::parse("ipc,area").unwrap();
+        let mk = |scheme, ipc: f64, area: f64| EvaluatedPoint {
+            point: ExplorePoint::new(Benchmark::Gzip, scheme),
+            objectives: ObjectiveVector {
+                values: vec![ipc, area],
+            },
+        };
+        let evaluated = vec![
+            mk(SchemeKind::Uniform, 1.0, 132.0),
+            mk(
+                SchemeKind::Proposed {
+                    cleaning_interval: 1024 * 1024,
+                },
+                0.999,
+                54.0,
+            ),
+            mk(SchemeKind::ParityOnly, 0.5, 54.0),
+        ];
+        (spec, evaluated)
+    }
+
+    #[test]
+    fn analysis_finds_frontier_knee_and_constraint() {
+        let (spec, evaluated) = batch();
+        let a = analyze(&spec, &evaluated);
+        // Uniform (best ipc) and proposed (best area) survive; parity is
+        // dominated by proposed (same area, worse ipc).
+        assert_eq!(a.frontier, vec![0, 1]);
+        assert_eq!(a.knee, Some(1));
+        // Proposed is within 1 % of uniform's IPC at less than half the
+        // area: the constraint query picks it.
+        assert_eq!(a.constrained, Some(1));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_marks_the_frontier() {
+        let (spec, evaluated) = batch();
+        let a = analyze(&spec, &evaluated);
+        let one = frontier_json("quick", &spec, &evaluated, &a);
+        let two = frontier_json("quick", &spec, &evaluated, &a);
+        assert_eq!(one, two);
+        assert!(one.contains("\"id\": \"gzip-proposed_1048576\""));
+        assert!(one.contains("\"frontier\": false")); // parity
+        assert!(one.contains("\"constraint\": {"));
+        // Balanced braces as a cheap well-formedness check.
+        let opens = one.matches('{').count();
+        assert_eq!(opens, one.matches('}').count());
+    }
+
+    #[test]
+    fn csv_and_markdown_cover_the_frontier() {
+        let (spec, evaluated) = batch();
+        let a = analyze(&spec, &evaluated);
+        let csv = frontier_csv(&spec, &evaluated, &a);
+        assert_eq!(csv.lines().count(), 1 + a.frontier.len());
+        let all = points_csv(&spec, &evaluated, &a);
+        assert_eq!(all.lines().count(), 1 + evaluated.len());
+        let md = frontier_markdown("quick", &spec, &evaluated, &a);
+        assert!(md.contains("◆"));
+        assert!(md.contains("min area s.t. IPC ≥ 99 %".replace("min", "Min").as_str()));
+    }
+
+    #[test]
+    fn records_roundtrip_bit_for_bit() {
+        let (spec, mut evaluated) = batch();
+        // Exercise the lossless path with values Display would mangle.
+        evaluated[0].objectives.values[0] = 0.1 + 0.2;
+        evaluated[1].objectives.values[1] = f64::NAN;
+        let text = write_records("smoke", &spec, &evaluated);
+        let (scale, spec2, parsed) = parse_records(&text).expect("roundtrip");
+        assert_eq!(scale, "smoke");
+        assert_eq!(spec2, spec);
+        assert_eq!(parsed.len(), evaluated.len());
+        for (a, b) in parsed.iter().zip(&evaluated) {
+            assert_eq!(a.point, b.point);
+            for (x, y) in a.objectives.values.iter().zip(&b.objectives.values) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Corruption never yields a partial parse.
+        assert!(parse_records(&text.replace("point=", "pt=")).is_none());
+        assert!(parse_records("dse v2 nope").is_none());
+    }
+}

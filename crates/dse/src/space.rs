@@ -1,0 +1,496 @@
+//! The typed parameter-space model.
+//!
+//! A [`Space`] is a finite, ordered, duplicate-free set of
+//! [`ExplorePoint`]s. The cartesian constructor walks the axes in
+//! row-major order — benchmark, then scheme, then scrub period, then
+//! geometry — so point order (and therefore every downstream report) is a
+//! pure function of the axis lists. Point IDs are content-derived, not
+//! positional: re-slicing a space never renames its points.
+
+use std::fmt;
+
+use aep_core::{scheme_slug, SchemeKind};
+use aep_mem::CacheConfig;
+use aep_sim::{ExperimentConfig, Scale};
+use aep_workloads::Benchmark;
+
+/// An L2 geometry axis value: size, associativity, and line size.
+///
+/// The rest of the Table 1 machine is held fixed — the paper's area
+/// argument is about the L2, and its sensitivity study (§5.2) sweeps
+/// exactly these three knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// L2 capacity in KiB.
+    pub size_kib: u64,
+    /// Associativity.
+    pub ways: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl Geometry {
+    /// The paper's Table 1 L2: 1 MB, 4-way, 64 B lines.
+    #[must_use]
+    pub fn date2006() -> Self {
+        let l2 = CacheConfig::date2006_l2();
+        Geometry {
+            size_kib: l2.size_bytes / 1024,
+            ways: l2.ways,
+            line_bytes: l2.line_bytes,
+        }
+    }
+
+    /// The axis-spec spelling, e.g. `1024Kx4x64`.
+    #[must_use]
+    pub fn slug(&self) -> String {
+        format!("{}Kx{}x{}", self.size_kib, self.ways, self.line_bytes)
+    }
+
+    /// Parses a [`Geometry::slug`] (`<KiB>Kx<ways>x<line>`); a bare
+    /// `<KiB>K` keeps the Table 1 associativity and line size.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let base = Geometry::date2006();
+        let mut parts = s.split('x');
+        let size = parts.next()?.strip_suffix('K')?.parse().ok()?;
+        let ways = match parts.next() {
+            Some(w) => w.parse().ok()?,
+            None => base.ways,
+        };
+        let line_bytes = match parts.next() {
+            Some(l) => l.parse().ok()?,
+            None => base.line_bytes,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Geometry {
+            size_kib: size,
+            ways,
+            line_bytes,
+        })
+    }
+
+    /// Rewrites `l2` to this geometry (validation happens at the space /
+    /// config level, not here).
+    pub fn apply(&self, l2: &mut CacheConfig) {
+        l2.size_bytes = self.size_kib * 1024;
+        l2.ways = self.ways;
+        l2.line_bytes = self.line_bytes;
+    }
+
+    /// The concrete L2 [`CacheConfig`] at this geometry (Table 1
+    /// latencies and policies).
+    #[must_use]
+    pub fn l2_config(&self) -> CacheConfig {
+        let mut l2 = CacheConfig::date2006_l2();
+        self.apply(&mut l2);
+        l2
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.slug())
+    }
+}
+
+/// A scheme-axis value before the cleaning-interval axis is applied.
+///
+/// Crossing templates with the interval axis (instead of enumerating
+/// concrete [`SchemeKind`]s) keeps the space free of spurious duplicates:
+/// templates that ignore the interval (`uniform`, `parity`) contribute
+/// one point regardless of how many intervals are swept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeTemplate {
+    /// Conventional uniform SECDED (`org`).
+    Uniform,
+    /// Parity-only detection (the strawman).
+    ParityOnly,
+    /// Uniform SECDED plus interval cleaning.
+    UniformClean,
+    /// The paper's proposal (parity + shared ECC array + cleaning).
+    Proposed,
+    /// The multi-entry extension of the proposal.
+    ProposedMulti {
+        /// ECC entries per set.
+        entries_per_set: usize,
+    },
+}
+
+impl SchemeTemplate {
+    /// Whether this template consumes the cleaning-interval axis.
+    #[must_use]
+    pub fn needs_interval(self) -> bool {
+        !matches!(self, SchemeTemplate::Uniform | SchemeTemplate::ParityOnly)
+    }
+
+    /// Instantiates the template at `interval` (ignored when the template
+    /// does not clean).
+    #[must_use]
+    pub fn instantiate(self, interval: u64) -> SchemeKind {
+        match self {
+            SchemeTemplate::Uniform => SchemeKind::Uniform,
+            SchemeTemplate::ParityOnly => SchemeKind::ParityOnly,
+            SchemeTemplate::UniformClean => SchemeKind::UniformWithCleaning {
+                cleaning_interval: interval,
+            },
+            SchemeTemplate::Proposed => SchemeKind::Proposed {
+                cleaning_interval: interval,
+            },
+            SchemeTemplate::ProposedMulti { entries_per_set } => SchemeKind::ProposedMulti {
+                cleaning_interval: interval,
+                entries_per_set,
+            },
+        }
+    }
+
+    /// Parses an axis-spec spelling: `uniform`, `parity`, `uniform_clean`,
+    /// `proposed`, or `proposed_multi:<entries>`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "uniform" => Some(SchemeTemplate::Uniform),
+            "parity" => Some(SchemeTemplate::ParityOnly),
+            "uniform_clean" => Some(SchemeTemplate::UniformClean),
+            "proposed" => Some(SchemeTemplate::Proposed),
+            _ => {
+                let entries = s.strip_prefix("proposed_multi:")?.parse().ok()?;
+                Some(SchemeTemplate::ProposedMulti {
+                    entries_per_set: entries,
+                })
+            }
+        }
+    }
+}
+
+/// Crosses scheme templates with the interval axis, deduplicating while
+/// preserving first-occurrence order.
+#[must_use]
+pub fn expand_schemes(templates: &[SchemeTemplate], intervals: &[u64]) -> Vec<SchemeKind> {
+    let mut out: Vec<SchemeKind> = Vec::new();
+    for &template in templates {
+        if template.needs_interval() {
+            for &interval in intervals {
+                let kind = template.instantiate(interval);
+                if !out.contains(&kind) {
+                    out.push(kind);
+                }
+            }
+        } else {
+            let kind = template.instantiate(0);
+            if !out.contains(&kind) {
+                out.push(kind);
+            }
+        }
+    }
+    out
+}
+
+/// One concrete configuration of the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExplorePoint {
+    /// The workload.
+    pub benchmark: Benchmark,
+    /// The protection scheme.
+    pub scheme: SchemeKind,
+    /// Background scrub period (cycles per line), if scrubbing.
+    pub scrub_period: Option<u64>,
+    /// The L2 geometry.
+    pub geometry: Geometry,
+}
+
+impl ExplorePoint {
+    /// A point at the default axes (no scrubbing, Table 1 geometry).
+    #[must_use]
+    pub fn new(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+        ExplorePoint {
+            benchmark,
+            scheme,
+            scrub_period: None,
+            geometry: Geometry::date2006(),
+        }
+    }
+
+    /// The point's content-derived ID: benchmark and scheme slug, with
+    /// scrub and geometry suffixes only when they deviate from the
+    /// defaults. Stable under re-slicing and axis reordering; unique
+    /// within any deduplicated space.
+    #[must_use]
+    pub fn id(&self) -> String {
+        let mut id = format!(
+            "{}-{}",
+            self.benchmark.name(),
+            scheme_slug(self.scheme).replace(':', "_")
+        );
+        if let Some(period) = self.scrub_period {
+            id.push_str(&format!("-scrub{period}"));
+        }
+        if self.geometry != Geometry::date2006() {
+            id.push_str(&format!("-{}", self.geometry.slug()));
+        }
+        id
+    }
+
+    /// Lowers the point to a runnable config at `scale`.
+    #[must_use]
+    pub fn config(&self, scale: Scale) -> ExperimentConfig {
+        let mut cfg = scale.config(self.benchmark, self.scheme);
+        cfg.scrub_period = self.scrub_period;
+        self.geometry.apply(&mut cfg.hierarchy.l2);
+        cfg
+    }
+
+    /// Validates the point against the simulator's config invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpaceError`] naming the point and the violated
+    /// constraint (bad geometry, zero scrub period, zero interval).
+    pub fn validate(&self) -> Result<(), SpaceError> {
+        let fail = |why: String| {
+            Err(SpaceError {
+                point: self.id(),
+                why,
+            })
+        };
+        let cfg = self.config(Scale::Smoke);
+        if let Err(e) = cfg.hierarchy.validate() {
+            return fail(format!("invalid hierarchy: {e:?}"));
+        }
+        if self.scrub_period == Some(0) {
+            return fail("scrub period must be positive".into());
+        }
+        if self.scheme.cleaning_interval() == Some(0) {
+            return fail("cleaning interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A point that fails validation, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceError {
+    /// The offending point's ID.
+    pub point: String,
+    /// What is wrong with it.
+    pub why: String,
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "point {}: {}", self.point, self.why)
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// A finite, ordered, duplicate-free set of [`ExplorePoint`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Space {
+    points: Vec<ExplorePoint>,
+}
+
+impl Space {
+    /// The cartesian grid over the given axes, in row-major order
+    /// (benchmark, scheme, scrub, geometry). Empty scrub/geometry axes
+    /// default to no-scrub / Table 1.
+    #[must_use]
+    pub fn grid(
+        benchmarks: &[Benchmark],
+        schemes: &[SchemeKind],
+        scrub_periods: &[Option<u64>],
+        geometries: &[Geometry],
+    ) -> Self {
+        let scrubs: &[Option<u64>] = if scrub_periods.is_empty() {
+            &[None]
+        } else {
+            scrub_periods
+        };
+        let default_geometry = [Geometry::date2006()];
+        let geoms: &[Geometry] = if geometries.is_empty() {
+            &default_geometry
+        } else {
+            geometries
+        };
+        let mut points = Vec::new();
+        for &benchmark in benchmarks {
+            for &scheme in schemes {
+                for &scrub_period in scrubs {
+                    for &geometry in geoms {
+                        points.push(ExplorePoint {
+                            benchmark,
+                            scheme,
+                            scrub_period,
+                            geometry,
+                        });
+                    }
+                }
+            }
+        }
+        Space::from_points(points)
+    }
+
+    /// An explicit-list space; duplicates collapse to their first
+    /// occurrence.
+    #[must_use]
+    pub fn from_points(points: Vec<ExplorePoint>) -> Self {
+        let mut unique = Vec::with_capacity(points.len());
+        for p in points {
+            if !unique.contains(&p) {
+                unique.push(p);
+            }
+        }
+        Space { points: unique }
+    }
+
+    /// The points, in deterministic space order.
+    #[must_use]
+    pub fn points(&self) -> &[ExplorePoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the space has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Validates every point against the simulator's invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending point's [`SpaceError`], or an error
+    /// for an empty space.
+    pub fn validate(&self) -> Result<(), SpaceError> {
+        if self.points.is_empty() {
+            return Err(SpaceError {
+                point: "<none>".into(),
+                why: "the space has no points".into(),
+            });
+        }
+        for p in &self.points {
+            p.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_row_major_and_deduplicated() {
+        let schemes = expand_schemes(
+            &[SchemeTemplate::Uniform, SchemeTemplate::Proposed],
+            &[64 * 1024, 1024 * 1024],
+        );
+        // uniform collapses across the interval axis: 1 + 2 schemes.
+        assert_eq!(schemes.len(), 3);
+        let space = Space::grid(&[Benchmark::Gzip, Benchmark::Mcf], &schemes, &[], &[]);
+        assert_eq!(space.len(), 6);
+        // Row-major: all of gzip before any of mcf.
+        let names: Vec<&str> = space.points().iter().map(|p| p.benchmark.name()).collect();
+        assert_eq!(names, ["gzip", "gzip", "gzip", "mcf", "mcf", "mcf"]);
+        space.validate().expect("default axes validate");
+    }
+
+    #[test]
+    fn ids_are_content_derived_and_unique() {
+        let space = Space::grid(
+            &[Benchmark::Gzip],
+            &expand_schemes(
+                &[SchemeTemplate::Uniform, SchemeTemplate::Proposed],
+                &[1024 * 1024],
+            ),
+            &[None, Some(4096)],
+            &[Geometry::date2006(), Geometry::parse("512K").unwrap()],
+        );
+        let ids: Vec<String> = space.points().iter().map(ExplorePoint::id).collect();
+        let mut deduped = ids.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), ids.len(), "IDs must be unique: {ids:?}");
+        // Default axes leave no suffix; deviations append one.
+        assert!(ids.contains(&"gzip-uniform".to_owned()));
+        assert!(ids.contains(&"gzip-proposed_1048576-scrub4096-512Kx4x64".to_owned()));
+    }
+
+    #[test]
+    fn geometry_slugs_roundtrip() {
+        for g in [
+            Geometry::date2006(),
+            Geometry {
+                size_kib: 512,
+                ways: 8,
+                line_bytes: 32,
+            },
+        ] {
+            assert_eq!(Geometry::parse(&g.slug()), Some(g));
+        }
+        assert_eq!(
+            Geometry::parse("512K"),
+            Some(Geometry {
+                size_kib: 512,
+                ways: 4,
+                line_bytes: 64,
+            })
+        );
+        assert_eq!(Geometry::parse("512"), None);
+        assert_eq!(Geometry::parse("512Kx4x64x9"), None);
+    }
+
+    #[test]
+    fn scheme_templates_parse_and_instantiate() {
+        assert_eq!(
+            SchemeTemplate::parse("proposed_multi:2"),
+            Some(SchemeTemplate::ProposedMulti { entries_per_set: 2 })
+        );
+        assert_eq!(SchemeTemplate::parse("bogus"), None);
+        assert_eq!(
+            SchemeTemplate::Proposed.instantiate(7),
+            SchemeKind::Proposed {
+                cleaning_interval: 7
+            }
+        );
+        assert!(!SchemeTemplate::Uniform.needs_interval());
+    }
+
+    #[test]
+    fn invalid_points_are_rejected_with_context() {
+        let bad_geometry = ExplorePoint {
+            geometry: Geometry {
+                size_kib: 3, // not a power-of-two line count
+                ways: 4,
+                line_bytes: 64,
+            },
+            ..ExplorePoint::new(Benchmark::Gzip, SchemeKind::Uniform)
+        };
+        let err = bad_geometry.validate().unwrap_err();
+        assert!(err.why.contains("hierarchy"), "{err}");
+
+        let bad_interval = ExplorePoint::new(
+            Benchmark::Gzip,
+            SchemeKind::Proposed {
+                cleaning_interval: 0,
+            },
+        );
+        assert!(bad_interval.validate().is_err());
+
+        let bad_scrub = ExplorePoint {
+            scrub_period: Some(0),
+            ..ExplorePoint::new(Benchmark::Gzip, SchemeKind::Uniform)
+        };
+        assert!(bad_scrub.validate().is_err());
+
+        assert!(Space::from_points(Vec::new()).validate().is_err());
+    }
+}

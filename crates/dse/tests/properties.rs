@@ -1,0 +1,238 @@
+//! Property tests for the Pareto layer, hand-rolled on [`aep_rng`] (the
+//! workspace builds offline, so there is no proptest). Each property runs
+//! over a few hundred randomly generated populations with fixed seeds —
+//! failures reproduce exactly.
+
+use aep_dse::{
+    dominates, frontier_indices, knee_index, pareto_ranks, ObjectiveSpec, ObjectiveVector,
+};
+use aep_rng::SmallRng;
+
+const CASES: usize = 300;
+
+fn random_spec(rng: &mut SmallRng) -> ObjectiveSpec {
+    // Mix the maximised objective (ipc) with minimised ones, 2–4 axes.
+    let pools: [&[&str]; 3] = [
+        &["ipc", "area"],
+        &["ipc", "area", "traffic"],
+        &["ipc", "area", "traffic", "fit"],
+    ];
+    let pick = rng.gen_range(0usize..pools.len());
+    ObjectiveSpec::parse(&pools[pick].join(",")).expect("pool specs are valid")
+}
+
+fn random_population(rng: &mut SmallRng, spec: &ObjectiveSpec) -> Vec<ObjectiveVector> {
+    let n = rng.gen_range(1usize..14);
+    (0..n)
+        .map(|_| ObjectiveVector {
+            values: (0..spec.keys().len())
+                // A small integer lattice forces plenty of exact ties,
+                // the interesting case for dominance edge conditions.
+                .map(|_| rng.gen_range(0u64..5) as f64)
+                .collect(),
+        })
+        .collect()
+}
+
+#[test]
+fn dominance_is_irreflexive() {
+    let mut rng = SmallRng::seed_from_u64(0xD5E_001);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        for v in random_population(&mut rng, &spec) {
+            assert!(!dominates(&spec, &v, &v), "self-domination: {v:?}");
+        }
+    }
+}
+
+#[test]
+fn dominance_is_antisymmetric() {
+    let mut rng = SmallRng::seed_from_u64(0xD5E_002);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let pop = random_population(&mut rng, &spec);
+        for a in &pop {
+            for b in &pop {
+                assert!(
+                    !(dominates(&spec, a, b) && dominates(&spec, b, a)),
+                    "mutual domination: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dominance_is_transitive() {
+    let mut rng = SmallRng::seed_from_u64(0xD5E_003);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let pop = random_population(&mut rng, &spec);
+        for a in &pop {
+            for b in &pop {
+                for c in &pop {
+                    if dominates(&spec, a, b) && dominates(&spec, b, c) {
+                        assert!(
+                            dominates(&spec, a, c),
+                            "transitivity broken: {a:?} > {b:?} > {c:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn frontier_points_are_mutually_non_dominated_and_cover_the_rest() {
+    let mut rng = SmallRng::seed_from_u64(0xD5E_004);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let pop = random_population(&mut rng, &spec);
+        let frontier = frontier_indices(&spec, &pop);
+        assert!(
+            !frontier.is_empty(),
+            "a non-empty population has a frontier"
+        );
+        // No frontier point dominates another frontier point.
+        for &i in &frontier {
+            for &j in &frontier {
+                assert!(!dominates(&spec, &pop[i], &pop[j]));
+            }
+        }
+        // Every off-frontier point is dominated by some frontier point.
+        for i in 0..pop.len() {
+            if !frontier.contains(&i) {
+                assert!(
+                    frontier.iter().any(|&j| dominates(&spec, &pop[j], &pop[i])),
+                    "point {i} excluded but undominated"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn frontier_of_the_frontier_is_a_fixpoint() {
+    let mut rng = SmallRng::seed_from_u64(0xD5E_005);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let pop = random_population(&mut rng, &spec);
+        let frontier = frontier_indices(&spec, &pop);
+        let sub: Vec<ObjectiveVector> = frontier.iter().map(|&i| pop[i].clone()).collect();
+        let again = frontier_indices(&spec, &sub);
+        assert_eq!(
+            again,
+            (0..sub.len()).collect::<Vec<_>>(),
+            "re-extracting the frontier must keep every point"
+        );
+    }
+}
+
+#[test]
+fn frontier_is_invariant_under_objective_permutation() {
+    let mut rng = SmallRng::seed_from_u64(0xD5E_006);
+    for _ in 0..CASES {
+        // Reversing the 3-axis spec keeps directions attached to their
+        // objectives, so frontier membership cannot move.
+        let spec = ObjectiveSpec::parse("ipc,area,traffic").unwrap();
+        let rev = ObjectiveSpec::parse("traffic,area,ipc").unwrap();
+        let pop = random_population(&mut rng, &spec);
+        let reversed: Vec<ObjectiveVector> = pop
+            .iter()
+            .map(|v| ObjectiveVector {
+                values: v.values.iter().rev().copied().collect(),
+            })
+            .collect();
+        assert_eq!(
+            frontier_indices(&spec, &pop),
+            frontier_indices(&rev, &reversed)
+        );
+    }
+}
+
+#[test]
+fn frontier_membership_is_invariant_under_shuffling() {
+    let mut rng = SmallRng::seed_from_u64(0xD5E_007);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let pop = random_population(&mut rng, &spec);
+        // Fisher–Yates with the seeded rng.
+        let mut perm: Vec<usize> = (0..pop.len()).collect();
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0usize..i + 1);
+            perm.swap(i, j);
+        }
+        let shuffled: Vec<ObjectiveVector> = perm.iter().map(|&i| pop[i].clone()).collect();
+        let original: std::collections::BTreeSet<usize> =
+            frontier_indices(&spec, &pop).into_iter().collect();
+        let via_shuffle: std::collections::BTreeSet<usize> = frontier_indices(&spec, &shuffled)
+            .into_iter()
+            .map(|i| perm[i])
+            .collect();
+        assert_eq!(original, via_shuffle);
+    }
+}
+
+#[test]
+fn ranks_are_complete_and_consistent_with_domination() {
+    let mut rng = SmallRng::seed_from_u64(0xD5E_008);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let pop = random_population(&mut rng, &spec);
+        let ranks = pareto_ranks(&spec, &pop);
+        assert_eq!(ranks.len(), pop.len());
+        // Rank 0 is exactly the frontier.
+        let frontier: Vec<usize> = frontier_indices(&spec, &pop);
+        for (i, &r) in ranks.iter().enumerate() {
+            assert_eq!(r == 0, frontier.contains(&i));
+        }
+        // A dominated point always ranks strictly worse than a dominator.
+        for i in 0..pop.len() {
+            for j in 0..pop.len() {
+                if dominates(&spec, &pop[i], &pop[j]) {
+                    assert!(ranks[i] < ranks[j], "rank inversion {i}->{j}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn knee_is_deterministic_and_on_the_frontier() {
+    let mut rng = SmallRng::seed_from_u64(0xD5E_009);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let pop = random_population(&mut rng, &spec);
+        let frontier = frontier_indices(&spec, &pop);
+        let knee = knee_index(&spec, &pop, &frontier);
+        let again = knee_index(&spec, &pop, &frontier);
+        assert_eq!(knee, again, "knee must be deterministic");
+        let k = knee.expect("non-empty frontier has a knee");
+        assert!(frontier.contains(&k));
+    }
+}
+
+/// The hand-checked 2-D fixture the satellite task calls for: a concave
+/// trade-off curve where membership is known by inspection.
+#[test]
+fn two_d_fixture_matches_hand_analysis() {
+    let spec = ObjectiveSpec::parse("ipc,area").unwrap();
+    let v = |ipc: f64, area: f64| ObjectiveVector {
+        values: vec![ipc, area],
+    };
+    let pop = vec![
+        v(0.5, 40.0),  // 0: frontier (cheapest)
+        v(0.9, 60.0),  // 1: frontier
+        v(0.9, 80.0),  // 2: dominated by 1 (same ipc, more area)
+        v(1.2, 90.0),  // 3: frontier
+        v(1.1, 95.0),  // 4: dominated by 3
+        v(1.3, 200.0), // 5: frontier (fastest)
+        v(0.4, 45.0),  // 6: dominated by 0
+    ];
+    assert_eq!(frontier_indices(&spec, &pop), vec![0, 1, 3, 5]);
+    assert_eq!(pareto_ranks(&spec, &pop), vec![0, 0, 1, 0, 1, 0, 1]);
+    // The knee balances both axes: index 3 (1.2 IPC at 90 area) is the
+    // closest to the joint ideal (1.3 IPC, 40 area).
+    assert_eq!(knee_index(&spec, &pop, &[0, 1, 3, 5]), Some(3));
+}

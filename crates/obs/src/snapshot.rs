@@ -44,6 +44,22 @@ impl StatsSnapshot {
         self.stats.get(key)
     }
 
+    /// Looks up a counter stat by full key (`None` if absent or a rate).
+    pub fn counter_value(&self, key: &str) -> Option<u64> {
+        match self.stats.get(key)? {
+            StatValue::Counter(n) => Some(*n),
+            StatValue::Rate(_) => None,
+        }
+    }
+
+    /// Looks up a rate stat by full key (`None` if absent or a counter).
+    pub fn rate_value(&self, key: &str) -> Option<f64> {
+        match self.stats.get(key)? {
+            StatValue::Rate(x) => Some(*x),
+            StatValue::Counter(_) => None,
+        }
+    }
+
     /// Serializes to the stable one-stat-per-line JSON layout.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(64 * (self.stats.len() + self.meta.len() + 4));

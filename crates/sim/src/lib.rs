@@ -27,5 +27,5 @@ pub mod system;
 
 pub use observe::ObservedRun;
 pub use report::Table;
-pub use runner::{ExperimentConfig, L2Window, RunStats, Runner};
+pub use runner::{ExperimentConfig, L2Window, RunStats, Runner, Scale};
 pub use system::{InjectionProbe, System};

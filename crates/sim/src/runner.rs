@@ -20,6 +20,59 @@ use crate::system::System;
 /// sampling interval is `measure_cycles / DIRTY_SERIES_SAMPLES`, min 1).
 const DIRTY_SERIES_SAMPLES: u64 = 64;
 
+/// How long to run each experiment — the shared scale vocabulary of the
+/// figure pipeline, the stats gate, and the design-space explorer.
+///
+/// Scales form a ladder (smoke → quick → paper) that the explorer's
+/// successive-halving mode climbs: cheap rungs weed out dominated
+/// configurations before the expensive ones run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// The full windows (12 M warm-up + 20 M measured cycles).
+    Paper,
+    /// ~10× shorter windows for quick looks.
+    Quick,
+    /// Minimal windows for smoke tests.
+    Smoke,
+}
+
+impl Scale {
+    /// Builds an experiment config at this scale.
+    #[must_use]
+    pub fn config(self, benchmark: Benchmark, scheme: SchemeKind) -> ExperimentConfig {
+        match self {
+            Scale::Paper => ExperimentConfig::paper(benchmark, scheme),
+            Scale::Quick => ExperimentConfig::quick(benchmark, scheme),
+            Scale::Smoke => ExperimentConfig::fast_test(benchmark, scheme),
+        }
+    }
+
+    /// Parses a CLI scale flag.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "paper" => Some(Scale::Paper),
+            "quick" => Some(Scale::Quick),
+            "smoke" => Some(Scale::Smoke),
+            _ => None,
+        }
+    }
+
+    /// The scale's CLI / cache-key name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+            Scale::Smoke => "smoke",
+        }
+    }
+
+    /// The cost ladder the explorer's refinement mode climbs, cheapest
+    /// first.
+    pub const LADDER: [Scale; 3] = [Scale::Smoke, Scale::Quick, Scale::Paper];
+}
+
 /// One experiment: a benchmark, a scheme, and window sizes.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Verifies the parallel experiment engine is deterministic: `exp all`,
-# the Monte Carlo fault campaign (`exp faults`), and the observability
-# snapshot (`exp run --stats-json`) must all be byte-identical between
-# --jobs 1 and --jobs N.
+# the Monte Carlo fault campaign (`exp faults`), the observability
+# snapshot (`exp run --stats-json`), and the design-space explorer
+# (`exp explore grid`) must all be byte-identical between --jobs 1 and
+# --jobs N.
 #
 # Usage: scripts/check_determinism.sh [scale] [jobs]
 #          scale  paper|quick|smoke   (default: smoke)
@@ -63,5 +64,30 @@ if cmp -s "$tmp/snap_serial.json" "$tmp/snap_parallel.json"; then
 else
   echo "==> snapshot determinism FAILED: snapshots differ" >&2
   diff "$tmp/snap_serial.json" "$tmp/snap_parallel.json" | head -n 40 >&2
+  exit 1
+fi
+
+# The explorer's frontier reports must be a pure function of the design
+# space — same bytes for any worker count. --no-cache keeps both runs
+# honest (every point freshly simulated, nothing recalled).
+axes='scheme=uniform,proposed;interval=256K,1M;bench=gzip,gap'
+
+echo "==> exp explore grid --scale $scale --jobs 1 --no-cache"
+./target/release/exp explore grid --scale "$scale" --axes "$axes" \
+  --jobs 1 --no-cache --out "$tmp/dse_serial" > /dev/null 2> /dev/null
+
+echo "==> exp explore grid --scale $scale --jobs $jobs --no-cache"
+./target/release/exp explore grid --scale "$scale" --axes "$axes" \
+  --jobs "$jobs" --no-cache --out "$tmp/dse_parallel" > /dev/null 2> /dev/null
+
+if cmp -s "$tmp/dse_serial/grid_${scale}_frontier.json" \
+          "$tmp/dse_parallel/grid_${scale}_frontier.json" \
+   && cmp -s "$tmp/dse_serial/grid_${scale}.dse" \
+             "$tmp/dse_parallel/grid_${scale}.dse"; then
+  echo "==> explore determinism: byte-identical (--jobs 1 vs --jobs $jobs, $scale)"
+else
+  echo "==> explore determinism FAILED: frontier reports differ" >&2
+  diff "$tmp/dse_serial/grid_${scale}_frontier.json" \
+       "$tmp/dse_parallel/grid_${scale}_frontier.json" | head -n 40 >&2
   exit 1
 fi
