@@ -47,6 +47,11 @@ fn main() {
     if command == "explore" {
         std::process::exit(aep_bench::explore::run(&args[1..]));
     }
+    // Likewise `check`: the differential checker's flags (--fuzz-iters,
+    // --seed, --inject-violation) are its own.
+    if command == "check" {
+        std::process::exit(aep_bench::check_cli::run(&args[1..]));
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
@@ -314,6 +319,9 @@ fn usage() -> String {
      \x20            (default scale: smoke) [--golden DIR] [--regen]\n\
      \x20 explore    design-space exploration: grid | refine | frontier\n\
      \x20            (see `exp explore help` for axes and objectives)\n\
+     \x20 check      differential checking: lockstep golden model,\n\
+     \x20            protocol invariants, coverage-guided fuzzing\n\
+     \x20            (see `exp check help`; violations exit 1)\n\
      \x20 bench      engine-throughput harness (BENCH_engine.json)\n\
      \x20 all        everything above in order\n\n\
      flags:\n\
@@ -324,7 +332,8 @@ fn usage() -> String {
      \x20              proposed:N | proposed_multi:N:E (default: proposed\n\
      \x20              at the calibrated interval)\n\
      \x20 --no-cache   ignore and do not write results/cache/\n\n\
-     exit codes: 0 success, 1 stats-gate regression, 2 usage error"
+     exit codes: 0 success, 1 stats-gate regression or check violation,\n\
+     2 usage error"
         .to_owned()
 }
 

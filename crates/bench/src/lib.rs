@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check_cli;
 pub mod engine_bench;
 pub mod experiments;
 pub mod explore;

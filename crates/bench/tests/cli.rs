@@ -330,3 +330,85 @@ fn nudge_rate(json: &str, key: &str, factor: f64) -> String {
     }
     out
 }
+
+#[test]
+fn check_help_renders_usage_and_succeeds() {
+    let out = exp(&["check", "help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: exp check"));
+    assert!(stdout.contains("--inject-violation"));
+}
+
+#[test]
+fn check_usage_errors_exit_2_with_a_diagnostic() {
+    for (args, needle) in [
+        (&["check", "--frobnicate"][..], "unknown argument"),
+        (&["check", "--scale", "huge"][..], "unknown check scale"),
+        (
+            &["check", "--fuzz-iters", "many"][..],
+            "--fuzz-iters requires",
+        ),
+        (&["check", "--seed", "x"][..], "--seed requires"),
+        (&["check", "--jobs", "0"][..], "--jobs requires"),
+        (&["check", "--out"][..], "--out requires"),
+    ] {
+        let out = exp(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: stderr was {stderr}");
+    }
+}
+
+#[test]
+fn check_smoke_run_is_clean_and_exits_0() {
+    let work = TempWorkdir::new("check-clean");
+    let out = exp_in(
+        &work.0,
+        &[
+            "check",
+            "--scale",
+            "smoke",
+            "--fuzz-iters",
+            "8",
+            "--seed",
+            "1",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "clean run exits 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[check] all checks clean"));
+    // Every registered scheme family appears in the lockstep report.
+    for scheme in ["org", "parity-only", "proposed@1M", "proposed2e@1M"] {
+        assert!(stdout.contains(scheme), "lockstep must cover {scheme}");
+    }
+}
+
+#[test]
+fn check_injected_violation_exits_1_with_a_shrunk_reproducer() {
+    let work = TempWorkdir::new("check-inject");
+    let out = exp_in(
+        &work.0,
+        &[
+            "check",
+            "--scale",
+            "smoke",
+            "--fuzz-iters",
+            "8",
+            "--seed",
+            "7",
+            "--inject-violation",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1), "caught violation exits 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[check] FAIL"));
+    assert!(
+        stdout.contains("no live or retiring"),
+        "the violation names the lost-protection window"
+    );
+    let repro = work.0.join("results/check/reproducer_seed7.json");
+    let body = std::fs::read_to_string(&repro).expect("reproducer written");
+    assert!(body.contains("\"genome\""));
+    assert!(body.contains("\"violations\""));
+}

@@ -1,0 +1,286 @@
+//! The lockstep checker: a [`CheckObserver`] that drives the golden model
+//! from the simulator's event stream and layers the protocol invariant
+//! registry on top.
+//!
+//! Checks run at two cadences:
+//!
+//! * **Per event** — event-payload consistency against the golden model
+//!   (residency, first-write vs. dirty, write-back images), plus the
+//!   nonuniform schemes' central invariant: every *golden*-dirty line in
+//!   the event's set has a live-or-retiring ECC entry. The golden state
+//!   is synchronized to event order, so this walk is exact even inside a
+//!   multi-event drain batch where the cache itself is "ahead".
+//! * **Per cycle end** (and every `cadence` cycles, a full sweep) —
+//!   comparisons that peek at the cache, which is only settled at cycle
+//!   boundaries: touched-way state/data equality, dirty censuses vs.
+//!   from-scratch walks, written ⇒ dirty, write-through L1s never dirty,
+//!   and each scheme's own [`ProtectionScheme::find_protocol_violation`].
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use aep_core::ProtectionScheme;
+use aep_mem::{Cycle, L2Event, MemoryHierarchy, WbClass};
+use aep_sim::CheckObserver;
+
+use crate::coverage::Coverage;
+use crate::golden::GoldenModel;
+
+/// One detected divergence between the simulator and the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Cycle at which the check fired.
+    pub cycle: u64,
+    /// Human-readable description of what diverged.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}: {}", self.cycle, self.message)
+    }
+}
+
+/// Recorded violations are capped so a systematically-broken run does not
+/// balloon; `total_violations` keeps the true count.
+pub const VIOLATION_CAP: usize = 16;
+
+/// Shared result state of one checked run, owned jointly by the caller
+/// and the [`LockstepChecker`] installed in the [`aep_sim::System`].
+#[derive(Debug, Default)]
+pub struct CheckState {
+    /// First [`VIOLATION_CAP`] violations, in detection order.
+    pub violations: Vec<Violation>,
+    /// Total violations detected (may exceed `violations.len()`).
+    pub total_violations: u64,
+    /// Scheme/protocol features this run exercised.
+    pub coverage: Coverage,
+    /// L2 events validated against the golden model.
+    pub events_checked: u64,
+}
+
+impl CheckState {
+    fn record(&mut self, v: Violation) {
+        self.total_violations += 1;
+        if self.violations.len() < VIOLATION_CAP {
+            self.violations.push(v);
+        }
+    }
+
+    fn record_all(&mut self, batch: Vec<Violation>) {
+        for v in batch {
+            self.record(v);
+        }
+    }
+}
+
+/// Handle to a [`CheckState`] that outlives the simulator owning the
+/// checker (the `System` takes the observer by `Box`).
+pub type SharedCheckState = Rc<RefCell<CheckState>>;
+
+/// The observer installed via [`aep_sim::System::set_check_observer`].
+pub struct LockstepChecker {
+    golden: GoldenModel,
+    state: SharedCheckState,
+    /// (set, way) pairs touched since the last cycle boundary.
+    touched: Vec<(usize, usize)>,
+    cadence: u64,
+    ways: usize,
+    sets: usize,
+}
+
+impl LockstepChecker {
+    /// Builds a checker (and its golden model) for the given hierarchy,
+    /// sweeping the full cache every `cadence` cycles.
+    #[must_use]
+    pub fn new(config: &aep_mem::HierarchyConfig, state: SharedCheckState, cadence: u64) -> Self {
+        let golden = GoldenModel::new(&config.l2);
+        LockstepChecker {
+            golden,
+            state,
+            touched: Vec::new(),
+            cadence: cadence.max(1),
+            ways: config.l2.ways as usize,
+            sets: config.l2.sets() as usize,
+        }
+    }
+
+    fn note_coverage(&self, event: &L2Event) {
+        let mut st = self.state.borrow_mut();
+        match *event {
+            L2Event::Fill { write: true, .. } => st.coverage.set(Coverage::WRITE_ALLOCATE_FILL),
+            L2Event::Fill { write: false, .. } => st.coverage.set(Coverage::READ_FILL),
+            L2Event::WriteHit {
+                first_write: false, ..
+            } => st.coverage.set(Coverage::SECOND_WRITE),
+            L2Event::WriteHit { .. } => {}
+            L2Event::ReadHit { dirty: true, .. } => st.coverage.set(Coverage::DIRTY_READ_HIT),
+            L2Event::ReadHit { .. } | L2Event::WordWritten { .. } => {}
+            L2Event::Evict { dirty: true, .. } => st.coverage.set(Coverage::DIRTY_EVICT),
+            L2Event::Evict { .. } => {}
+            L2Event::Cleaned { class, .. } => match class {
+                WbClass::Cleaning => st.coverage.set(Coverage::CLEANING_WB),
+                WbClass::EccEviction => st.coverage.set(Coverage::ECC_WB),
+                WbClass::Replacement => {}
+            },
+        }
+    }
+
+    /// The nonuniform invariant, walked over *golden* dirty state so the
+    /// check is exact mid-drain-batch: every dirty line in `set` must be
+    /// covered by a live or retiring check entry. Detection-only schemes
+    /// answer `true` unconditionally, making this a no-op for them.
+    fn check_dirty_coverage(&self, set: usize, scheme: &dyn ProtectionScheme, now: u64) {
+        let mut dirty_in_set = 0u32;
+        let mut batch = Vec::new();
+        for way in 0..self.ways {
+            if !self.golden.is_dirty(set, way) {
+                continue;
+            }
+            dirty_in_set += 1;
+            if !scheme.dirty_line_covered(set, way) {
+                batch.push(Violation {
+                    cycle: now,
+                    message: format!(
+                        "dirty line at set {set} way {way} has no live or retiring check \
+                         entry (lost-protection window)"
+                    ),
+                });
+            }
+        }
+        let mut st = self.state.borrow_mut();
+        if dirty_in_set >= 2 {
+            st.coverage.set(Coverage::MULTI_DIRTY_SET);
+        }
+        st.record_all(batch);
+    }
+
+    fn full_walk(&self, hier: &MemoryHierarchy, scheme: &dyn ProtectionScheme, now: u64) {
+        let mut batch = Vec::new();
+        let mut spared = false;
+        let l2 = hier.l2();
+        self.golden.full_sweep(l2, now, &mut batch);
+        for set in 0..self.sets {
+            for way in 0..self.ways {
+                let view = l2.line_view(set, way);
+                // A dirty line whose written bit the cache cleared while
+                // the golden model still holds it set was spared by a
+                // cleaning probe — the only event-less written reset.
+                if view.valid
+                    && view.dirty
+                    && !view.written
+                    && self.golden.written_upper_bound(set, way)
+                {
+                    spared = true;
+                }
+                if view.valid && view.written && !view.dirty {
+                    batch.push(Violation {
+                        cycle: now,
+                        message: format!(
+                            "{} at set {set} way {way} has written=1 but dirty=0 \
+                             (written must imply dirty)",
+                            view.line
+                        ),
+                    });
+                }
+                if view.valid && view.dirty && !scheme.dirty_line_covered(set, way) {
+                    batch.push(Violation {
+                        cycle: now,
+                        message: format!(
+                            "sweep: dirty {} at set {set} way {way} has no live or \
+                             retiring check entry",
+                            view.line
+                        ),
+                    });
+                }
+            }
+        }
+        // Write-through L1s must never hold the sole dirty copy of a line.
+        for (name, l1) in [("L1D", hier.l1d()), ("L1I", hier.l1i())] {
+            let dirty = l1.recount_dirty_lines();
+            if dirty != 0 {
+                batch.push(Violation {
+                    cycle: now,
+                    message: format!(
+                        "write-through {name} holds {dirty} dirty line(s); it must never \
+                         hold the sole dirty copy"
+                    ),
+                });
+            }
+        }
+        if let Some(msg) = scheme.find_protocol_violation(l2) {
+            batch.push(Violation {
+                cycle: now,
+                message: msg,
+            });
+        }
+        let mut st = self.state.borrow_mut();
+        if spared {
+            st.coverage.set(Coverage::WRITTEN_SPARED);
+        }
+        st.record_all(batch);
+    }
+}
+
+impl CheckObserver for LockstepChecker {
+    fn on_l2_event(
+        &mut self,
+        event: &L2Event,
+        hier: &MemoryHierarchy,
+        scheme: &dyn ProtectionScheme,
+        now: Cycle,
+    ) {
+        self.state.borrow_mut().events_checked += 1;
+        self.note_coverage(event);
+        let mut batch = Vec::new();
+        self.golden.apply_event(event, hier, now, &mut batch);
+        self.state.borrow_mut().record_all(batch);
+        let (set, way) = match *event {
+            L2Event::Fill { set, way, .. }
+            | L2Event::WriteHit { set, way, .. }
+            | L2Event::ReadHit { set, way, .. }
+            | L2Event::WordWritten { set, way, .. }
+            | L2Event::Evict { set, way, .. }
+            | L2Event::Cleaned { set, way, .. } => (set, way),
+        };
+        self.touched.push((set, way));
+        self.check_dirty_coverage(set, scheme, now);
+    }
+
+    fn on_cycle_end(&mut self, hier: &MemoryHierarchy, scheme: &dyn ProtectionScheme, now: Cycle) {
+        let mut batch = Vec::new();
+        let l2 = hier.l2();
+        let mut spared = false;
+        if !self.touched.is_empty() {
+            self.golden.resolve_pending(l2, now, &mut batch);
+            self.touched.sort_unstable();
+            self.touched.dedup();
+            for &(set, way) in &self.touched {
+                self.golden.check_way(l2, set, way, now, &mut batch);
+                // Cache-cleared written bit the golden model still holds
+                // set ⇒ a cleaning probe spared this line (coverage, not
+                // a violation — the golden bit is an upper bound).
+                let view = l2.line_view(set, way);
+                if view.valid
+                    && view.dirty
+                    && !view.written
+                    && self.golden.written_upper_bound(set, way)
+                {
+                    spared = true;
+                }
+            }
+            self.touched.clear();
+        }
+        {
+            let mut st = self.state.borrow_mut();
+            if spared {
+                st.coverage.set(Coverage::WRITTEN_SPARED);
+            }
+            st.record_all(batch);
+        }
+        if now.is_multiple_of(self.cadence) {
+            self.full_walk(hier, scheme, now);
+        }
+    }
+}

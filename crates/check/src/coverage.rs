@@ -1,0 +1,132 @@
+//! The fuzzer's coverage signal: a small bitset of scheme/protocol code
+//! paths a run exercised. Features are deliberately coarse — each one is
+//! a behaviour with its own invariants, so "every feature hit" means the
+//! checker has seen every mechanism class at least once.
+
+/// One bit per observable feature (see [`Coverage::FEATURES`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Coverage(pub u32);
+
+impl Coverage {
+    /// Scheme families (which state machine was attached).
+    pub const SCHEME_UNIFORM: u32 = 1 << 0;
+    /// Uniform SECDED with the cleaning FSM running.
+    pub const SCHEME_UNIFORM_CLEAN: u32 = 1 << 1;
+    /// Parity-only strawman.
+    pub const SCHEME_PARITY: u32 = 1 << 2;
+    /// The paper's proposed scheme (one ECC entry per set).
+    pub const SCHEME_PROPOSED: u32 = 1 << 3;
+    /// The k-entry extension.
+    pub const SCHEME_PROPOSED_MULTI: u32 = 1 << 4;
+    /// A write-allocate fill installed a dirty line.
+    pub const WRITE_ALLOCATE_FILL: u32 = 1 << 5;
+    /// A read-triggered fill (clean install).
+    pub const READ_FILL: u32 = 1 << 6;
+    /// A second write set the written bit (generational behaviour).
+    pub const SECOND_WRITE: u32 = 1 << 7;
+    /// A read hit a dirty line (ECC-checked path).
+    pub const DIRTY_READ_HIT: u32 = 1 << 8;
+    /// A dirty line was displaced by replacement (WB).
+    pub const DIRTY_EVICT: u32 = 1 << 9;
+    /// The cleaning FSM wrote a quiescent line back (Clean-WB).
+    pub const CLEANING_WB: u32 = 1 << 10;
+    /// An ECC-entry displacement forced a write-back (ECC-WB) — the
+    /// retiring-entry window the PR 2 fix guards.
+    pub const ECC_WB: u32 = 1 << 11;
+    /// A cleaning probe was deferred by a busy port.
+    pub const PROBE_DEFERRED: u32 = 1 << 12;
+    /// Background scrubbing verified at least one line.
+    pub const SCRUB_ACTIVE: u32 = 1 << 13;
+    /// Two or more dirty lines coexisted in one set (multi-entry path).
+    pub const MULTI_DIRTY_SET: u32 = 1 << 14;
+    /// A dirty line survived a probe thanks to its written bit.
+    pub const WRITTEN_SPARED: u32 = 1 << 15;
+
+    /// Every feature, in bit order, with its report label.
+    pub const FEATURES: [(u32, &'static str); 16] = [
+        (Self::SCHEME_UNIFORM, "scheme_uniform"),
+        (Self::SCHEME_UNIFORM_CLEAN, "scheme_uniform_clean"),
+        (Self::SCHEME_PARITY, "scheme_parity"),
+        (Self::SCHEME_PROPOSED, "scheme_proposed"),
+        (Self::SCHEME_PROPOSED_MULTI, "scheme_proposed_multi"),
+        (Self::WRITE_ALLOCATE_FILL, "write_allocate_fill"),
+        (Self::READ_FILL, "read_fill"),
+        (Self::SECOND_WRITE, "second_write"),
+        (Self::DIRTY_READ_HIT, "dirty_read_hit"),
+        (Self::DIRTY_EVICT, "dirty_evict"),
+        (Self::CLEANING_WB, "cleaning_wb"),
+        (Self::ECC_WB, "ecc_wb"),
+        (Self::PROBE_DEFERRED, "probe_deferred"),
+        (Self::SCRUB_ACTIVE, "scrub_active"),
+        (Self::MULTI_DIRTY_SET, "multi_dirty_set"),
+        (Self::WRITTEN_SPARED, "written_spared"),
+    ];
+
+    /// Merges another coverage set into this one.
+    pub fn merge(&mut self, other: Coverage) {
+        self.0 |= other.0;
+    }
+
+    /// Sets one feature bit.
+    pub fn set(&mut self, feature: u32) {
+        self.0 |= feature;
+    }
+
+    /// Number of features set.
+    #[must_use]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Features in `self` missing from `covered`.
+    #[must_use]
+    pub fn missing_from(self, covered: Coverage) -> u32 {
+        self.0 & !covered.0
+    }
+
+    /// The lowest feature bit not yet in this set, if any.
+    #[must_use]
+    pub fn first_uncovered(self) -> Option<u32> {
+        Coverage::FEATURES
+            .iter()
+            .map(|&(bit, _)| bit)
+            .find(|&bit| self.0 & bit == 0)
+    }
+
+    /// Report labels of uncovered features, in bit order.
+    #[must_use]
+    pub fn uncovered_labels(self) -> Vec<&'static str> {
+        Coverage::FEATURES
+            .iter()
+            .filter(|&&(bit, _)| self.0 & bit == 0)
+            .map(|&(_, label)| label)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_are_distinct_bits() {
+        let mut seen = 0u32;
+        for (bit, _) in Coverage::FEATURES {
+            assert_eq!(bit.count_ones(), 1);
+            assert_eq!(seen & bit, 0, "duplicate feature bit");
+            seen |= bit;
+        }
+    }
+
+    #[test]
+    fn merge_and_queries() {
+        let mut c = Coverage::default();
+        assert_eq!(c.first_uncovered(), Some(Coverage::SCHEME_UNIFORM));
+        c.set(Coverage::SCHEME_UNIFORM);
+        c.merge(Coverage(Coverage::ECC_WB));
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.first_uncovered(), Some(Coverage::SCHEME_UNIFORM_CLEAN));
+        assert_eq!(c.uncovered_labels().len(), 14);
+        assert_eq!(Coverage(Coverage::ECC_WB).missing_from(c), 0);
+    }
+}

@@ -1,0 +1,471 @@
+//! The lockstep golden model: a deliberately simple functional model of
+//! the protected L2 plus main memory, driven by the timing simulator's
+//! own event stream and checked against it after every access.
+//!
+//! The model trusts exactly one seam: the payload of a **write-allocate
+//! fill**, whose store words are merged into the fill data before the
+//! cache emits any event (so no event carries them). Those lines are
+//! captured from the timing model once, at the end of the fill's cycle,
+//! and checked word-for-word on every later touch. Everything else —
+//! read-fill data, store values, dirty/written transitions, write-back
+//! images landing in memory — is derived independently and compared.
+//!
+//! Events within one cycle drain as a batch *after* the cache has already
+//! reached its end-of-cycle state, so checks that peek at the cache are
+//! deferred to the cycle boundary (see `LockstepChecker`); per-event
+//! checks here use only the event payload and the golden state, which are
+//! both synchronized to event order.
+
+use std::collections::{HashMap, HashSet};
+
+use aep_mem::cache::Cache;
+use aep_mem::{CacheConfig, L2Event, LineAddr, MainMemory, MemoryHierarchy};
+
+use crate::checker::Violation;
+
+#[derive(Debug, Clone)]
+struct GoldenLine {
+    line: LineAddr,
+    dirty: bool,
+    /// An *upper bound* on the cache's written bit: cleaning probes reset
+    /// written bits of spared lines without emitting events, so the golden
+    /// bit may stay `true` after the cache's has been cleared. The checker
+    /// therefore asserts only `cache.written ⇒ golden.written`.
+    written: bool,
+    data: Box<[u64]>,
+    /// Write-allocate fill whose payload has not been captured yet.
+    pending_capture: bool,
+}
+
+/// The functional shadow of the L2 and main memory.
+#[derive(Debug)]
+pub struct GoldenModel {
+    sets: u64,
+    ways: usize,
+    words: usize,
+    resident: Vec<Option<GoldenLine>>,
+    /// Line address → last written-back image; missing lines are pristine.
+    mem: HashMap<u64, Box<[u64]>>,
+    /// Lines whose memory image passed through an uncaptured write-fill
+    /// eviction — their true contents are unknown to the model.
+    unknown_mem: HashSet<u64>,
+    dirty_count: u64,
+}
+
+impl GoldenModel {
+    /// Builds the shadow model for an L2 with the given geometry. The
+    /// cache must store data (`store_data`) for lockstep to make sense.
+    #[must_use]
+    pub fn new(l2: &CacheConfig) -> Self {
+        assert!(l2.store_data, "lockstep needs a data-storing L2");
+        let sets = l2.sets();
+        let ways = l2.ways as usize;
+        GoldenModel {
+            sets,
+            ways,
+            words: l2.words_per_line(),
+            resident: vec![None; sets as usize * ways],
+            mem: HashMap::new(),
+            unknown_mem: HashSet::new(),
+            dirty_count: 0,
+        }
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// The model's dirty-line census.
+    #[must_use]
+    pub fn dirty_count(&self) -> u64 {
+        self.dirty_count
+    }
+
+    /// Whether the model holds (`set`, `way`) dirty.
+    #[must_use]
+    pub fn is_dirty(&self, set: usize, way: usize) -> bool {
+        self.resident[self.slot(set, way)]
+            .as_ref()
+            .is_some_and(|l| l.dirty)
+    }
+
+    /// The model's written bit for (`set`, `way`) (an upper bound — see
+    /// the module docs).
+    #[must_use]
+    pub fn written_upper_bound(&self, set: usize, way: usize) -> bool {
+        self.resident[self.slot(set, way)]
+            .as_ref()
+            .is_some_and(|l| l.written)
+    }
+
+    /// The memory image the model expects for `line`.
+    #[must_use]
+    pub fn mem_image(&self, line: LineAddr) -> Box<[u64]> {
+        self.mem
+            .get(&line.0)
+            .cloned()
+            .unwrap_or_else(|| MainMemory::pristine(line, self.words))
+    }
+
+    /// Applies one L2 event, validating it against the model first.
+    /// Violations are appended to `out`.
+    pub fn apply_event(
+        &mut self,
+        event: &L2Event,
+        hier: &MemoryHierarchy,
+        now: u64,
+        out: &mut Vec<Violation>,
+    ) {
+        let fail = |msg: String, out: &mut Vec<Violation>| {
+            out.push(Violation {
+                cycle: now,
+                message: msg,
+            });
+        };
+        match *event {
+            L2Event::Fill {
+                set,
+                way,
+                line,
+                write,
+            } => {
+                if line.set_index(self.sets) != set {
+                    fail(format!("fill of {line} reported in wrong set {set}"), out);
+                    return;
+                }
+                for w in 0..self.ways {
+                    if self.resident[self.slot(set, w)]
+                        .as_ref()
+                        .is_some_and(|l| l.line == line)
+                    {
+                        fail(
+                            format!(
+                                "fill of {line} at way {way}, but the golden model already \
+                                 holds it at way {w} (double install or missed eviction)"
+                            ),
+                            out,
+                        );
+                        return;
+                    }
+                }
+                let slot = self.slot(set, way);
+                if self.resident[slot].is_some() {
+                    fail(
+                        format!("fill of {line} into occupied way {way} without an eviction"),
+                        out,
+                    );
+                }
+                let pending = write || self.unknown_mem.remove(&line.0);
+                let data = if pending {
+                    vec![0u64; self.words].into_boxed_slice()
+                } else {
+                    self.mem_image(line)
+                };
+                if write {
+                    self.dirty_count += 1;
+                }
+                self.resident[slot] = Some(GoldenLine {
+                    line,
+                    dirty: write,
+                    written: false,
+                    data,
+                    pending_capture: pending,
+                });
+            }
+            L2Event::WriteHit {
+                set,
+                way,
+                line,
+                first_write,
+            } => {
+                let slot = self.slot(set, way);
+                match self.resident[slot].as_mut() {
+                    Some(l) if l.line == line => {
+                        if first_write == l.dirty {
+                            fail(
+                                format!(
+                                    "write hit on {line}: first_write={first_write} but the \
+                                     golden line is {}",
+                                    if l.dirty { "already dirty" } else { "clean" }
+                                ),
+                                out,
+                            );
+                        }
+                        if l.dirty {
+                            l.written = true;
+                        } else {
+                            l.dirty = true;
+                            self.dirty_count += 1;
+                        }
+                    }
+                    _ => fail(
+                        format!("write hit on {line} which the golden model does not hold"),
+                        out,
+                    ),
+                }
+            }
+            L2Event::ReadHit {
+                set,
+                way,
+                line,
+                dirty,
+            } => {
+                let slot = self.slot(set, way);
+                match self.resident[slot].as_ref() {
+                    Some(l) if l.line == line => {
+                        if dirty != l.dirty {
+                            fail(
+                                format!(
+                                    "read hit on {line}: event dirty={dirty} but golden \
+                                     dirty={}",
+                                    l.dirty
+                                ),
+                                out,
+                            );
+                        }
+                    }
+                    _ => fail(
+                        format!("read hit on {line} which the golden model does not hold"),
+                        out,
+                    ),
+                }
+            }
+            L2Event::WordWritten {
+                set,
+                way,
+                word,
+                value,
+            } => {
+                let slot = self.slot(set, way);
+                match self.resident[slot].as_mut() {
+                    Some(l) => {
+                        if !l.pending_capture {
+                            l.data[word] = value;
+                        }
+                    }
+                    None => fail(format!("word write to unoccupied way ({set}, {way})"), out),
+                }
+            }
+            L2Event::Evict {
+                set,
+                way,
+                line,
+                dirty,
+            } => {
+                let slot = self.slot(set, way);
+                let Some(l) = self.resident[slot].take() else {
+                    fail(
+                        format!("eviction of {line} from empty way ({set}, {way})"),
+                        out,
+                    );
+                    return;
+                };
+                if l.line != line {
+                    fail(
+                        format!("eviction of {line} but the golden model holds {}", l.line),
+                        out,
+                    );
+                    return;
+                }
+                if l.dirty != dirty {
+                    fail(
+                        format!(
+                            "eviction of {line}: event dirty={dirty} but golden dirty={}",
+                            l.dirty
+                        ),
+                        out,
+                    );
+                }
+                if l.dirty {
+                    self.dirty_count -= 1;
+                    self.flush_to_mem(line, l, hier, now, out);
+                }
+            }
+            L2Event::Cleaned { set, way, line, .. } => {
+                let slot = self.slot(set, way);
+                match self.resident[slot].as_mut() {
+                    Some(l) if l.line == line => {
+                        if !l.dirty {
+                            fail(
+                                format!(
+                                    "cleaning wrote back {line}, which the golden model \
+                                     holds clean (FSM must only clean dirty lines)"
+                                ),
+                                out,
+                            );
+                            return;
+                        }
+                        l.dirty = false;
+                        l.written = false;
+                        self.dirty_count -= 1;
+                        let copy = l.clone();
+                        self.flush_to_mem(line, copy, hier, now, out);
+                    }
+                    _ => fail(
+                        format!("cleaning of {line} which the golden model does not hold"),
+                        out,
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Records a dirty write-back in the golden memory and checks the
+    /// timing model's memory actually received the same image (the
+    /// hierarchy writes memory synchronously before events drain).
+    fn flush_to_mem(
+        &mut self,
+        line: LineAddr,
+        l: GoldenLine,
+        hier: &MemoryHierarchy,
+        now: u64,
+        out: &mut Vec<Violation>,
+    ) {
+        if l.pending_capture {
+            // The write-fill payload was never captured: remember that
+            // this memory line is outside the model until re-learned.
+            self.mem.remove(&line.0);
+            self.unknown_mem.insert(line.0);
+            return;
+        }
+        if !hier.memory().line_matches(line, &l.data) {
+            out.push(Violation {
+                cycle: now,
+                message: format!("write-back of {line}: memory image differs from the golden data"),
+            });
+        }
+        self.mem.insert(line.0, l.data);
+    }
+
+    /// Captures the payloads of this cycle's write-allocate fills from the
+    /// settled cache (the one trusted seam) — call at the cycle boundary.
+    pub fn resolve_pending(&mut self, l2: &Cache, now: u64, out: &mut Vec<Violation>) {
+        for set in 0..self.sets as usize {
+            for way in 0..self.ways {
+                let slot = self.slot(set, way);
+                let Some(l) = self.resident[slot].as_mut() else {
+                    continue;
+                };
+                if !l.pending_capture {
+                    continue;
+                }
+                match l2.line_data(set, way) {
+                    Some(data) if l2.line_view(set, way).valid => {
+                        l.data = data.into();
+                        l.pending_capture = false;
+                    }
+                    _ => out.push(Violation {
+                        cycle: now,
+                        message: format!(
+                            "cannot capture write-fill payload of {}: cache way ({set}, \
+                             {way}) is invalid or data-less",
+                            l.line
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Compares one cache way against the golden model: residency, line
+    /// identity, dirty equality, written one-way bound, and data
+    /// word-for-word. Call only at a cycle boundary (settled state).
+    pub fn check_way(
+        &self,
+        l2: &Cache,
+        set: usize,
+        way: usize,
+        now: u64,
+        out: &mut Vec<Violation>,
+    ) {
+        let view = l2.line_view(set, way);
+        let golden = self.resident[self.slot(set, way)].as_ref();
+        match (view.valid, golden) {
+            (false, None) => {}
+            (false, Some(g)) => out.push(Violation {
+                cycle: now,
+                message: format!(
+                    "golden model holds {} at ({set}, {way}) but the cache way is invalid",
+                    g.line
+                ),
+            }),
+            (true, None) => out.push(Violation {
+                cycle: now,
+                message: format!(
+                    "cache holds {} at ({set}, {way}) unknown to the golden model",
+                    view.line
+                ),
+            }),
+            (true, Some(g)) => {
+                if view.line != g.line {
+                    out.push(Violation {
+                        cycle: now,
+                        message: format!(
+                            "cache holds {} at ({set}, {way}) but the golden model holds {}",
+                            view.line, g.line
+                        ),
+                    });
+                    return;
+                }
+                if view.dirty != g.dirty {
+                    out.push(Violation {
+                        cycle: now,
+                        message: format!(
+                            "dirty bit of {} diverged: cache={} golden={}",
+                            g.line, view.dirty, g.dirty
+                        ),
+                    });
+                }
+                // One-way: probes clear written bits silently, so only a
+                // cache-set bit the model never saw set is a violation.
+                if view.written && !g.written {
+                    out.push(Violation {
+                        cycle: now,
+                        message: format!(
+                            "written bit of {} set in the cache but never observed by the \
+                             golden model",
+                            g.line
+                        ),
+                    });
+                }
+                if !g.pending_capture {
+                    let data = l2.line_data(set, way).expect("protected L2 stores data");
+                    if data != &*g.data {
+                        out.push(Violation {
+                            cycle: now,
+                            message: format!("data of {} diverged from the golden image", g.line),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full golden-vs-cache sweep: every way compared, plus the census.
+    pub fn full_sweep(&self, l2: &Cache, now: u64, out: &mut Vec<Violation>) {
+        for set in 0..self.sets as usize {
+            for way in 0..self.ways {
+                self.check_way(l2, set, way, now, out);
+            }
+        }
+        let cache_census = l2.dirty_line_count();
+        let recount = l2.recount_dirty_lines();
+        if cache_census != recount {
+            out.push(Violation {
+                cycle: now,
+                message: format!(
+                    "incremental dirty census {cache_census} != from-scratch walk {recount}"
+                ),
+            });
+        }
+        if self.dirty_count != recount {
+            out.push(Violation {
+                cycle: now,
+                message: format!(
+                    "golden dirty census {} != cache walk {recount}",
+                    self.dirty_count
+                ),
+            });
+        }
+    }
+}

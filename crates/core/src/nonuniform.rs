@@ -262,6 +262,9 @@ impl ProtectionScheme for NonUniformScheme {
                     self.energy.parity_checks += 1;
                 }
             }
+            // Checker-only granularity: the WriteHit of the same drain
+            // batch already re-encoded the merged line image.
+            L2Event::WordWritten { .. } => {}
         }
     }
 
@@ -361,6 +364,17 @@ impl ProtectionScheme for NonUniformScheme {
 
     fn protected_dirty_lines(&self) -> usize {
         self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    fn dirty_line_covered(&self, set: usize, way: usize) -> bool {
+        // Live entry, or a retiring copy riding the in-flight ECC-WB —
+        // either keeps the dirty line correctable.
+        self.checks_for(set, way).is_some()
+    }
+
+    fn find_protocol_violation(&self, l2: &Cache) -> Option<String> {
+        self.find_invariant_violation(l2)
+            .map(|set| format!("nonuniform ECC array inconsistent with cache state at set {set}"))
     }
 
     fn energy_counters(&self) -> EnergyCounters {

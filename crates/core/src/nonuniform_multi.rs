@@ -219,6 +219,9 @@ impl ProtectionScheme for MultiEntryScheme {
                 self.release(set, way);
             }
             L2Event::ReadHit { .. } => {}
+            // Checker-only granularity: the WriteHit of the same drain
+            // batch already re-encoded the merged line image.
+            L2Event::WordWritten { .. } => {}
         }
     }
 
@@ -314,6 +317,19 @@ impl ProtectionScheme for MultiEntryScheme {
 
     fn protected_dirty_lines(&self) -> usize {
         self.entries.iter().map(Vec::len).sum()
+    }
+
+    fn dirty_line_covered(&self, set: usize, way: usize) -> bool {
+        self.checks_for(set, way).is_some()
+    }
+
+    fn find_protocol_violation(&self, l2: &Cache) -> Option<String> {
+        self.find_invariant_violation(l2).map(|set| {
+            format!(
+                "multi-entry ECC array (k={}) inconsistent with cache state at set {set}",
+                self.entries_per_set
+            )
+        })
     }
 
     fn register_stats(&self, reg: &mut aep_obs::Registry) {

@@ -63,7 +63,7 @@ impl ProtectionScheme for ParityOnlyScheme {
                 self.energy.parity_encodes += 1;
             }
             L2Event::ReadHit { .. } => self.energy.parity_checks += 1,
-            L2Event::Evict { .. } | L2Event::Cleaned { .. } => {}
+            L2Event::Evict { .. } | L2Event::Cleaned { .. } | L2Event::WordWritten { .. } => {}
         }
     }
 

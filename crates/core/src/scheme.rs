@@ -277,6 +277,30 @@ pub trait ProtectionScheme {
     /// count).
     fn protected_dirty_lines(&self) -> usize;
 
+    /// Whether the dirty line at (`set`, `way`) can survive a single-bit
+    /// upset: it is covered by a live **or retiring** ECC entry (or by
+    /// uniform SECDED). The differential checker evaluates this after
+    /// every event — a dirty line answering `false` under an
+    /// ECC-correcting scheme is exactly the "displaced entry dropped
+    /// before its forced write-back" bug class PR 2 fixed. Detection-only
+    /// schemes keep the default `true` (an uncovered dirty line is their
+    /// *design*, not a protocol violation).
+    fn dirty_line_covered(&self, set: usize, way: usize) -> bool {
+        let _ = (set, way);
+        true
+    }
+
+    /// Walks the scheme's internal bookkeeping against the cache's ground
+    /// truth and reports the first broken invariant as a human-readable
+    /// message, or `None` when everything is consistent. Called by the
+    /// invariant checker at cadence points where the event queue has
+    /// settled (no directives pending). The default has no internal state
+    /// to check.
+    fn find_protocol_violation(&self, l2: &Cache) -> Option<String> {
+        let _ = l2;
+        None
+    }
+
     /// Check/encode operation counts accumulated so far (drives the
     /// energy model; the default is all-zero for schemes that do not
     /// track them).

@@ -73,8 +73,10 @@ impl ProtectionScheme for UniformEccScheme {
             }
             L2Event::ReadHit { .. } => self.energy.ecc_checks += 1,
             // Evictions and cleanings do not change line contents, so the
-            // per-line ECC stays valid.
-            L2Event::Evict { .. } | L2Event::Cleaned { .. } => {}
+            // per-line ECC stays valid. Word writes are re-encoded by the
+            // WriteHit of the same drain batch (the line image is already
+            // merged when events are observed).
+            L2Event::Evict { .. } | L2Event::Cleaned { .. } | L2Event::WordWritten { .. } => {}
         }
     }
 

@@ -188,6 +188,21 @@ pub enum L2Event {
         /// Which mechanism cleaned it.
         class: WbClass,
     },
+    /// One word of a resident line's stored data was overwritten (store
+    /// retirement applying its payload). Only emitted when word-level
+    /// events are enabled via [`Cache::set_word_event_emission`] — the
+    /// differential checker uses them to mirror data word-for-word;
+    /// normal runs keep them off to spare the event buffer.
+    WordWritten {
+        /// Set index.
+        set: usize,
+        /// Way index.
+        way: usize,
+        /// Word index within the line.
+        word: usize,
+        /// The value written.
+        value: u64,
+    },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -225,6 +240,7 @@ pub struct Cache {
     dirty_lines: u64,
     stats: CacheStats,
     emit_events: bool,
+    emit_word_events: bool,
     events: Vec<L2Event>,
     lifetimes: Option<LifetimeTracker>,
 }
@@ -251,6 +267,7 @@ impl Cache {
             dirty_lines: 0,
             stats: CacheStats::new(),
             emit_events: false,
+            emit_word_events: false,
             events: Vec::new(),
             lifetimes: None,
         }
@@ -337,6 +354,13 @@ impl Cache {
     /// Enables or disables the [`L2Event`] stream.
     pub fn set_event_emission(&mut self, enabled: bool) {
         self.emit_events = enabled;
+    }
+
+    /// Enables or disables [`L2Event::WordWritten`] events (in addition to
+    /// the regular stream; has no effect while events are off). Off by
+    /// default: only the lockstep golden model needs per-word granularity.
+    pub fn set_word_event_emission(&mut self, enabled: bool) {
+        self.emit_word_events = enabled;
     }
 
     /// Drains all events recorded since the last call.
@@ -461,8 +485,10 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the line is already resident (double install) or if `data`
-    /// presence disagrees with the `store_data` configuration.
+    /// Panics if `data` presence disagrees with the `store_data`
+    /// configuration. A double install (line already resident) panics in
+    /// debug builds only; release builds rely on the differential checker
+    /// (`aep-check`), whose golden model reports it as a violation.
     pub fn install(
         &mut self,
         line: LineAddr,
@@ -499,7 +525,7 @@ impl Cache {
                 found_invalid = true;
                 break;
             }
-            assert!(l.tag != tag, "install of an already-resident line {line}");
+            debug_assert!(l.tag != tag, "install of an already-resident line {line}");
             if l.lru < best_lru {
                 best_lru = l.lru;
                 victim = way;
@@ -582,7 +608,7 @@ impl Cache {
         now: Cycle,
         respect_written: bool,
     ) -> Vec<EvictedLine> {
-        assert!(set < self.sets as usize, "set index out of range");
+        debug_assert!(set < self.sets as usize, "set index out of range");
         let mut cleaned = Vec::new();
         for way in 0..self.ways {
             let slot = self.slot(set, way);
@@ -622,7 +648,7 @@ impl Cache {
     /// cycles. An alternative to the paper's written-bit probe, compared
     /// in the `exp cleaners` ablation.
     pub fn decay_probe(&mut self, set: usize, now: Cycle, decay_window: u64) -> Vec<EvictedLine> {
-        assert!(set < self.sets as usize, "set index out of range");
+        debug_assert!(set < self.sets as usize, "set index out of range");
         let mut cleaned = Vec::new();
         for way in 0..self.ways {
             let slot = self.slot(set, way);
@@ -659,7 +685,7 @@ impl Cache {
     /// it back and mark it clean (called when the bus is idle). Returns
     /// the cleaned line, if any.
     pub fn eager_probe(&mut self, set: usize, now: Cycle) -> Option<EvictedLine> {
-        assert!(set < self.sets as usize, "set index out of range");
+        debug_assert!(set < self.sets as usize, "set index out of range");
         // Find the LRU valid way.
         let mut victim: Option<usize> = None;
         let mut best = u64::MAX;
@@ -770,12 +796,20 @@ impl Cache {
     pub fn write_word(&mut self, set: usize, way: usize, word: usize, value: u64) {
         let slot = self.slot(set, way);
         let l = &mut self.lines[slot];
-        assert!(l.valid, "write_word on an invalid line");
+        debug_assert!(l.valid, "write_word on an invalid line");
         let data = l
             .data
             .as_mut()
             .expect("write_word requires a data-storing cache");
         data[word] = value;
+        if self.emit_word_events {
+            self.emit(L2Event::WordWritten {
+                set,
+                way,
+                word,
+                value,
+            });
+        }
     }
 
     /// Read-only view of a resident line's data words, if stored.
@@ -838,7 +872,7 @@ mod tests {
     }
 
     fn tiny() -> Cache {
-        Cache::new(CacheConfig::tiny_l2()) // 4 KB, 4-way, 64 B lines: 16 sets... no, 16 lines -> 4 sets? 4096/(4*64)=16 sets
+        Cache::new(CacheConfig::tiny_l2()) // 4 KB, 4-way, 64 B lines: 16 sets
     }
 
     #[test]
@@ -1060,12 +1094,42 @@ mod tests {
         assert_eq!(c.line_data(set, way).unwrap()[3], 0xFFFE);
     }
 
+    // Hot-loop integrity checks are debug_assert!s: free in release, where
+    // the aep-check golden model is the independent backstop. Tests run
+    // with debug assertions on, so the panic contract still holds here.
     #[test]
     #[should_panic(expected = "already-resident")]
     fn double_install_panics() {
         let mut c = tiny();
         c.install(LineAddr(1), false, 0, data(8, 0));
         c.install(LineAddr(1), false, 1, data(8, 0));
+    }
+
+    #[test]
+    fn word_events_emit_only_when_enabled() {
+        let mut c = tiny();
+        c.set_event_emission(true);
+        let line = LineAddr(11);
+        let out = c.install(line, true, 0, data(8, 0));
+        c.write_word(out.set, out.way, 2, 0xAB);
+        assert!(
+            !c.take_events()
+                .iter()
+                .any(|e| matches!(e, L2Event::WordWritten { .. })),
+            "word events are off by default"
+        );
+        c.set_word_event_emission(true);
+        c.write_word(out.set, out.way, 5, 0xCD);
+        let events = c.take_events();
+        assert_eq!(
+            events,
+            vec![L2Event::WordWritten {
+                set: out.set,
+                way: out.way,
+                word: 5,
+                value: 0xCD,
+            }]
+        );
     }
 
     #[test]

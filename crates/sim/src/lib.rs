@@ -28,4 +28,4 @@ pub mod system;
 pub use observe::ObservedRun;
 pub use report::Table;
 pub use runner::{ExperimentConfig, L2Window, RunStats, Runner, Scale};
-pub use system::{InjectionProbe, System};
+pub use system::{build_scheme, CheckObserver, InjectionProbe, System};

@@ -31,6 +31,30 @@ pub trait InjectionProbe {
     fn drain_resolutions(&mut self, _out: &mut Vec<(usize, usize, &'static str)>) {}
 }
 
+/// A read-only observer wired into the event-drain loop *after* the
+/// protection scheme: it sees every L2 event with the machine state the
+/// scheme has already reacted to, plus one callback per cycle once the
+/// event queue has settled. The differential checker (`aep-check`) drives
+/// its lockstep golden model and invariant registry through this hook;
+/// installing one also turns on [`L2Event::WordWritten`] emission so data
+/// can be mirrored word-for-word.
+pub trait CheckObserver {
+    /// Called for each L2 event after the scheme has observed it (but
+    /// before the directives it demanded are applied).
+    fn on_l2_event(
+        &mut self,
+        event: &L2Event,
+        hier: &MemoryHierarchy,
+        scheme: &dyn ProtectionScheme,
+        now: Cycle,
+    );
+
+    /// Called once per cycle after events, directives, cleaning, and
+    /// scrubbing have all settled — the cadence point for whole-cache
+    /// invariant walks.
+    fn on_cycle_end(&mut self, hier: &MemoryHierarchy, scheme: &dyn ProtectionScheme, now: Cycle);
+}
+
 /// Builds the protection scheme for `kind` over the given L2 geometry.
 #[must_use]
 pub fn build_scheme(kind: SchemeKind, hier: &HierarchyConfig) -> Box<dyn ProtectionScheme> {
@@ -80,7 +104,7 @@ fn record_event(trace: &mut CycleTrace, now: Cycle, event: &L2Event) {
                 class: class.label(),
             },
         ),
-        L2Event::ReadHit { .. } => {}
+        L2Event::ReadHit { .. } | L2Event::WordWritten { .. } => {}
     }
 }
 
@@ -101,6 +125,7 @@ pub struct System<S> {
     respect_written_bit: bool,
     scrubber: Option<Scrubber>,
     probe: Option<Box<dyn InjectionProbe>>,
+    checker: Option<Box<dyn CheckObserver>>,
     trace: Option<CycleTrace>,
     resolution_buf: Vec<(usize, usize, &'static str)>,
 }
@@ -130,6 +155,7 @@ impl<S: InstrStream> System<S> {
             respect_written_bit: true,
             scrubber: None,
             probe: None,
+            checker: None,
             trace: None,
             resolution_buf: Vec::new(),
         }
@@ -171,6 +197,14 @@ impl<S: InstrStream> System<S> {
     /// the scheme (fault-injection campaigns).
     pub fn set_injection_probe(&mut self, probe: Box<dyn InjectionProbe>) {
         self.probe = Some(probe);
+    }
+
+    /// Installs a [`CheckObserver`] behind the scheme (differential
+    /// checking) and enables word-level event emission so the observer can
+    /// mirror line data exactly.
+    pub fn set_check_observer(&mut self, checker: Box<dyn CheckObserver>) {
+        self.hier.l2_mut().set_word_event_emission(true);
+        self.checker = Some(checker);
     }
 
     /// Enables background scrubbing: one line verified (and repaired if a
@@ -215,6 +249,9 @@ impl<S: InstrStream> System<S> {
             let (l2, memory) = self.hier.l2_and_memory_mut();
             scrubber.tick(now, l2, self.scheme.as_mut(), memory);
         }
+        if let Some(checker) = self.checker.as_deref_mut() {
+            checker.on_cycle_end(&self.hier, self.scheme.as_ref(), now);
+        }
     }
 
     /// Feeds pending L2 events to the scheme and applies its directives,
@@ -240,6 +277,9 @@ impl<S: InstrStream> System<S> {
                 }
                 self.scheme
                     .on_event(event, self.hier.l2(), &mut self.directive_buf);
+                if let Some(checker) = self.checker.as_deref_mut() {
+                    checker.on_l2_event(event, &self.hier, self.scheme.as_ref(), now);
+                }
             }
             if let (Some(trace), Some(probe)) = (self.trace.as_mut(), self.probe.as_deref_mut()) {
                 probe.drain_resolutions(&mut self.resolution_buf);

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Verifies the parallel experiment engine is deterministic: `exp all`,
 # the Monte Carlo fault campaign (`exp faults`), the observability
-# snapshot (`exp run --stats-json`), and the design-space explorer
-# (`exp explore grid`) must all be byte-identical between --jobs 1 and
-# --jobs N.
+# snapshot (`exp run --stats-json`), the design-space explorer
+# (`exp explore grid`), and the differential checker's fuzzing campaign
+# (`exp check`) must all be byte-identical between --jobs 1 and --jobs N.
 #
 # Usage: scripts/check_determinism.sh [scale] [jobs]
 #          scale  paper|quick|smoke   (default: smoke)
@@ -89,5 +89,24 @@ else
   echo "==> explore determinism FAILED: frontier reports differ" >&2
   diff "$tmp/dse_serial/grid_${scale}_frontier.json" \
        "$tmp/dse_parallel/grid_${scale}_frontier.json" | head -n 40 >&2
+  exit 1
+fi
+
+# The coverage-guided fuzzer batches genome generation so that mutation
+# decisions depend only on batch-boundary snapshots, never on worker
+# scheduling. Same seed, any --jobs → same genomes, same report.
+echo "==> exp check --scale smoke --fuzz-iters 200 --seed 7 --jobs 1"
+./target/release/exp check --scale smoke --fuzz-iters 200 --seed 7 \
+  --jobs 1 --out "$tmp/check_serial" > "$tmp/check_serial.txt" 2> /dev/null
+
+echo "==> exp check --scale smoke --fuzz-iters 200 --seed 7 --jobs $jobs"
+./target/release/exp check --scale smoke --fuzz-iters 200 --seed 7 \
+  --jobs "$jobs" --out "$tmp/check_parallel" > "$tmp/check_parallel.txt" 2> /dev/null
+
+if cmp -s "$tmp/check_serial.txt" "$tmp/check_parallel.txt"; then
+  echo "==> check determinism: byte-identical (--jobs 1 vs --jobs $jobs)"
+else
+  echo "==> check determinism FAILED: fuzz reports differ" >&2
+  diff "$tmp/check_serial.txt" "$tmp/check_parallel.txt" | head -n 40 >&2
   exit 1
 fi

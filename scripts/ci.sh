@@ -29,5 +29,6 @@ step "cargo clippy --workspace -- -D warnings" \
   cargo clippy --workspace --all-targets -- -D warnings
 step "cargo test -q --workspace" cargo test -q --workspace
 step "stats gate (smoke)" scripts/stats_gate.sh smoke
+step "differential check (smoke)" scripts/differential_check.sh smoke
 
 echo "==> ci: all green"

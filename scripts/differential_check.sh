@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Differential checking leg: lockstep golden-model runs over every
+# registered scheme plus a coverage-guided fuzzing campaign must find
+# zero violations on the real simulator.
+#
+# After the real check passes, a self-check runs `--inject-violation`
+# (the deliberately-broken retiring-entry double) and asserts the
+# checker *fails* with a shrunk reproducer — so a checker that stops
+# checking can never report green.
+#
+# Usage: scripts/differential_check.sh [scale] [fuzz_iters]
+#          scale       smoke|quick   (default: smoke)
+#          fuzz_iters  fuzz budget   (default: scale default)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-smoke}"
+iters="${2:-}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cargo build --release -p aep-bench --bin exp
+
+iter_flag=()
+if [ -n "$iters" ]; then
+  iter_flag=(--fuzz-iters "$iters")
+fi
+
+echo "==> exp check --scale $scale"
+./target/release/exp check --scale "$scale" "${iter_flag[@]}" --out results/check
+
+echo "==> self-check: the injected retiring-entry bug must FAIL the check"
+if ./target/release/exp check --scale "$scale" --fuzz-iters 8 --seed 7 \
+     --inject-violation --out "$tmp/check" > "$tmp/out.txt" 2>&1; then
+  echo "==> differential self-check FAILED: broken double passed" >&2
+  cat "$tmp/out.txt" >&2
+  exit 1
+fi
+grep -q "no live or retiring" "$tmp/out.txt" || {
+  echo "==> differential self-check FAILED: no lost-protection finding" >&2
+  cat "$tmp/out.txt" >&2
+  exit 1
+}
+test -f "$tmp/check/reproducer_seed7.json" || {
+  echo "==> differential self-check FAILED: no reproducer written" >&2
+  exit 1
+}
+
+echo "==> differential check: clean, and the self-check catches the bug ($scale)"
