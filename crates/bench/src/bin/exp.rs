@@ -30,9 +30,11 @@ fn main() {
     let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut use_cache = true;
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut check_floor: Option<std::path::PathBuf> = None;
     let mut faults_opts = FaultsOptions::default();
     let mut scheme: Option<aep_core::SchemeKind> = None;
     let mut stats_json = false;
+    let mut serial_lanes = false;
     let mut regen = false;
     let mut golden_dir = gate::default_golden_dir(".");
     let mut trace_capacity = gate::DEFAULT_TRACE_CAPACITY;
@@ -73,6 +75,7 @@ fn main() {
                 }));
             }
             "--stats-json" => stats_json = true,
+            "--serial" => serial_lanes = true,
             "--regen" => regen = true,
             "--golden" => {
                 let dir = it.next().unwrap_or_else(|| {
@@ -146,6 +149,13 @@ fn main() {
                     std::process::exit(2);
                 });
                 out_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--check-floor" => {
+                let file = it.next().unwrap_or_else(|| {
+                    eprintln!("--check-floor requires a committed BENCH_engine.json path");
+                    std::process::exit(2);
+                });
+                check_floor = Some(std::path::PathBuf::from(file));
             }
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -267,7 +277,8 @@ fn main() {
         "energy" => emit(experiments::energy(&mut lab)),
         "cleaners" => emit(experiments::cleaners(scale)),
         "seeds" => emit(experiments::seeds(scale, 5)),
-        "bench" => run_engine_bench(scale),
+        "bench" => run_engine_bench(scale, check_floor.as_deref()),
+        "lanes" => run_lanes_snapshot(scale, faults_opts.benchmark, serial_lanes),
         "all" => {
             // One up-front plan covering every figure below, so the whole
             // session executes as a single parallel batch.
@@ -322,7 +333,13 @@ fn usage() -> String {
      \x20 check      differential checking: lockstep golden model,\n\
      \x20            protocol invariants, coverage-guided fuzzing\n\
      \x20            (see `exp check help`; violations exit 1)\n\
-     \x20 bench      engine-throughput harness (BENCH_engine.json)\n\
+     \x20 bench      engine-throughput harness: serial scheme ladder +\n\
+     \x20            lane-parallel batch (BENCH_engine.json)\n\
+     \x20            [--check-floor FILE] fails (exit 1) if the lane\n\
+     \x20            aggregate speedup regresses >20% vs FILE\n\
+     \x20 lanes      run the standard lane set, print per-lane stats\n\
+     \x20            snapshots; [--serial] runs each lane independently\n\
+     \x20            (outputs must be byte-identical)\n\
      \x20 all        everything above in order\n\n\
      flags:\n\
      \x20 --jobs N     worker threads for experiment fan-out\n\
@@ -337,7 +354,44 @@ fn usage() -> String {
         .to_owned()
 }
 
-fn run_engine_bench(scale: Scale) {
+/// Runs the standard lane set and prints one stats snapshot per lane —
+/// `--serial` runs each lane as an independent system instead, and the
+/// two outputs must be byte-identical (the `lanes-vs-serial` determinism
+/// leg diffs them).
+fn run_lanes_snapshot(scale: Scale, benchmark: aep_workloads::Benchmark, serial: bool) {
+    let lanes = aep_bench::engine_bench::bench_lanes();
+    let cfg = scale.config(benchmark, lanes[0].scheme);
+    let results: Vec<aep_sim::LaneResult> = if serial {
+        lanes
+            .iter()
+            .map(|lane| aep_sim::run_lane_serial(&cfg, lane))
+            .collect()
+    } else {
+        aep_sim::run_lanes(&cfg, &lanes)
+    };
+    for r in results {
+        let label = r.spec.label();
+        let snap = aep_obs::StatsSnapshot::from_registry(
+            r.registry,
+            &[
+                ("lane", label.as_str()),
+                ("benchmark", benchmark.name()),
+                ("scale", scale.name()),
+            ],
+        );
+        println!("{}", snap.to_json());
+        println!("stats[{label}]: {:?}", r.stats);
+    }
+}
+
+fn run_engine_bench(scale: Scale, check_floor: Option<&std::path::Path>) {
+    // Read the committed floor *before* the run overwrites the file.
+    let floor_json = check_floor.map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read floor file {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    });
     let report = aep_bench::engine_bench::run_engine_bench(scale, aep_workloads::Benchmark::Gap);
     println!("{}", report.to_text());
     let path = std::path::Path::new("BENCH_engine.json");
@@ -346,6 +400,15 @@ fn run_engine_bench(scale: Scale) {
         Err(e) => {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
+        }
+    }
+    if let Some(floor) = floor_json {
+        match report.check_floor(&floor, 0.2) {
+            Ok(msg) => eprintln!("[bench] {msg}"),
+            Err(msg) => {
+                eprintln!("[bench] FAIL: {msg}");
+                std::process::exit(1);
+            }
         }
     }
 }

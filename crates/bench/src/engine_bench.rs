@@ -7,12 +7,23 @@
 //! runs in the offline container and in CI. Results are printed as a
 //! table and written as hand-rolled JSON to `BENCH_engine.json` for
 //! machine comparison across commits.
+//!
+//! Two sections are measured:
+//!
+//! * **schemes** — one serial end-to-end run per scheme in the ladder
+//!   (the historical harness, unchanged).
+//! * **lanes** — one lane-parallel batch ([`aep_sim::run_lanes`]) over
+//!   the shareable-trajectory lane set, reporting per-lane and
+//!   *aggregate* throughput plus the speedup over the serial uniform
+//!   baseline. Raw Mcycles/s is host-dependent, so cross-commit CI
+//!   comparison ([`EngineBenchReport::check_floor`]) uses the
+//!   `aggregate_speedup` ratio, which divides the host out.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use aep_core::SchemeKind;
-use aep_sim::{Runner, Table};
+use aep_sim::{run_lanes, LaneSpec, Runner, Table};
 use aep_workloads::Benchmark;
 
 use crate::experiments::{proposed, Scale};
@@ -33,6 +44,35 @@ pub struct EngineSample {
     pub mcycles_per_sec: f64,
 }
 
+/// One lane's share of a batch run.
+#[derive(Debug, Clone)]
+pub struct LaneSample {
+    /// Human label (`org`, `parity+scrub@4K`, …).
+    pub label: String,
+    /// This lane's simulated throughput (its cycles over the *batch*
+    /// wall time — all lanes advance together).
+    pub mcycles_per_sec: f64,
+}
+
+/// The lane-batch section of a report.
+#[derive(Debug, Clone)]
+pub struct LaneBatch {
+    /// Number of lanes stepped in lockstep.
+    pub lane_count: usize,
+    /// Simulated cycles each lane executed (warm-up + measured window).
+    pub cycles_per_lane: u64,
+    /// Wall-clock milliseconds for the whole batch.
+    pub wall_ms: f64,
+    /// Per-lane throughput, in lane order.
+    pub lanes: Vec<LaneSample>,
+    /// Summed simulated throughput across lanes.
+    pub aggregate_mcycles_per_sec: f64,
+    /// The serial single-lane baseline (the `uniform` scheme sample).
+    pub baseline_mcycles_per_sec: f64,
+    /// `aggregate / baseline` — the host-independent figure of merit.
+    pub aggregate_speedup: f64,
+}
+
 /// A full `exp bench` report.
 #[derive(Debug, Clone)]
 pub struct EngineBenchReport {
@@ -42,6 +82,11 @@ pub struct EngineBenchReport {
     pub benchmark: Benchmark,
     /// Per-scheme samples, in execution order.
     pub samples: Vec<EngineSample>,
+    /// The lane-parallel batch measurement.
+    pub lane_batch: LaneBatch,
+    /// `git rev-parse --short HEAD` at measurement time (`unknown`
+    /// outside a git checkout).
+    pub git_commit: String,
 }
 
 /// The scheme ladder the harness times: the baseline, each added
@@ -62,11 +107,28 @@ pub fn bench_schemes() -> Vec<SchemeKind> {
     ]
 }
 
+/// The lane set the batch section times: the two directive-free schemes
+/// crossed with three scrub periods and the unscrubbed baseline. All
+/// eight share one trajectory, so the batch amortises the whole machine
+/// over eight results.
+#[must_use]
+pub fn bench_lanes() -> Vec<LaneSpec> {
+    let mut lanes = Vec::new();
+    for scheme in [SchemeKind::Uniform, SchemeKind::ParityOnly] {
+        lanes.push(LaneSpec::new(scheme));
+        for period in [1024, 4096, 16384] {
+            lanes.push(LaneSpec::with_scrub(scheme, period));
+        }
+    }
+    lanes
+}
+
 /// Runs the harness: one timed end-to-end run per scheme on `benchmark`
-/// at `scale`, never consulting any cache (throughput is the point).
+/// at `scale` plus one lane-parallel batch, never consulting any cache
+/// (throughput is the point).
 #[must_use]
 pub fn run_engine_bench(scale: Scale, benchmark: Benchmark) -> EngineBenchReport {
-    let samples = bench_schemes()
+    let samples: Vec<EngineSample> = bench_schemes()
         .into_iter()
         .map(|scheme| {
             let cfg = scale.config(benchmark, scheme);
@@ -97,11 +159,67 @@ pub fn run_engine_bench(scale: Scale, benchmark: Benchmark) -> EngineBenchReport
             }
         })
         .collect();
+
+    let lanes = bench_lanes();
+    let cfg = scale.config(benchmark, lanes[0].scheme);
+    let cycles_per_lane = cfg.warmup_cycles + cfg.measure_cycles;
+    eprintln!(
+        "[bench] {} / {}-lane batch ({} Mcycles per lane)...",
+        benchmark,
+        lanes.len(),
+        cycles_per_lane / 1_000_000
+    );
+    let started = Instant::now();
+    let results = run_lanes(&cfg, &lanes);
+    let wall = started.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let per_lane = cycles_per_lane as f64 / 1e6 / wall.as_secs_f64();
+    let aggregate = per_lane * results.len() as f64;
+    eprintln!(
+        "[bench]   {:.1} Mcycles/s aggregate, {wall_ms:.0} ms",
+        aggregate
+    );
+
+    let baseline = samples
+        .iter()
+        .find(|s| s.slug == "uniform")
+        .map(|s| s.mcycles_per_sec)
+        .expect("scheme ladder always contains uniform");
+    let lane_batch = LaneBatch {
+        lane_count: results.len(),
+        cycles_per_lane,
+        wall_ms,
+        lanes: results
+            .iter()
+            .map(|r| LaneSample {
+                label: r.spec.label(),
+                mcycles_per_sec: per_lane,
+            })
+            .collect(),
+        aggregate_mcycles_per_sec: aggregate,
+        baseline_mcycles_per_sec: baseline,
+        aggregate_speedup: aggregate / baseline,
+    };
+
     EngineBenchReport {
         scale,
         benchmark,
         samples,
+        lane_batch,
+        git_commit: git_commit(),
     }
+}
+
+/// Best-effort short commit hash for report provenance.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
 }
 
 impl EngineBenchReport {
@@ -121,11 +239,26 @@ impl EngineBenchReport {
                 1,
             );
         }
+        let b = &self.lane_batch;
+        let mut lanes = Table::new(vec!["lane".into(), "Mcycles/s".into()]);
+        for lane in &b.lanes {
+            lanes.numeric_row(&lane.label, &[lane.mcycles_per_sec], 1);
+        }
         format!(
-            "Engine throughput: {} @ {} scale\n{}",
+            "Engine throughput: {} @ {} scale (commit {})\n{}\n\
+             Lane batch: {} lanes x {:.1} Mcycles in {:.0} ms\n{}\
+             aggregate {:.1} Mcycles/s = {:.2}x the serial uniform baseline ({:.1} Mcycles/s)\n",
             self.benchmark,
             self.scale.name(),
-            t.to_text()
+            self.git_commit,
+            t.to_text(),
+            b.lane_count,
+            b.cycles_per_lane as f64 / 1e6,
+            b.wall_ms,
+            lanes.to_text(),
+            b.aggregate_mcycles_per_sec,
+            b.aggregate_speedup,
+            b.baseline_mcycles_per_sec,
         )
     }
 
@@ -137,6 +270,7 @@ impl EngineBenchReport {
         let _ = writeln!(s, "  \"harness\": \"engine\",");
         let _ = writeln!(s, "  \"scale\": \"{}\",", self.scale.name());
         let _ = writeln!(s, "  \"benchmark\": \"{}\",", self.benchmark.name());
+        let _ = writeln!(s, "  \"git_commit\": \"{}\",", self.git_commit);
         s.push_str("  \"schemes\": [\n");
         for (i, sample) in self.samples.iter().enumerate() {
             let _ = writeln!(
@@ -151,9 +285,79 @@ impl EngineBenchReport {
                 if i + 1 < self.samples.len() { "," } else { "" }
             );
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n");
+        let b = &self.lane_batch;
+        s.push_str("  \"lanes\": {\n");
+        let _ = writeln!(s, "    \"lane_count\": {},", b.lane_count);
+        let _ = writeln!(s, "    \"cycles_per_lane\": {},", b.cycles_per_lane);
+        let _ = writeln!(s, "    \"wall_ms\": {:.3},", b.wall_ms);
+        s.push_str("    \"per_lane\": [\n");
+        for (i, lane) in b.lanes.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "      {{\"label\": \"{}\", \"mcycles_per_sec\": {:.3}}}{}",
+                lane.label,
+                lane.mcycles_per_sec,
+                if i + 1 < b.lanes.len() { "," } else { "" }
+            );
+        }
+        s.push_str("    ],\n");
+        let _ = writeln!(
+            s,
+            "    \"aggregate_mcycles_per_sec\": {:.3},",
+            b.aggregate_mcycles_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "    \"baseline_mcycles_per_sec\": {:.3},",
+            b.baseline_mcycles_per_sec
+        );
+        let _ = writeln!(s, "    \"aggregate_speedup\": {:.3}", b.aggregate_speedup);
+        s.push_str("  }\n}\n");
         s
     }
+
+    /// Compares this run against a committed `BENCH_engine.json`,
+    /// failing if the lane engine's `aggregate_speedup` regressed by more
+    /// than `tolerance` (e.g. `0.2` for the CI gate's 20%).
+    ///
+    /// The speedup ratio — not raw Mcycles/s — is compared because the
+    /// committed floor and the CI runner are different hosts; dividing by
+    /// the same-host serial baseline cancels the machine out.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable explanation when the floor file has no
+    /// parseable `aggregate_speedup` or the current run regressed.
+    pub fn check_floor(&self, committed_json: &str, tolerance: f64) -> Result<String, String> {
+        let floor = extract_json_number(committed_json, "aggregate_speedup")
+            .ok_or("no \"aggregate_speedup\" in committed BENCH_engine.json")?;
+        let current = self.lane_batch.aggregate_speedup;
+        let min_ok = floor * (1.0 - tolerance);
+        if current < min_ok {
+            Err(format!(
+                "lane engine regression: aggregate speedup {current:.2}x is below \
+                 {min_ok:.2}x (committed floor {floor:.2}x - {:.0}% tolerance)",
+                tolerance * 100.0
+            ))
+        } else {
+            Ok(format!(
+                "lane engine ok: aggregate speedup {current:.2}x vs committed floor \
+                 {floor:.2}x (min {min_ok:.2}x)"
+            ))
+        }
+    }
+}
+
+/// Pulls `"key": <number>` out of hand-rolled JSON (first occurrence).
+fn extract_json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 #[cfg(test)]
@@ -168,6 +372,11 @@ mod tests {
             assert!(s.mcycles_per_sec > 0.0, "{} throughput", s.label);
             assert!(s.cycles > 0);
         }
+        let b = &report.lane_batch;
+        assert_eq!(b.lane_count, bench_lanes().len());
+        assert_eq!(b.lanes.len(), b.lane_count);
+        assert!(b.aggregate_mcycles_per_sec > 0.0);
+        assert!(b.aggregate_speedup > 0.0);
     }
 
     #[test]
@@ -177,10 +386,35 @@ mod tests {
         assert!(json.contains("\"harness\": \"engine\""));
         assert!(json.contains("\"scheme\": \"uniform\""));
         assert!(json.contains("mcycles_per_sec"));
+        assert!(json.contains("\"lane_count\": 8"));
+        assert!(json.contains("\"aggregate_speedup\""));
+        assert!(json.contains("\"git_commit\""));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "balanced braces"
         );
+        // The written JSON round-trips through the floor check.
+        assert!(report.check_floor(&json, 0.2).is_ok());
+    }
+
+    #[test]
+    fn floor_check_catches_regressions_and_garbage() {
+        let report = run_engine_bench(Scale::Smoke, Benchmark::Gzip);
+        let inflated = format!(
+            "{{\"lanes\": {{\"aggregate_speedup\": {:.3}}}}}",
+            report.lane_batch.aggregate_speedup * 10.0
+        );
+        assert!(report.check_floor(&inflated, 0.2).is_err());
+        assert!(report.check_floor("{}", 0.2).is_err());
+    }
+
+    #[test]
+    fn json_number_extraction() {
+        assert_eq!(
+            extract_json_number("{\"aggregate_speedup\": 7.812\n}", "aggregate_speedup"),
+            Some(7.812)
+        );
+        assert_eq!(extract_json_number("{}", "aggregate_speedup"), None);
     }
 }

@@ -191,16 +191,58 @@ impl Lab {
             }
             misses.push((key, cfg));
         }
-        // Execute tier: simulate the misses, in parallel when asked.
+        // Execute tier: simulate the misses. Shareable-trajectory
+        // configurations (same machine and workload, directive-free
+        // schemes with one cleaning interval) are batched into a single
+        // lane-parallel run ([`aep_sim::run_lanes`]) that amortises the
+        // cpu+hierarchy trajectory across all of them; the rest run
+        // serially. Jobs then fan out across worker threads. Lane
+        // results are byte-identical to serial runs (enforced by the
+        // lane engine's property tests), so caching and determinism are
+        // unaffected by how the plan happened to batch.
         summary.evaluated = misses.len();
         let verbose = self.verbose;
-        let results = fan_out(misses.len(), self.jobs, |i| {
-            let cfg = misses[i].1;
-            if verbose {
-                eprintln!("[lab] running {} / {}", cfg.benchmark, cfg.scheme.label());
+        let lane_jobs = plan_lane_jobs(&misses);
+        let job_results = fan_out(lane_jobs.len(), self.jobs, |j| match &lane_jobs[j] {
+            LaneJob::Batch {
+                cfg,
+                specs,
+                indices,
+            } => {
+                if verbose {
+                    eprintln!(
+                        "[lab] lane batch: {} lanes / {} ({})",
+                        specs.len(),
+                        cfg.benchmark,
+                        specs
+                            .iter()
+                            .map(aep_sim::LaneSpec::label)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+                let lane_results = aep_sim::run_lanes(cfg, specs);
+                indices
+                    .iter()
+                    .copied()
+                    .zip(lane_results.into_iter().map(|r| r.stats))
+                    .collect::<Vec<(usize, RunStats)>>()
             }
-            Runner::new(cfg.clone()).run()
+            LaneJob::Solo(i) => {
+                let cfg = misses[*i].1;
+                if verbose {
+                    eprintln!("[lab] running {} / {}", cfg.benchmark, cfg.scheme.label());
+                }
+                vec![(*i, Runner::new(cfg.clone()).run())]
+            }
         });
+        let mut by_index: Vec<Option<RunStats>> = vec![None; misses.len()];
+        for (i, stats) in job_results.into_iter().flatten() {
+            by_index[i] = Some(stats);
+        }
+        let results = by_index
+            .into_iter()
+            .map(|s| s.expect("every miss is resolved by exactly one job"));
         for ((key, _), stats) in misses.into_iter().zip(results) {
             if let Some(disk) = &self.disk {
                 if let Err(e) = disk.store(&key, &stats) {
@@ -250,6 +292,95 @@ impl Lab {
     pub fn totals(&self) -> BatchSummary {
         self.totals
     }
+}
+
+/// One unit of execute-tier work: a lock-step lane batch over several
+/// miss indices, or a single serial run.
+enum LaneJob {
+    /// Shareable-trajectory misses stepped together in one lane batch.
+    Batch {
+        /// The shared machine/workload configuration (scheme set to the
+        /// first lane's, scrubbing delegated to the lane specs). Boxed
+        /// so the solo variant stays pointer-sized.
+        cfg: Box<aep_sim::ExperimentConfig>,
+        /// Per-lane scheme + scrub period, in `indices` order.
+        specs: Vec<aep_sim::LaneSpec>,
+        /// Positions into the miss list, one per lane.
+        indices: Vec<usize>,
+    },
+    /// A miss that must run on its own (directive-emitting scheme, or no
+    /// shareable partner in this plan).
+    Solo(usize),
+}
+
+/// Two configs can ride one trajectory only if everything *except* the
+/// protection scheme and scrub period is identical.
+fn same_machine(a: &aep_sim::ExperimentConfig, b: &aep_sim::ExperimentConfig) -> bool {
+    a.benchmark == b.benchmark
+        && a.warmup_cycles == b.warmup_cycles
+        && a.measure_cycles == b.measure_cycles
+        && a.seed == b.seed
+        && a.core == b.core
+        && a.hierarchy == b.hierarchy
+        && a.respect_written_bit == b.respect_written_bit
+}
+
+/// Greedily groups the execute-tier misses into lane batches.
+///
+/// Misses whose schemes are directive-free and agree on the cleaning
+/// interval — [`aep_sim::LaneSpec::share_key`] — and whose machine,
+/// workload, and windows match, are merged into one [`LaneJob::Batch`];
+/// everything else becomes a [`LaneJob::Solo`]. Grouping is
+/// first-occurrence-ordered, so the job list (and therefore the result)
+/// is deterministic in the plan alone.
+fn plan_lane_jobs(misses: &[(String, &aep_sim::ExperimentConfig)]) -> Vec<LaneJob> {
+    let mut jobs = Vec::new();
+    let mut taken = vec![false; misses.len()];
+    for i in 0..misses.len() {
+        if taken[i] {
+            continue;
+        }
+        taken[i] = true;
+        let cfg_i = misses[i].1;
+        let spec_i = aep_sim::LaneSpec {
+            scheme: cfg_i.scheme,
+            scrub_period: cfg_i.scrub_period,
+        };
+        let Some(key) = spec_i.share_key() else {
+            jobs.push(LaneJob::Solo(i));
+            continue;
+        };
+        let mut indices = vec![i];
+        let mut specs = vec![spec_i];
+        for k in (i + 1)..misses.len() {
+            if taken[k] {
+                continue;
+            }
+            let cfg_k = misses[k].1;
+            let spec_k = aep_sim::LaneSpec {
+                scheme: cfg_k.scheme,
+                scrub_period: cfg_k.scrub_period,
+            };
+            if spec_k.share_key() == Some(key) && same_machine(cfg_i, cfg_k) {
+                taken[k] = true;
+                indices.push(k);
+                specs.push(spec_k);
+            }
+        }
+        if indices.len() == 1 {
+            jobs.push(LaneJob::Solo(i));
+        } else {
+            let mut cfg = Box::new(cfg_i.clone());
+            cfg.scheme = specs[0].scheme;
+            cfg.scrub_period = None;
+            jobs.push(LaneJob::Batch {
+                cfg,
+                specs,
+                indices,
+            });
+        }
+    }
+    jobs
 }
 
 /// One figure's data: column labels plus (benchmark, values) rows.
@@ -758,6 +889,49 @@ mod tests {
         assert_eq!(parallel.runs(), plan.len());
         for &(b, k) in &plan {
             assert_bit_identical(&serial.stats(b, k), &parallel.stats(b, k));
+        }
+    }
+
+    /// The execute tier batches shareable configurations into one lane
+    /// run — the result attributed to each configuration must still be
+    /// bit-identical to a direct serial run of that configuration (a
+    /// mapping bug would swap lanes' stats silently).
+    #[test]
+    fn lane_batched_prefetch_is_bit_identical_to_direct_runs() {
+        let mut shareable = Scale::Smoke.config(Benchmark::Gzip, SchemeKind::ParityOnly);
+        shareable.scrub_period = Some(2048);
+        let plan = vec![
+            Scale::Smoke.config(Benchmark::Gzip, SchemeKind::Uniform),
+            Scale::Smoke.config(Benchmark::Gzip, SchemeKind::ParityOnly),
+            shareable,
+            // A directive emitter in the same plan must run solo.
+            Scale::Smoke.config(Benchmark::Gzip, proposed()),
+            // Same shareable scheme, different benchmark: different
+            // machine, so it cannot join the Gzip batch.
+            Scale::Smoke.config(Benchmark::Mcf, SchemeKind::Uniform),
+        ];
+        let jobs = plan_lane_jobs(
+            &plan
+                .iter()
+                .map(|cfg| (RunCache::key("smoke", cfg), cfg))
+                .collect::<Vec<_>>(),
+        );
+        let batches = jobs
+            .iter()
+            .filter(|j| matches!(j, LaneJob::Batch { .. }))
+            .count();
+        assert_eq!(
+            batches, 1,
+            "the three Gzip shareable configs form one batch"
+        );
+        assert_eq!(jobs.len(), 3, "one batch plus two solos");
+
+        let mut lab = Lab::new(Scale::Smoke);
+        lab.prefetch_configs(&plan);
+        assert_eq!(lab.runs(), plan.len());
+        for cfg in &plan {
+            let direct = Runner::new(cfg.clone()).run();
+            assert_bit_identical(&lab.stats_config(cfg), &direct);
         }
     }
 

@@ -80,6 +80,10 @@ impl ProtectionScheme for BrokenRetiringScheme {
         "proposed (broken retiring double)"
     }
 
+    fn clone_box(&self) -> Box<dyn ProtectionScheme> {
+        Box::new(self.clone())
+    }
+
     fn area(&self) -> AreaReport {
         self.inner.area()
     }

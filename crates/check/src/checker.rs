@@ -1,6 +1,6 @@
-//! The lockstep checker: a [`CheckObserver`] that drives the golden model
-//! from the simulator's event stream and layers the protocol invariant
-//! registry on top.
+//! The lockstep checker: a [`SystemObserver`] that drives the golden
+//! model from the simulator's event stream and layers the protocol
+//! invariant registry on top.
 //!
 //! Checks run at two cadences:
 //!
@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 use aep_core::ProtectionScheme;
 use aep_mem::{Cycle, L2Event, MemoryHierarchy, WbClass};
-use aep_sim::CheckObserver;
+use aep_sim::SystemObserver;
 
 use crate::coverage::Coverage;
 use crate::golden::GoldenModel;
@@ -79,7 +79,7 @@ impl CheckState {
 /// checker (the `System` takes the observer by `Box`).
 pub type SharedCheckState = Rc<RefCell<CheckState>>;
 
-/// The observer installed via [`aep_sim::System::set_check_observer`].
+/// The observer installed via [`aep_sim::System::add_observer`].
 pub struct LockstepChecker {
     golden: GoldenModel,
     state: SharedCheckState,
@@ -223,8 +223,8 @@ impl LockstepChecker {
     }
 }
 
-impl CheckObserver for LockstepChecker {
-    fn on_l2_event(
+impl SystemObserver for LockstepChecker {
+    fn post_event(
         &mut self,
         event: &L2Event,
         hier: &MemoryHierarchy,
@@ -248,7 +248,8 @@ impl CheckObserver for LockstepChecker {
         self.check_dirty_coverage(set, scheme, now);
     }
 
-    fn on_cycle_end(&mut self, hier: &MemoryHierarchy, scheme: &dyn ProtectionScheme, now: Cycle) {
+    fn cycle_end(&mut self, hier: &mut MemoryHierarchy, scheme: &dyn ProtectionScheme, now: Cycle) {
+        let hier = &*hier;
         let mut batch = Vec::new();
         let l2 = hier.l2();
         let mut spared = false;
@@ -282,5 +283,15 @@ impl CheckObserver for LockstepChecker {
         if now.is_multiple_of(self.cadence) {
             self.full_walk(hier, scheme, now);
         }
+    }
+
+    /// The golden model mirrors line data word-for-word.
+    fn wants_word_events(&self) -> bool {
+        true
+    }
+
+    /// Per-cycle-end checks mean no cycle may be skipped.
+    fn next_event_after(&self, now: Cycle) -> Cycle {
+        now + 1
     }
 }

@@ -8,7 +8,7 @@
 //! 1. **Lockstep golden model** ([`golden`], driven by [`checker`]): a
 //!    simple, obviously-correct functional model of the L2 + memory —
 //!    a flat address→value map plus per-line dirty/written shadow state —
-//!    fed by the [`aep_sim::CheckObserver`] event hook. After every event
+//!    fed by the [`aep_sim::SystemObserver`] event bus. After every event
 //!    it checks residency, hit/miss consistency, dirty/written bits,
 //!    line data word-for-word, and write-back images landing in memory.
 //! 2. **Protocol invariant registry** ([`checker`]): machine-checked

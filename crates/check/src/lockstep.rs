@@ -76,7 +76,7 @@ fn run_one(scheme: SchemeKind, bench: Benchmark, cycles: u64) -> LockstepResult 
     let mut sys = System::new(CoreConfig::date2006(), hier_cfg.clone(), scheme, stream);
     let state: Rc<RefCell<CheckState>> = Rc::new(RefCell::new(CheckState::default()));
     let checker = LockstepChecker::new(&hier_cfg, Rc::clone(&state), LOCKSTEP_CADENCE);
-    sys.set_check_observer(Box::new(checker));
+    sys.add_observer(Box::new(checker));
     for now in 0..cycles {
         sys.step(now);
     }

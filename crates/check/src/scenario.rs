@@ -239,7 +239,7 @@ pub fn run_genome(genome: &Genome, inject_broken: bool) -> ScenarioOutcome {
     }
     let state: Rc<RefCell<CheckState>> = Rc::new(RefCell::new(CheckState::default()));
     let checker = LockstepChecker::new(&hier_cfg, Rc::clone(&state), SCENARIO_CADENCE);
-    sys.set_check_observer(Box::new(checker));
+    sys.add_observer(Box::new(checker));
     for now in 0..genome.cycles {
         sys.step(now);
     }

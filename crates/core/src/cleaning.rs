@@ -100,6 +100,15 @@ impl CleaningLogic {
         self.probe_period
     }
 
+    /// The cycle from which the pending probe is due:
+    /// [`CleaningLogic::due_set`] returns `Some` for every cycle at or
+    /// past this point. The system loop uses it to fast-forward dead
+    /// cycles between probes.
+    #[must_use]
+    pub fn next_probe_at(&self) -> Cycle {
+        self.next_probe_at
+    }
+
     /// The set that should be probed at `now`, if a probe is due.
     ///
     /// Keeps returning the same set until [`CleaningLogic::complete`] is
@@ -276,6 +285,23 @@ impl CleaningPolicy {
             CleaningPolicy::None | CleaningPolicy::Eager { .. } => CleaningStats::default(),
         };
         stats.register_stats(reg);
+    }
+
+    /// The earliest cycle after `now` at which the policy can act:
+    /// the FSM's pending probe for written-bit/decay cleaning, every
+    /// cycle for eager writeback (its probe gates on bus idleness, which
+    /// must be re-checked each cycle), never for `None`. Cycles before
+    /// the returned one are provably policy-idle, which is what lets the
+    /// system loop fast-forward over them.
+    #[must_use]
+    pub fn next_due_after(&self, now: Cycle) -> Cycle {
+        match self {
+            CleaningPolicy::None => Cycle::MAX,
+            CleaningPolicy::WrittenBit(fsm) | CleaningPolicy::Decay { fsm, .. } => {
+                fsm.next_probe_at().max(now + 1)
+            }
+            CleaningPolicy::Eager { .. } => now + 1,
+        }
     }
 
     /// Short label for reports.

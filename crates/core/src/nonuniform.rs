@@ -222,6 +222,10 @@ impl ProtectionScheme for NonUniformScheme {
         "proposed-nonuniform"
     }
 
+    fn clone_box(&self) -> Box<dyn ProtectionScheme> {
+        Box::new(self.clone())
+    }
+
     fn area(&self) -> AreaReport {
         self.area.proposed()
     }

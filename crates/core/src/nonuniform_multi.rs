@@ -192,6 +192,10 @@ impl ProtectionScheme for MultiEntryScheme {
         "proposed-multientry"
     }
 
+    fn clone_box(&self) -> Box<dyn ProtectionScheme> {
+        Box::new(self.clone())
+    }
+
     fn area(&self) -> AreaReport {
         self.area.proposed_with_entries(self.entries_per_set as u64)
     }

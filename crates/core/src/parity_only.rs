@@ -52,6 +52,10 @@ impl ProtectionScheme for ParityOnlyScheme {
         "parity-only"
     }
 
+    fn clone_box(&self) -> Box<dyn ProtectionScheme> {
+        Box::new(self.clone())
+    }
+
     fn area(&self) -> AreaReport {
         self.area.parity_only()
     }

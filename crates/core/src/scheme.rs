@@ -226,6 +226,12 @@ pub trait ProtectionScheme {
     /// Scheme name for reports.
     fn name(&self) -> &'static str;
 
+    /// A boxed deep copy of this scheme's full state (check storage,
+    /// counters). The seam that lets a warmed `System` be forked: the
+    /// fault campaign warms one machine per worker and clones it per
+    /// chunk instead of re-simulating the warm-up window.
+    fn clone_box(&self) -> Box<dyn ProtectionScheme>;
+
     /// The check-storage area this scheme requires (the paper's Table-less
     /// §5.2 accounting).
     fn area(&self) -> AreaReport;

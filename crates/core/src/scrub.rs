@@ -90,6 +90,14 @@ impl Scrubber {
         self.period * self.sets as u64 * self.ways as u64
     }
 
+    /// The cycle from which the pending scrub is due: [`Scrubber::due`]
+    /// returns `Some` for every cycle at or past this point (the system
+    /// loop fast-forwards dead cycles between scrubs).
+    #[must_use]
+    pub fn next_due_at(&self) -> Cycle {
+        self.next_at
+    }
+
     /// The (set, way) to scrub at `now`, if one is due.
     #[must_use]
     pub fn due(&self, now: Cycle) -> Option<(usize, usize)> {

@@ -61,6 +61,10 @@ impl ProtectionScheme for UniformEccScheme {
         "uniform-ecc"
     }
 
+    fn clone_box(&self) -> Box<dyn ProtectionScheme> {
+        Box::new(self.clone())
+    }
+
     fn area(&self) -> AreaReport {
         self.area.conventional()
     }

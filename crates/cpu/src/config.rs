@@ -57,6 +57,11 @@ impl CoreConfig {
         assert!(self.issue_width > 0, "issue width must be positive");
         assert!(self.commit_width > 0, "commit width must be positive");
         assert!(self.ruu_entries > 0, "RUU must have entries");
+        assert!(
+            self.ruu_entries <= 64,
+            "RUU is capped at 64 entries: the issue stage's wakeup \
+             scheduling keys its slot masks by sequence number mod 64"
+        );
         assert!(self.lsq_entries > 0, "LSQ must have entries");
     }
 }

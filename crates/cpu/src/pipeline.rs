@@ -11,7 +11,8 @@
 //! caller owns the [`MemoryHierarchy`] so the experiment runner can
 //! interleave the cleaning logic and protection scheme between cycles.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use aep_mem::{Addr, Cycle, MemoryHierarchy};
 
@@ -44,6 +45,21 @@ struct RuuEntry {
     mispredicted: bool,
     prediction: Option<Prediction>,
     src_seqs: [Option<u64>; 2],
+    /// In-flight producers this entry still waits on (wakeup scheduling).
+    wait_count: u8,
+    /// Earliest cycle the sources can all be ready: the max `complete_at`
+    /// over resolved producers. Valid once `wait_count` reaches 0.
+    ready_at: Cycle,
+}
+
+/// Sentinel for empty wakeup-list links.
+const WAITER_NONE: u32 = u32::MAX;
+
+/// Slot of a sequence number in the fixed wakeup arrays. In-flight seqs
+/// span less than `ruu_entries <= 64`, so slots are unique per entry.
+#[inline]
+fn slot_of(seq: u64) -> usize {
+    (seq & 63) as usize
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -106,7 +122,7 @@ impl PipelineStats {
 /// }
 /// assert!(cpu.stats().committed > 0);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Pipeline<S> {
     cfg: CoreConfig,
     stream: S,
@@ -125,6 +141,21 @@ pub struct Pipeline<S> {
     fetch_blocked_until: Cycle,
     current_fetch_block: Option<u64>,
     stats: PipelineStats,
+    // ----- wakeup/select scheduling state --------------------------------
+    // The issue stage is event-driven instead of scanning the whole RUU
+    // every cycle: a dispatched entry either knows the cycle its sources
+    // complete (`ready_heap`) or is linked into its unissued producers'
+    // waiter lists and woken when they issue. `issuable` holds, per slot,
+    // the entries whose sources are ready now (retrying FU arbitration
+    // each cycle). The outcome is cycle-exact identical to the full scan.
+    /// Head of the intrusive waiter list per producer slot.
+    waiter_head: [u32; 64],
+    /// Next link per waiter node (`consumer_slot * 2 + src_index`).
+    waiter_next: [u32; 128],
+    /// Min-heap of `(ready_at, seq)` for resolved, not-yet-issuable entries.
+    ready_heap: BinaryHeap<Reverse<(Cycle, u64)>>,
+    /// Bitmask (by slot) of entries whose sources are ready.
+    issuable: u64,
 }
 
 impl<S: InstrStream> Pipeline<S> {
@@ -152,6 +183,10 @@ impl<S: InstrStream> Pipeline<S> {
             fetch_blocked_until: 0,
             current_fetch_block: None,
             stats: PipelineStats::default(),
+            waiter_head: [WAITER_NONE; 64],
+            waiter_next: [WAITER_NONE; 128],
+            ready_heap: BinaryHeap::with_capacity(64),
+            issuable: 0,
             cfg,
             stream,
         }
@@ -204,6 +239,51 @@ impl<S: InstrStream> Pipeline<S> {
         for now in 0..cycles {
             self.step(hier, now);
             hier.tick(now);
+        }
+    }
+
+    /// The earliest cycle after `now` at which any pipeline stage can
+    /// change machine state. Stepping the cycles in between is a no-op
+    /// (apart from fetch-stall accounting — see
+    /// [`Pipeline::account_idle_cycles`]), which is what lets the system
+    /// loop fast-forward through stalls. The bound is conservative: it may
+    /// name a cycle where nothing happens, never one later than real work.
+    #[must_use]
+    pub fn next_event_after(&self, now: Cycle) -> Cycle {
+        let mut t = Cycle::MAX;
+        // Commit: the head entry retires when it completes.
+        if let Some(head) = self.ruu.front() {
+            if head.issued {
+                t = t.min(head.complete_at.max(now + 1));
+            }
+        }
+        // Issue: FU-blocked entries retry every cycle; otherwise the
+        // earliest scheduled wakeup.
+        if self.issuable != 0 {
+            return now + 1;
+        }
+        if let Some(&Reverse((rt, _))) = self.ready_heap.peek() {
+            t = t.min(rt.max(now + 1));
+        }
+        // Dispatch: pending fetched ops enter as soon as there is room.
+        if !self.fetch_queue.is_empty() && self.ruu.len() < self.cfg.ruu_entries {
+            return now + 1;
+        }
+        // Fetch: resumes when unblocked (a halt only ends via issue).
+        if !self.fetch_halted && self.fetch_queue.len() < IFQ_ENTRIES {
+            t = t.min(self.fetch_blocked_until.max(now + 1));
+        }
+        t
+    }
+
+    /// Books the per-cycle statistics a real step would have recorded for
+    /// `count` skipped idle cycles starting at `from` (fetch-stall
+    /// accounting is the only per-cycle counter the pipeline keeps).
+    pub fn account_idle_cycles(&mut self, from: Cycle, count: u64) {
+        if self.fetch_halted {
+            self.stats.fetch_stall_cycles += count;
+        } else if from < self.fetch_blocked_until {
+            self.stats.fetch_stall_cycles += count.min(self.fetch_blocked_until - from);
         }
     }
 
@@ -277,32 +357,38 @@ impl<S: InstrStream> Pipeline<S> {
     // ----- issue --------------------------------------------------------
 
     fn issue_stage(&mut self, hier: &mut MemoryHierarchy, now: Cycle) {
-        let mut issued = 0;
-        let mut resume: Option<Cycle> = None;
-        for idx in 0..self.ruu.len() {
-            if issued >= self.cfg.issue_width {
+        // Wake entries whose resolved ready time has arrived.
+        while let Some(&Reverse((t, seq))) = self.ready_heap.peek() {
+            if t > now {
                 break;
             }
-            let (seq, class, src1, src2, addr, mispredicted, already) = {
+            self.ready_heap.pop();
+            self.issuable |= 1 << slot_of(seq);
+        }
+        if self.issuable == 0 {
+            return;
+        }
+        // Select oldest-first among ready entries, exactly as the full RUU
+        // scan would: rotating the slot mask by the head's slot turns bit
+        // offsets into RUU indices.
+        let head_slot = slot_of(self.head_seq) as u32;
+        let mut pending = self.issuable.rotate_right(head_slot);
+        let mut issued = 0;
+        let mut resume: Option<Cycle> = None;
+        while pending != 0 && issued < self.cfg.issue_width {
+            let idx = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            let (seq, class, addr, mispredicted) = {
                 let e = &self.ruu[idx];
-                (
-                    e.seq,
-                    e.op.class,
-                    e.src_seqs[0],
-                    e.src_seqs[1],
-                    e.op.addr,
-                    e.mispredicted,
-                    e.issued,
-                )
+                debug_assert!(!e.issued, "issuable entries are unissued");
+                debug_assert!(
+                    self.src_ready(e.src_seqs[0], now) && self.src_ready(e.src_seqs[1], now),
+                    "wakeup scheduling must match the scan's readiness"
+                );
+                (e.seq, e.op.class, e.op.addr, e.mispredicted)
             };
-            if already {
-                continue;
-            }
-            if !self.src_ready(src1, now) || !self.src_ready(src2, now) {
-                continue;
-            }
             if !self.fu.try_acquire(class, now) {
-                continue;
+                continue; // retried next cycle: the slot bit stays set
             }
             let complete_at = match class {
                 OpClass::Load => {
@@ -329,6 +415,9 @@ impl<S: InstrStream> Pipeline<S> {
                 e.issued = true;
                 e.complete_at = complete_at;
             }
+            let slot = slot_of(seq);
+            self.issuable &= !(1 << slot);
+            self.wake_waiters(slot, complete_at);
             issued += 1;
             if mispredicted {
                 // The branch now has a resolution time: fetch restarts
@@ -341,6 +430,30 @@ impl<S: InstrStream> Pipeline<S> {
             self.fetch_halted = false;
             self.fetch_blocked_until = self.fetch_blocked_until.max(at);
             self.current_fetch_block = None;
+        }
+    }
+
+    /// Notifies every consumer waiting on the producer in `slot` that its
+    /// result lands at `complete_at`; consumers whose last dependency this
+    /// was are scheduled on the ready heap.
+    fn wake_waiters(&mut self, slot: usize, complete_at: Cycle) {
+        let mut node = self.waiter_head[slot];
+        self.waiter_head[slot] = WAITER_NONE;
+        while node != WAITER_NONE {
+            let consumer_slot = (node >> 1) as usize;
+            let next = self.waiter_next[node as usize];
+            self.waiter_next[node as usize] = WAITER_NONE;
+            let head_slot = slot_of(self.head_seq);
+            let idx = (consumer_slot + 64 - head_slot) & 63;
+            let seq = self.head_seq + idx as u64;
+            let e = &mut self.ruu[idx];
+            debug_assert_eq!(slot_of(e.seq), consumer_slot, "waiter slot in sync");
+            e.wait_count -= 1;
+            e.ready_at = e.ready_at.max(complete_at);
+            if e.wait_count == 0 {
+                self.ready_heap.push(Reverse((e.ready_at, seq)));
+            }
+            node = next;
         }
     }
 
@@ -386,6 +499,29 @@ impl<S: InstrStream> Pipeline<S> {
                     word: addr.0 / 8,
                 });
             }
+            // Wakeup bookkeeping: producers still in flight get a waiter
+            // link; resolved dependencies contribute their completion time.
+            let slot = slot_of(seq);
+            let mut wait_count: u8 = 0;
+            let mut ready_at: Cycle = 0;
+            for (i, src) in src_seqs.iter().enumerate() {
+                let Some(src_seq) = *src else { continue };
+                let Some(idx) = self.entry_index(src_seq) else {
+                    continue; // producer committed: value in the register file
+                };
+                if self.ruu[idx].issued {
+                    ready_at = ready_at.max(self.ruu[idx].complete_at);
+                } else {
+                    let node = (slot * 2 + i) as u32;
+                    let producer_slot = slot_of(src_seq);
+                    self.waiter_next[node as usize] = self.waiter_head[producer_slot];
+                    self.waiter_head[producer_slot] = node;
+                    wait_count += 1;
+                }
+            }
+            if wait_count == 0 {
+                self.ready_heap.push(Reverse((ready_at, seq)));
+            }
             self.ruu.push_back(RuuEntry {
                 seq,
                 op: fetched.op,
@@ -394,6 +530,8 @@ impl<S: InstrStream> Pipeline<S> {
                 mispredicted: fetched.mispredicted,
                 prediction: fetched.prediction,
                 src_seqs,
+                wait_count,
+                ready_at,
             });
             dispatched += 1;
         }

@@ -11,12 +11,14 @@
 //!
 //! # Determinism
 //!
-//! Trials are grouped into fixed-size chunks. Each chunk builds its own
-//! [`System`], warms it up identically, and derives its injection RNG from
-//! `mix64(seed, chunk)` — so a chunk's outcome depends only on the config
-//! and its index, never on which worker thread ran it or in what order.
-//! [`fan_out`] re-sorts chunk tables by index before the in-order merge,
-//! which makes `--jobs N` byte-identical to `--jobs 1`.
+//! Trials are grouped into fixed-size chunks. Each chunk runs on a
+//! [`System::fork`] of an identically-warmed prototype (one per worker
+//! thread — warm-up cost is paid once per worker, not once per chunk) and
+//! derives its injection RNG from `mix64(seed, chunk)` — so a chunk's
+//! outcome depends only on the config and its index, never on which
+//! worker thread ran it or in what order. [`fan_out_init`] re-sorts chunk
+//! tables by index before the in-order merge, which makes `--jobs N`
+//! byte-identical to `--jobs 1`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -33,7 +35,7 @@ use aep_core::{RecoveryOutcome, SchemeKind};
 
 use crate::monitor::{PendingStrike, StrikeCell, StrikeProbe, StrikeState};
 use crate::outcome::{OutcomeTable, TrialOutcome};
-use crate::pool::fan_out;
+use crate::pool::fan_out_init;
 
 /// Everything that determines a campaign's result. Two equal configs
 /// produce bit-identical [`OutcomeTable`]s regardless of `jobs`.
@@ -114,7 +116,12 @@ pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> OutcomeTable {
         cfg.hierarchy.l2.store_data,
         "fault injection needs a data-holding L2 (store_data = true)"
     );
-    let tables = fan_out(cfg.chunks(), jobs, |chunk| run_chunk(cfg, chunk));
+    let tables = fan_out_init(
+        cfg.chunks(),
+        jobs,
+        || warmed_prototype(cfg),
+        |warm, chunk| run_chunk(cfg, warm, chunk),
+    );
     let mut total = OutcomeTable::default();
     for t in &tables {
         total.merge(t);
@@ -122,20 +129,36 @@ pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> OutcomeTable {
     total
 }
 
-/// Runs one chunk of trials on a fresh, identically-warmed system.
-fn run_chunk(cfg: &CampaignConfig, chunk: usize) -> OutcomeTable {
-    let done = chunk as u64 * u64::from(cfg.trials_per_chunk);
-    let trials_here = u64::from(cfg.trials_per_chunk).min(u64::from(cfg.trials) - done);
-
+/// Builds the per-worker prototype system and runs its warm-up once.
+///
+/// No probe is attached here: an unarmed [`StrikeProbe`] is passive (it
+/// only acts on an armed pending strike), so warming without one is
+/// trajectory-identical to the old warm-with-probe path — and each chunk
+/// gets a fresh probe on its fork anyway.
+fn warmed_prototype(cfg: &CampaignConfig) -> System<aep_workloads::Generator> {
     let mut sys = System::new(
         cfg.core.clone(),
         cfg.hierarchy.clone(),
         cfg.scheme,
         cfg.benchmark.generator(cfg.seed),
     );
+    sys.run(0, cfg.warmup_cycles);
+    sys
+}
+
+/// Runs one chunk of trials on a fork of the worker's warmed prototype.
+fn run_chunk(
+    cfg: &CampaignConfig,
+    warm: &System<aep_workloads::Generator>,
+    chunk: usize,
+) -> OutcomeTable {
+    let done = chunk as u64 * u64::from(cfg.trials_per_chunk);
+    let trials_here = u64::from(cfg.trials_per_chunk).min(u64::from(cfg.trials) - done);
+
+    let mut sys = warm.fork();
     let cell: StrikeCell = Rc::new(RefCell::new(StrikeState::default()));
-    sys.set_injection_probe(Box::new(StrikeProbe::new(Rc::clone(&cell))));
-    let mut now = sys.run(0, cfg.warmup_cycles);
+    sys.add_observer(Box::new(StrikeProbe::new(Rc::clone(&cell))));
+    let mut now = cfg.warmup_cycles;
 
     // Chunk-indexed seed: depends only on (master seed, chunk index).
     let chunk_seed = mix64(cfg.seed ^ mix64(0xFA01_7B17 ^ chunk as u64));

@@ -9,7 +9,7 @@
 //!
 //! * [`outcome`] — the per-trial taxonomy (masked / corrected /
 //!   refetch-recovered / DUE / SDC) and campaign tallies.
-//! * [`monitor`] — the [`aep_sim::InjectionProbe`] that resolves a pending
+//! * [`monitor`] — the [`aep_sim::SystemObserver`] that resolves a pending
 //!   strike at the first event touching the struck frame.
 //! * [`campaign`] — chunked, jobs-invariant campaign driver.
 //! * [`pool`] — the order-preserving thread fan-out shared with the
@@ -26,4 +26,4 @@ pub mod pool;
 pub use campaign::{run_campaign, CampaignConfig};
 pub use monitor::{PendingStrike, StrikeCell, StrikeProbe, StrikeState};
 pub use outcome::{OutcomeTable, TrialOutcome};
-pub use pool::fan_out;
+pub use pool::{fan_out, fan_out_init};

@@ -1,10 +1,11 @@
 //! The strike monitor: resolves a pending upset at the first L2 event
 //! that touches the struck frame.
 //!
-//! The monitor is installed as the system's [`InjectionProbe`], so it
-//! observes every L2 event *before* the protection scheme does — while the
-//! scheme's check storage still encodes the pre-strike line image. That
-//! ordering is what lets it drive the scheme's real detect/correct path
+//! The monitor is a [`SystemObserver`] attached to the system's event
+//! bus, publishing through the pre-scheme hook: it observes every L2
+//! event *before* the protection scheme does — while the scheme's check
+//! storage still encodes the pre-strike line image. That ordering is
+//! what lets it drive the scheme's real detect/correct path
 //! (`verify_access` / `verify_writeback`) against the corrupted data and
 //! classify the end-to-end outcome.
 //!
@@ -23,7 +24,7 @@ use aep_ecc::inject::FaultSpec;
 use aep_mem::addr::LineAddr;
 use aep_mem::cache::{Cache, L2Event};
 use aep_mem::{Cycle, MainMemory};
-use aep_sim::InjectionProbe;
+use aep_sim::SystemObserver;
 
 use crate::outcome::TrialOutcome;
 
@@ -77,7 +78,7 @@ impl StrikeState {
 /// Shared handle to a [`StrikeState`] (single-threaded per chunk worker).
 pub type StrikeCell = Rc<RefCell<StrikeState>>;
 
-/// The [`InjectionProbe`] half of the monitor.
+/// The observer half of the monitor.
 #[derive(Debug)]
 pub struct StrikeProbe {
     cell: StrikeCell,
@@ -95,8 +96,8 @@ impl StrikeProbe {
     }
 }
 
-impl InjectionProbe for StrikeProbe {
-    fn on_l2_event(
+impl SystemObserver for StrikeProbe {
+    fn pre_event(
         &mut self,
         event: &L2Event,
         l2: &mut Cache,

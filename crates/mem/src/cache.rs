@@ -205,17 +205,6 @@ pub enum L2Event {
     },
 }
 
-#[derive(Debug, Clone, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    written: bool,
-    lru: u64,
-    last_access: Cycle,
-    data: Option<Box<[u64]>>,
-}
-
 /// A set-associative cache.
 ///
 /// ```
@@ -235,7 +224,19 @@ pub struct Cache {
     config: CacheConfig,
     sets: u64,
     ways: usize,
-    lines: Vec<Line>,
+    // Line metadata in structure-of-arrays layout, indexed by
+    // `slot = set * ways + way`. The hot paths — the tag-match scan in
+    // `lookup` and the victim scan in `install` — walk one short field
+    // each (tag+valid, lru+valid); parallel arrays keep those probes
+    // inside one or two cache lines per set instead of striding over
+    // full per-line records.
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    written: Vec<bool>,
+    lru: Vec<u64>,
+    last_access: Vec<Cycle>,
+    data: Vec<Option<Box<[u64]>>>,
     tick: u64,
     dirty_lines: u64,
     stats: CacheStats,
@@ -258,8 +259,15 @@ impl Cache {
             .expect("cache configuration must be valid");
         let sets = config.sets();
         let ways = config.ways as usize;
+        let slots = (sets as usize) * ways;
         Cache {
-            lines: vec![Line::default(); (sets as usize) * ways],
+            tags: vec![0; slots],
+            valid: vec![false; slots],
+            dirty: vec![false; slots],
+            written: vec![false; slots],
+            lru: vec![0; slots],
+            last_access: vec![0; slots],
+            data: (0..slots).map(|_| None).collect(),
             sets,
             ways,
             config,
@@ -275,7 +283,7 @@ impl Cache {
 
     /// Enables dirty-lifetime tracking (see [`crate::census`]).
     pub fn enable_lifetime_tracking(&mut self) {
-        let slots = self.lines.len();
+        let slots = self.valid.len();
         self.lifetimes = Some(LifetimeTracker::new(slots));
     }
 
@@ -290,8 +298,8 @@ impl Cache {
     /// Closes every still-dirty line's lifetime at `now`.
     pub fn flush_lifetimes(&mut self, now: Cycle) {
         if let Some(t) = &mut self.lifetimes {
-            for slot in 0..self.lines.len() {
-                if self.lines[slot].valid && self.lines[slot].dirty {
+            for slot in 0..self.valid.len() {
+                if self.valid[slot] && self.dirty[slot] {
                     t.on_clean(slot, now);
                 }
             }
@@ -404,36 +412,29 @@ impl Cache {
         let tag = line.tag(self.sets);
         self.tick += 1;
         let tick = self.tick;
-        let mut hit_way = None;
-        for way in 0..self.ways {
-            let slot = self.slot(set, way);
-            let l = &self.lines[slot];
-            if l.valid && l.tag == tag {
-                hit_way = Some(way);
-                break;
-            }
-        }
+        // The hot probe: a contiguous scan over the set's tag and valid
+        // lanes only — no other metadata is touched until a hit.
+        let base = self.slot(set, 0);
+        let hit_way =
+            (0..self.ways).find(|&way| self.valid[base + way] && self.tags[base + way] == tag);
         match hit_way {
             Some(way) => {
-                let slot = self.slot(set, way);
+                let slot = base + way;
                 let mut first_write = false;
-                let was_dirty = self.lines[slot].dirty;
+                let was_dirty = self.dirty[slot];
                 let write_back = self.config.write_policy == WritePolicy::WriteBack;
-                {
-                    let l = &mut self.lines[slot];
-                    l.lru = tick;
-                    l.last_access = now;
-                    // Write-through caches never hold dirty lines; their
-                    // stores are forwarded onward by the hierarchy.
-                    if kind == AccessKind::Write && write_back {
-                        if l.dirty {
-                            if self.config.track_written {
-                                l.written = true;
-                            }
-                        } else {
-                            l.dirty = true;
-                            first_write = true;
+                self.lru[slot] = tick;
+                self.last_access[slot] = now;
+                // Write-through caches never hold dirty lines; their
+                // stores are forwarded onward by the hierarchy.
+                if kind == AccessKind::Write && write_back {
+                    if was_dirty {
+                        if self.config.track_written {
+                            self.written[slot] = true;
                         }
+                    } else {
+                        self.dirty[slot] = true;
+                        first_write = true;
                     }
                 }
                 if first_write {
@@ -514,33 +515,35 @@ impl Cache {
         let tick = self.tick;
 
         // Choose a victim: first invalid way, else least-recently used.
+        // Like the lookup probe, this scans only the valid and lru lanes.
+        let base = self.slot(set, 0);
         let mut victim = 0usize;
         let mut best_lru = u64::MAX;
         let mut found_invalid = false;
         for way in 0..self.ways {
-            let slot = self.slot(set, way);
-            let l = &self.lines[slot];
-            if !l.valid {
+            let slot = base + way;
+            if !self.valid[slot] {
                 victim = way;
                 found_invalid = true;
                 break;
             }
-            debug_assert!(l.tag != tag, "install of an already-resident line {line}");
-            if l.lru < best_lru {
-                best_lru = l.lru;
+            debug_assert!(
+                self.tags[slot] != tag,
+                "install of an already-resident line {line}"
+            );
+            if self.lru[slot] < best_lru {
+                best_lru = self.lru[slot];
                 victim = way;
             }
         }
 
-        let slot = self.slot(set, victim);
+        let slot = base + victim;
         let evicted = if !found_invalid {
-            let old = &mut self.lines[slot];
-            let old_line = LineAddr::from_tag_set(old.tag, set, self.sets);
             let ev = EvictedLine {
-                line: old_line,
-                dirty: old.dirty,
-                written: old.written,
-                data: old.data.take(),
+                line: LineAddr::from_tag_set(self.tags[slot], set, self.sets),
+                dirty: self.dirty[slot],
+                written: self.written[slot],
+                data: self.data[slot].take(),
             };
             if ev.dirty {
                 self.dirty_lines -= 1;
@@ -562,14 +565,13 @@ impl Cache {
         // A write-allocate fill dirties the line only in a write-back
         // cache; write-through caches forward the store onward instead.
         let dirty = write && self.config.write_policy == WritePolicy::WriteBack;
-        let l = &mut self.lines[slot];
-        l.tag = tag;
-        l.valid = true;
-        l.dirty = dirty;
-        l.written = false;
-        l.lru = tick;
-        l.last_access = now;
-        l.data = data;
+        self.tags[slot] = tag;
+        self.valid[slot] = true;
+        self.dirty[slot] = dirty;
+        self.written[slot] = false;
+        self.lru[slot] = tick;
+        self.last_access[slot] = now;
+        self.data[slot] = data;
         if dirty {
             self.dirty_lines += 1;
             self.lifetime_dirty(slot, now);
@@ -612,15 +614,14 @@ impl Cache {
         let mut cleaned = Vec::new();
         for way in 0..self.ways {
             let slot = self.slot(set, way);
-            let l = &mut self.lines[slot];
-            if !l.valid {
+            if !self.valid[slot] {
                 continue;
             }
-            if l.dirty && (!l.written || !respect_written) {
-                l.dirty = false;
-                let line = LineAddr::from_tag_set(l.tag, set, self.sets);
-                let data = l.data.clone();
-                let written = l.written;
+            if self.dirty[slot] && (!self.written[slot] || !respect_written) {
+                self.dirty[slot] = false;
+                let line = LineAddr::from_tag_set(self.tags[slot], set, self.sets);
+                let data = self.data[slot].clone();
+                let written = self.written[slot];
                 self.dirty_lines -= 1;
                 self.lifetime_clean(slot, now);
                 self.stats.writebacks_cleaning += 1;
@@ -637,7 +638,7 @@ impl Cache {
                     data,
                 });
             } else {
-                l.written = false;
+                self.written[slot] = false;
             }
         }
         cleaned
@@ -652,15 +653,14 @@ impl Cache {
         let mut cleaned = Vec::new();
         for way in 0..self.ways {
             let slot = self.slot(set, way);
-            let l = &mut self.lines[slot];
-            if !l.valid || !l.dirty {
+            if !self.valid[slot] || !self.dirty[slot] {
                 continue;
             }
-            if now.saturating_sub(l.last_access) >= decay_window {
-                l.dirty = false;
-                l.written = false;
-                let line = LineAddr::from_tag_set(l.tag, set, self.sets);
-                let data = l.data.clone();
+            if now.saturating_sub(self.last_access[slot]) >= decay_window {
+                self.dirty[slot] = false;
+                self.written[slot] = false;
+                let line = LineAddr::from_tag_set(self.tags[slot], set, self.sets);
+                let data = self.data[slot].clone();
                 self.dirty_lines -= 1;
                 self.lifetime_clean(slot, now);
                 self.stats.writebacks_cleaning += 1;
@@ -690,22 +690,21 @@ impl Cache {
         let mut victim: Option<usize> = None;
         let mut best = u64::MAX;
         for way in 0..self.ways {
-            let l = &self.lines[self.slot(set, way)];
-            if l.valid && l.lru < best {
-                best = l.lru;
+            let slot = self.slot(set, way);
+            if self.valid[slot] && self.lru[slot] < best {
+                best = self.lru[slot];
                 victim = Some(way);
             }
         }
         let way = victim?;
         let slot = self.slot(set, way);
-        if !self.lines[slot].dirty {
+        if !self.dirty[slot] {
             return None;
         }
-        let l = &mut self.lines[slot];
-        l.dirty = false;
-        l.written = false;
-        let line = LineAddr::from_tag_set(l.tag, set, self.sets);
-        let data = l.data.clone();
+        self.dirty[slot] = false;
+        self.written[slot] = false;
+        let line = LineAddr::from_tag_set(self.tags[slot], set, self.sets);
+        let data = self.data[slot].clone();
         self.dirty_lines -= 1;
         self.lifetime_clean(slot, now);
         self.stats.writebacks_cleaning += 1;
@@ -734,14 +733,13 @@ impl Cache {
         class: WbClass,
     ) -> Option<EvictedLine> {
         let slot = self.slot(set, way);
-        let l = &mut self.lines[slot];
-        if !l.valid || !l.dirty {
+        if !self.valid[slot] || !self.dirty[slot] {
             return None;
         }
-        l.dirty = false;
-        l.written = false;
-        let line = LineAddr::from_tag_set(l.tag, set, self.sets);
-        let data = l.data.clone();
+        self.dirty[slot] = false;
+        self.written[slot] = false;
+        let line = LineAddr::from_tag_set(self.tags[slot], set, self.sets);
+        let data = self.data[slot].clone();
         self.dirty_lines -= 1;
         self.lifetime_clean(slot, now);
         self.stats.count_writeback(class);
@@ -765,8 +763,8 @@ impl Cache {
         let set = line.set_index(self.sets);
         let tag = line.tag(self.sets);
         (0..self.ways).find_map(|way| {
-            let l = &self.lines[self.slot(set, way)];
-            (l.valid && l.tag == tag).then_some((set, way))
+            let slot = self.slot(set, way);
+            (self.valid[slot] && self.tags[slot] == tag).then_some((set, way))
         })
     }
 
@@ -777,12 +775,12 @@ impl Cache {
     /// Panics if `set`/`way` are out of range.
     #[must_use]
     pub fn line_view(&self, set: usize, way: usize) -> LineView {
-        let l = &self.lines[self.slot(set, way)];
+        let slot = self.slot(set, way);
         LineView {
-            line: LineAddr::from_tag_set(l.tag, set, self.sets),
-            valid: l.valid,
-            dirty: l.dirty,
-            written: l.written,
+            line: LineAddr::from_tag_set(self.tags[slot], set, self.sets),
+            valid: self.valid[slot],
+            dirty: self.dirty[slot],
+            written: self.written[slot],
         }
     }
 
@@ -795,10 +793,8 @@ impl Cache {
     /// Panics when the cache does not store data, or indices are invalid.
     pub fn write_word(&mut self, set: usize, way: usize, word: usize, value: u64) {
         let slot = self.slot(set, way);
-        let l = &mut self.lines[slot];
-        debug_assert!(l.valid, "write_word on an invalid line");
-        let data = l
-            .data
+        debug_assert!(self.valid[slot], "write_word on an invalid line");
+        let data = self.data[slot]
             .as_mut()
             .expect("write_word requires a data-storing cache");
         data[word] = value;
@@ -815,7 +811,7 @@ impl Cache {
     /// Read-only view of a resident line's data words, if stored.
     #[must_use]
     pub fn line_data(&self, set: usize, way: usize) -> Option<&[u64]> {
-        self.lines[self.slot(set, way)].data.as_deref()
+        self.data[self.slot(set, way)].as_deref()
     }
 
     /// Flips one bit of a resident line's stored data — a soft-error strike.
@@ -827,10 +823,8 @@ impl Cache {
     pub fn strike(&mut self, set: usize, way: usize, word: usize, bit: u8) {
         assert!(bit < 64, "bit index out of range");
         let slot = self.slot(set, way);
-        let l = &mut self.lines[slot];
-        assert!(l.valid, "strike on an invalid line");
-        let data = l
-            .data
+        assert!(self.valid[slot], "strike on an invalid line");
+        let data = self.data[slot]
             .as_mut()
             .expect("strike requires a data-storing cache");
         data[word] ^= 1u64 << bit;
@@ -840,14 +834,22 @@ impl Cache {
     /// of the incremental counter).
     #[must_use]
     pub fn recount_dirty_lines(&self) -> u64 {
-        self.lines.iter().filter(|l| l.valid && l.dirty).count() as u64
+        self.valid
+            .iter()
+            .zip(&self.dirty)
+            .filter(|(&v, &d)| v && d)
+            .count() as u64
     }
 
     /// Counts resident lines with the written bit set (O(lines) scan; meant
     /// for snapshot/census time, not the per-cycle hot path).
     #[must_use]
     pub fn written_line_count(&self) -> u64 {
-        self.lines.iter().filter(|l| l.valid && l.written).count() as u64
+        self.valid
+            .iter()
+            .zip(&self.written)
+            .filter(|(&v, &w)| v && w)
+            .count() as u64
     }
 
     /// True when configured write-through (the L1D in the paper).

@@ -169,6 +169,20 @@ impl MemoryHierarchy {
         }
     }
 
+    /// The earliest cycle after `now` at which background work can
+    /// happen: the next write-buffer retirement, or never when the
+    /// buffer is empty. [`MemoryHierarchy::tick`] at the cycles in
+    /// between is a no-op, which is what lets the system loop
+    /// fast-forward over them.
+    #[must_use]
+    pub fn next_event_after(&self, now: Cycle) -> Cycle {
+        if self.wb.is_empty() {
+            Cycle::MAX
+        } else {
+            self.l2_port_free_at.max(now + 1)
+        }
+    }
+
     /// Retires the oldest write-buffer entry into the L2. Returns the
     /// completion cycle (equals `now` when the buffer was empty).
     fn retire_one(&mut self, now: Cycle) -> Cycle {

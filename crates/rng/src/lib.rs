@@ -145,6 +145,105 @@ impl FromRng for f64 {
     }
 }
 
+/// A precomputed uniform integer sampler over a fixed half-open range.
+///
+/// [`SmallRng::gen_range`] recomputes Lemire's rejection zone — a 64-bit
+/// hardware division — on every draw. Hot loops that sample the same
+/// range millions of times (the workload generator's register and address
+/// picks) build one `Uniform` up front and reuse the cached zone.
+///
+/// Draws are **bit-identical** to `gen_range(start..end)` on the same RNG
+/// state: the same `next_u64` sequence is consumed and the same
+/// accept/reject decisions are made.
+///
+/// ```
+/// use aep_rng::{SmallRng, Uniform};
+///
+/// let sampler = Uniform::new(1..32u64);
+/// let mut a = SmallRng::seed_from_u64(9);
+/// let mut b = SmallRng::seed_from_u64(9);
+/// for _ in 0..1000 {
+///     assert_eq!(sampler.sample(&mut a), b.gen_range(1..32u64));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uniform {
+    start: u64,
+    span: u64,
+    zone: u64,
+}
+
+impl Uniform {
+    /// Builds a sampler for `range` (pays the zone division once).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    #[must_use]
+    pub fn new(range: Range<u64>) -> Self {
+        assert!(range.start < range.end, "empty range in Uniform::new");
+        let span = range.end.wrapping_sub(range.start);
+        Uniform {
+            start: range.start,
+            span,
+            zone: span.wrapping_neg() % span,
+        }
+    }
+
+    /// Draws one sample; consumes RNG state exactly as
+    /// [`SmallRng::gen_range`] over the same range would.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        loop {
+            let v = rng.next_u64();
+            let wide = u128::from(v) * u128::from(self.span);
+            let lo = wide as u64;
+            if lo >= self.zone {
+                return self.start.wrapping_add((wide >> 64) as u64);
+            }
+        }
+    }
+}
+
+/// A precomputed Bernoulli sampler (fixed probability).
+///
+/// Caches the fixed-point threshold [`SmallRng::gen_bool`] derives from
+/// `p` on every call; draws are bit-identical to `gen_bool(p)` on the
+/// same RNG state (including the no-draw shortcut at `p >= 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bernoulli {
+    /// `None` means "always true" (`p >= 1`), which draws nothing.
+    threshold: Option<u64>,
+}
+
+impl Bernoulli {
+    /// Builds a sampler for probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `0.0..=1.0`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        let threshold = if p >= 1.0 {
+            None
+        } else {
+            Some((p * (u64::MAX as f64 + 1.0)) as u64)
+        };
+        Bernoulli { threshold }
+    }
+
+    /// Draws one sample; consumes RNG state exactly as
+    /// [`SmallRng::gen_bool`] with the same `p` would.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SmallRng) -> bool {
+        match self.threshold {
+            None => true,
+            Some(t) => rng.next_u64() < t,
+        }
+    }
+}
+
 /// Integer types [`SmallRng::gen_range`] can sample.
 pub trait UniformInt: Copy {
     /// Draws uniformly from `range`.
@@ -269,5 +368,49 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn gen_bool_rejects_bad_p() {
         let _ = SmallRng::seed_from_u64(0).gen_bool(1.5);
+    }
+
+    #[test]
+    fn uniform_matches_gen_range_bit_for_bit() {
+        for (start, end) in [
+            (0u64, 1),
+            (1, 32),
+            (0, 3),
+            (7, 1_000_003),
+            (0, u64::MAX / 2 + 7),
+        ] {
+            let mut a = SmallRng::seed_from_u64(start ^ end);
+            let mut b = a.clone();
+            let sampler = Uniform::new(start..end);
+            for _ in 0..2_000 {
+                assert_eq!(sampler.sample(&mut a), b.gen_range(start..end));
+            }
+            assert_eq!(a, b, "RNG states must stay in lockstep");
+        }
+    }
+
+    #[test]
+    fn bernoulli_matches_gen_bool_bit_for_bit() {
+        for p in [0.0f64, 0.1, 0.4, 0.5, 0.999, 1.0] {
+            let mut a = SmallRng::seed_from_u64(p.to_bits());
+            let mut b = a.clone();
+            let sampler = Bernoulli::new(p);
+            for _ in 0..2_000 {
+                assert_eq!(sampler.sample(&mut a), b.gen_bool(p));
+            }
+            assert_eq!(a, b, "RNG states must stay in lockstep");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_rejects_empty_range() {
+        let _ = Uniform::new(5..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bernoulli_rejects_bad_p() {
+        let _ = Bernoulli::new(-0.1);
     }
 }

@@ -1,0 +1,276 @@
+//! The unified observer bus: one seam through which everything that
+//! watches a running [`System`](crate::System) is attached.
+//!
+//! Historically the system grew three ad-hoc hooks — an `InjectionProbe`
+//! slot ahead of the scheme, a `CheckObserver` slot behind it, and the
+//! `register_stats` walk — each with its own field, setter, and plumbing
+//! through the event drain. The bus replaces all three with a single
+//! [`SystemObserver`] trait and an ordered observer list: every L2 event
+//! is published once, pre- and post-scheme, to every attached observer,
+//! and the per-cycle loop asks the observers (not hard-coded fields)
+//! whether any of them needs the next cycle stepped.
+//!
+//! Design points:
+//!
+//! * **Zero cost when unattached.** The observer list is a `Vec`; every
+//!   publish point is a `for` over it, which is a single length check
+//!   when empty. No per-event allocation, no dynamic dispatch unless an
+//!   observer is actually installed.
+//! * **Fast-forward aware.** [`SystemObserver::next_event_after`] lets
+//!   each observer declare the next cycle it must see. Event-driven
+//!   observers return [`Cycle::MAX`] (events are never skipped); the
+//!   differential checker returns `now + 1`, which forces the run loop
+//!   back to exact per-cycle stepping; a shadow-lane scrubber returns its
+//!   next due cycle. The run loop takes the minimum over all observers,
+//!   so fast-forwarding is *structurally* safe rather than gated on a
+//!   hard-coded `can_fast_forward` flag.
+//! * **Legacy shims.** The old `InjectionProbe` / `CheckObserver` traits
+//!   still work through [`ProbeShim`] / [`CheckShim`] adapters installed
+//!   by the (deprecated) `set_injection_probe` / `set_check_observer`
+//!   setters, so external callers keep compiling while they migrate.
+
+use aep_core::ProtectionScheme;
+use aep_mem::cache::Cache;
+use aep_mem::{Cycle, L2Event, MainMemory, MemoryHierarchy};
+use aep_obs::Registry;
+
+use crate::system::{CheckObserver, InjectionProbe};
+
+/// An observer attached to a [`System`](crate::System)'s event bus.
+///
+/// All hooks have no-op defaults: an observer implements only the seams
+/// it needs. Hook order per drained event is `pre_event` (all observers,
+/// in attach order) → scheme → `post_event` (all observers); `cycle_end`
+/// runs once per stepped cycle after events, directives, cleaning, and
+/// scrubbing have settled.
+pub trait SystemObserver {
+    /// Called for each L2 event *before* the protection scheme observes
+    /// it — the scheme's check storage still describes the pre-event line
+    /// image. Mutable machine access supports fault-injection probes that
+    /// drive the scheme's real recovery paths.
+    fn pre_event(
+        &mut self,
+        _event: &L2Event,
+        _l2: &mut Cache,
+        _scheme: &mut dyn ProtectionScheme,
+        _memory: &mut MainMemory,
+        _now: Cycle,
+    ) {
+    }
+
+    /// Called for each L2 event *after* the scheme has observed it (but
+    /// before any directives it demanded are applied).
+    fn post_event(
+        &mut self,
+        _event: &L2Event,
+        _hier: &MemoryHierarchy,
+        _scheme: &dyn ProtectionScheme,
+        _now: Cycle,
+    ) {
+    }
+
+    /// Called once per stepped cycle after the whole machine has settled.
+    /// The hierarchy is mutable so observers that own background engines
+    /// (shadow-lane scrubbers) can drive them; read-only observers just
+    /// reborrow.
+    fn cycle_end(
+        &mut self,
+        _hier: &mut MemoryHierarchy,
+        _scheme: &dyn ProtectionScheme,
+        _now: Cycle,
+    ) {
+    }
+
+    /// Appends `(set, way, outcome-label)` tuples for faults this
+    /// observer resolved since the last call — consumed by the cycle
+    /// trace. The default (never resolves anything) suits most observers.
+    fn drain_resolutions(&mut self, _out: &mut Vec<(usize, usize, &'static str)>) {}
+
+    /// Whether this observer needs [`L2Event::WordWritten`] events;
+    /// attaching an observer that returns `true` turns word-level
+    /// emission on so line data can be mirrored exactly.
+    fn wants_word_events(&self) -> bool {
+        false
+    }
+
+    /// The earliest cycle after `now` this observer must see stepped.
+    ///
+    /// The run loop takes the minimum over all observers (and the
+    /// machine's own components) when fast-forwarding dead cycles.
+    /// Purely event-driven observers keep the default [`Cycle::MAX`] —
+    /// events only fire on stepped cycles, so they can never miss one.
+    /// Returning `now + 1` forces exact per-cycle stepping.
+    fn next_event_after(&self, _now: Cycle) -> Cycle {
+        Cycle::MAX
+    }
+
+    /// Publishes this observer's statistics under the current scope
+    /// during [`System::register_stats`](crate::System::register_stats).
+    /// Observers with stable extra counters should scope them
+    /// (`reg.scoped("…", …)`) so core snapshot keys stay unchanged.
+    fn register_stats(&self, _reg: &mut Registry) {}
+}
+
+/// Adapter publishing bus events to a legacy [`InjectionProbe`].
+pub struct ProbeShim(pub Box<dyn InjectionProbe>);
+
+impl SystemObserver for ProbeShim {
+    fn pre_event(
+        &mut self,
+        event: &L2Event,
+        l2: &mut Cache,
+        scheme: &mut dyn ProtectionScheme,
+        memory: &mut MainMemory,
+        now: Cycle,
+    ) {
+        self.0.on_l2_event(event, l2, scheme, memory, now);
+    }
+
+    fn drain_resolutions(&mut self, out: &mut Vec<(usize, usize, &'static str)>) {
+        self.0.drain_resolutions(out);
+    }
+}
+
+/// Adapter publishing bus events to a legacy [`CheckObserver`]. The
+/// legacy contract promised a callback every cycle, so the shim pins
+/// `next_event_after` to `now + 1` (no fast-forwarding) and requests
+/// word-level events, exactly as `set_check_observer` used to.
+pub struct CheckShim(pub Box<dyn CheckObserver>);
+
+impl SystemObserver for CheckShim {
+    fn post_event(
+        &mut self,
+        event: &L2Event,
+        hier: &MemoryHierarchy,
+        scheme: &dyn ProtectionScheme,
+        now: Cycle,
+    ) {
+        self.0.on_l2_event(event, hier, scheme, now);
+    }
+
+    fn cycle_end(&mut self, hier: &mut MemoryHierarchy, scheme: &dyn ProtectionScheme, now: Cycle) {
+        self.0.on_cycle_end(hier, scheme, now);
+    }
+
+    fn wants_word_events(&self) -> bool {
+        true
+    }
+
+    fn next_event_after(&self, now: Cycle) -> Cycle {
+        now + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::System;
+    use aep_core::SchemeKind;
+    use aep_cpu::isa::{LoopStream, MicroOp};
+    use aep_cpu::CoreConfig;
+    use aep_mem::{Addr, HierarchyConfig};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn stream() -> LoopStream {
+        let mut ops = Vec::new();
+        for i in 0..16u64 {
+            ops.push(MicroOp::store(i * 8, Addr::new(0x30_000 + i * 64), Some(1)));
+            ops.push(MicroOp::load(
+                i * 8 + 4,
+                Addr::new(0x50_000 + i * 64),
+                Some(2),
+            ));
+        }
+        LoopStream::new(ops)
+    }
+
+    fn tiny_system() -> System<LoopStream> {
+        System::new(
+            CoreConfig::date2006(),
+            HierarchyConfig::tiny(),
+            SchemeKind::Uniform,
+            stream(),
+        )
+    }
+
+    struct LegacyProbe {
+        events: Rc<Cell<u64>>,
+    }
+
+    impl InjectionProbe for LegacyProbe {
+        fn on_l2_event(
+            &mut self,
+            _event: &L2Event,
+            _l2: &mut Cache,
+            _scheme: &mut dyn ProtectionScheme,
+            _memory: &mut MainMemory,
+            _now: Cycle,
+        ) {
+            self.events.set(self.events.get() + 1);
+        }
+    }
+
+    struct LegacyChecker {
+        events: Rc<Cell<u64>>,
+        cycles: Rc<Cell<u64>>,
+    }
+
+    impl CheckObserver for LegacyChecker {
+        fn on_l2_event(
+            &mut self,
+            _event: &L2Event,
+            _hier: &MemoryHierarchy,
+            _scheme: &dyn ProtectionScheme,
+            _now: Cycle,
+        ) {
+            self.events.set(self.events.get() + 1);
+        }
+
+        fn on_cycle_end(
+            &mut self,
+            _hier: &MemoryHierarchy,
+            _scheme: &dyn ProtectionScheme,
+            _now: Cycle,
+        ) {
+            self.cycles.set(self.cycles.get() + 1);
+        }
+    }
+
+    /// The deprecated probe entry point still delivers pre-scheme events,
+    /// and attaching it does not perturb the run (probes are passive).
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_injection_probe_shim_still_works() {
+        let events = Rc::new(Cell::new(0));
+        let mut probed = tiny_system();
+        probed.set_injection_probe(Box::new(LegacyProbe {
+            events: Rc::clone(&events),
+        }));
+        probed.run(0, 20_000);
+        assert!(events.get() > 0, "probe saw no events");
+
+        let mut bare = tiny_system();
+        bare.run(0, 20_000);
+        assert_eq!(probed.cpu.stats(), bare.cpu.stats());
+        assert_eq!(probed.hier.l2().stats(), bare.hier.l2().stats());
+    }
+
+    /// The deprecated checker entry point still forces exact per-cycle
+    /// stepping (one cycle-end callback per cycle, no fast-forwarding)
+    /// and enables word-level events.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_check_observer_shim_forces_per_cycle_stepping() {
+        let events = Rc::new(Cell::new(0));
+        let cycles = Rc::new(Cell::new(0));
+        let mut sys = tiny_system();
+        sys.set_check_observer(Box::new(LegacyChecker {
+            events: Rc::clone(&events),
+            cycles: Rc::clone(&cycles),
+        }));
+        sys.run(0, 5_000);
+        assert_eq!(cycles.get(), 5_000, "one cycle-end callback per cycle");
+        assert!(events.get() > 0);
+    }
+}

@@ -1,0 +1,476 @@
+//! The lane-parallel batch engine: N protection/scrub configurations
+//! stepped in lockstep over one shared trajectory.
+//!
+//! # Why lanes work
+//!
+//! Most of a simulated cycle is spent in the core and the memory
+//! hierarchy — fetch, wakeup/select, cache lookups, write-buffer drain —
+//! and none of that depends on which *observer-only* protection scheme
+//! is attached. A scheme changes the trajectory only through the
+//! directives it emits (forced ECC-entry evictions) and through its
+//! cleaning interval; background scrubbing in a fault-free run never
+//! changes it at all ([`Scrubber::tick`] does no port or bus
+//! arbitration, and `verify_line` on an uncorrupted line is read-only).
+//!
+//! So a whole family of configurations — every directive-free scheme at
+//! a given cleaning interval, crossed with any set of scrub periods —
+//! shares *one* cpu+hierarchy trajectory. The batch engine runs that
+//! trajectory once and attaches one **shadow lane** per configuration to
+//! the system's observer bus: each lane owns its own scheme instance
+//! (fed every L2 event through [`SystemObserver::post_event`]) and its
+//! own scrubber (driven at its due cycles through
+//! [`SystemObserver::cycle_end`], with [`SystemObserver::next_event_after`]
+//! keeping fast-forward exact). Per-lane statistics are byte-identical
+//! to N independent serial runs, at roughly 1/N of the fetch/branch/
+//! event-drain cost per lane.
+//!
+//! # Trusted seams
+//!
+//! Sharing is only sound for fault-free runs of directive-free schemes;
+//! both conditions are enforced, not assumed: [`LaneSpec::shareable`]
+//! rejects directive-emitting schemes up front, and the shadow lane
+//! panics if a scheme emits a directive or a shadow scrub finds anything
+//! but a clean line. Fault-injection campaigns never use lanes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aep_core::scrub::Scrubber;
+use aep_core::{Directive, EnergyCounters, ProtectionScheme, RecoveryOutcome, SchemeKind};
+use aep_mem::{Cycle, L2Event, MemoryHierarchy};
+use aep_obs::Registry;
+
+use crate::bus::SystemObserver;
+use crate::runner::{ExperimentConfig, RunStats, Runner, WindowSnapshot};
+use crate::system::build_scheme;
+
+/// One lane of a batch: a scheme plus an optional scrub period. The
+/// trajectory-shaping knobs (benchmark, seed, windows, cleaning
+/// interval, written-bit policy) live in the shared
+/// [`ExperimentConfig`]; a lane varies only what observes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneSpec {
+    /// The protection scheme this lane attaches.
+    pub scheme: SchemeKind,
+    /// Background scrub period (cycles per line), when scrubbing.
+    pub scrub_period: Option<u64>,
+}
+
+impl LaneSpec {
+    /// A lane with no scrubbing.
+    #[must_use]
+    pub fn new(scheme: SchemeKind) -> Self {
+        LaneSpec {
+            scheme,
+            scrub_period: None,
+        }
+    }
+
+    /// A lane with background scrubbing at `period` cycles per line.
+    #[must_use]
+    pub fn with_scrub(scheme: SchemeKind, period: u64) -> Self {
+        LaneSpec {
+            scheme,
+            scrub_period: Some(period),
+        }
+    }
+
+    /// Whether this lane's scheme is a pure observer — it never emits
+    /// directives, so it cannot steer the trajectory. Only such lanes
+    /// may share a batch; `proposed` / `proposed_multi` force-clean
+    /// lines and must run solo.
+    #[must_use]
+    pub fn shareable(&self) -> bool {
+        matches!(
+            self.scheme,
+            SchemeKind::Uniform | SchemeKind::UniformWithCleaning { .. } | SchemeKind::ParityOnly
+        )
+    }
+
+    /// The trajectory class this lane belongs to: lanes share a batch
+    /// iff they are [`shareable`](LaneSpec::shareable) and their
+    /// cleaning intervals agree (cleaning probes are scheme-independent
+    /// but do shape the trajectory).
+    #[must_use]
+    pub fn share_key(&self) -> Option<Option<u64>> {
+        self.shareable().then(|| self.scheme.cleaning_interval())
+    }
+
+    /// Human label: the scheme's, plus the scrub period when scrubbing.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self.scrub_period {
+            Some(p) => format!(
+                "{}+scrub@{}",
+                self.scheme.label(),
+                aep_core::scheme::human_interval(p)
+            ),
+            None => self.scheme.label(),
+        }
+    }
+}
+
+/// One lane's results: exactly what a serial [`Runner::run`] of the same
+/// configuration would produce, plus the full component registry.
+#[derive(Debug, Clone)]
+pub struct LaneResult {
+    /// The lane that ran.
+    pub spec: LaneSpec,
+    /// Measured-window statistics, byte-identical to the serial run's.
+    pub stats: RunStats,
+    /// Component statistics (`cpu.*`, `mem.*`, `scheme.*`, `cleaning.*`,
+    /// `scrub.*`), byte-identical to the serial system's
+    /// `register_stats` output.
+    pub registry: Registry,
+}
+
+/// The per-lane state a [`ShadowLane`] observer drives: the lane's own
+/// scheme instance and scrubber. Shared with the batch driver through an
+/// `Rc` so results can be read back after the run (single-threaded, the
+/// same idiom as the fault campaign's strike cell).
+struct LaneState {
+    scheme: Box<dyn ProtectionScheme>,
+    scrubber: Option<Scrubber>,
+    directives: Vec<Directive>,
+}
+
+type LaneCell = Rc<RefCell<LaneState>>;
+
+/// The observer half of one lane, attached to the base system's bus.
+struct ShadowLane {
+    cell: LaneCell,
+}
+
+impl SystemObserver for ShadowLane {
+    fn post_event(
+        &mut self,
+        event: &L2Event,
+        hier: &MemoryHierarchy,
+        _scheme: &dyn ProtectionScheme,
+        _now: Cycle,
+    ) {
+        let mut lane = self.cell.borrow_mut();
+        let lane = &mut *lane;
+        lane.scheme.on_event(event, hier.l2(), &mut lane.directives);
+        assert!(
+            lane.directives.is_empty(),
+            "shadow lane scheme '{}' emitted a directive; directive-emitting \
+             schemes cannot share a trajectory",
+            lane.scheme.name()
+        );
+    }
+
+    fn cycle_end(
+        &mut self,
+        hier: &mut MemoryHierarchy,
+        _scheme: &dyn ProtectionScheme,
+        now: Cycle,
+    ) {
+        let mut lane = self.cell.borrow_mut();
+        let lane = &mut *lane;
+        if let Some(scrubber) = &mut lane.scrubber {
+            let (l2, memory) = hier.l2_and_memory_mut();
+            if let Some(outcome) = scrubber.tick(now, l2, lane.scheme.as_mut(), memory) {
+                assert!(
+                    matches!(outcome, RecoveryOutcome::Clean),
+                    "shadow-lane scrub found a non-clean line ({outcome:?}); lane \
+                     batches are fault-free by contract"
+                );
+            }
+        }
+    }
+
+    fn next_event_after(&self, _now: Cycle) -> Cycle {
+        match &self.cell.borrow().scrubber {
+            Some(scrubber) => scrubber.next_due_at(),
+            None => Cycle::MAX,
+        }
+    }
+}
+
+/// Runs `lanes` in lockstep over the shared trajectory `cfg` describes,
+/// returning one [`LaneResult`] per lane (in input order). The trajectory
+/// knobs are taken from `cfg`; its `scheme` must equal the first lane's
+/// (the batch's trajectory class) and its `scrub_period` must be `None`
+/// (scrubbing is per-lane).
+///
+/// # Panics
+///
+/// Panics if `lanes` is empty, a lane is not
+/// [`shareable`](LaneSpec::shareable), the lanes disagree on cleaning
+/// interval, or `cfg` conflicts with the lanes as described above.
+#[must_use]
+pub fn run_lanes(cfg: &ExperimentConfig, lanes: &[LaneSpec]) -> Vec<LaneResult> {
+    let first = lanes.first().expect("a lane batch needs at least one lane");
+    assert!(
+        cfg.scheme == first.scheme,
+        "base config scheme {:?} must equal the first lane's {:?}",
+        cfg.scheme,
+        first.scheme
+    );
+    assert!(
+        cfg.scrub_period.is_none(),
+        "scrubbing is a per-lane knob; leave the base config's scrub_period unset"
+    );
+    let key = first.share_key();
+    for lane in lanes {
+        assert!(
+            lane.shareable(),
+            "lane '{}' emits directives and cannot share a trajectory",
+            lane.label()
+        );
+        assert!(
+            lane.share_key() == key,
+            "lane '{}' has a different cleaning interval than the batch",
+            lane.label()
+        );
+    }
+
+    let mut sys = Runner::new(cfg.clone()).into_system();
+    let l2_geometry = (sys.hier.l2().sets(), sys.hier.l2().ways());
+    let cells: Vec<LaneCell> = lanes
+        .iter()
+        .map(|lane| {
+            let cell = Rc::new(RefCell::new(LaneState {
+                scheme: build_scheme(lane.scheme, &cfg.hierarchy),
+                scrubber: lane
+                    .scrub_period
+                    .map(|period| Scrubber::new(period, l2_geometry.0, l2_geometry.1)),
+                directives: Vec::new(),
+            }));
+            sys.add_observer(Box::new(ShadowLane {
+                cell: Rc::clone(&cell),
+            }));
+            cell
+        })
+        .collect();
+
+    let mut now: Cycle = 0;
+    now = sys.run(now, cfg.warmup_cycles);
+
+    let window = WindowSnapshot::take(&sys);
+    let energy_before: Vec<EnergyCounters> = cells
+        .iter()
+        .map(|cell| cell.borrow().scheme.energy_counters())
+        .collect();
+    let dirty_sum = sys.run_census(now, cfg.measure_cycles);
+
+    lanes
+        .iter()
+        .zip(&cells)
+        .zip(&energy_before)
+        .map(|((lane, cell), before)| {
+            let state = cell.borrow();
+            let energy = state.scheme.energy_counters().since(before);
+            let stats = window.finish(
+                cfg.benchmark,
+                lane.scheme,
+                cfg.measure_cycles,
+                &sys,
+                dirty_sum,
+                energy,
+            );
+            // The same scopes `System::register_stats` publishes, with
+            // the lane's scheme and scrubber swapped in for the base's.
+            let mut registry = Registry::new();
+            registry.scoped("cpu", |r| sys.cpu.register_stats(r));
+            registry.scoped("mem", |r| sys.hier.register_stats(r));
+            registry.scoped("scheme", |r| state.scheme.register_stats(r));
+            registry.scoped("cleaning", |r| sys.cleaning.register_stats(r));
+            registry.scoped("scrub", |r| {
+                state
+                    .scrubber
+                    .as_ref()
+                    .map(Scrubber::stats)
+                    .unwrap_or_default()
+                    .register_stats(r);
+            });
+            LaneResult {
+                spec: lane.clone(),
+                stats,
+                registry,
+            }
+        })
+        .collect()
+}
+
+/// Runs one lane as its own independent serial system — the reference
+/// the batch engine is verified against (the `lanes-vs-serial`
+/// determinism leg and the byte-identity property test both diff
+/// [`run_lanes`] output against this).
+#[must_use]
+pub fn run_lane_serial(cfg: &ExperimentConfig, lane: &LaneSpec) -> LaneResult {
+    let mut serial_cfg = cfg.clone();
+    serial_cfg.scheme = lane.scheme;
+    serial_cfg.scrub_period = lane.scrub_period;
+    let mut sys = Runner::new(serial_cfg.clone()).into_system();
+    let now = sys.run(0, serial_cfg.warmup_cycles);
+    let window = WindowSnapshot::take(&sys);
+    let energy_before = sys.scheme.energy_counters();
+    let dirty_sum = sys.run_census(now, serial_cfg.measure_cycles);
+    let energy = sys.scheme.energy_counters().since(&energy_before);
+    let stats = window.finish(
+        serial_cfg.benchmark,
+        lane.scheme,
+        serial_cfg.measure_cycles,
+        &sys,
+        dirty_sum,
+        energy,
+    );
+    let mut registry = Registry::new();
+    sys.register_stats(&mut registry);
+    LaneResult {
+        spec: lane.clone(),
+        stats,
+        registry,
+    }
+}
+
+/// Partitions arbitrary lane specs into shareable batches (keyed by
+/// trajectory class) and solo lanes, preserving input order within each
+/// group. Solo lanes are directive-emitting schemes; batches of one are
+/// returned as batches (the engine handles them fine).
+#[must_use]
+pub fn partition_lanes(lanes: &[LaneSpec]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let mut batches: Vec<(Option<u64>, Vec<usize>)> = Vec::new();
+    let mut solo = Vec::new();
+    for (i, lane) in lanes.iter().enumerate() {
+        match lane.share_key() {
+            Some(key) => match batches.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => batches.push((key, vec![i])),
+            },
+            None => solo.push(i),
+        }
+    }
+    (batches.into_iter().map(|(_, m)| m).collect(), solo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Scale;
+    use aep_workloads::Benchmark;
+
+    fn batch_cfg(first: SchemeKind) -> ExperimentConfig {
+        let mut cfg = Scale::Smoke.config(Benchmark::Gzip, first);
+        // Smaller windows than fast_test: this test suite runs several
+        // serial references per lane batch.
+        cfg.warmup_cycles = 8_000;
+        cfg.measure_cycles = 12_000;
+        cfg
+    }
+
+    fn assert_stats_bit_identical(a: &RunStats, b: &RunStats) {
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.scheme, b.scheme);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.ipc.to_bits(), b.ipc.to_bits());
+        assert_eq!(a.l2.wb_replacement, b.l2.wb_replacement);
+        assert_eq!(a.l2.wb_cleaning, b.l2.wb_cleaning);
+        assert_eq!(a.l2.wb_ecc, b.l2.wb_ecc);
+        assert_eq!(a.l2.loads_stores, b.l2.loads_stores);
+        assert_eq!(
+            a.l2.avg_dirty_fraction.to_bits(),
+            b.l2.avg_dirty_fraction.to_bits()
+        );
+        assert_eq!(
+            a.l2.final_dirty_fraction.to_bits(),
+            b.l2.final_dirty_fraction.to_bits()
+        );
+        assert_eq!(a.energy, b.energy);
+    }
+
+    /// The core contract: every lane of a batch is byte-identical to the
+    /// same configuration run serially, across schemes and scrub periods.
+    #[test]
+    fn lane_batch_matches_independent_serial_runs() {
+        let lanes = vec![
+            LaneSpec::new(SchemeKind::Uniform),
+            LaneSpec::new(SchemeKind::ParityOnly),
+            LaneSpec::with_scrub(SchemeKind::Uniform, 256),
+            LaneSpec::with_scrub(SchemeKind::ParityOnly, 1024),
+        ];
+        let cfg = batch_cfg(lanes[0].scheme);
+        let results = run_lanes(&cfg, &lanes);
+        assert_eq!(results.len(), lanes.len());
+
+        for (lane, result) in lanes.iter().zip(&results) {
+            let mut serial_cfg = cfg.clone();
+            serial_cfg.scheme = lane.scheme;
+            serial_cfg.scrub_period = lane.scrub_period;
+            let serial = Runner::new(serial_cfg.clone()).run();
+            assert_stats_bit_identical(&result.stats, &serial);
+
+            // The standalone serial reference must agree with both.
+            let reference = run_lane_serial(&cfg, lane);
+            assert_stats_bit_identical(&reference.stats, &serial);
+
+            // Registry comparison covers the per-lane component state
+            // (scheme check storage, scrub counters) the headline stats
+            // don't reach.
+            let lane_entries = result.registry.clone().into_entries();
+            let serial_entries = reference.registry.into_entries();
+            assert_eq!(
+                lane_entries.len(),
+                serial_entries.len(),
+                "lane '{}' registry key count",
+                lane.label()
+            );
+            for ((lk, lv), (sk, sv)) in lane_entries.iter().zip(&serial_entries) {
+                assert_eq!(lk, sk, "lane '{}' registry keys diverge", lane.label());
+                assert_eq!(lv, sv, "lane '{}' stat '{lk}' diverges", lane.label());
+            }
+        }
+    }
+
+    #[test]
+    fn scrub_only_lanes_share_with_the_unscrubbed_baseline() {
+        let lanes = vec![
+            LaneSpec::new(SchemeKind::Uniform),
+            LaneSpec::with_scrub(SchemeKind::Uniform, 128),
+            LaneSpec::with_scrub(SchemeKind::Uniform, 512),
+        ];
+        let cfg = batch_cfg(SchemeKind::Uniform);
+        let results = run_lanes(&cfg, &lanes);
+        // Scrub counters differ per lane; trajectory stats do not.
+        assert_eq!(results[0].stats.committed, results[1].stats.committed);
+        let scrubbed = |r: &LaneResult| match r.registry.get("scrub.scrubbed") {
+            Some(aep_obs::StatValue::Counter(n)) => *n,
+            other => panic!("scrub.scrubbed missing: {other:?}"),
+        };
+        assert_eq!(scrubbed(&results[0]), 0);
+        assert!(scrubbed(&results[1]) > scrubbed(&results[2]));
+    }
+
+    #[test]
+    fn partition_groups_by_trajectory_class() {
+        let lanes = vec![
+            LaneSpec::new(SchemeKind::Uniform),
+            LaneSpec::new(SchemeKind::Proposed {
+                cleaning_interval: 1 << 20,
+            }),
+            LaneSpec::new(SchemeKind::ParityOnly),
+            LaneSpec::new(SchemeKind::UniformWithCleaning {
+                cleaning_interval: 1 << 20,
+            }),
+            LaneSpec::with_scrub(SchemeKind::Uniform, 4096),
+        ];
+        let (batches, solo) = partition_lanes(&lanes);
+        assert_eq!(batches, vec![vec![0, 2, 4], vec![3]]);
+        assert_eq!(solo, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot share")]
+    fn directive_emitting_lane_is_rejected() {
+        let lanes = vec![LaneSpec::new(SchemeKind::Proposed {
+            cleaning_interval: 1 << 20,
+        })];
+        let mut cfg = batch_cfg(lanes[0].scheme);
+        cfg.warmup_cycles = 100;
+        cfg.measure_cycles = 100;
+        let _ = run_lanes(&cfg, &lanes);
+    }
+}

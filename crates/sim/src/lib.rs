@@ -16,15 +16,23 @@
 //!   regenerates each of the paper's figures.
 //! * [`observe`] — observed runs: the full [`aep_obs`] stats registry and
 //!   optional ring-buffered cycle trace collected alongside [`RunStats`].
+//! * [`bus`] — the unified [`SystemObserver`] event bus every attachment
+//!   (probes, checkers, shadow lanes) publishes through.
+//! * [`lanes`] — the lane-parallel batch engine: N scheme/scrub
+//!   configurations stepped in lockstep over one shared trajectory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bus;
+pub mod lanes;
 pub mod observe;
 pub mod report;
 pub mod runner;
 pub mod system;
 
+pub use bus::SystemObserver;
+pub use lanes::{partition_lanes, run_lane_serial, run_lanes, LaneResult, LaneSpec};
 pub use observe::ObservedRun;
 pub use report::Table;
 pub use runner::{ExperimentConfig, L2Window, RunStats, Runner, Scale};

@@ -245,8 +245,17 @@ impl Runner {
         now = sys.run(now, cfg.warmup_cycles);
 
         let window = WindowSnapshot::take(&sys);
+        let energy_before = sys.scheme.energy_counters();
         let dirty_sum = sys.run_census(now, cfg.measure_cycles);
-        window.finish(&cfg, &sys, dirty_sum)
+        let energy = sys.scheme.energy_counters().since(&energy_before);
+        window.finish(
+            cfg.benchmark,
+            cfg.scheme,
+            cfg.measure_cycles,
+            &sys,
+            dirty_sum,
+            energy,
+        )
     }
 
     /// Executes warm-up plus measurement like [`Runner::run`], additionally
@@ -271,6 +280,7 @@ impl Runner {
         now = sys.run(now, cfg.warmup_cycles);
 
         let window = WindowSnapshot::take(&sys);
+        let energy_before = sys.scheme.energy_counters();
         let total_lines = sys.hier.l2().total_lines() as f64;
 
         let interval = (cfg.measure_cycles / DIRTY_SERIES_SAMPLES).max(1);
@@ -285,7 +295,15 @@ impl Runner {
             dirty_series.tick(cycle - now, || dirty as f64 / total_lines);
         }
 
-        let stats = window.finish(&cfg, &sys, dirty_sum);
+        let energy = sys.scheme.energy_counters().since(&energy_before);
+        let stats = window.finish(
+            cfg.benchmark,
+            cfg.scheme,
+            cfg.measure_cycles,
+            &sys,
+            dirty_sum,
+            energy,
+        );
 
         let mut registry = Registry::new();
         sys.register_stats(&mut registry);
@@ -298,7 +316,14 @@ impl Runner {
         }
     }
 
-    fn build_system(cfg: &ExperimentConfig) -> System<aep_workloads::Generator> {
+    /// Builds the configured system without running it — the lane batch
+    /// engine ([`crate::lanes`]) drives the windows itself.
+    #[must_use]
+    pub fn into_system(self) -> System<aep_workloads::Generator> {
+        Self::build_system(&self.config)
+    }
+
+    pub(crate) fn build_system(cfg: &ExperimentConfig) -> System<aep_workloads::Generator> {
         let stream = cfg.benchmark.generator(cfg.seed);
         let mut sys = System::new(cfg.core.clone(), cfg.hierarchy.clone(), cfg.scheme, stream);
         sys.set_respect_written_bit(cfg.respect_written_bit);
@@ -310,42 +335,45 @@ impl Runner {
 }
 
 /// Counter values captured at the start of the measured window, so the
-/// reported statistics are deltas that exclude warm-up.
-struct WindowSnapshot {
+/// reported statistics are deltas that exclude warm-up. Scheme energy is
+/// snapshotted by the caller: the lane engine finishes one shared window
+/// once per lane, each with its own scheme's counters.
+pub(crate) struct WindowSnapshot {
     l2_before: aep_mem::CacheStats,
     ops_before: aep_mem::OpCounts,
     committed_before: u64,
-    energy_before: EnergyCounters,
 }
 
 impl WindowSnapshot {
-    fn take<S: aep_cpu::InstrStream>(sys: &System<S>) -> Self {
+    pub(crate) fn take<S: aep_cpu::InstrStream>(sys: &System<S>) -> Self {
         WindowSnapshot {
             l2_before: *sys.hier.l2().stats(),
             ops_before: sys.hier.ops(),
             committed_before: sys.cpu.stats().committed,
-            energy_before: sys.scheme.energy_counters(),
         }
     }
 
-    fn finish<S: aep_cpu::InstrStream>(
+    pub(crate) fn finish<S: aep_cpu::InstrStream>(
         &self,
-        cfg: &ExperimentConfig,
+        benchmark: Benchmark,
+        scheme: SchemeKind,
+        measure_cycles: u64,
         sys: &System<S>,
         dirty_sum: u64,
+        energy: EnergyCounters,
     ) -> RunStats {
         let total_lines = sys.hier.l2().total_lines() as f64;
         let l2_after = sys.hier.l2().stats().since(&self.l2_before);
         let ops_after = sys.hier.ops();
         let committed = sys.cpu.stats().committed - self.committed_before;
-        let avg_dirty_lines = dirty_sum as f64 / cfg.measure_cycles as f64;
+        let avg_dirty_lines = dirty_sum as f64 / measure_cycles as f64;
 
         RunStats {
-            benchmark: cfg.benchmark,
-            scheme: cfg.scheme,
-            cycles: cfg.measure_cycles,
+            benchmark,
+            scheme,
+            cycles: measure_cycles,
             committed,
-            ipc: committed as f64 / cfg.measure_cycles as f64,
+            ipc: committed as f64 / measure_cycles as f64,
             l2: L2Window {
                 avg_dirty_fraction: avg_dirty_lines / total_lines,
                 avg_dirty_lines,
@@ -358,7 +386,7 @@ impl WindowSnapshot {
             mispredict_ratio: sys.cpu.bpred().stats().mispredict_ratio(),
             l1d_miss_ratio: sys.hier.l1d().stats().miss_ratio(),
             l2_miss_ratio: sys.hier.l2().stats().miss_ratio(),
-            energy: sys.scheme.energy_counters().since(&self.energy_before),
+            energy,
         }
     }
 }

@@ -9,11 +9,18 @@ use aep_mem::cache::{Cache, WbClass};
 use aep_mem::{Cycle, HierarchyConfig, L2Event, MainMemory, MemoryHierarchy};
 use aep_obs::{CycleTrace, Registry, TraceKind};
 
+use crate::bus::{CheckShim, ProbeShim, SystemObserver};
+
 /// An observer wired into the event-drain loop *ahead of* the protection
 /// scheme: it sees every L2 event while the scheme's check storage still
 /// describes the pre-event line image. The fault-injection campaign uses
 /// this to resolve a pending strike at the first access or eviction that
 /// touches the struck frame.
+///
+/// Legacy seam: new code should implement
+/// [`SystemObserver::pre_event`](crate::SystemObserver::pre_event)
+/// directly; this trait keeps working through
+/// [`System::set_injection_probe`]'s shim.
 pub trait InjectionProbe {
     /// Called for each L2 event before the scheme observes it.
     fn on_l2_event(
@@ -38,6 +45,12 @@ pub trait InjectionProbe {
 /// its lockstep golden model and invariant registry through this hook;
 /// installing one also turns on [`L2Event::WordWritten`] emission so data
 /// can be mirrored word-for-word.
+///
+/// Legacy seam: new code should implement
+/// [`SystemObserver::post_event`](crate::SystemObserver::post_event) /
+/// [`SystemObserver::cycle_end`](crate::SystemObserver::cycle_end)
+/// directly; this trait keeps working through
+/// [`System::set_check_observer`]'s shim.
 pub trait CheckObserver {
     /// Called for each L2 event after the scheme has observed it (but
     /// before the directives it demanded are applied).
@@ -124,8 +137,7 @@ pub struct System<S> {
     event_buf: Vec<L2Event>,
     respect_written_bit: bool,
     scrubber: Option<Scrubber>,
-    probe: Option<Box<dyn InjectionProbe>>,
-    checker: Option<Box<dyn CheckObserver>>,
+    observers: Vec<Box<dyn SystemObserver>>,
     trace: Option<CycleTrace>,
     resolution_buf: Vec<(usize, usize, &'static str)>,
 }
@@ -154,8 +166,7 @@ impl<S: InstrStream> System<S> {
             event_buf: Vec::new(),
             respect_written_bit: true,
             scrubber: None,
-            probe: None,
-            checker: None,
+            observers: Vec::new(),
             trace: None,
             resolution_buf: Vec::new(),
         }
@@ -191,20 +202,41 @@ impl<S: InstrStream> System<S> {
         reg.scoped("scrub", |r| {
             self.scrub_stats().unwrap_or_default().register_stats(r);
         });
+        for obs in &self.observers {
+            obs.register_stats(reg);
+        }
+    }
+
+    /// Attaches a [`SystemObserver`] to the event bus. Observers are
+    /// published to in attach order; one requesting word-level events
+    /// turns [`L2Event::WordWritten`] emission on for the whole run.
+    pub fn add_observer(&mut self, observer: Box<dyn SystemObserver>) {
+        if observer.wants_word_events() {
+            self.hier.l2_mut().set_word_event_emission(true);
+        }
+        self.observers.push(observer);
     }
 
     /// Installs an [`InjectionProbe`] that intercepts L2 events ahead of
     /// the scheme (fault-injection campaigns).
+    #[deprecated(
+        since = "0.7.0",
+        note = "implement `SystemObserver::pre_event` and attach with `System::add_observer`"
+    )]
     pub fn set_injection_probe(&mut self, probe: Box<dyn InjectionProbe>) {
-        self.probe = Some(probe);
+        self.add_observer(Box::new(ProbeShim(probe)));
     }
 
     /// Installs a [`CheckObserver`] behind the scheme (differential
     /// checking) and enables word-level event emission so the observer can
     /// mirror line data exactly.
+    #[deprecated(
+        since = "0.7.0",
+        note = "implement `SystemObserver::post_event`/`cycle_end` and attach with \
+                `System::add_observer`"
+    )]
     pub fn set_check_observer(&mut self, checker: Box<dyn CheckObserver>) {
-        self.hier.l2_mut().set_word_event_emission(true);
-        self.checker = Some(checker);
+        self.add_observer(Box::new(CheckShim(checker)));
     }
 
     /// Enables background scrubbing: one line verified (and repaired if a
@@ -239,6 +271,34 @@ impl<S: InstrStream> System<S> {
         self.kind
     }
 
+    /// A deep copy of the whole machine — core, hierarchy, scheme state,
+    /// cleaning FSM, scrubber — *without* the attached observers or
+    /// trace, which are run-specific. Forking a warmed system is how the
+    /// fault campaign amortizes its warm-up window: warm once per
+    /// worker, fork per chunk, and the fork replays exactly as a freshly
+    /// warmed machine would (the simulator is deterministic and fully
+    /// owned by this struct).
+    #[must_use]
+    pub fn fork(&self) -> System<S>
+    where
+        S: Clone,
+    {
+        System {
+            cpu: self.cpu.clone(),
+            hier: self.hier.clone(),
+            scheme: self.scheme.clone_box(),
+            cleaning: self.cleaning.clone(),
+            kind: self.kind,
+            directive_buf: Vec::new(),
+            event_buf: Vec::new(),
+            respect_written_bit: self.respect_written_bit,
+            scrubber: self.scrubber.clone(),
+            observers: Vec::new(),
+            trace: None,
+            resolution_buf: Vec::new(),
+        }
+    }
+
     /// Advances the whole machine by one cycle.
     pub fn step(&mut self, now: Cycle) {
         self.cpu.step(&mut self.hier, now);
@@ -249,8 +309,8 @@ impl<S: InstrStream> System<S> {
             let (l2, memory) = self.hier.l2_and_memory_mut();
             scrubber.tick(now, l2, self.scheme.as_mut(), memory);
         }
-        if let Some(checker) = self.checker.as_deref_mut() {
-            checker.on_cycle_end(&self.hier, self.scheme.as_ref(), now);
+        for obs in &mut self.observers {
+            obs.cycle_end(&mut self.hier, self.scheme.as_ref(), now);
         }
     }
 
@@ -268,21 +328,23 @@ impl<S: InstrStream> System<S> {
                 break;
             }
             for event in &self.event_buf {
-                if let Some(probe) = self.probe.as_deref_mut() {
+                for obs in &mut self.observers {
                     let (l2, memory) = self.hier.l2_and_memory_mut();
-                    probe.on_l2_event(event, l2, self.scheme.as_mut(), memory, now);
+                    obs.pre_event(event, l2, self.scheme.as_mut(), memory, now);
                 }
                 if let Some(trace) = self.trace.as_mut() {
                     record_event(trace, now, event);
                 }
                 self.scheme
                     .on_event(event, self.hier.l2(), &mut self.directive_buf);
-                if let Some(checker) = self.checker.as_deref_mut() {
-                    checker.on_l2_event(event, &self.hier, self.scheme.as_ref(), now);
+                for obs in &mut self.observers {
+                    obs.post_event(event, &self.hier, self.scheme.as_ref(), now);
                 }
             }
-            if let (Some(trace), Some(probe)) = (self.trace.as_mut(), self.probe.as_deref_mut()) {
-                probe.drain_resolutions(&mut self.resolution_buf);
+            if let Some(trace) = self.trace.as_mut() {
+                for obs in &mut self.observers {
+                    obs.drain_resolutions(&mut self.resolution_buf);
+                }
                 for (set, way, outcome) in self.resolution_buf.drain(..) {
                     trace.record(now, TraceKind::FaultResolved { set, way, outcome });
                 }
@@ -344,12 +406,50 @@ impl<S: InstrStream> System<S> {
         }
     }
 
-    /// Runs `cycles` cycles starting at `start`, returning the next cycle.
-    pub fn run(&mut self, start: Cycle, cycles: u64) -> Cycle {
-        for now in start..start + cycles {
-            self.step(now);
+    /// The earliest cycle after `now` at which any component can change
+    /// machine state: the CPU's next wakeup, the write buffer's next
+    /// retirement, the cleaning FSM's next probe, the scrubber's next
+    /// visit, and the earliest cycle any attached observer must see
+    /// (the differential checker answers `now + 1`, which degrades the
+    /// run loop to exact per-cycle stepping). Conservative — it may name
+    /// a cycle where nothing happens, never one later than real work —
+    /// so stepping straight to it is exactly equivalent to stepping
+    /// every cycle in between.
+    fn next_event_after(&self, now: Cycle) -> Cycle {
+        let mut t = self.cpu.next_event_after(now);
+        t = t.min(self.hier.next_event_after(now));
+        t = t.min(self.cleaning.next_due_after(now));
+        if let Some(scrubber) = &self.scrubber {
+            t = t.min(scrubber.next_due_at().max(now + 1));
         }
-        start + cycles
+        for obs in &self.observers {
+            t = t.min(obs.next_event_after(now).max(now + 1));
+        }
+        t
+    }
+
+    /// Runs `cycles` cycles starting at `start`, returning the next cycle.
+    ///
+    /// Event-driven: after each real step the loop jumps straight to the
+    /// next cycle at which any component can act, booking the skipped
+    /// cycles' only per-cycle statistic (fetch stalls) in one batch. The
+    /// resulting machine state and statistics are bit-identical to the
+    /// cycle-by-cycle walk; observers that need every cycle (the
+    /// differential checker) declare so through
+    /// [`SystemObserver::next_event_after`], which forces the loop back
+    /// to single stepping.
+    pub fn run(&mut self, start: Cycle, cycles: u64) -> Cycle {
+        let end = start + cycles;
+        let mut now = start;
+        while now < end {
+            self.step(now);
+            let next = self.next_event_after(now).min(end);
+            if next > now + 1 {
+                self.cpu.account_idle_cycles(now + 1, next - now - 1);
+            }
+            now = next;
+        }
+        end
     }
 
     /// Runs `cycles` cycles while sampling the L2 dirty-line census after
@@ -360,11 +460,23 @@ impl<S: InstrStream> System<S> {
     /// re-entering the hierarchy for a second read, and the sum stays in
     /// integer arithmetic (exact — the measured windows keep it far below
     /// 2^53, so downstream `f64` averages are unchanged to the last bit).
+    ///
+    /// Fast-forwards like [`System::run`]: a skipped cycle's census
+    /// equals the census at the step before it (nothing changes machine
+    /// state in between), so the sum weights each stepped census by the
+    /// cycles it covers.
     pub fn run_census(&mut self, start: Cycle, cycles: u64) -> u64 {
+        let end = start + cycles;
         let mut dirty_sum: u64 = 0;
-        for now in start..start + cycles {
+        let mut now = start;
+        while now < end {
             self.step(now);
-            dirty_sum += self.hier.l2().dirty_line_count();
+            let next = self.next_event_after(now).min(end);
+            dirty_sum += self.hier.l2().dirty_line_count() * (next - now);
+            if next > now + 1 {
+                self.cpu.account_idle_cycles(now + 1, next - now - 1);
+            }
+            now = next;
         }
         dirty_sum
     }
@@ -428,6 +540,51 @@ mod tests {
             cleaned.hier.l2().dirty_line_count() <= org.hier.l2().dirty_line_count(),
             "cleaning must not increase dirty lines"
         );
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_to_per_cycle_stepping() {
+        for kind in [
+            SchemeKind::Uniform,
+            SchemeKind::Proposed {
+                cleaning_interval: 4096,
+            },
+        ] {
+            let mut fast = tiny_system(kind);
+            fast.enable_scrubbing(64);
+            let mut slow = tiny_system(kind);
+            slow.enable_scrubbing(64);
+
+            fast.run(0, 40_000);
+            for now in 0..40_000 {
+                slow.step(now);
+            }
+            assert_eq!(fast.cpu.stats(), slow.cpu.stats());
+            assert_eq!(fast.hier.l2().stats(), slow.hier.l2().stats());
+            assert_eq!(fast.hier.ops(), slow.hier.ops());
+            assert_eq!(
+                fast.hier.l2().dirty_line_count(),
+                slow.hier.l2().dirty_line_count()
+            );
+            assert_eq!(fast.scrub_stats(), slow.scrub_stats());
+        }
+    }
+
+    #[test]
+    fn fast_forward_census_matches_per_cycle_sampling() {
+        let kind = SchemeKind::Proposed {
+            cleaning_interval: 4096,
+        };
+        let mut fast = tiny_system(kind);
+        let fast_sum = fast.run_census(0, 40_000);
+        let mut slow = tiny_system(kind);
+        let mut slow_sum = 0u64;
+        for now in 0..40_000 {
+            slow.step(now);
+            slow_sum += slow.hier.l2().dirty_line_count();
+        }
+        assert_eq!(fast_sum, slow_sum);
+        assert_eq!(fast.cpu.stats(), slow.cpu.stats());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use aep_cpu::isa::{InstrStream, MicroOp, OpClass};
 use aep_mem::Addr;
-use aep_rng::SmallRng;
+use aep_rng::{Bernoulli, SmallRng, Uniform};
 
 /// Fractions of each op class in the dynamic instruction stream.
 ///
@@ -251,6 +251,9 @@ struct RegionState {
     base: u64,
     cursor: u64,
     echo: bool,
+    /// Cached word-index sampler for the random patterns (a `gen_range`
+    /// with a precomputed rejection zone; bit-identical draws).
+    word_sampler: Option<Uniform>,
 }
 
 impl RegionState {
@@ -259,7 +262,7 @@ impl RegionState {
         match self.region.pattern {
             Pattern::HotRandom { .. } | Pattern::ResidentRead { .. } => {
                 // 8-byte-aligned uniform random.
-                let word = rng.gen_range(0..bytes / 8);
+                let word = self.word_sampler.expect("random pattern").sample(rng);
                 Addr::new(self.base + word * 8)
             }
             Pattern::StreamRead { stride, .. } | Pattern::StreamWrite { stride, .. } => {
@@ -310,8 +313,6 @@ pub struct Generator {
     write_cdf: Vec<f64>,
     regions: Vec<RegionState>,
     mix: InstrMix,
-    branch: BranchModel,
-    dep_frac: f64,
     code_bytes: u64,
     pc: u64,
     code_base: u64,
@@ -321,6 +322,10 @@ pub struct Generator {
     loop_iter: u32,
     loop_trip: u32,
     last_chase_dst: Option<u8>,
+    reg_sampler: Uniform,
+    dep_sampler: Bernoulli,
+    noise_sampler: Bernoulli,
+    half_sampler: Bernoulli,
 }
 
 /// Mixer used by [`Pattern::PointerChase`] to pick the next node.
@@ -347,6 +352,12 @@ impl Generator {
         spec.assert_valid();
         let mut regions = Vec::with_capacity(spec.regions.len());
         for (i, &region) in spec.regions.iter().enumerate() {
+            let word_sampler = match region.pattern {
+                Pattern::HotRandom { bytes } | Pattern::ResidentRead { bytes } => {
+                    Some(Uniform::new(0..bytes / 8))
+                }
+                _ => None,
+            };
             regions.push(RegionState {
                 region,
                 base: DATA_BASE + i as u64 * REGION_SPACING,
@@ -354,6 +365,7 @@ impl Generator {
                 // Starts true so the first sweep store is a fresh line
                 // (the flag flips before use).
                 echo: true,
+                word_sampler,
             });
         }
         let normalise = |weights: Vec<f64>| -> Vec<f64> {
@@ -375,8 +387,6 @@ impl Generator {
             write_cdf,
             regions,
             mix: spec.mix,
-            branch: spec.branch,
-            dep_frac: spec.dep_frac,
             code_bytes: spec.code_bytes,
             pc: CODE_BASE,
             code_base: CODE_BASE,
@@ -386,6 +396,10 @@ impl Generator {
             loop_iter: 0,
             loop_trip: spec.branch.trip_count(),
             last_chase_dst: None,
+            reg_sampler: Uniform::new(1..32),
+            dep_sampler: Bernoulli::new(spec.dep_frac),
+            noise_sampler: Bernoulli::new(spec.branch.noise),
+            half_sampler: Bernoulli::new(0.5),
         }
     }
 
@@ -417,12 +431,12 @@ impl Generator {
 
     fn pick_src(&mut self) -> Option<u8> {
         if let Some(prev) = self.prev_dst {
-            if self.rng.gen_bool(self.dep_frac) {
+            if self.dep_sampler.sample(&mut self.rng) {
                 return Some(prev);
             }
         }
         // An older, almost-certainly-ready register.
-        Some(self.rng.gen_range(1..32))
+        Some(self.reg_sampler.sample(&mut self.rng) as u8)
     }
 
     /// The (stable, per-PC) branch target: a 64-byte-aligned location
@@ -482,9 +496,9 @@ impl InstrStream for Generator {
             // Loop-control branch: a counted loop's back edge (taken
             // trip-1 times, then falls through), plus a noisy
             // data-dependent minority that resists prediction.
-            let noisy = self.rng.gen_bool(self.branch.noise);
+            let noisy = self.noise_sampler.sample(&mut self.rng);
             let taken = if noisy {
-                self.rng.gen_bool(0.5)
+                self.half_sampler.sample(&mut self.rng)
             } else {
                 self.loop_iter += 1;
                 if self.loop_iter >= self.loop_trip {
@@ -524,7 +538,7 @@ impl InstrStream for Generator {
                 OpClass::FpMul
             };
             let src1 = self.pick_src();
-            let src2 = Some(self.rng.gen_range(1..32));
+            let src2 = Some(self.reg_sampler.sample(&mut self.rng) as u8);
             let dst = self.next_dst();
             MicroOp {
                 pc,

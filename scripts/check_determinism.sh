@@ -4,6 +4,8 @@
 # snapshot (`exp run --stats-json`), the design-space explorer
 # (`exp explore grid`), and the differential checker's fuzzing campaign
 # (`exp check`) must all be byte-identical between --jobs 1 and --jobs N.
+# A sixth leg checks the lane-parallel batch engine (`exp lanes`) against
+# per-lane serial runs (`exp lanes --serial`) the same way.
 #
 # Usage: scripts/check_determinism.sh [scale] [jobs]
 #          scale  paper|quick|smoke   (default: smoke)
@@ -108,5 +110,24 @@ if cmp -s "$tmp/check_serial.txt" "$tmp/check_parallel.txt"; then
 else
   echo "==> check determinism FAILED: fuzz reports differ" >&2
   diff "$tmp/check_serial.txt" "$tmp/check_parallel.txt" | head -n 40 >&2
+  exit 1
+fi
+
+# The lane-parallel batch engine steps N configurations in lockstep over
+# one shared trajectory; its per-lane stats snapshots must be
+# byte-identical to N independent serial runs.
+echo "==> exp lanes --scale $scale"
+./target/release/exp lanes --scale "$scale" \
+  > "$tmp/lanes_batch.txt" 2> /dev/null
+
+echo "==> exp lanes --scale $scale --serial"
+./target/release/exp lanes --scale "$scale" --serial \
+  > "$tmp/lanes_serial.txt" 2> /dev/null
+
+if cmp -s "$tmp/lanes_batch.txt" "$tmp/lanes_serial.txt"; then
+  echo "==> lanes determinism: byte-identical (batch vs serial, $scale)"
+else
+  echo "==> lanes determinism FAILED: lane stats differ from serial runs" >&2
+  diff "$tmp/lanes_batch.txt" "$tmp/lanes_serial.txt" | head -n 40 >&2
   exit 1
 fi
