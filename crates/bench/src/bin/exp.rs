@@ -54,6 +54,17 @@ fn main() {
     if command == "check" {
         std::process::exit(aep_bench::check_cli::run(&args[1..]));
     }
+    // The simulation-service subcommands (daemon, client, load harness)
+    // own their grammars too.
+    if command == "serve" {
+        std::process::exit(aep_bench::serve_cli::serve(&args[1..]));
+    }
+    if command == "submit" {
+        std::process::exit(aep_bench::serve_cli::submit(&args[1..]));
+    }
+    if command == "hammer" {
+        std::process::exit(aep_bench::serve_cli::hammer(&args[1..]));
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
@@ -340,6 +351,14 @@ fn usage() -> String {
      \x20 lanes      run the standard lane set, print per-lane stats\n\
      \x20            snapshots; [--serial] runs each lane independently\n\
      \x20            (outputs must be byte-identical)\n\
+     \x20 serve      start the persistent simulation daemon (NDJSON over\n\
+     \x20            TCP/Unix socket, shared run cache, admission control;\n\
+     \x20            see `exp serve help`)\n\
+     \x20 submit     send one experiment to a running daemon and print\n\
+     \x20            its result (also --ping/--stats/--shutdown;\n\
+     \x20            see `exp submit help`)\n\
+     \x20 hammer     load-test a running daemon, validating every response\n\
+     \x20            bit-exactly (BENCH_serve.json; see `exp hammer help`)\n\
      \x20 all        everything above in order\n\n\
      flags:\n\
      \x20 --jobs N     worker threads for experiment fan-out\n\

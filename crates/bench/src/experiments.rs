@@ -20,7 +20,10 @@ use std::collections::HashMap;
 
 use aep_core::SchemeKind;
 use aep_faultsim::fan_out;
-use aep_sim::{RunStats, Runner, Table};
+// The execute-tier planner (`LaneJob` + `plan_lane_jobs`) lives in
+// `aep_sim::lanes` now — the `exp serve` daemon's scheduler batches
+// concurrent clients' submissions through the same code path.
+use aep_sim::{LaneJob, RunStats, Runner, Table};
 use aep_workloads::calibration::CHOSEN_INTERVAL;
 use aep_workloads::{BenchKind, Benchmark};
 
@@ -202,7 +205,9 @@ impl Lab {
         // unaffected by how the plan happened to batch.
         summary.evaluated = misses.len();
         let verbose = self.verbose;
-        let lane_jobs = plan_lane_jobs(&misses);
+        let miss_cfgs: Vec<&aep_sim::ExperimentConfig> =
+            misses.iter().map(|(_, cfg)| *cfg).collect();
+        let lane_jobs = aep_sim::plan_lane_jobs(&miss_cfgs);
         let job_results = fan_out(lane_jobs.len(), self.jobs, |j| match &lane_jobs[j] {
             LaneJob::Batch {
                 cfg,
@@ -292,95 +297,6 @@ impl Lab {
     pub fn totals(&self) -> BatchSummary {
         self.totals
     }
-}
-
-/// One unit of execute-tier work: a lock-step lane batch over several
-/// miss indices, or a single serial run.
-enum LaneJob {
-    /// Shareable-trajectory misses stepped together in one lane batch.
-    Batch {
-        /// The shared machine/workload configuration (scheme set to the
-        /// first lane's, scrubbing delegated to the lane specs). Boxed
-        /// so the solo variant stays pointer-sized.
-        cfg: Box<aep_sim::ExperimentConfig>,
-        /// Per-lane scheme + scrub period, in `indices` order.
-        specs: Vec<aep_sim::LaneSpec>,
-        /// Positions into the miss list, one per lane.
-        indices: Vec<usize>,
-    },
-    /// A miss that must run on its own (directive-emitting scheme, or no
-    /// shareable partner in this plan).
-    Solo(usize),
-}
-
-/// Two configs can ride one trajectory only if everything *except* the
-/// protection scheme and scrub period is identical.
-fn same_machine(a: &aep_sim::ExperimentConfig, b: &aep_sim::ExperimentConfig) -> bool {
-    a.benchmark == b.benchmark
-        && a.warmup_cycles == b.warmup_cycles
-        && a.measure_cycles == b.measure_cycles
-        && a.seed == b.seed
-        && a.core == b.core
-        && a.hierarchy == b.hierarchy
-        && a.respect_written_bit == b.respect_written_bit
-}
-
-/// Greedily groups the execute-tier misses into lane batches.
-///
-/// Misses whose schemes are directive-free and agree on the cleaning
-/// interval — [`aep_sim::LaneSpec::share_key`] — and whose machine,
-/// workload, and windows match, are merged into one [`LaneJob::Batch`];
-/// everything else becomes a [`LaneJob::Solo`]. Grouping is
-/// first-occurrence-ordered, so the job list (and therefore the result)
-/// is deterministic in the plan alone.
-fn plan_lane_jobs(misses: &[(String, &aep_sim::ExperimentConfig)]) -> Vec<LaneJob> {
-    let mut jobs = Vec::new();
-    let mut taken = vec![false; misses.len()];
-    for i in 0..misses.len() {
-        if taken[i] {
-            continue;
-        }
-        taken[i] = true;
-        let cfg_i = misses[i].1;
-        let spec_i = aep_sim::LaneSpec {
-            scheme: cfg_i.scheme,
-            scrub_period: cfg_i.scrub_period,
-        };
-        let Some(key) = spec_i.share_key() else {
-            jobs.push(LaneJob::Solo(i));
-            continue;
-        };
-        let mut indices = vec![i];
-        let mut specs = vec![spec_i];
-        for k in (i + 1)..misses.len() {
-            if taken[k] {
-                continue;
-            }
-            let cfg_k = misses[k].1;
-            let spec_k = aep_sim::LaneSpec {
-                scheme: cfg_k.scheme,
-                scrub_period: cfg_k.scrub_period,
-            };
-            if spec_k.share_key() == Some(key) && same_machine(cfg_i, cfg_k) {
-                taken[k] = true;
-                indices.push(k);
-                specs.push(spec_k);
-            }
-        }
-        if indices.len() == 1 {
-            jobs.push(LaneJob::Solo(i));
-        } else {
-            let mut cfg = Box::new(cfg_i.clone());
-            cfg.scheme = specs[0].scheme;
-            cfg.scrub_period = None;
-            jobs.push(LaneJob::Batch {
-                cfg,
-                specs,
-                indices,
-            });
-        }
-    }
-    jobs
 }
 
 /// One figure's data: column labels plus (benchmark, values) rows.
@@ -910,12 +826,7 @@ mod tests {
             // machine, so it cannot join the Gzip batch.
             Scale::Smoke.config(Benchmark::Mcf, SchemeKind::Uniform),
         ];
-        let jobs = plan_lane_jobs(
-            &plan
-                .iter()
-                .map(|cfg| (RunCache::key("smoke", cfg), cfg))
-                .collect::<Vec<_>>(),
-        );
+        let jobs = aep_sim::plan_lane_jobs(&plan.iter().collect::<Vec<_>>());
         let batches = jobs
             .iter()
             .filter(|j| matches!(j, LaneJob::Batch { .. }))

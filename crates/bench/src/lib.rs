@@ -23,6 +23,7 @@ pub mod explore;
 pub mod faults;
 pub mod gate;
 pub mod runcache;
+pub mod serve_cli;
 
 pub use engine_bench::EngineBenchReport;
 pub use experiments::{FigureData, Lab, Scale};

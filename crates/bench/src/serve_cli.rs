@@ -1,0 +1,531 @@
+//! `exp serve` / `exp submit` / `exp hammer` — the CLI face of the
+//! simulation service (`aep-serve`).
+//!
+//! Like `exp explore` and `exp check`, these subcommands own their flag
+//! grammars and are dispatched before the generic flag loop. Exit codes
+//! follow the repo contract: 0 = success, 1 = runtime failure (cannot
+//! connect, bit-exactness violation, broken floor), 2 = usage error.
+
+use std::path::PathBuf;
+
+use aep_serve::client::ClientError;
+use aep_serve::engine::EngineConfig;
+use aep_serve::hammer::HammerOptions;
+use aep_serve::{DaemonConfig, Endpoint, SubmitRequest};
+use aep_sim::runcache::render_stats;
+use aep_sim::{RunCache, Scale};
+use aep_workloads::Benchmark;
+
+/// The default loopback endpoint the three subcommands agree on.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7117";
+
+fn parse_u64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, i32> {
+    let v = it.next().map(String::as_str).unwrap_or("");
+    v.parse().map_err(|_| {
+        eprintln!("{flag} requires an unsigned integer, got '{v}'");
+        2
+    })
+}
+
+fn parse_scale(it: &mut std::slice::Iter<'_, String>) -> Result<Scale, i32> {
+    let v = it.next().map(String::as_str).unwrap_or("");
+    Scale::parse(v).ok_or_else(|| {
+        eprintln!("unknown scale '{v}' (use paper|quick|smoke)");
+        2
+    })
+}
+
+fn serve_usage() -> String {
+    "usage: exp serve [--tcp ADDR] [--unix PATH] [--scale paper|quick|smoke]\n\
+     \x20               [--jobs N] [--queue-depth N] [--client-cap N]\n\
+     \x20               [--no-cache] [--verbose]\n\n\
+     Start the persistent simulation daemon: newline-delimited JSON over\n\
+     TCP and/or a Unix socket, one shared run cache and warm worker pool,\n\
+     admission control and request dedup. Stop it with a\n\
+     {\"type\":\"shutdown\"} request (`exp submit --shutdown`): in-flight\n\
+     work finishes, then the daemon exits.\n\n\
+     flags:\n\
+     \x20 --tcp ADDR       TCP bind address (default 127.0.0.1:7117;\n\
+     \x20                  port 0 picks a free port, printed on stdout)\n\
+     \x20 --unix PATH      also (or instead) listen on a Unix socket\n\
+     \x20 --scale S        default scale for submits that name none\n\
+     \x20                  (default: smoke)\n\
+     \x20 --jobs N         simulation worker threads (default: all cores)\n\
+     \x20 --queue-depth N  max admitted-but-unfinished runs before\n\
+     \x20                  shedding `busy` (default: 256)\n\
+     \x20 --client-cap N   per-connection in-flight cap (default: 64)\n\
+     \x20 --no-cache       do not read or write results/cache/\n\
+     \x20 --verbose        per-run progress on stderr\n\n\
+     exit codes: 0 clean shutdown, 1 cannot bind, 2 usage error"
+        .to_owned()
+}
+
+/// Runs `exp serve`; returns the process exit code.
+#[must_use]
+pub fn serve(args: &[String]) -> i32 {
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut scale = Scale::Smoke;
+    let mut jobs: Option<usize> = None;
+    let mut queue_depth = 256usize;
+    let mut client_cap = 64usize;
+    let mut use_cache = true;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tcp" => match it.next() {
+                Some(addr) => tcp = Some(addr.clone()),
+                None => {
+                    eprintln!("--tcp requires an address");
+                    return 2;
+                }
+            },
+            "--unix" => match it.next() {
+                Some(path) => unix = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--unix requires a path");
+                    return 2;
+                }
+            },
+            "--scale" => match parse_scale(&mut it) {
+                Ok(s) => scale = s,
+                Err(code) => return code,
+            },
+            "--jobs" => match parse_u64(&mut it, "--jobs") {
+                Ok(n) if n >= 1 => jobs = Some(n as usize),
+                Ok(_) => {
+                    eprintln!("--jobs requires a positive integer");
+                    return 2;
+                }
+                Err(code) => return code,
+            },
+            "--queue-depth" => match parse_u64(&mut it, "--queue-depth") {
+                Ok(n) if n >= 1 => queue_depth = n as usize,
+                Ok(_) => {
+                    eprintln!("--queue-depth requires a positive integer");
+                    return 2;
+                }
+                Err(code) => return code,
+            },
+            "--client-cap" => match parse_u64(&mut it, "--client-cap") {
+                Ok(n) if n >= 1 => client_cap = n as usize,
+                Ok(_) => {
+                    eprintln!("--client-cap requires a positive integer");
+                    return 2;
+                }
+                Err(code) => return code,
+            },
+            "--no-cache" => use_cache = false,
+            "--verbose" => verbose = true,
+            "help" | "--help" | "-h" => {
+                println!("{}", serve_usage());
+                return 0;
+            }
+            other => {
+                eprintln!("exp serve: unknown argument '{other}'\n\n{}", serve_usage());
+                return 2;
+            }
+        }
+    }
+    let mut engine = EngineConfig::new(scale);
+    if let Some(jobs) = jobs {
+        engine.jobs = jobs;
+    }
+    engine.queue_depth = queue_depth;
+    engine.verbose = verbose;
+    if use_cache {
+        engine.disk = Some(RunCache::default_under("."));
+    }
+    let cfg = DaemonConfig {
+        // `--unix` alone disables TCP unless `--tcp` was also given.
+        tcp: tcp.or_else(|| unix.is_none().then(|| DEFAULT_ADDR.to_string())),
+        unix,
+        engine,
+        client_cap,
+    };
+    let handle = match aep_serve::spawn(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("exp serve: cannot start daemon: {e}");
+            return 1;
+        }
+    };
+    // Scripts wait for these lines to know the daemon is ready (and,
+    // with `--tcp 127.0.0.1:0`, which port the OS picked).
+    if let Some(addr) = handle.tcp_addr {
+        println!("listening tcp {addr}");
+    }
+    if let Some(path) = &handle.unix_path {
+        println!("listening unix {}", path.display());
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    eprintln!("[serve] drained, bye");
+    0
+}
+
+fn submit_usage() -> String {
+    "usage: exp submit [--connect tcp:ADDR|unix:PATH] [--bench B] [--scheme S]\n\
+     \x20                [--seed N] [--scrub N] [--scale paper|quick|smoke]\n\
+     \x20                [--warmup N] [--measure N] [--id STR]\n\
+     \x20                [--ping | --stats | --shutdown]\n\n\
+     Submit one experiment to a running daemon (`exp serve`) and print\n\
+     its result as the lossless run-cache text (stdout). The key, cache\n\
+     tier, and daemon-side latency go to stderr.\n\n\
+     flags:\n\
+     \x20 --connect SPEC  daemon endpoint (default tcp:127.0.0.1:7117)\n\
+     \x20 --bench B       benchmark name (default: gzip)\n\
+     \x20 --scheme S      scheme slug: uniform | parity | uniform_clean:N |\n\
+     \x20                 proposed:N | proposed_multi:N:E (default: the\n\
+     \x20                 calibrated proposed scheme)\n\
+     \x20 --seed N        workload seed override\n\
+     \x20 --scrub N       background scrub period (cycles per line)\n\
+     \x20 --scale S       experiment scale (default: the daemon's)\n\
+     \x20 --warmup N      warm-up window override (cycles)\n\
+     \x20 --measure N     measured window override (cycles)\n\
+     \x20 --id STR        correlation id echoed by the daemon\n\
+     \x20 --ping          liveness check instead of a submit\n\
+     \x20 --stats         print the daemon's serve.* snapshot JSON\n\
+     \x20 --shutdown      request the graceful drain\n\n\
+     exit codes: 0 success, 1 daemon unreachable or request failed,\n\
+     2 usage error"
+        .to_owned()
+}
+
+enum SubmitMode {
+    Submit,
+    Ping,
+    Stats,
+    Shutdown,
+}
+
+/// Runs `exp submit`; returns the process exit code.
+#[must_use]
+pub fn submit(args: &[String]) -> i32 {
+    let mut connect = format!("tcp:{DEFAULT_ADDR}");
+    let mut req = SubmitRequest::new(Benchmark::Gzip, crate::experiments::proposed());
+    let mut mode = SubmitMode::Submit;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => match it.next() {
+                Some(spec) => connect = spec.clone(),
+                None => {
+                    eprintln!("--connect requires tcp:ADDR or unix:PATH");
+                    return 2;
+                }
+            },
+            "--bench" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match Benchmark::all().into_iter().find(|b| b.name() == v) {
+                    Some(bench) => req.bench = bench,
+                    None => {
+                        eprintln!("unknown benchmark '{v}'");
+                        return 2;
+                    }
+                }
+            }
+            "--scheme" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match aep_core::parse_scheme_slug(v) {
+                    Some(scheme) => req.scheme = scheme,
+                    None => {
+                        eprintln!(
+                            "unknown scheme '{v}' (use uniform|parity|uniform_clean:N|\
+                             proposed:N|proposed_multi:N:E)"
+                        );
+                        return 2;
+                    }
+                }
+            }
+            "--seed" => match parse_u64(&mut it, "--seed") {
+                Ok(n) => req.seed = Some(n),
+                Err(code) => return code,
+            },
+            "--scrub" => match parse_u64(&mut it, "--scrub") {
+                Ok(n) => req.scrub = Some(n),
+                Err(code) => return code,
+            },
+            "--scale" => match parse_scale(&mut it) {
+                Ok(s) => req.scale = Some(s),
+                Err(code) => return code,
+            },
+            "--warmup" => match parse_u64(&mut it, "--warmup") {
+                Ok(n) => req.warmup = Some(n),
+                Err(code) => return code,
+            },
+            "--measure" => match parse_u64(&mut it, "--measure") {
+                Ok(n) => req.measure = Some(n),
+                Err(code) => return code,
+            },
+            "--id" => match it.next() {
+                Some(id) => req.id = Some(id.clone()),
+                None => {
+                    eprintln!("--id requires a string");
+                    return 2;
+                }
+            },
+            "--ping" => mode = SubmitMode::Ping,
+            "--stats" => mode = SubmitMode::Stats,
+            "--shutdown" => mode = SubmitMode::Shutdown,
+            "help" | "--help" | "-h" => {
+                println!("{}", submit_usage());
+                return 0;
+            }
+            other => {
+                eprintln!(
+                    "exp submit: unknown argument '{other}'\n\n{}",
+                    submit_usage()
+                );
+                return 2;
+            }
+        }
+    }
+    let endpoint = match Endpoint::parse(&connect) {
+        Ok(endpoint) => endpoint,
+        Err(e) => {
+            eprintln!("exp submit: {e}");
+            return 2;
+        }
+    };
+    let mut client = match endpoint.connect() {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("exp submit: cannot connect to {endpoint}: {e}");
+            return 1;
+        }
+    };
+    match mode {
+        SubmitMode::Ping => match client.ping() {
+            Ok(()) => {
+                println!("pong");
+                0
+            }
+            Err(e) => {
+                eprintln!("exp submit: ping failed: {e}");
+                1
+            }
+        },
+        SubmitMode::Stats => match client.stats_json() {
+            Ok(json) => {
+                print!("{json}");
+                0
+            }
+            Err(e) => {
+                eprintln!("exp submit: stats failed: {e}");
+                1
+            }
+        },
+        SubmitMode::Shutdown => match client.shutdown() {
+            Ok(()) => {
+                eprintln!("[submit] daemon draining");
+                0
+            }
+            Err(ClientError::Shed(code, msg)) => {
+                eprintln!("exp submit: shutdown refused ({}): {msg}", code.name());
+                1
+            }
+            Err(e) => {
+                eprintln!("exp submit: shutdown failed: {e}");
+                1
+            }
+        },
+        SubmitMode::Submit => match client.submit(&req) {
+            Ok(reply) => {
+                eprintln!(
+                    "[submit] key={} source={} wait_us={}",
+                    reply.key,
+                    reply.source.name(),
+                    reply.wait_us
+                );
+                print!("{}", render_stats(&reply.stats));
+                0
+            }
+            Err(e) => {
+                eprintln!("exp submit: {e}");
+                1
+            }
+        },
+    }
+}
+
+fn hammer_usage() -> String {
+    "usage: exp hammer [--connect tcp:ADDR|unix:PATH] [--scale S]\n\
+     \x20                [--steps LIST] [--step-ms N] [--seed N]\n\
+     \x20                [--warmup N] [--measure N] [--out FILE]\n\
+     \x20                [--floor-rps X] [--floor-hit X] [--quiet]\n\n\
+     Load-test a running daemon: warm the config pool, then step through\n\
+     the concurrency ladder with closed-loop client threads. Every\n\
+     response is validated bit-exactly against a direct in-process run;\n\
+     per-step p50/p95/p99 latency, throughput, cache-hit and shed rates\n\
+     are written to BENCH_serve.json.\n\n\
+     flags:\n\
+     \x20 --connect SPEC  daemon endpoint (default tcp:127.0.0.1:7117)\n\
+     \x20 --scale S       config-pool scale; must match the daemon's\n\
+     \x20                 default for its disk cache to line up\n\
+     \x20                 (default: smoke)\n\
+     \x20 --steps LIST    concurrency ladder (default 2,4,8,16,32)\n\
+     \x20 --step-ms N     wall-clock per step (default 2000)\n\
+     \x20 --seed N        thread walk-offset seed (default 2006)\n\
+     \x20 --warmup N      per-config warm-up window override (cycles)\n\
+     \x20 --measure N     per-config measured window override (cycles)\n\
+     \x20 --out FILE      report path (default BENCH_serve.json)\n\
+     \x20 --floor-rps X   fail (exit 1) below X req/s at the top step\n\
+     \x20 --floor-hit X   fail (exit 1) below hit-rate X at the top step\n\
+     \x20 --quiet         suppress per-step progress\n\n\
+     exit codes: 0 success, 1 violation/floor/connection failure,\n\
+     2 usage error"
+        .to_owned()
+}
+
+/// Runs `exp hammer`; returns the process exit code.
+#[must_use]
+pub fn hammer(args: &[String]) -> i32 {
+    let mut connect = format!("tcp:{DEFAULT_ADDR}");
+    let mut scale = Scale::Smoke;
+    let mut steps: Option<Vec<usize>> = None;
+    let mut step_ms = 2_000u64;
+    let mut seed = 2_006u64;
+    let mut warmup_cycles: Option<u64> = None;
+    let mut measure_cycles: Option<u64> = None;
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut floor_rps: Option<f64> = None;
+    let mut floor_hit: Option<f64> = None;
+    let mut verbose = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => match it.next() {
+                Some(spec) => connect = spec.clone(),
+                None => {
+                    eprintln!("--connect requires tcp:ADDR or unix:PATH");
+                    return 2;
+                }
+            },
+            "--scale" => match parse_scale(&mut it) {
+                Ok(s) => scale = s,
+                Err(code) => return code,
+            },
+            "--steps" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                match parsed {
+                    Ok(list) if !list.is_empty() && list.iter().all(|&n| n >= 1) => {
+                        steps = Some(list);
+                    }
+                    _ => {
+                        eprintln!("--steps requires a comma list of positive integers, got '{v}'");
+                        return 2;
+                    }
+                }
+            }
+            "--step-ms" => match parse_u64(&mut it, "--step-ms") {
+                Ok(n) if n >= 1 => step_ms = n,
+                Ok(_) => {
+                    eprintln!("--step-ms requires a positive integer");
+                    return 2;
+                }
+                Err(code) => return code,
+            },
+            "--seed" => match parse_u64(&mut it, "--seed") {
+                Ok(n) => seed = n,
+                Err(code) => return code,
+            },
+            "--warmup" => match parse_u64(&mut it, "--warmup") {
+                Ok(n) => warmup_cycles = Some(n),
+                Err(code) => return code,
+            },
+            "--measure" => match parse_u64(&mut it, "--measure") {
+                Ok(n) if n >= 1 => measure_cycles = Some(n),
+                Ok(_) => {
+                    eprintln!("--measure requires a positive integer");
+                    return 2;
+                }
+                Err(code) => return code,
+            },
+            "--out" => match it.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("--out requires a file path");
+                    return 2;
+                }
+            },
+            "--floor-rps" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<f64>().ok().filter(|x| *x > 0.0) {
+                    Some(x) => floor_rps = Some(x),
+                    None => {
+                        eprintln!("--floor-rps requires a positive number, got '{v}'");
+                        return 2;
+                    }
+                }
+            }
+            "--floor-hit" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<f64>().ok().filter(|x| (0.0..=1.0).contains(x)) {
+                    Some(x) => floor_hit = Some(x),
+                    None => {
+                        eprintln!("--floor-hit requires a rate in [0,1], got '{v}'");
+                        return 2;
+                    }
+                }
+            }
+            "--quiet" => verbose = false,
+            "help" | "--help" | "-h" => {
+                println!("{}", hammer_usage());
+                return 0;
+            }
+            other => {
+                eprintln!(
+                    "exp hammer: unknown argument '{other}'\n\n{}",
+                    hammer_usage()
+                );
+                return 2;
+            }
+        }
+    }
+    let endpoint = match Endpoint::parse(&connect) {
+        Ok(endpoint) => endpoint,
+        Err(e) => {
+            eprintln!("exp hammer: {e}");
+            return 2;
+        }
+    };
+    let mut opts = HammerOptions::new(endpoint);
+    opts.scale = scale;
+    if let Some(list) = steps {
+        opts.steps = list;
+    }
+    opts.step_ms = step_ms;
+    opts.seed = seed;
+    opts.warmup_cycles = warmup_cycles;
+    opts.measure_cycles = measure_cycles;
+    opts.out = Some(out);
+    opts.floor_rps = floor_rps;
+    opts.floor_hit = floor_hit;
+    opts.verbose = verbose;
+    match aep_serve::hammer::run(&opts) {
+        Ok(report) => {
+            let top = report.top().expect("ladder is non-empty");
+            println!(
+                "hammer: {} validated responses over {} configs; top step c={}: \
+                 {:.1} req/s, p99 {} µs, hit {:.1}%, shed {:.1}%",
+                report.validated,
+                report.distinct_configs,
+                top.concurrency,
+                top.rps,
+                top.p99_us,
+                top.hit_rate * 100.0,
+                top.shed_rate * 100.0
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("exp hammer: FAIL: {e}");
+            1
+        }
+    }
+}

@@ -412,3 +412,59 @@ fn check_injected_violation_exits_1_with_a_shrunk_reproducer() {
     assert!(body.contains("\"genome\""));
     assert!(body.contains("\"violations\""));
 }
+
+#[test]
+fn serve_subcommand_help_and_usage_errors() {
+    for sub in ["serve", "submit", "hammer"] {
+        let out = exp(&[sub, "help"]);
+        assert!(out.status.success(), "{sub} help must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("usage: exp {sub}")),
+            "{sub} help renders its usage"
+        );
+    }
+    for (args, needle) in [
+        (&["serve", "--frobnicate"][..], "unknown argument"),
+        (&["serve", "--scale", "huge"][..], "unknown scale"),
+        (&["serve", "--jobs", "0"][..], "--jobs requires"),
+        (
+            &["serve", "--queue-depth", "0"][..],
+            "--queue-depth requires",
+        ),
+        (&["serve", "--tcp"][..], "--tcp requires"),
+        (&["submit", "--frobnicate"][..], "unknown argument"),
+        (&["submit", "--bench", "nosuch"][..], "unknown benchmark"),
+        (&["submit", "--scheme", "nosuch"][..], "unknown scheme"),
+        (&["submit", "--seed", "x"][..], "--seed requires"),
+        (
+            &["submit", "--connect", "carrier-pigeon", "--ping"][..],
+            "bad endpoint",
+        ),
+        (&["hammer", "--frobnicate"][..], "unknown argument"),
+        (&["hammer", "--steps", "0,2"][..], "--steps requires"),
+        (&["hammer", "--steps", ""][..], "--steps requires"),
+        (&["hammer", "--step-ms", "0"][..], "--step-ms requires"),
+        (&["hammer", "--floor-rps", "-1"][..], "--floor-rps requires"),
+        (&["hammer", "--floor-hit", "2"][..], "--floor-hit requires"),
+        (
+            &["hammer", "--connect", "carrier-pigeon"][..],
+            "bad endpoint",
+        ),
+    ] {
+        let out = exp(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: stderr was {stderr}");
+    }
+}
+
+#[test]
+fn submit_against_no_daemon_exits_1() {
+    // Port 1 on loopback is never a daemon of ours; connect must fail
+    // with a runtime (exit 1) diagnostic, not a usage error.
+    let out = exp(&["submit", "--connect", "tcp:127.0.0.1:1", "--ping"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot connect"), "stderr: {stderr}");
+}

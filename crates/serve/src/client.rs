@@ -1,0 +1,328 @@
+//! Blocking client for the daemon protocol.
+//!
+//! One [`Client`] owns one connection and speaks strict
+//! request/response: write a line, read a line. (The protocol itself
+//! permits pipelining — the hammer harness drives one client per thread
+//! instead, which keeps per-request latency honest.)
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use aep_sim::RunStats;
+
+use crate::protocol::{parse_response, ErrorCode, Response, Source, SubmitRequest};
+
+/// Where a daemon lives, parsed from a `--connect` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `tcp:HOST:PORT` (or a bare `HOST:PORT`).
+    Tcp(String),
+    /// `unix:PATH`.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses a connect spec: `tcp:127.0.0.1:7117`, `unix:/run/aep.sock`,
+    /// or a bare `host:port`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if let Some(rest) = spec.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                if rest.is_empty() {
+                    return Err("unix: endpoint needs a path".into());
+                }
+                return Ok(Endpoint::Unix(PathBuf::from(rest)));
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = rest;
+                return Err("unix sockets are not available on this platform".into());
+            }
+        }
+        let addr = spec.strip_prefix("tcp:").unwrap_or(spec);
+        if addr.rsplit_once(':').is_none() {
+            return Err(format!(
+                "bad endpoint {spec:?}: expected tcp:HOST:PORT or unix:PATH"
+            ));
+        }
+        Ok(Endpoint::Tcp(addr.to_string()))
+    }
+
+    /// Opens a connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(&self) -> io::Result<Client> {
+        let conn = match self {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                ClientConn::Tcp(stream)
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => ClientConn::Unix(UnixStream::connect(path)?),
+        };
+        Client::over(conn)
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+enum ClientConn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ClientConn {
+    fn try_clone(&self) -> io::Result<ClientConn> {
+        match self {
+            ClientConn::Tcp(s) => s.try_clone().map(ClientConn::Tcp),
+            #[cfg(unix)]
+            ClientConn::Unix(s) => s.try_clone().map(ClientConn::Unix),
+        }
+    }
+}
+
+impl Read for ClientConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientConn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientConn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientConn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ClientConn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientConn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ClientConn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect refused, reset, EOF mid-response).
+    Io(io::Error),
+    /// The daemon answered, but not with what the call expected — the
+    /// typed daemon errors land here with their code and message.
+    Protocol(String),
+    /// The daemon shed the request (`busy`/`draining`): retryable.
+    Shed(ErrorCode, String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Shed(code, msg) => write!(f, "shed ({}): {msg}", code.name()),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A finished submit as the client sees it.
+#[derive(Debug, Clone)]
+pub struct SubmitReply {
+    /// The run-cache key the daemon resolved the config to.
+    pub key: String,
+    /// Which tier produced the result.
+    pub source: Source,
+    /// Daemon-side admission-to-completion latency (µs; 0 on memo hits).
+    pub wait_us: u64,
+    /// The statistics, bit-identical to a direct run.
+    pub stats: Arc<RunStats>,
+}
+
+/// One blocking connection to a daemon.
+pub struct Client {
+    reader: BufReader<ClientConn>,
+    writer: ClientConn,
+}
+
+impl Client {
+    fn over(conn: ClientConn) -> io::Result<Client> {
+        let read_half = conn.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: conn,
+        })
+    }
+
+    /// Sends one raw line and reads one raw response line — the escape
+    /// hatch the black-box protocol tests use to send malformed input.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or EOF before a full line arrived.
+    pub fn roundtrip_line(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Reads one response line (without sending anything first).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or EOF before a full line arrived.
+    pub fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn call(&mut self, line: &str) -> Result<Response, ClientError> {
+        let reply = self.roundtrip_line(line)?;
+        parse_response(&reply).map_err(ClientError::Protocol)
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a non-`pong` reply.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call("{\"type\":\"ping\"}")? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits one experiment and blocks until its result arrives.
+    ///
+    /// # Errors
+    ///
+    /// Sheds (`busy`/`draining`) surface as [`ClientError::Shed`]; other
+    /// daemon errors as [`ClientError::Protocol`].
+    pub fn submit(&mut self, req: &SubmitRequest) -> Result<SubmitReply, ClientError> {
+        match self.call(&req.render())? {
+            Response::Result {
+                key,
+                source,
+                wait_us,
+                stats,
+                ..
+            } => Ok(SubmitReply {
+                key,
+                source,
+                wait_us,
+                stats: Arc::from(stats),
+            }),
+            Response::Error { code, message, .. }
+                if matches!(code, ErrorCode::Busy | ErrorCode::Draining) =>
+            {
+                Err(ClientError::Shed(code, message))
+            }
+            Response::Error { code, message, .. } => {
+                Err(ClientError::Protocol(format!("{}: {message}", code.name())))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected result, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the daemon's `serve.*` snapshot JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a non-`snapshot` reply.
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        match self.call("{\"type\":\"stats\"}")? {
+            Response::Snapshot(json) => Ok(json),
+            other => Err(ClientError::Protocol(format!(
+                "expected snapshot, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests the graceful drain; returns once the daemon acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// A second shutdown surfaces the daemon's typed `draining` error.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call("{\"type\":\"shutdown\"}")? {
+            Response::Bye => Ok(()),
+            Response::Error { code, message, .. } => Err(ClientError::Shed(code, message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected bye, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_specs_parse() {
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7117"),
+            Ok(Endpoint::Tcp("127.0.0.1:7117".into()))
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7117"),
+            Ok(Endpoint::Tcp("127.0.0.1:7117".into()))
+        );
+        #[cfg(unix)]
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/aep.sock"),
+            Ok(Endpoint::Unix(PathBuf::from("/tmp/aep.sock")))
+        );
+        assert!(Endpoint::parse("carrier-pigeon").is_err());
+        #[cfg(unix)]
+        assert!(Endpoint::parse("unix:").is_err());
+    }
+}

@@ -34,6 +34,7 @@ use aep_mem::cache::Cache;
 use aep_mem::{Cycle, L2Event, MainMemory, MemoryHierarchy};
 use aep_obs::Registry;
 
+#[allow(deprecated)]
 use crate::system::{CheckObserver, InjectionProbe};
 
 /// An observer attached to a [`System`](crate::System)'s event bus.
@@ -112,8 +113,10 @@ pub trait SystemObserver {
 }
 
 /// Adapter publishing bus events to a legacy [`InjectionProbe`].
+#[allow(deprecated)]
 pub struct ProbeShim(pub Box<dyn InjectionProbe>);
 
+#[allow(deprecated)]
 impl SystemObserver for ProbeShim {
     fn pre_event(
         &mut self,
@@ -135,8 +138,10 @@ impl SystemObserver for ProbeShim {
 /// legacy contract promised a callback every cycle, so the shim pins
 /// `next_event_after` to `now + 1` (no fast-forwarding) and requests
 /// word-level events, exactly as `set_check_observer` used to.
+#[allow(deprecated)]
 pub struct CheckShim(pub Box<dyn CheckObserver>);
 
+#[allow(deprecated)]
 impl SystemObserver for CheckShim {
     fn post_event(
         &mut self,
@@ -198,6 +203,7 @@ mod tests {
         events: Rc<Cell<u64>>,
     }
 
+    #[allow(deprecated)]
     impl InjectionProbe for LegacyProbe {
         fn on_l2_event(
             &mut self,
@@ -216,6 +222,7 @@ mod tests {
         cycles: Rc<Cell<u64>>,
     }
 
+    #[allow(deprecated)]
     impl CheckObserver for LegacyChecker {
         fn on_l2_event(
             &mut self,

@@ -326,6 +326,102 @@ pub fn run_lane_serial(cfg: &ExperimentConfig, lane: &LaneSpec) -> LaneResult {
     }
 }
 
+/// One unit of execute-tier work from [`plan_lane_jobs`]: a lock-step
+/// lane batch over several plan indices, or a single serial run.
+#[derive(Debug)]
+pub enum LaneJob {
+    /// Shareable-trajectory configurations stepped together in one lane
+    /// batch.
+    Batch {
+        /// The shared machine/workload configuration (scheme set to the
+        /// first lane's, scrubbing delegated to the lane specs). Boxed
+        /// so the solo variant stays pointer-sized.
+        cfg: Box<ExperimentConfig>,
+        /// Per-lane scheme + scrub period, in `indices` order.
+        specs: Vec<LaneSpec>,
+        /// Positions into the planned-config list, one per lane.
+        indices: Vec<usize>,
+    },
+    /// A configuration that must run on its own (directive-emitting
+    /// scheme, or no shareable partner in this plan).
+    Solo(usize),
+}
+
+/// Two configs can ride one trajectory only if everything *except* the
+/// protection scheme and scrub period is identical.
+#[must_use]
+pub fn same_machine(a: &ExperimentConfig, b: &ExperimentConfig) -> bool {
+    a.benchmark == b.benchmark
+        && a.warmup_cycles == b.warmup_cycles
+        && a.measure_cycles == b.measure_cycles
+        && a.seed == b.seed
+        && a.core == b.core
+        && a.hierarchy == b.hierarchy
+        && a.respect_written_bit == b.respect_written_bit
+}
+
+/// Greedily groups a list of to-be-run configurations into lane batches.
+///
+/// Configurations whose schemes are directive-free and agree on the
+/// cleaning interval — [`LaneSpec::share_key`] — and whose machine,
+/// workload, and windows match ([`same_machine`]), are merged into one
+/// [`LaneJob::Batch`]; everything else becomes a [`LaneJob::Solo`].
+/// Grouping is first-occurrence-ordered, so the job list (and therefore
+/// the result) is deterministic in the plan alone. Both the `Lab`'s
+/// execute tier and the `exp serve` daemon's scheduler feed their cache
+/// misses through this planner, so concurrent clients' compatible
+/// submissions share trajectories exactly like one process's figure plan.
+#[must_use]
+pub fn plan_lane_jobs(configs: &[&ExperimentConfig]) -> Vec<LaneJob> {
+    let mut jobs = Vec::new();
+    let mut taken = vec![false; configs.len()];
+    for i in 0..configs.len() {
+        if taken[i] {
+            continue;
+        }
+        taken[i] = true;
+        let cfg_i = configs[i];
+        let spec_i = LaneSpec {
+            scheme: cfg_i.scheme,
+            scrub_period: cfg_i.scrub_period,
+        };
+        let Some(key) = spec_i.share_key() else {
+            jobs.push(LaneJob::Solo(i));
+            continue;
+        };
+        let mut indices = vec![i];
+        let mut specs = vec![spec_i];
+        for k in (i + 1)..configs.len() {
+            if taken[k] {
+                continue;
+            }
+            let cfg_k = configs[k];
+            let spec_k = LaneSpec {
+                scheme: cfg_k.scheme,
+                scrub_period: cfg_k.scrub_period,
+            };
+            if spec_k.share_key() == Some(key) && same_machine(cfg_i, cfg_k) {
+                taken[k] = true;
+                indices.push(k);
+                specs.push(spec_k);
+            }
+        }
+        if indices.len() == 1 {
+            jobs.push(LaneJob::Solo(i));
+        } else {
+            let mut cfg = Box::new(cfg_i.clone());
+            cfg.scheme = specs[0].scheme;
+            cfg.scrub_period = None;
+            jobs.push(LaneJob::Batch {
+                cfg,
+                specs,
+                indices,
+            });
+        }
+    }
+    jobs
+}
+
 /// Partitions arbitrary lane specs into shareable batches (keyed by
 /// trajectory class) and solo lanes, preserving input order within each
 /// group. Solo lanes are directive-emitting schemes; batches of one are
@@ -460,6 +556,45 @@ mod tests {
         let (batches, solo) = partition_lanes(&lanes);
         assert_eq!(batches, vec![vec![0, 2, 4], vec![3]]);
         assert_eq!(solo, vec![1]);
+    }
+
+    #[test]
+    fn plan_lane_jobs_groups_compatible_configs() {
+        let mut scrubbed = Scale::Smoke.config(Benchmark::Gzip, SchemeKind::ParityOnly);
+        scrubbed.scrub_period = Some(2048);
+        let plan = [
+            Scale::Smoke.config(Benchmark::Gzip, SchemeKind::Uniform),
+            Scale::Smoke.config(Benchmark::Gzip, SchemeKind::ParityOnly),
+            scrubbed,
+            // A directive emitter must run solo.
+            Scale::Smoke.config(
+                Benchmark::Gzip,
+                SchemeKind::Proposed {
+                    cleaning_interval: 1 << 20,
+                },
+            ),
+            // Same shareable scheme, different benchmark: different
+            // machine, so it cannot join the Gzip batch.
+            Scale::Smoke.config(Benchmark::Mcf, SchemeKind::Uniform),
+        ];
+        let jobs = plan_lane_jobs(&plan.iter().collect::<Vec<_>>());
+        assert_eq!(jobs.len(), 3, "one batch plus two solos");
+        match &jobs[0] {
+            LaneJob::Batch {
+                cfg,
+                specs,
+                indices,
+            } => {
+                assert_eq!(indices, &[0, 1, 2]);
+                assert_eq!(specs.len(), 3);
+                assert_eq!(cfg.scheme, SchemeKind::Uniform);
+                assert_eq!(cfg.scrub_period, None);
+                assert_eq!(specs[2].scrub_period, Some(2048));
+            }
+            other => panic!("expected the Gzip batch first, got {other:?}"),
+        }
+        assert!(matches!(jobs[1], LaneJob::Solo(3)));
+        assert!(matches!(jobs[2], LaneJob::Solo(4)));
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //! * [`bus`] — the unified [`SystemObserver`] event bus every attachment
 //!   (probes, checkers, shadow lanes) publishes through.
 //! * [`lanes`] — the lane-parallel batch engine: N scheme/scrub
-//!   configurations stepped in lockstep over one shared trajectory.
+//!   configurations stepped in lockstep over one shared trajectory, plus
+//!   the [`lanes::plan_lane_jobs`] planner that groups arbitrary config
+//!   lists into batches (shared by the lab and the `exp serve` daemon).
+//! * [`runcache`] — the persistent content-addressed result cache every
+//!   experiment client (lab, explorer, daemon) reads and writes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,12 +32,19 @@ pub mod bus;
 pub mod lanes;
 pub mod observe;
 pub mod report;
+pub mod runcache;
 pub mod runner;
 pub mod system;
 
 pub use bus::SystemObserver;
-pub use lanes::{partition_lanes, run_lane_serial, run_lanes, LaneResult, LaneSpec};
+pub use lanes::{
+    partition_lanes, plan_lane_jobs, run_lane_serial, run_lanes, same_machine, LaneJob, LaneResult,
+    LaneSpec,
+};
 pub use observe::ObservedRun;
 pub use report::Table;
+pub use runcache::RunCache;
 pub use runner::{ExperimentConfig, L2Window, RunStats, Runner, Scale};
-pub use system::{build_scheme, CheckObserver, InjectionProbe, System};
+pub use system::{build_scheme, System};
+#[allow(deprecated)]
+pub use system::{CheckObserver, InjectionProbe};

@@ -20,7 +20,13 @@ use crate::bus::{CheckShim, ProbeShim, SystemObserver};
 /// Legacy seam: new code should implement
 /// [`SystemObserver::pre_event`](crate::SystemObserver::pre_event)
 /// directly; this trait keeps working through
-/// [`System::set_injection_probe`]'s shim.
+/// [`System::set_injection_probe`]'s shim. Every in-tree caller has
+/// migrated to [`System::add_observer`], so the trait itself is now
+/// deprecated alongside its setter.
+#[deprecated(
+    since = "0.8.0",
+    note = "implement `SystemObserver::pre_event` and attach with `System::add_observer`"
+)]
 pub trait InjectionProbe {
     /// Called for each L2 event before the scheme observes it.
     fn on_l2_event(
@@ -50,7 +56,13 @@ pub trait InjectionProbe {
 /// [`SystemObserver::post_event`](crate::SystemObserver::post_event) /
 /// [`SystemObserver::cycle_end`](crate::SystemObserver::cycle_end)
 /// directly; this trait keeps working through
-/// [`System::set_check_observer`]'s shim.
+/// [`System::set_check_observer`]'s shim. Every in-tree caller has
+/// migrated to [`System::add_observer`], so the trait itself is now
+/// deprecated alongside its setter.
+#[deprecated(
+    since = "0.8.0",
+    note = "implement `SystemObserver::post_event`/`cycle_end` and attach with `System::add_observer`"
+)]
 pub trait CheckObserver {
     /// Called for each L2 event after the scheme has observed it (but
     /// before the directives it demanded are applied).
@@ -223,6 +235,7 @@ impl<S: InstrStream> System<S> {
         since = "0.7.0",
         note = "implement `SystemObserver::pre_event` and attach with `System::add_observer`"
     )]
+    #[allow(deprecated)]
     pub fn set_injection_probe(&mut self, probe: Box<dyn InjectionProbe>) {
         self.add_observer(Box::new(ProbeShim(probe)));
     }
@@ -235,6 +248,7 @@ impl<S: InstrStream> System<S> {
         note = "implement `SystemObserver::post_event`/`cycle_end` and attach with \
                 `System::add_observer`"
     )]
+    #[allow(deprecated)]
     pub fn set_check_observer(&mut self, checker: Box<dyn CheckObserver>) {
         self.add_observer(Box::new(CheckShim(checker)));
     }

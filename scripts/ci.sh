@@ -30,5 +30,6 @@ step "cargo clippy --workspace -- -D warnings" \
 step "cargo test -q --workspace" cargo test -q --workspace
 step "stats gate (smoke)" scripts/stats_gate.sh smoke
 step "differential check (smoke)" scripts/differential_check.sh smoke
+step "serve smoke" scripts/serve_smoke.sh smoke
 
 echo "==> ci: all green"
