@@ -65,6 +65,11 @@ fn main() {
     if command == "hammer" {
         std::process::exit(aep_bench::serve_cli::hammer(&args[1..]));
     }
+    // `workloads`: the diversity report, coverage-reach gate, and trace
+    // corpus generator.
+    if command == "workloads" {
+        std::process::exit(aep_bench::workloads_cli::run(&args[1..]));
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
@@ -146,13 +151,14 @@ fn main() {
             }
             "--bench" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
-                faults_opts.benchmark = aep_workloads::Benchmark::all()
-                    .into_iter()
-                    .find(|b| b.name() == v)
-                    .unwrap_or_else(|| {
-                        eprintln!("unknown benchmark '{v}'");
-                        std::process::exit(2);
-                    });
+                faults_opts.benchmark = aep_workloads::Workload::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown workload '{v}'");
+                    std::process::exit(2);
+                });
+                if let Err(e) = faults_opts.benchmark.validate() {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
             }
             "--out" => {
                 let dir = it.next().unwrap_or_else(|| {
@@ -246,7 +252,7 @@ fn main() {
         "run" => {
             let kind = scheme.unwrap_or_else(experiments::proposed);
             let faults_table = faults_trials.map(|trials| {
-                let mut opts = faults_opts;
+                let mut opts = faults_opts.clone();
                 opts.trials = trials;
                 let cfg = faults::campaign_config(scale, &opts, kind);
                 eprintln!(
@@ -255,7 +261,7 @@ fn main() {
                 );
                 aep_faultsim::run_campaign(&cfg, jobs)
             });
-            let snap = gate::snapshot(scale, faults_opts.benchmark, kind, faults_table.as_ref());
+            let snap = gate::snapshot(scale, &faults_opts.benchmark, kind, faults_table.as_ref());
             if stats_json {
                 print!("{}", snap.to_json());
             } else {
@@ -272,7 +278,7 @@ fn main() {
         }
         "trace" => {
             let kind = scheme.unwrap_or_else(experiments::proposed);
-            let run = gate::observed(scale, faults_opts.benchmark, kind, Some(trace_capacity));
+            let run = gate::observed(scale, &faults_opts.benchmark, kind, Some(trace_capacity));
             let trace = run.trace.expect("trace was enabled for this run");
             print!("{}", trace.to_jsonl());
         }
@@ -280,7 +286,7 @@ fn main() {
             if !scale_set {
                 scale = Scale::Smoke;
             }
-            let code = gate::gate_command(scale, faults_opts.benchmark, &golden_dir, regen);
+            let code = gate::gate_command(scale, &faults_opts.benchmark, &golden_dir, regen);
             std::process::exit(code);
         }
         "lifetimes" => emit(experiments::lifetimes(scale)),
@@ -289,7 +295,7 @@ fn main() {
         "cleaners" => emit(experiments::cleaners(scale)),
         "seeds" => emit(experiments::seeds(scale, 5)),
         "bench" => run_engine_bench(scale, check_floor.as_deref()),
-        "lanes" => run_lanes_snapshot(scale, faults_opts.benchmark, serial_lanes),
+        "lanes" => run_lanes_snapshot(scale, &faults_opts.benchmark, serial_lanes),
         "all" => {
             // One up-front plan covering every figure below, so the whole
             // session executes as a single parallel batch.
@@ -359,6 +365,10 @@ fn usage() -> String {
      \x20            see `exp submit help`)\n\
      \x20 hammer     load-test a running daemon, validating every response\n\
      \x20            bit-exactly (BENCH_serve.json; see `exp hammer help`)\n\
+     \x20 workloads  diversity coverage report and trace corpus tools:\n\
+     \x20            `report [--check]` gates on each generator family\n\
+     \x20            reaching features the calibrated suite never does;\n\
+     \x20            `gen-corpus` regenerates traces/ (see help)\n\
      \x20 all        everything above in order\n\n\
      flags:\n\
      \x20 --jobs N     worker threads for experiment fan-out\n\
@@ -377,9 +387,9 @@ fn usage() -> String {
 /// `--serial` runs each lane as an independent system instead, and the
 /// two outputs must be byte-identical (the `lanes-vs-serial` determinism
 /// leg diffs them).
-fn run_lanes_snapshot(scale: Scale, benchmark: aep_workloads::Benchmark, serial: bool) {
+fn run_lanes_snapshot(scale: Scale, benchmark: &aep_workloads::Workload, serial: bool) {
     let lanes = aep_bench::engine_bench::bench_lanes();
-    let cfg = scale.config(benchmark, lanes[0].scheme);
+    let cfg = scale.config(benchmark.clone(), lanes[0].scheme);
     let results: Vec<aep_sim::LaneResult> = if serial {
         lanes
             .iter()
@@ -394,7 +404,7 @@ fn run_lanes_snapshot(scale: Scale, benchmark: aep_workloads::Benchmark, serial:
             r.registry,
             &[
                 ("lane", label.as_str()),
-                ("benchmark", benchmark.name()),
+                ("benchmark", &benchmark.name()),
                 ("scale", scale.name()),
             ],
         );

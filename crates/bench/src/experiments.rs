@@ -25,7 +25,7 @@ use aep_faultsim::fan_out;
 // concurrent clients' submissions through the same code path.
 use aep_sim::{LaneJob, RunStats, Runner, Table};
 use aep_workloads::calibration::CHOSEN_INTERVAL;
-use aep_workloads::{BenchKind, Benchmark};
+use aep_workloads::{BenchKind, Benchmark, Workload};
 
 use crate::runcache::RunCache;
 
@@ -41,9 +41,9 @@ pub use aep_dse::registry::{
     interval_sweep_schemes, proposed,
 };
 
-/// One planned experiment: a (benchmark, scheme) pair to run at the
+/// One planned experiment: a (workload, scheme) pair to run at the
 /// lab's scale.
-pub type PlannedRun = (Benchmark, SchemeKind);
+pub type PlannedRun = (Workload, SchemeKind);
 
 /// How one [`Lab::prefetch_configs`] batch was satisfied, tier by tier.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -136,7 +136,7 @@ impl Lab {
     pub fn prefetch(&mut self, plan: &[PlannedRun]) {
         let configs: Vec<aep_sim::ExperimentConfig> = plan
             .iter()
-            .map(|&(benchmark, scheme)| self.scale.config(benchmark, scheme))
+            .map(|(benchmark, scheme)| self.scale.config(benchmark.clone(), *scheme))
             .collect();
         self.prefetch_configs(&configs);
     }
@@ -270,7 +270,7 @@ impl Lab {
 
     /// Runs (or recalls) one (benchmark, scheme) configuration at the
     /// lab's scale.
-    pub fn stats(&mut self, benchmark: Benchmark, scheme: SchemeKind) -> RunStats {
+    pub fn stats(&mut self, benchmark: impl Into<Workload>, scheme: SchemeKind) -> RunStats {
         self.stats_config(&self.scale.config(benchmark, scheme))
     }
 
@@ -385,11 +385,11 @@ fn benchmarks_of(kind: Option<BenchKind>) -> Vec<Benchmark> {
     }
 }
 
-/// Cross product of benchmarks × schemes, in row-major (benchmark) order.
+/// Cross product of workloads × schemes, in row-major (workload) order.
 fn cross(benches: &[Benchmark], schemes: &[SchemeKind]) -> Vec<PlannedRun> {
     benches
         .iter()
-        .flat_map(|&b| schemes.iter().map(move |&k| (b, k)))
+        .flat_map(|&b| schemes.iter().map(move |&k| (Workload::from(b), k)))
         .collect()
 }
 
@@ -692,23 +692,7 @@ pub fn calibrate(lab: &mut Lab) -> FigureData {
 /// parity-only at the chosen interval.
 pub fn ablation_schemes(lab: &mut Lab) -> FigureData {
     lab.prefetch(&ablation_configs());
-    let configs = [
-        ("org", SchemeKind::Uniform),
-        (
-            "org+clean@1M",
-            SchemeKind::UniformWithCleaning {
-                cleaning_interval: CHOSEN_INTERVAL,
-            },
-        ),
-        ("proposed@1M", proposed()),
-        (
-            "proposed2e@1M",
-            SchemeKind::ProposedMulti {
-                cleaning_interval: CHOSEN_INTERVAL,
-                entries_per_set: 2,
-            },
-        ),
-    ];
+    let configs = aep_dse::registry::ablation_lineup();
     let rows = benchmarks_of(None)
         .into_iter()
         .map(|b| {
@@ -803,8 +787,8 @@ mod tests {
         parallel.prefetch(&plan);
         assert_eq!(serial.runs(), plan.len());
         assert_eq!(parallel.runs(), plan.len());
-        for &(b, k) in &plan {
-            assert_bit_identical(&serial.stats(b, k), &parallel.stats(b, k));
+        for (b, k) in &plan {
+            assert_bit_identical(&serial.stats(b.clone(), *k), &parallel.stats(b.clone(), *k));
         }
     }
 
@@ -865,7 +849,7 @@ mod tests {
         let cache = RunCache::new(&dir);
         let cfg = Scale::Smoke.config(Benchmark::Mcf, SchemeKind::Uniform);
         let mut sentinel = fresh.clone();
-        sentinel.benchmark = Benchmark::Mcf;
+        sentinel.benchmark = Benchmark::Mcf.into();
         sentinel.scheme = SchemeKind::Uniform;
         sentinel.committed = 123_456_789;
         cache

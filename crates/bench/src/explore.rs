@@ -25,7 +25,7 @@ use aep_dse::{
     EvaluatedPoint, Evaluator, ExplorePoint, Geometry, ObjectiveKey, ObjectiveSpec,
     ObjectiveVector, SchemeTemplate, Space,
 };
-use aep_workloads::Benchmark;
+use aep_workloads::{Benchmark, Workload};
 
 use crate::experiments::{Lab, Scale};
 use crate::faults::{self, FaultsOptions};
@@ -44,23 +44,24 @@ pub fn parse_cycles(s: &str) -> Option<u64> {
     s.parse().ok()
 }
 
-fn parse_bench_list(values: &str) -> Result<Vec<Benchmark>, String> {
-    let mut out = Vec::new();
+fn parse_bench_list(values: &str) -> Result<Vec<Workload>, String> {
+    let mut out: Vec<Workload> = Vec::new();
     for v in values.split(',').map(str::trim).filter(|v| !v.is_empty()) {
         match v {
-            "all" => out.extend(Benchmark::all()),
-            "fp" => out.extend(Benchmark::fp()),
-            "int" => out.extend(Benchmark::int()),
-            name => out.push(
-                Benchmark::all()
-                    .into_iter()
-                    .find(|b| b.name() == name)
-                    .ok_or_else(|| format!("unknown benchmark '{name}'"))?,
-            ),
+            "all" => out.extend(Benchmark::all().into_iter().map(Workload::from)),
+            "fp" => out.extend(Benchmark::fp().into_iter().map(Workload::from)),
+            "int" => out.extend(Benchmark::int().into_iter().map(Workload::from)),
+            "diversity" => out.extend(registry::diversity_workloads()),
+            name => {
+                out.push(Workload::parse(name).ok_or_else(|| format!("unknown workload '{name}'"))?)
+            }
         }
     }
     if out.is_empty() {
         return Err("the bench axis has no values".into());
+    }
+    for w in &out {
+        w.validate()?;
     }
     Ok(out)
 }
@@ -81,7 +82,7 @@ fn parse_bench_list(values: &str) -> Result<Vec<Benchmark>, String> {
 pub fn parse_axes(spec: &str) -> Result<Space, String> {
     let mut templates = registry::default_templates();
     let mut intervals = registry::interval_axis();
-    let mut benchmarks = vec![Benchmark::Gap];
+    let mut benchmarks: Vec<Workload> = vec![Benchmark::Gap.into()];
     let mut scrubs: Vec<Option<u64>> = Vec::new();
     let mut geometries: Vec<Geometry> = Vec::new();
     for group in spec.split(';').filter(|g| !g.trim().is_empty()) {
@@ -165,7 +166,7 @@ impl LabEvaluator {
 
     fn campaign_outcome(&self, scale: Scale, point: &ExplorePoint) -> aep_faultsim::OutcomeTable {
         let opts = FaultsOptions {
-            benchmark: point.benchmark,
+            benchmark: point.benchmark.clone(),
             trials: self.trials,
             ..FaultsOptions::default()
         };
@@ -303,7 +304,9 @@ pub fn usage() -> String {
      \x20           proposed_multi:<entries>   [uniform,parity,\n\
      \x20           uniform_clean,proposed]\n\
      \x20 interval  cleaning intervals, K/M suffixes  [64K,256K,1M,4M]\n\
-     \x20 bench     benchmark names, or all|fp|int    [gap]\n\
+     \x20 bench     workload slugs (benchmark names, zipf:/storm:/\n\
+     \x20           flood:/phase:/trace: generators), or the groups\n\
+     \x20           all|fp|int|diversity              [gap]\n\
      \x20 scrub     scrub periods in cycles, or none  [none]\n\
      \x20 l2        geometries <KiB>K[x<ways>x<line>] [1024Kx4x64]\n\n\
      objectives (comma list, first-class columns of every report):\n\
@@ -508,7 +511,7 @@ mod tests {
     #[test]
     fn axes_default_to_the_registry_space() {
         let space = parse_axes("").expect("defaults parse");
-        assert_eq!(space, registry::default_space(&[Benchmark::Gap]));
+        assert_eq!(space, registry::default_space(&[Benchmark::Gap.into()]));
     }
 
     #[test]
@@ -517,11 +520,14 @@ mod tests {
             .expect("axes parse");
         // (uniform + proposed@256K + proposed@1M) × 2 benchmarks.
         assert_eq!(space.len(), 6);
-        assert!(space.points().iter().any(|p| p.benchmark == Benchmark::Gzip
-            && p.scheme
-                == SchemeKind::Proposed {
-                    cleaning_interval: 1024 * 1024
-                }));
+        assert!(space
+            .points()
+            .iter()
+            .any(|p| p.benchmark == Benchmark::Gzip.into()
+                && p.scheme
+                    == SchemeKind::Proposed {
+                        cleaning_interval: 1024 * 1024
+                    }));
         assert!(parse_axes("scheme=bogus").is_err());
         assert!(parse_axes("interval=x").is_err());
         assert!(parse_axes("nonsense").is_err());
@@ -536,7 +542,7 @@ mod tests {
         let mut eval = LabEvaluator::new(1, false, 1);
         let got = explore_grid(&space, Scale::Smoke, &spec, &mut eval);
         assert_eq!(got.len(), 1);
-        let point = space.points()[0];
+        let point = space.points()[0].clone();
         let stats = Lab::new(Scale::Smoke).stats_config(&point.config(Scale::Smoke));
         let want = objectives_from_run(&stats, &point, &spec);
         for (a, b) in got[0].objectives.values.iter().zip(&want.values) {

@@ -24,10 +24,9 @@
 use aep_core::{SchemeKind, SoftErrorModel};
 use aep_ecc::CodeArea;
 use aep_faultsim::{run_campaign, CampaignConfig, OutcomeTable};
-use aep_workloads::calibration::CHOSEN_INTERVAL;
-use aep_workloads::Benchmark;
+use aep_workloads::{Benchmark, Workload};
 
-use crate::experiments::{proposed, FigureData, Lab, Scale};
+use crate::experiments::{FigureData, Lab, Scale};
 use crate::runcache::{fnv1a, scheme_slug, RunCache};
 
 /// Raw cache-entry format version; bump on layout changes **or** on
@@ -36,10 +35,10 @@ use crate::runcache::{fnv1a, scheme_slug, RunCache};
 const FORMAT_VERSION: u64 = 2;
 
 /// CLI-visible knobs of an `exp faults` session.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FaultsOptions {
     /// Workload executing while faults arrive.
-    pub benchmark: Benchmark,
+    pub benchmark: Workload,
     /// Trials per scheme.
     pub trials: u32,
     /// Probability of a double-bit (same-word) strike.
@@ -51,7 +50,7 @@ pub struct FaultsOptions {
 impl Default for FaultsOptions {
     fn default() -> Self {
         FaultsOptions {
-            benchmark: Benchmark::Gap,
+            benchmark: Benchmark::Gap.into(),
             trials: 1000,
             p_double: 0.0,
             seed: 2006,
@@ -59,23 +58,9 @@ impl Default for FaultsOptions {
     }
 }
 
-/// The scheme set the campaign table compares (the ablation line-up plus
-/// parity-only, which the static figures omit).
-#[must_use]
-pub fn faults_schemes() -> Vec<SchemeKind> {
-    vec![
-        SchemeKind::Uniform,
-        SchemeKind::UniformWithCleaning {
-            cleaning_interval: CHOSEN_INTERVAL,
-        },
-        SchemeKind::ParityOnly,
-        proposed(),
-        SchemeKind::ProposedMulti {
-            cleaning_interval: CHOSEN_INTERVAL,
-            entries_per_set: 2,
-        },
-    ]
-}
+// The campaign scheme set (ablation line-up plus parity-only) is a
+// registry declaration now, shared with the explorer.
+pub use aep_dse::registry::faults_schemes;
 
 /// The campaign geometry for one scheme at a given scale.
 ///
@@ -89,19 +74,19 @@ pub fn campaign_config(scale: Scale, opts: &FaultsOptions, scheme: SchemeKind) -
     // scale, so the cache the strikes sample has the same dirty occupancy
     // the analytical column is fed with; longer chunks amortise the cost.
     let mut cfg = match scale {
-        Scale::Smoke => CampaignConfig::fast_test(opts.benchmark, scheme),
+        Scale::Smoke => CampaignConfig::fast_test(opts.benchmark.clone(), scheme),
         Scale::Quick => CampaignConfig {
             warmup_cycles: 1_500_000,
             horizon_cycles: 60_000,
             trials_per_chunk: 50,
-            ..CampaignConfig::new(opts.benchmark, scheme)
+            ..CampaignConfig::new(opts.benchmark.clone(), scheme)
         },
         Scale::Paper => CampaignConfig {
             warmup_cycles: 4_000_000,
             horizon_cycles: 200_000,
             mean_gap_cycles: 5_000.0,
             trials_per_chunk: 100,
-            ..CampaignConfig::new(opts.benchmark, scheme)
+            ..CampaignConfig::new(opts.benchmark.clone(), scheme)
         },
     };
     cfg.trials = opts.trials;
@@ -204,7 +189,7 @@ fn analytical_fit(
     l2: &aep_mem::CacheConfig,
     scheme: SchemeKind,
     lab: &mut Lab,
-    benchmark: Benchmark,
+    benchmark: &Workload,
 ) -> f64 {
     match scheme {
         SchemeKind::Uniform | SchemeKind::UniformWithCleaning { .. } => {
@@ -212,13 +197,13 @@ fn analytical_fit(
         }
         SchemeKind::ParityOnly => {
             let dirty = lab
-                .stats(benchmark, SchemeKind::ParityOnly)
+                .stats(benchmark.clone(), SchemeKind::ParityOnly)
                 .l2
                 .avg_dirty_fraction;
             model.parity_only(l2, dirty).user_visible_fit()
         }
         SchemeKind::Proposed { .. } | SchemeKind::ProposedMulti { .. } => {
-            let dirty = lab.stats(benchmark, scheme).l2.avg_dirty_fraction;
+            let dirty = lab.stats(benchmark.clone(), scheme).l2.avg_dirty_fraction;
             model.proposed(l2, dirty).user_visible_fit()
         }
     }
@@ -256,7 +241,7 @@ pub fn faults_figure(
             let l2 = &campaign_config(scale, opts, scheme).hierarchy.l2;
             let raw = model.raw_fit(CodeArea::from_bytes(l2.size_bytes));
             let empirical = raw * (table.due_rate() + table.sdc_rate());
-            let analytical = analytical_fit(&model, l2, scheme, lab, opts.benchmark);
+            let analytical = analytical_fit(&model, l2, scheme, lab, &opts.benchmark);
             (
                 scheme.label().to_owned(),
                 vec![
@@ -326,13 +311,13 @@ mod tests {
             Scale::Smoke,
             &campaign_config(Scale::Smoke, &opts, SchemeKind::ParityOnly),
         );
-        let mut more_trials = opts;
+        let mut more_trials = opts.clone();
         more_trials.trials += 1;
         let c = campaign_key(
             Scale::Smoke,
             &campaign_config(Scale::Smoke, &more_trials, SchemeKind::Uniform),
         );
-        let mut other_seed = opts;
+        let mut other_seed = opts.clone();
         other_seed.seed ^= 1;
         let d = campaign_key(
             Scale::Smoke,

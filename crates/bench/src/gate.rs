@@ -19,7 +19,7 @@ use aep_core::SchemeKind;
 use aep_faultsim::OutcomeTable;
 use aep_obs::{compare_snapshots, StatsSnapshot, RATE_TOLERANCE};
 use aep_sim::{ObservedRun, Runner};
-use aep_workloads::Benchmark;
+use aep_workloads::Workload;
 
 use crate::experiments::Scale;
 use crate::faults::faults_schemes;
@@ -38,11 +38,11 @@ pub fn default_golden_dir(base: impl AsRef<Path>) -> PathBuf {
 #[must_use]
 pub fn observed(
     scale: Scale,
-    benchmark: Benchmark,
+    benchmark: &Workload,
     scheme: SchemeKind,
     trace_capacity: Option<usize>,
 ) -> ObservedRun {
-    Runner::new(scale.config(benchmark, scheme)).run_observed(trace_capacity)
+    Runner::new(scale.config(benchmark.clone(), scheme)).run_observed(trace_capacity)
 }
 
 /// Runs one experiment and freezes its registry into a snapshot.
@@ -53,19 +53,20 @@ pub fn observed(
 #[must_use]
 pub fn snapshot(
     scale: Scale,
-    benchmark: Benchmark,
+    benchmark: &Workload,
     scheme: SchemeKind,
     faults: Option<&OutcomeTable>,
 ) -> StatsSnapshot {
-    let cfg = scale.config(benchmark, scheme);
+    let cfg = scale.config(benchmark.clone(), scheme);
     let seed = cfg.seed.to_string();
     let mut run = Runner::new(cfg).run_observed(None);
     let table = faults.copied().unwrap_or_default();
     run.registry.scoped("faults", |r| table.register_stats(r));
+    let bench_name = benchmark.name();
     StatsSnapshot::from_registry(
         run.registry,
         &[
-            ("benchmark", benchmark.name()),
+            ("benchmark", &bench_name),
             ("scale", scale.name()),
             ("scheme", &scheme_slug(scheme)),
             ("seed", &seed),
@@ -76,11 +77,11 @@ pub fn snapshot(
 /// The golden-snapshot filename for one configuration (`:` in scheme slugs
 /// becomes `_` so the name stays shell- and filesystem-friendly).
 #[must_use]
-pub fn golden_filename(scale: Scale, benchmark: Benchmark, scheme: SchemeKind) -> String {
+pub fn golden_filename(scale: Scale, benchmark: &Workload, scheme: SchemeKind) -> String {
     format!(
         "{}_{}_{}.snap.json",
         scale.name(),
-        benchmark.name(),
+        benchmark.name().replace(':', "_"),
         scheme_slug(scheme).replace(':', "_")
     )
 }
@@ -93,7 +94,7 @@ pub fn golden_filename(scale: Scale, benchmark: Benchmark, scheme: SchemeKind) -
 /// regeneration), 1 on any regression, missing golden, or unparseable
 /// golden.
 #[must_use]
-pub fn gate_command(scale: Scale, benchmark: Benchmark, golden_dir: &Path, regen: bool) -> i32 {
+pub fn gate_command(scale: Scale, benchmark: &Workload, golden_dir: &Path, regen: bool) -> i32 {
     let mut failures = 0usize;
     for scheme in faults_schemes() {
         let slug = scheme_slug(scheme);
@@ -142,11 +143,16 @@ pub fn gate_command(scale: Scale, benchmark: Benchmark, golden_dir: &Path, regen
 mod tests {
     use super::*;
     use crate::experiments::proposed;
+    use aep_workloads::Benchmark;
+
+    fn gzip() -> Workload {
+        Benchmark::Gzip.into()
+    }
 
     #[test]
     fn golden_filenames_are_shell_friendly() {
         for scheme in faults_schemes() {
-            let name = golden_filename(Scale::Smoke, Benchmark::Gzip, scheme);
+            let name = golden_filename(Scale::Smoke, &gzip(), scheme);
             assert!(
                 name.bytes()
                     .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-'),
@@ -156,7 +162,7 @@ mod tests {
         assert_eq!(
             golden_filename(
                 Scale::Smoke,
-                Benchmark::Gzip,
+                &gzip(),
                 SchemeKind::ProposedMulti {
                     cleaning_interval: 1024,
                     entries_per_set: 2
@@ -168,7 +174,7 @@ mod tests {
 
     #[test]
     fn snapshot_covers_every_subsystem_and_roundtrips() {
-        let snap = snapshot(Scale::Smoke, Benchmark::Gzip, proposed(), None);
+        let snap = snapshot(Scale::Smoke, &gzip(), proposed(), None);
         for prefix in [
             "cpu.pipeline.committed",
             "cpu.bpred.lookups",
@@ -194,15 +200,10 @@ mod tests {
 
     #[test]
     fn snapshot_with_campaign_table_reuses_the_schema() {
-        let plain = snapshot(Scale::Smoke, Benchmark::Gzip, SchemeKind::Uniform, None);
+        let plain = snapshot(Scale::Smoke, &gzip(), SchemeKind::Uniform, None);
         let mut table = OutcomeTable::default();
         table.record(aep_faultsim::TrialOutcome::Masked, true, false);
-        let with_faults = snapshot(
-            Scale::Smoke,
-            Benchmark::Gzip,
-            SchemeKind::Uniform,
-            Some(&table),
-        );
+        let with_faults = snapshot(Scale::Smoke, &gzip(), SchemeKind::Uniform, Some(&table));
         let plain_keys: Vec<&String> = plain.stats.keys().collect();
         let fault_keys: Vec<&String> = with_faults.stats.keys().collect();
         assert_eq!(plain_keys, fault_keys);

@@ -24,6 +24,7 @@ pub mod faults;
 pub mod gate;
 pub mod runcache;
 pub mod serve_cli;
+pub mod workloads_cli;
 
 pub use engine_bench::EngineBenchReport;
 pub use experiments::{FigureData, Lab, Scale};

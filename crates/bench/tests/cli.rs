@@ -48,7 +48,7 @@ fn malformed_flags_fail_with_a_diagnostic() {
         (&["fig1", "--jobs", "0"][..], "--jobs requires"),
         (&["faults", "--trials", "none"][..], "--trials requires"),
         (&["faults", "--p-double", "2.0"][..], "--p-double requires"),
-        (&["faults", "--bench", "nosuch"][..], "unknown benchmark"),
+        (&["faults", "--bench", "nosuch"][..], "unknown workload"),
         (&["fig1", "--frobnicate"][..], "unknown argument"),
         (&["run", "--scheme", "nosuch"][..], "unknown scheme"),
         (&["trace", "--capacity", "0"][..], "--capacity requires"),

@@ -13,14 +13,14 @@ fn identically_seeded_runs_snapshot_byte_identically() {
     // in-process analogue of `exp run --jobs 1` vs `--jobs 4` in
     // scripts/check_determinism.sh (a single run never shares state with
     // the worker pool, so thread count cannot perturb it).
-    let a = snapshot(Scale::Smoke, Benchmark::Gzip, proposed(), None);
-    let b = snapshot(Scale::Smoke, Benchmark::Gzip, proposed(), None);
+    let a = snapshot(Scale::Smoke, &Benchmark::Gzip.into(), proposed(), None);
+    let b = snapshot(Scale::Smoke, &Benchmark::Gzip.into(), proposed(), None);
     assert_eq!(a.to_json(), b.to_json(), "snapshots must be byte-identical");
 }
 
 #[test]
 fn registry_keys_are_unique_and_sorted_in_json() {
-    let snap = snapshot(Scale::Smoke, Benchmark::Gzip, proposed(), None);
+    let snap = snapshot(Scale::Smoke, &Benchmark::Gzip.into(), proposed(), None);
     let json = snap.to_json();
     // One stat per line: harvest quoted keys inside the stats block and
     // confirm strict ascending order (which implies uniqueness).
@@ -59,7 +59,7 @@ fn every_scheme_shares_the_common_schema() {
     }
     let baseline: Vec<String> = snapshot(
         Scale::Smoke,
-        Benchmark::Gzip,
+        &Benchmark::Gzip.into(),
         aep_core::SchemeKind::Uniform,
         None,
     )
@@ -69,7 +69,7 @@ fn every_scheme_shares_the_common_schema() {
     .cloned()
     .collect();
     for scheme in faults_schemes() {
-        let snap = snapshot(Scale::Smoke, Benchmark::Gzip, scheme, None);
+        let snap = snapshot(Scale::Smoke, &Benchmark::Gzip.into(), scheme, None);
         for key in common {
             assert!(
                 snap.get(key).is_some(),

@@ -46,6 +46,19 @@ impl fmt::Display for Violation {
 /// balloon; `total_violations` keeps the true count.
 pub const VIOLATION_CAP: usize = 16;
 
+/// Consecutive same-set ECC-WBs that count as a storm
+/// ([`Coverage::ECC_WB_STREAK`]).
+pub const ECC_STREAK_RUN: u32 = 12;
+/// Consecutive write-allocate fills without a reuse hit that count as a
+/// flood ([`Coverage::WRITE_ONCE_STREAK`]).
+pub const WRITE_FILL_RUN: u32 = 64;
+/// Stores into one line within a single residency that count as a
+/// rewrite hot spot ([`Coverage::HOT_LINE_REWRITE`]).
+pub const HOT_REWRITE_STORES: u32 = 192;
+/// Cycles a dirty line must sit un-stored before its dirty eviction
+/// counts as stale ([`Coverage::STALE_DIRTY_EVICT`]).
+pub const STALE_DIRTY_AGE: u64 = 4096;
+
 /// Shared result state of one checked run, owned jointly by the caller
 /// and the [`LockstepChecker`] installed in the [`aep_sim::System`].
 #[derive(Debug, Default)]
@@ -88,6 +101,17 @@ pub struct LockstepChecker {
     cadence: u64,
     ways: usize,
     sets: usize,
+    /// Workload-signature trackers (see the `Coverage` streak features):
+    /// consecutive ECC-WBs from one set as (set, run length).
+    ecc_streak: (usize, u32),
+    /// Consecutive write-allocate fills without an intervening reuse hit.
+    write_fill_streak: u32,
+    /// Stores absorbed by each (set, way) frame within its current
+    /// residency.
+    frame_stores: Vec<u32>,
+    /// Cycle of the last store into each frame (`u64::MAX` = none this
+    /// residency).
+    frame_last_store: Vec<u64>,
 }
 
 impl LockstepChecker {
@@ -96,34 +120,95 @@ impl LockstepChecker {
     #[must_use]
     pub fn new(config: &aep_mem::HierarchyConfig, state: SharedCheckState, cadence: u64) -> Self {
         let golden = GoldenModel::new(&config.l2);
+        let ways = config.l2.ways as usize;
+        let sets = config.l2.sets() as usize;
         LockstepChecker {
             golden,
             state,
             touched: Vec::new(),
             cadence: cadence.max(1),
-            ways: config.l2.ways as usize,
-            sets: config.l2.sets() as usize,
+            ways,
+            sets,
+            ecc_streak: (usize::MAX, 0),
+            write_fill_streak: 0,
+            frame_stores: vec![0; sets * ways],
+            frame_last_store: vec![u64::MAX; sets * ways],
         }
     }
 
-    fn note_coverage(&self, event: &L2Event) {
+    fn note_coverage(&mut self, event: &L2Event, now: u64) {
         let mut st = self.state.borrow_mut();
         match *event {
-            L2Event::Fill { write: true, .. } => st.coverage.set(Coverage::WRITE_ALLOCATE_FILL),
+            L2Event::Fill { write: true, .. } => {
+                st.coverage.set(Coverage::WRITE_ALLOCATE_FILL);
+                self.write_fill_streak += 1;
+                if self.write_fill_streak >= WRITE_FILL_RUN {
+                    st.coverage.set(Coverage::WRITE_ONCE_STREAK);
+                }
+            }
             L2Event::Fill { write: false, .. } => st.coverage.set(Coverage::READ_FILL),
-            L2Event::WriteHit {
-                first_write: false, ..
-            } => st.coverage.set(Coverage::SECOND_WRITE),
-            L2Event::WriteHit { .. } => {}
-            L2Event::ReadHit { dirty: true, .. } => st.coverage.set(Coverage::DIRTY_READ_HIT),
-            L2Event::ReadHit { .. } | L2Event::WordWritten { .. } => {}
+            L2Event::WriteHit { first_write, .. } => {
+                if !first_write {
+                    st.coverage.set(Coverage::SECOND_WRITE);
+                }
+                // A reuse hit ends a write-once run.
+                self.write_fill_streak = 0;
+            }
+            L2Event::ReadHit { dirty, .. } => {
+                if dirty {
+                    st.coverage.set(Coverage::DIRTY_READ_HIT);
+                }
+                self.write_fill_streak = 0;
+            }
+            L2Event::WordWritten { .. } => {}
             L2Event::Evict { dirty: true, .. } => st.coverage.set(Coverage::DIRTY_EVICT),
             L2Event::Evict { .. } => {}
-            L2Event::Cleaned { class, .. } => match class {
+            L2Event::Cleaned { class, set, .. } => match class {
                 WbClass::Cleaning => st.coverage.set(Coverage::CLEANING_WB),
-                WbClass::EccEviction => st.coverage.set(Coverage::ECC_WB),
+                WbClass::EccEviction => {
+                    st.coverage.set(Coverage::ECC_WB);
+                    self.ecc_streak = if self.ecc_streak.0 == set {
+                        (set, self.ecc_streak.1 + 1)
+                    } else {
+                        (set, 1)
+                    };
+                    if self.ecc_streak.1 >= ECC_STREAK_RUN {
+                        st.coverage.set(Coverage::ECC_WB_STREAK);
+                    }
+                }
                 WbClass::Replacement => {}
             },
+        }
+        // Residency-scoped store accounting for the hot-rewrite and
+        // stale-dirty-evict signatures.
+        match *event {
+            L2Event::Fill {
+                write, set, way, ..
+            } => {
+                let f = set * self.ways + way;
+                self.frame_stores[f] = u32::from(write);
+                self.frame_last_store[f] = if write { now } else { u64::MAX };
+            }
+            L2Event::WriteHit { set, way, .. } => {
+                let f = set * self.ways + way;
+                self.frame_stores[f] = self.frame_stores[f].saturating_add(1);
+                if self.frame_stores[f] >= HOT_REWRITE_STORES {
+                    st.coverage.set(Coverage::HOT_LINE_REWRITE);
+                }
+                self.frame_last_store[f] = now;
+            }
+            L2Event::Evict {
+                dirty, set, way, ..
+            } => {
+                let f = set * self.ways + way;
+                let last = self.frame_last_store[f];
+                if dirty && last != u64::MAX && now.saturating_sub(last) >= STALE_DIRTY_AGE {
+                    st.coverage.set(Coverage::STALE_DIRTY_EVICT);
+                }
+                self.frame_stores[f] = 0;
+                self.frame_last_store[f] = u64::MAX;
+            }
+            _ => {}
         }
     }
 
@@ -232,7 +317,7 @@ impl SystemObserver for LockstepChecker {
         now: Cycle,
     ) {
         self.state.borrow_mut().events_checked += 1;
-        self.note_coverage(event);
+        self.note_coverage(event, now);
         let mut batch = Vec::new();
         self.golden.apply_event(event, hier, now, &mut batch);
         self.state.borrow_mut().record_all(batch);

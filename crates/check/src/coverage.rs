@@ -41,9 +41,23 @@ impl Coverage {
     pub const MULTI_DIRTY_SET: u32 = 1 << 14;
     /// A dirty line survived a probe thanks to its written bit.
     pub const WRITTEN_SPARED: u32 = 1 << 15;
+    /// A long run of consecutive ECC-WBs all from one set — sustained
+    /// single-set conflict pressure displacing the set's ECC entry over
+    /// and over (the set-conflict-storm signature).
+    pub const ECC_WB_STREAK: u32 = 1 << 16;
+    /// A long run of write-allocate fills with no intervening reuse hit
+    /// — write-once streaming data (the flood signature).
+    pub const WRITE_ONCE_STREAK: u32 = 1 << 17;
+    /// One line absorbed hundreds of stores within a single residency —
+    /// a skewed (Zipf-head) rewrite hot spot.
+    pub const HOT_LINE_REWRITE: u32 = 1 << 18;
+    /// A dirty line sat idle for thousands of cycles before being
+    /// evicted dirty — stale dirty data a cleaner should have retired
+    /// (the phase-shift signature).
+    pub const STALE_DIRTY_EVICT: u32 = 1 << 19;
 
     /// Every feature, in bit order, with its report label.
-    pub const FEATURES: [(u32, &'static str); 16] = [
+    pub const FEATURES: [(u32, &'static str); 20] = [
         (Self::SCHEME_UNIFORM, "scheme_uniform"),
         (Self::SCHEME_UNIFORM_CLEAN, "scheme_uniform_clean"),
         (Self::SCHEME_PARITY, "scheme_parity"),
@@ -60,6 +74,10 @@ impl Coverage {
         (Self::SCRUB_ACTIVE, "scrub_active"),
         (Self::MULTI_DIRTY_SET, "multi_dirty_set"),
         (Self::WRITTEN_SPARED, "written_spared"),
+        (Self::ECC_WB_STREAK, "ecc_wb_streak"),
+        (Self::WRITE_ONCE_STREAK, "write_once_streak"),
+        (Self::HOT_LINE_REWRITE, "hot_line_rewrite"),
+        (Self::STALE_DIRTY_EVICT, "stale_dirty_evict"),
     ];
 
     /// Merges another coverage set into this one.
@@ -126,7 +144,7 @@ mod tests {
         c.merge(Coverage(Coverage::ECC_WB));
         assert_eq!(c.count(), 2);
         assert_eq!(c.first_uncovered(), Some(Coverage::SCHEME_UNIFORM_CLEAN));
-        assert_eq!(c.uncovered_labels().len(), 14);
+        assert_eq!(c.uncovered_labels().len(), 18);
         assert_eq!(Coverage(Coverage::ECC_WB).missing_from(c), 0);
     }
 }

@@ -235,6 +235,53 @@ fn targeted_genome(rng: &mut SmallRng, target: u32) -> Genome {
             Some(4),
             vec![hot, storm],
         ),
+        // A long single-set storm: every store displaces the set's ECC
+        // entry, so the ECC-WB run grows with the write count.
+        Coverage::ECC_WB_STREAK => (
+            SchemeKind::Proposed {
+                cleaning_interval: 8192,
+            },
+            None,
+            vec![Segment::ConflictStorm {
+                set: rng.gen_range(0..16usize),
+                lines: rng.gen_range(5..9usize),
+                writes: rng.gen_range(96..192usize),
+            }],
+        ),
+        // A wide write-once pass: > 4 lines per set, so each loop lap
+        // re-fills instead of hitting, and the fill run never breaks.
+        Coverage::WRITE_ONCE_STREAK => (
+            SchemeKind::Uniform,
+            None,
+            vec![Segment::WriteOnce {
+                start: 0,
+                count: rng.gen_range(96..160usize),
+            }],
+        ),
+        // One line hammered far past the hot-rewrite threshold.
+        Coverage::HOT_LINE_REWRITE => (
+            SchemeKind::Proposed {
+                cleaning_interval: 8192,
+            },
+            None,
+            vec![Segment::WriteHot {
+                line: rng.gen_range(0..32u64),
+                writes: rng.gen_range(256..384usize),
+            }],
+        ),
+        // A few dirty lines, then a long read sweep: the dirty lines sit
+        // idle for the whole sweep before its misses evict them.
+        Coverage::STALE_DIRTY_EVICT => (
+            SchemeKind::Uniform,
+            None,
+            vec![
+                Segment::WriteOnce { start: 0, count: 4 },
+                Segment::ReadSweep {
+                    start: 64,
+                    count: rng.gen_range(160..224usize),
+                },
+            ],
+        ),
         // WRITE_ALLOCATE_FILL, DIRTY_EVICT, ECC_WB, SCHEME_PROPOSED and
         // anything else: a storm under the proposed scheme.
         _ => (

@@ -47,4 +47,6 @@ pub use coverage::Coverage;
 pub use fuzz::{run_fuzz, FailureReport, FuzzConfig, FuzzReport};
 pub use golden::GoldenModel;
 pub use lockstep::{lockstep_schemes, run_lockstep, LockstepResult};
-pub use scenario::{run_genome, Genome, ScenarioOutcome, Segment};
+pub use scenario::{
+    probe_matrix, run_genome, run_stream, Genome, ScenarioOutcome, Segment, StreamProbe,
+};

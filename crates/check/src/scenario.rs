@@ -205,6 +205,100 @@ impl ScenarioOutcome {
     }
 }
 
+/// One cell of the workload coverage matrix: a scheme/scrub/horizon
+/// combination an arbitrary instruction stream is run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamProbe {
+    /// Protection scheme to attach.
+    pub scheme: SchemeKind,
+    /// Background scrubbing period in cycles, if any.
+    pub scrub_period: Option<u64>,
+    /// Cycles to simulate.
+    pub cycles: u64,
+}
+
+/// The canonical probe matrix for the workload coverage-reach report:
+/// every workload runs under the same probes, so any coverage
+/// difference is attributable to the workload alone. The set spans the
+/// scheme families whose behaviour bits differ (proposed single/multi
+/// entry, uniform cleaning, plain uniform) with tiny-hierarchy-scaled
+/// intervals and one scrubbed cell.
+#[must_use]
+pub fn probe_matrix() -> Vec<StreamProbe> {
+    vec![
+        StreamProbe {
+            scheme: SchemeKind::Proposed {
+                cleaning_interval: 1024,
+            },
+            scrub_period: None,
+            cycles: 24_576,
+        },
+        StreamProbe {
+            scheme: SchemeKind::ProposedMulti {
+                cleaning_interval: 1024,
+                entries_per_set: 2,
+            },
+            scrub_period: Some(64),
+            cycles: 24_576,
+        },
+        StreamProbe {
+            scheme: SchemeKind::UniformWithCleaning {
+                cleaning_interval: 256,
+            },
+            scrub_period: None,
+            cycles: 16_384,
+        },
+        StreamProbe {
+            scheme: SchemeKind::Uniform,
+            scrub_period: None,
+            cycles: 16_384,
+        },
+    ]
+}
+
+/// Runs an arbitrary instruction stream on the tiny hierarchy under the
+/// full differential checker — the workload-agnostic sibling of
+/// [`run_genome`]. The checker is the same, so the coverage-reach
+/// report doubles as a differential test of every generator it runs.
+#[must_use]
+pub fn run_stream<S: aep_cpu::isa::InstrStream + 'static>(
+    stream: S,
+    probe: &StreamProbe,
+) -> ScenarioOutcome {
+    let hier_cfg = HierarchyConfig::tiny();
+    let mut sys = System::new(
+        CoreConfig::date2006(),
+        hier_cfg.clone(),
+        probe.scheme,
+        stream,
+    );
+    if let Some(period) = probe.scrub_period {
+        sys.enable_scrubbing(period);
+    }
+    let state: Rc<RefCell<CheckState>> = Rc::new(RefCell::new(CheckState::default()));
+    let checker = LockstepChecker::new(&hier_cfg, Rc::clone(&state), SCENARIO_CADENCE);
+    sys.add_observer(Box::new(checker));
+    for now in 0..probe.cycles {
+        sys.step(now);
+    }
+    let mut st = state.borrow_mut();
+    st.coverage.set(scheme_coverage_bit(probe.scheme));
+    if let aep_core::cleaning::CleaningPolicy::WrittenBit(logic) = &sys.cleaning {
+        if logic.stats().deferred > 0 {
+            st.coverage.set(Coverage::PROBE_DEFERRED);
+        }
+    }
+    if sys.scrub_stats().is_some_and(|s| s.scrubbed > 0) {
+        st.coverage.set(Coverage::SCRUB_ACTIVE);
+    }
+    ScenarioOutcome {
+        violations: std::mem::take(&mut st.violations),
+        total_violations: st.total_violations,
+        coverage: st.coverage,
+        events_checked: st.events_checked,
+    }
+}
+
 fn scheme_coverage_bit(kind: SchemeKind) -> u32 {
     match kind {
         SchemeKind::Uniform => Coverage::SCHEME_UNIFORM,

@@ -61,7 +61,10 @@ pub fn explore_grid(
         .points()
         .iter()
         .zip(vectors)
-        .map(|(&point, objectives)| EvaluatedPoint { point, objectives })
+        .map(|(point, objectives)| EvaluatedPoint {
+            point: point.clone(),
+            objectives,
+        })
         .collect()
 }
 
@@ -128,8 +131,8 @@ pub fn refine(
         let evaluated: Vec<EvaluatedPoint> = candidates
             .iter()
             .zip(&vectors)
-            .map(|(&point, objectives)| EvaluatedPoint {
-                point,
+            .map(|(point, objectives)| EvaluatedPoint {
+                point: point.clone(),
                 objectives: objectives.clone(),
             })
             .collect();
@@ -164,7 +167,7 @@ pub fn refine(
             kept: kept.len(),
         });
         survivors = kept.iter().map(|&i| evaluated[i].clone()).collect();
-        candidates = kept.iter().map(|&i| candidates[i]).collect();
+        candidates = kept.iter().map(|&i| candidates[i].clone()).collect();
     }
 
     RefineOutcome { rungs, survivors }
@@ -224,7 +227,7 @@ mod tests {
     fn space() -> Space {
         use crate::space::{expand_schemes, SchemeTemplate};
         Space::grid(
-            &[Benchmark::Gzip],
+            &[Benchmark::Gzip.into()],
             &expand_schemes(
                 &[SchemeTemplate::Uniform, SchemeTemplate::Proposed],
                 &[64 * 1024, 256 * 1024, 1024 * 1024],

@@ -11,7 +11,7 @@
 
 use aep_core::SchemeKind;
 use aep_workloads::calibration::{CHOSEN_INTERVAL, CLEANING_INTERVALS};
-use aep_workloads::Benchmark;
+use aep_workloads::Workload;
 
 use crate::space::{expand_schemes, SchemeTemplate, Space};
 
@@ -49,21 +49,71 @@ pub fn comparison_schemes() -> Vec<SchemeKind> {
     vec![SchemeKind::Uniform, proposed()]
 }
 
-/// The ablation line-up: org, cleaning-only, proposed, and the two-entry
-/// extension, all at the chosen interval.
+/// The labeled ablation line-up: org, cleaning-only, proposed, and the
+/// two-entry extension, all at the chosen interval. The single source the
+/// figure pipeline's column labels and the fault campaign's scheme set
+/// both derive from.
+#[must_use]
+pub fn ablation_lineup() -> Vec<(&'static str, SchemeKind)> {
+    vec![
+        ("org", SchemeKind::Uniform),
+        (
+            "org+clean@1M",
+            SchemeKind::UniformWithCleaning {
+                cleaning_interval: CHOSEN_INTERVAL,
+            },
+        ),
+        ("proposed@1M", proposed()),
+        (
+            "proposed2e@1M",
+            SchemeKind::ProposedMulti {
+                cleaning_interval: CHOSEN_INTERVAL,
+                entries_per_set: 2,
+            },
+        ),
+    ]
+}
+
+/// The ablation scheme set (the [`ablation_lineup`] without its labels).
 #[must_use]
 pub fn ablation_schemes() -> Vec<SchemeKind> {
-    vec![
-        SchemeKind::Uniform,
-        SchemeKind::UniformWithCleaning {
-            cleaning_interval: CHOSEN_INTERVAL,
-        },
-        proposed(),
-        SchemeKind::ProposedMulti {
-            cleaning_interval: CHOSEN_INTERVAL,
-            entries_per_set: 2,
-        },
+    ablation_lineup().into_iter().map(|(_, k)| k).collect()
+}
+
+/// The fault-campaign scheme set: the ablation line-up plus parity-only
+/// (which the static figures omit but the reliability comparison needs).
+#[must_use]
+pub fn faults_schemes() -> Vec<SchemeKind> {
+    let mut schemes = ablation_schemes();
+    schemes.insert(2, SchemeKind::ParityOnly);
+    schemes
+}
+
+/// The canonical diversity-workload set: one representative per new
+/// generator family (Zipf skew, adversarial, trace replay), at knobs
+/// chosen to stress mechanisms the 14 calibrated benchmarks never reach.
+/// `exp workloads report` proves the reach claim; the slugs here are the
+/// spellings `--bench` accepts everywhere.
+#[must_use]
+pub fn diversity_workloads() -> Vec<Workload> {
+    [
+        // Zipf head so hot one line absorbs hundreds of rewrites.
+        "zipf:k1024:e1200:c4",
+        // Flat-ish Zipf over a larger key space with wide concurrency.
+        "zipf:k4096:e800:c16",
+        // More conflicting lines than ways: sustained ECC-entry churn.
+        "storm:12",
+        // Write-once streaming flood, no reuse.
+        "flood:4096",
+        // Working set flips between two phases; dirty data goes stale.
+        "phase:96:3072",
+        // Committed trace corpus recordings of the same two stressors.
+        "trace:storm_burst",
+        "trace:mixed_phases",
     ]
+    .iter()
+    .map(|slug| Workload::parse(slug).expect("registry slugs parse"))
+    .collect()
 }
 
 /// The explorer's default scheme-template axis: the baseline, the
@@ -82,14 +132,14 @@ pub fn default_templates() -> Vec<SchemeTemplate> {
 /// design space: `benchmarks × (cleaning interval ∪ org)` at default
 /// scrub and geometry.
 #[must_use]
-pub fn interval_sweep_space(benchmarks: &[Benchmark]) -> Space {
+pub fn interval_sweep_space(benchmarks: &[Workload]) -> Space {
     Space::grid(benchmarks, &interval_sweep_schemes(), &[], &[])
 }
 
 /// The explorer's default space: the paper's benchmarks crossed with the
 /// default templates over the paper's interval axis.
 #[must_use]
-pub fn default_space(benchmarks: &[Benchmark]) -> Space {
+pub fn default_space(benchmarks: &[Workload]) -> Space {
     Space::grid(
         benchmarks,
         &expand_schemes(&default_templates(), &interval_axis()),
@@ -101,17 +151,18 @@ pub fn default_space(benchmarks: &[Benchmark]) -> Space {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aep_workloads::Benchmark;
 
     #[test]
     fn interval_sweep_space_matches_scheme_list() {
-        let space = interval_sweep_space(&[Benchmark::Gzip]);
+        let space = interval_sweep_space(&[Benchmark::Gzip.into()]);
         let schemes: Vec<SchemeKind> = space.points().iter().map(|p| p.scheme).collect();
         assert_eq!(schemes, interval_sweep_schemes());
     }
 
     #[test]
     fn default_space_contains_the_paper_operating_point() {
-        let space = default_space(&[Benchmark::Gap]);
+        let space = default_space(&[Benchmark::Gap.into()]);
         assert!(space.points().iter().any(|p| p.scheme == proposed()));
         // uniform and parity appear once each despite the interval axis.
         let uniforms = space

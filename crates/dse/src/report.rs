@@ -13,7 +13,7 @@
 //! so `explore frontier` can re-analyse persisted grids bit-for-bit.
 
 use aep_core::{parse_scheme_slug, scheme_slug};
-use aep_workloads::Benchmark;
+use aep_workloads::Workload;
 
 use crate::driver::EvaluatedPoint;
 use crate::objective::ObjectiveVector;
@@ -333,9 +333,7 @@ pub fn parse_records(text: &str) -> Option<(String, ObjectiveSpec, Vec<Evaluated
         let mut fields = body.split('|');
         let _id = fields.next()?;
         let bench_name = fields.next()?;
-        let benchmark = Benchmark::all()
-            .into_iter()
-            .find(|b| b.name() == bench_name)?;
+        let benchmark = Workload::parse(bench_name)?;
         let scheme = parse_scheme_slug(fields.next()?)?;
         let scrub_period = match fields.next()? {
             "none" => None,
@@ -371,7 +369,7 @@ mod tests {
     fn batch() -> (ObjectiveSpec, Vec<EvaluatedPoint>) {
         let spec = ObjectiveSpec::parse("ipc,area").unwrap();
         let mk = |scheme, ipc: f64, area: f64| EvaluatedPoint {
-            point: ExplorePoint::new(Benchmark::Gzip, scheme),
+            point: ExplorePoint::new(aep_workloads::Benchmark::Gzip, scheme),
             objectives: ObjectiveVector {
                 values: vec![ipc, area],
             },

@@ -12,7 +12,7 @@ use std::fmt;
 use aep_core::{scheme_slug, SchemeKind};
 use aep_mem::CacheConfig;
 use aep_sim::{ExperimentConfig, Scale};
-use aep_workloads::Benchmark;
+use aep_workloads::Workload;
 
 /// An L2 geometry axis value: size, associativity, and line size.
 ///
@@ -189,10 +189,10 @@ pub fn expand_schemes(templates: &[SchemeTemplate], intervals: &[u64]) -> Vec<Sc
 }
 
 /// One concrete configuration of the design space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ExplorePoint {
-    /// The workload.
-    pub benchmark: Benchmark,
+    /// The workload (a calibrated benchmark, generator, or trace).
+    pub benchmark: Workload,
     /// The protection scheme.
     pub scheme: SchemeKind,
     /// Background scrub period (cycles per line), if scrubbing.
@@ -204,9 +204,9 @@ pub struct ExplorePoint {
 impl ExplorePoint {
     /// A point at the default axes (no scrubbing, Table 1 geometry).
     #[must_use]
-    pub fn new(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+    pub fn new(benchmark: impl Into<Workload>, scheme: SchemeKind) -> Self {
         ExplorePoint {
-            benchmark,
+            benchmark: benchmark.into(),
             scheme,
             scrub_period: None,
             geometry: Geometry::date2006(),
@@ -236,7 +236,7 @@ impl ExplorePoint {
     /// Lowers the point to a runnable config at `scale`.
     #[must_use]
     pub fn config(&self, scale: Scale) -> ExperimentConfig {
-        let mut cfg = scale.config(self.benchmark, self.scheme);
+        let mut cfg = scale.config(self.benchmark.clone(), self.scheme);
         cfg.scrub_period = self.scrub_period;
         self.geometry.apply(&mut cfg.hierarchy.l2);
         cfg
@@ -298,7 +298,7 @@ impl Space {
     /// default to no-scrub / Table 1.
     #[must_use]
     pub fn grid(
-        benchmarks: &[Benchmark],
+        benchmarks: &[Workload],
         schemes: &[SchemeKind],
         scrub_periods: &[Option<u64>],
         geometries: &[Geometry],
@@ -315,12 +315,12 @@ impl Space {
             geometries
         };
         let mut points = Vec::new();
-        for &benchmark in benchmarks {
+        for benchmark in benchmarks {
             for &scheme in schemes {
                 for &scrub_period in scrubs {
                     for &geometry in geoms {
                         points.push(ExplorePoint {
-                            benchmark,
+                            benchmark: benchmark.clone(),
                             scheme,
                             scrub_period,
                             geometry,
@@ -386,6 +386,11 @@ impl Space {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aep_workloads::Benchmark;
+
+    fn workloads(benches: &[Benchmark]) -> Vec<Workload> {
+        benches.iter().map(|&b| Workload::from(b)).collect()
+    }
 
     #[test]
     fn grid_is_row_major_and_deduplicated() {
@@ -395,10 +400,15 @@ mod tests {
         );
         // uniform collapses across the interval axis: 1 + 2 schemes.
         assert_eq!(schemes.len(), 3);
-        let space = Space::grid(&[Benchmark::Gzip, Benchmark::Mcf], &schemes, &[], &[]);
+        let space = Space::grid(
+            &workloads(&[Benchmark::Gzip, Benchmark::Mcf]),
+            &schemes,
+            &[],
+            &[],
+        );
         assert_eq!(space.len(), 6);
         // Row-major: all of gzip before any of mcf.
-        let names: Vec<&str> = space.points().iter().map(|p| p.benchmark.name()).collect();
+        let names: Vec<String> = space.points().iter().map(|p| p.benchmark.name()).collect();
         assert_eq!(names, ["gzip", "gzip", "gzip", "mcf", "mcf", "mcf"]);
         space.validate().expect("default axes validate");
     }
@@ -406,7 +416,7 @@ mod tests {
     #[test]
     fn ids_are_content_derived_and_unique() {
         let space = Space::grid(
-            &[Benchmark::Gzip],
+            &workloads(&[Benchmark::Gzip]),
             &expand_schemes(
                 &[SchemeTemplate::Uniform, SchemeTemplate::Proposed],
                 &[1024 * 1024],

@@ -29,7 +29,7 @@ use aep_mem::memory::mix64;
 use aep_mem::HierarchyConfig;
 use aep_rng::SmallRng;
 use aep_sim::System;
-use aep_workloads::Benchmark;
+use aep_workloads::{Workload, WorkloadStream};
 
 use aep_core::{RecoveryOutcome, SchemeKind};
 
@@ -42,7 +42,7 @@ use crate::pool::fan_out_init;
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// Workload executing while faults arrive.
-    pub benchmark: Benchmark,
+    pub benchmark: Workload,
     /// Protection scheme under test.
     pub scheme: SchemeKind,
     /// Master seed: drives the workload, strike times, targets, and bits.
@@ -72,9 +72,9 @@ impl CampaignConfig {
     /// short warm-up, and a horizon long enough for the working set to
     /// turn over.
     #[must_use]
-    pub fn new(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+    pub fn new(benchmark: impl Into<Workload>, scheme: SchemeKind) -> Self {
         CampaignConfig {
-            benchmark,
+            benchmark: benchmark.into(),
             scheme,
             seed: 2006,
             trials: 1000,
@@ -91,7 +91,7 @@ impl CampaignConfig {
     /// A miniature geometry for unit tests: tiny caches (so strikes land
     /// on valid lines quickly) and short windows.
     #[must_use]
-    pub fn fast_test(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+    pub fn fast_test(benchmark: impl Into<Workload>, scheme: SchemeKind) -> Self {
         CampaignConfig {
             warmup_cycles: 10_000,
             horizon_cycles: 8_000,
@@ -135,23 +135,19 @@ pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> OutcomeTable {
 /// only acts on an armed pending strike), so warming without one is
 /// trajectory-identical to the old warm-with-probe path — and each chunk
 /// gets a fresh probe on its fork anyway.
-fn warmed_prototype(cfg: &CampaignConfig) -> System<aep_workloads::Generator> {
+fn warmed_prototype(cfg: &CampaignConfig) -> System<WorkloadStream> {
     let mut sys = System::new(
         cfg.core.clone(),
         cfg.hierarchy.clone(),
         cfg.scheme,
-        cfg.benchmark.generator(cfg.seed),
+        cfg.benchmark.stream(cfg.seed),
     );
     sys.run(0, cfg.warmup_cycles);
     sys
 }
 
 /// Runs one chunk of trials on a fork of the worker's warmed prototype.
-fn run_chunk(
-    cfg: &CampaignConfig,
-    warm: &System<aep_workloads::Generator>,
-    chunk: usize,
-) -> OutcomeTable {
+fn run_chunk(cfg: &CampaignConfig, warm: &System<WorkloadStream>, chunk: usize) -> OutcomeTable {
     let done = chunk as u64 * u64::from(cfg.trials_per_chunk);
     let trials_here = u64::from(cfg.trials_per_chunk).min(u64::from(cfg.trials) - done);
 
@@ -276,6 +272,7 @@ fn finalize_at_horizon<S: aep_cpu::InstrStream>(
 mod tests {
     use super::*;
     use aep_workloads::calibration::CHOSEN_INTERVAL;
+    use aep_workloads::Benchmark;
 
     fn cfg(scheme: SchemeKind) -> CampaignConfig {
         CampaignConfig::fast_test(Benchmark::Swim, scheme)

@@ -263,7 +263,7 @@ pub fn run_lanes(cfg: &ExperimentConfig, lanes: &[LaneSpec]) -> Vec<LaneResult> 
             let state = cell.borrow();
             let energy = state.scheme.energy_counters().since(before);
             let stats = window.finish(
-                cfg.benchmark,
+                cfg.benchmark.clone(),
                 lane.scheme,
                 cfg.measure_cycles,
                 &sys,
@@ -310,7 +310,7 @@ pub fn run_lane_serial(cfg: &ExperimentConfig, lane: &LaneSpec) -> LaneResult {
     let dirty_sum = sys.run_census(now, serial_cfg.measure_cycles);
     let energy = sys.scheme.energy_counters().since(&energy_before);
     let stats = window.finish(
-        serial_cfg.benchmark,
+        serial_cfg.benchmark.clone(),
         lane.scheme,
         serial_cfg.measure_cycles,
         &sys,

@@ -40,7 +40,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use aep_core::EnergyCounters;
-use aep_workloads::Benchmark;
+use aep_workloads::Workload;
 
 use crate::runner::{ExperimentConfig, L2Window, RunStats};
 
@@ -255,9 +255,7 @@ pub fn parse_stats(text: &str) -> Option<RunStats> {
         return None;
     }
     let bench_name = *fields.get("benchmark")?;
-    let benchmark = Benchmark::all()
-        .into_iter()
-        .find(|b| b.name() == bench_name)?;
+    let benchmark = Workload::parse(bench_name)?;
     let scheme = parse_scheme_slug(fields.get("scheme")?)?;
     Some(RunStats {
         benchmark,
@@ -290,10 +288,11 @@ pub fn parse_stats(text: &str) -> Option<RunStats> {
 mod tests {
     use super::*;
     use aep_core::SchemeKind;
+    use aep_workloads::Benchmark;
 
     fn sample_stats() -> RunStats {
         RunStats {
-            benchmark: Benchmark::Gzip,
+            benchmark: Benchmark::Gzip.into(),
             scheme: SchemeKind::Proposed {
                 cleaning_interval: 1024 * 1024,
             },

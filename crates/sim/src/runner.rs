@@ -11,7 +11,7 @@ use aep_core::{EnergyCounters, SchemeKind};
 use aep_cpu::CoreConfig;
 use aep_mem::{Cycle, HierarchyConfig};
 use aep_obs::{Histogram, RateOverTime, Registry};
-use aep_workloads::Benchmark;
+use aep_workloads::{Workload, WorkloadStream};
 
 use crate::observe::{register_window, ObservedRun};
 use crate::system::System;
@@ -39,7 +39,7 @@ pub enum Scale {
 impl Scale {
     /// Builds an experiment config at this scale.
     #[must_use]
-    pub fn config(self, benchmark: Benchmark, scheme: SchemeKind) -> ExperimentConfig {
+    pub fn config(self, benchmark: impl Into<Workload>, scheme: SchemeKind) -> ExperimentConfig {
         match self {
             Scale::Paper => ExperimentConfig::paper(benchmark, scheme),
             Scale::Quick => ExperimentConfig::quick(benchmark, scheme),
@@ -73,11 +73,11 @@ impl Scale {
     pub const LADDER: [Scale; 3] = [Scale::Smoke, Scale::Quick, Scale::Paper];
 }
 
-/// One experiment: a benchmark, a scheme, and window sizes.
+/// One experiment: a workload, a scheme, and window sizes.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
-    /// The workload.
-    pub benchmark: Benchmark,
+    /// The workload (calibrated benchmark, generator, or trace).
+    pub benchmark: Workload,
     /// The protection scheme / cleaning configuration.
     pub scheme: SchemeKind,
     /// Cycles to run before measurement starts.
@@ -102,9 +102,9 @@ impl ExperimentConfig {
     /// (12 M warm-up + 20 M measured cycles — past the point where the
     /// dirty census and write-back ratios are stationary).
     #[must_use]
-    pub fn paper(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+    pub fn paper(benchmark: impl Into<Workload>, scheme: SchemeKind) -> Self {
         ExperimentConfig {
-            benchmark,
+            benchmark: benchmark.into(),
             scheme,
             warmup_cycles: 12_000_000,
             measure_cycles: 20_000_000,
@@ -118,7 +118,7 @@ impl ExperimentConfig {
 
     /// A reduced configuration for quick experiments (~10× shorter).
     #[must_use]
-    pub fn quick(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+    pub fn quick(benchmark: impl Into<Workload>, scheme: SchemeKind) -> Self {
         ExperimentConfig {
             warmup_cycles: 1_500_000,
             measure_cycles: 2_500_000,
@@ -129,7 +129,7 @@ impl ExperimentConfig {
     /// A minimal configuration for tests and doc examples (full Table 1
     /// machine, very short windows).
     #[must_use]
-    pub fn fast_test(benchmark: Benchmark, scheme: SchemeKind) -> Self {
+    pub fn fast_test(benchmark: impl Into<Workload>, scheme: SchemeKind) -> Self {
         ExperimentConfig {
             warmup_cycles: 30_000,
             measure_cycles: 50_000,
@@ -190,8 +190,8 @@ impl L2Window {
 /// Results of one experiment's measured window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
-    /// The benchmark that ran.
-    pub benchmark: Benchmark,
+    /// The workload that ran.
+    pub benchmark: Workload,
     /// The scheme that ran.
     pub scheme: SchemeKind,
     /// Measured cycles.
@@ -249,7 +249,7 @@ impl Runner {
         let dirty_sum = sys.run_census(now, cfg.measure_cycles);
         let energy = sys.scheme.energy_counters().since(&energy_before);
         window.finish(
-            cfg.benchmark,
+            cfg.benchmark.clone(),
             cfg.scheme,
             cfg.measure_cycles,
             &sys,
@@ -297,7 +297,7 @@ impl Runner {
 
         let energy = sys.scheme.energy_counters().since(&energy_before);
         let stats = window.finish(
-            cfg.benchmark,
+            cfg.benchmark.clone(),
             cfg.scheme,
             cfg.measure_cycles,
             &sys,
@@ -319,12 +319,12 @@ impl Runner {
     /// Builds the configured system without running it — the lane batch
     /// engine ([`crate::lanes`]) drives the windows itself.
     #[must_use]
-    pub fn into_system(self) -> System<aep_workloads::Generator> {
+    pub fn into_system(self) -> System<WorkloadStream> {
         Self::build_system(&self.config)
     }
 
-    pub(crate) fn build_system(cfg: &ExperimentConfig) -> System<aep_workloads::Generator> {
-        let stream = cfg.benchmark.generator(cfg.seed);
+    pub(crate) fn build_system(cfg: &ExperimentConfig) -> System<WorkloadStream> {
+        let stream = cfg.benchmark.stream(cfg.seed);
         let mut sys = System::new(cfg.core.clone(), cfg.hierarchy.clone(), cfg.scheme, stream);
         sys.set_respect_written_bit(cfg.respect_written_bit);
         if let Some(period) = cfg.scrub_period {
@@ -355,7 +355,7 @@ impl WindowSnapshot {
 
     pub(crate) fn finish<S: aep_cpu::InstrStream>(
         &self,
-        benchmark: Benchmark,
+        benchmark: Workload,
         scheme: SchemeKind,
         measure_cycles: u64,
         sys: &System<S>,
@@ -394,6 +394,7 @@ impl WindowSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aep_workloads::Benchmark;
 
     #[test]
     fn fast_run_produces_consistent_stats() {

@@ -34,9 +34,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod bench;
 pub mod calibration;
 pub mod model;
+pub mod trace;
+pub mod workload;
+pub mod zipf;
 
+pub use adversarial::{AdversarialSpec, AdversarialStream};
 pub use bench::{BenchKind, Benchmark};
 pub use model::{Generator, InstrMix, Pattern, Region, WorkloadSpec};
+pub use trace::{
+    decode, encode, find_trace, read_trace_file, write_trace_file, TraceError, TraceRecord,
+    TraceStream, TraceWorkload, TRACE_DIR, TRACE_MAGIC,
+};
+pub use workload::{Workload, WorkloadStream};
+pub use zipf::{ZipfSpec, ZipfStream};

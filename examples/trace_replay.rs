@@ -1,36 +1,42 @@
-//! Trace-driven methodology: record a workload's micro-op stream once,
-//! then replay the *identical* stream under different protection schemes —
-//! the cleanest possible A/B comparison, since not a single instruction
-//! differs between configurations.
+//! Trace-driven methodology: replay the *identical* instruction stream
+//! under different protection schemes — the cleanest possible A/B
+//! comparison, since not a single instruction differs between
+//! configurations.
+//!
+//! The heavy lifting (compact binary format, corpus lookup, replay
+//! stream) lives in `aep::workloads` as the first-class `TraceWorkload`;
+//! this example just loads a committed corpus trace and runs it. The
+//! same traces are addressable everywhere as `--bench trace:<name>`.
 //!
 //! ```sh
 //! cargo run --release --example trace_replay
 //! ```
 
 use aep::core::SchemeKind;
-use aep::cpu::trace::{RecordingStream, ReplayStream, TraceReader};
-use aep::cpu::{CoreConfig, InstrStream};
+use aep::cpu::CoreConfig;
 use aep::mem::HierarchyConfig;
 use aep::sim::System;
-use aep::workloads::Benchmark;
+use aep::workloads::{TraceWorkload, Workload};
 
-const OPS: usize = 400_000;
 const CYCLES: u64 = 600_000;
 
-fn main() -> std::io::Result<()> {
-    // 1. Record: drain the generator once into an in-memory trace.
-    let benchmark = Benchmark::Vpr;
-    let mut recorder = RecordingStream::new(benchmark.generator(7), Vec::new())?;
-    for _ in 0..OPS {
-        let _ = recorder.next_op();
-    }
-    let (_, trace_bytes) = recorder.finish()?;
+fn main() {
+    let name = "storm_burst";
+    let trace = TraceWorkload::load(name).unwrap_or_else(|e| {
+        eprintln!("cannot load corpus trace '{name}': {e}");
+        eprintln!("regenerate the corpus with `exp workloads gen-corpus`");
+        std::process::exit(1);
+    });
     println!(
-        "recorded {OPS} ops of {benchmark} ({} KiB of trace)\n",
-        trace_bytes.len() / 1024
+        "replaying trace '{}' ({} records, wraps as needed)\n",
+        trace.name(),
+        trace.records().len()
     );
 
-    // 2. Replay the same bytes under each scheme.
+    // The same trace is a first-class workload: `trace:storm_burst`
+    // parses anywhere a benchmark slug does.
+    let workload = Workload::parse(&format!("trace:{name}")).expect("trace slug parses");
+
     println!(
         "{:<16} {:>10} {:>8} {:>8}",
         "scheme", "committed", "IPC", "%WB"
@@ -45,13 +51,11 @@ fn main() -> std::io::Result<()> {
             entries_per_set: 2,
         },
     ] {
-        let ops = TraceReader::new(trace_bytes.as_slice())?.read_all()?;
-        let replay = ReplayStream::new(ops);
         let mut sys = System::new(
             CoreConfig::date2006(),
             HierarchyConfig::date2006(),
             scheme,
-            replay,
+            workload.stream(7),
         );
         sys.run(0, CYCLES);
         let committed = sys.cpu.stats().committed;
@@ -67,8 +71,8 @@ fn main() -> std::io::Result<()> {
     println!(
         "\nEvery row consumed byte-identical instructions; the differences are\n\
          purely the protection scheme's write-back traffic and its bus cost.\n\
-         The 2-entry ECC array trades 32 KB more check storage for fewer\n\
-         forced ECC-WB write-backs."
+         The set-conflict storm keeps one set under constant dirty-line\n\
+         pressure, so the one-dirty-line-per-set schemes pay a steady\n\
+         stream of forced ECC-WB write-backs."
     );
-    Ok(())
 }

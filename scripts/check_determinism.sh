@@ -5,7 +5,11 @@
 # (`exp explore grid`), and the differential checker's fuzzing campaign
 # (`exp check`) must all be byte-identical between --jobs 1 and --jobs N.
 # A sixth leg checks the lane-parallel batch engine (`exp lanes`) against
-# per-lane serial runs (`exp lanes --serial`) the same way.
+# per-lane serial runs (`exp lanes --serial`) the same way. A seventh
+# leg covers the workload-diversity generators: the coverage report
+# (`exp workloads report`) must be byte-identical across job counts, and
+# trace replay / Zipf streams must produce identical lane snapshots
+# batched vs serial.
 #
 # Usage: scripts/check_determinism.sh [scale] [jobs]
 #          scale  paper|quick|smoke   (default: smoke)
@@ -131,3 +135,36 @@ else
   diff "$tmp/lanes_batch.txt" "$tmp/lanes_serial.txt" | head -n 40 >&2
   exit 1
 fi
+
+# The workload-diversity generators (Zipf, adversarial, trace replay)
+# are chunk-deterministic: the coverage report is a pure function of
+# (workload set, seed) at any --jobs, and their streams batch on shadow
+# lanes without perturbing a single byte of the per-lane snapshots.
+echo "==> exp workloads report --jobs 1 vs --jobs $jobs"
+./target/release/exp workloads report --out - --jobs 1 \
+  > "$tmp/workloads_serial.txt" 2> /dev/null
+./target/release/exp workloads report --out - --jobs "$jobs" \
+  > "$tmp/workloads_parallel.txt" 2> /dev/null
+
+if cmp -s "$tmp/workloads_serial.txt" "$tmp/workloads_parallel.txt"; then
+  echo "==> workloads determinism: byte-identical (--jobs 1 vs --jobs $jobs)"
+else
+  echo "==> workloads determinism FAILED: coverage reports differ" >&2
+  diff "$tmp/workloads_serial.txt" "$tmp/workloads_parallel.txt" | head -n 40 >&2
+  exit 1
+fi
+
+for bench in "zipf:k1024:e1200:c4" "trace:storm_burst"; do
+  echo "==> exp lanes --scale $scale --bench $bench (batch vs serial)"
+  ./target/release/exp lanes --scale "$scale" --bench "$bench" \
+    > "$tmp/div_batch.txt" 2> /dev/null
+  ./target/release/exp lanes --scale "$scale" --bench "$bench" --serial \
+    > "$tmp/div_serial.txt" 2> /dev/null
+  if cmp -s "$tmp/div_batch.txt" "$tmp/div_serial.txt"; then
+    echo "==> $bench lanes determinism: byte-identical (batch vs serial)"
+  else
+    echo "==> $bench lanes determinism FAILED: snapshots differ" >&2
+    diff "$tmp/div_batch.txt" "$tmp/div_serial.txt" | head -n 40 >&2
+    exit 1
+  fi
+done

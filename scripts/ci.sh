@@ -13,6 +13,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+timings=()
+
 step() {
   local label="$1"
   shift
@@ -22,6 +24,7 @@ step() {
   "$@"
   elapsed=$(( $(date +%s) - start ))
   echo "==> $label: done in ${elapsed}s"
+  timings+=("$(printf '%5ss  %s' "$elapsed" "$label")")
 }
 
 step "cargo fmt --check" cargo fmt --check
@@ -30,6 +33,11 @@ step "cargo clippy --workspace -- -D warnings" \
 step "cargo test -q --workspace" cargo test -q --workspace
 step "stats gate (smoke)" scripts/stats_gate.sh smoke
 step "differential check (smoke)" scripts/differential_check.sh smoke
+step "workload diversity gate" \
+  ./target/release/exp workloads report --check
 step "serve smoke" scripts/serve_smoke.sh smoke
 
-echo "==> ci: all green"
+echo "==> ci: all green; per-step timing:"
+for t in "${timings[@]}"; do
+  echo "    $t"
+done

@@ -10,7 +10,7 @@ use aep::workloads::Benchmark;
 
 fn config(seed: u64) -> ExperimentConfig {
     ExperimentConfig {
-        benchmark: Benchmark::Vpr,
+        benchmark: Benchmark::Vpr.into(),
         scheme: SchemeKind::Proposed {
             cleaning_interval: 64 * 1024,
         },

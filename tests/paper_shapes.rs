@@ -10,7 +10,7 @@ use aep::workloads::Benchmark;
 
 fn short(benchmark: Benchmark, scheme: SchemeKind, cycles: u64) -> RunStats {
     Runner::new(ExperimentConfig {
-        benchmark,
+        benchmark: benchmark.into(),
         scheme,
         warmup_cycles: cycles / 4,
         measure_cycles: cycles,
