@@ -17,6 +17,7 @@ use aep_bench::runcache::{parse_scheme_slug, RunCache};
 use aep_core::area::AreaModel;
 use aep_core::CleaningLogic;
 use aep_cpu::CoreConfig;
+use aep_faultsim::StrikeModel;
 use aep_mem::HierarchyConfig;
 use aep_workloads::BenchKind;
 
@@ -149,6 +150,23 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--model" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                faults_opts.model = StrikeModel::parse(v).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fault model '{v}' \
+                         (use single|burst:K|col:K|row:K|accum:scrub[:CYCLES])"
+                    );
+                    std::process::exit(2);
+                });
+            }
+            "--interleave" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                faults_opts.interleave = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    eprintln!("--interleave requires a positive integer, got '{v}'");
+                    std::process::exit(2);
+                });
+            }
             "--bench" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
                 faults_opts.benchmark = aep_workloads::Workload::parse(v).unwrap_or_else(|| {
@@ -239,15 +257,76 @@ fn main() {
         "reliability" => emit(experiments::reliability(&mut lab)),
         "campaign" => emit(experiments::campaign(50_000, 0.02)),
         "faults" => {
+            // Reject interleave degrees the physical layout cannot map
+            // before any campaign starts (a usage error, not a panic).
+            let words = faults::campaign_config(scale, &faults_opts, aep_core::SchemeKind::Uniform)
+                .hierarchy
+                .l2
+                .words_per_line();
+            if !words.is_multiple_of(faults_opts.interleave) {
+                eprintln!(
+                    "--interleave {} does not divide the L2 line's {words} words at {} scale",
+                    faults_opts.interleave,
+                    scale.name()
+                );
+                std::process::exit(2);
+            }
             let disk = use_cache.then(|| RunCache::default_under("."));
-            emit(faults::faults_figure(
+            let mut reg = stats_json.then(aep_obs::Registry::new);
+            let fig = faults::faults_figure(
                 scale,
                 &faults_opts,
                 jobs,
                 disk.as_ref(),
                 &mut lab,
                 true,
-            ));
+                reg.as_mut(),
+            );
+            if let Some(reg) = reg {
+                let snap = aep_obs::StatsSnapshot::from_registry(
+                    reg,
+                    &[
+                        ("experiment", "faults"),
+                        ("model", &faults_opts.model.slug()),
+                        ("benchmark", &faults_opts.benchmark.name()),
+                        ("scale", scale.name()),
+                    ],
+                );
+                print!("{}", snap.to_json());
+            } else {
+                emit(fig);
+            }
+        }
+        "faults-bench" => {
+            let floor_json = check_floor.as_deref().map(|path| {
+                std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read floor file {}: {e}", path.display());
+                    std::process::exit(2);
+                })
+            });
+            let report = aep_bench::faults_bench::run_faults_bench(scale, faults_opts.trials, jobs);
+            println!("{}", report.to_text());
+            let path = std::path::Path::new("BENCH_faults.json");
+            match std::fs::write(path, report.to_json()) {
+                Ok(()) => eprintln!("[faults-bench] wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+            // 50%, not the engine harness's 20%: trials/Mcycle divides two
+            // wall-clock measurements with different parallelism, so CPU
+            // frequency jitter does not fully cancel. The floor catches
+            // algorithmic regressions (a model going quadratic), not drift.
+            if let Some(floor) = floor_json {
+                match report.check_floor(&floor, 0.5) {
+                    Ok(msg) => eprintln!("[faults-bench] {msg}"),
+                    Err(msg) => {
+                        eprintln!("[faults-bench] FAIL: {msg}");
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
         "run" => {
             let kind = scheme.unwrap_or_else(experiments::proposed);
@@ -338,6 +417,8 @@ fn usage() -> String {
      \x20 calibrate  workload-calibration sweep\n\
      \x20 faults     live fault-injection campaign per scheme\n\
      \x20            [--trials N] [--p-double P] [--seed S] [--bench B]\n\
+     \x20            [--model single|burst:K|col:K|row:K|accum:scrub[:C]]\n\
+     \x20            [--interleave D] [--stats-json]\n\
      \x20 run        one observed experiment: full stats snapshot\n\
      \x20            [--bench B] [--scheme S] [--stats-json]\n\
      \x20            [--faults-trials N]\n\
@@ -354,6 +435,9 @@ fn usage() -> String {
      \x20            lane-parallel batch (BENCH_engine.json)\n\
      \x20            [--check-floor FILE] fails (exit 1) if the lane\n\
      \x20            aggregate speedup regresses >20% vs FILE\n\
+     \x20 faults-bench  campaign-throughput harness: one fault campaign\n\
+     \x20            per strike model, normalised trials/Mcycle\n\
+     \x20            (BENCH_faults.json) [--trials N] [--check-floor FILE]\n\
      \x20 lanes      run the standard lane set, print per-lane stats\n\
      \x20            snapshots; [--serial] runs each lane independently\n\
      \x20            (outputs must be byte-identical)\n\

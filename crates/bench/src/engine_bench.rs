@@ -211,7 +211,7 @@ pub fn run_engine_bench(scale: Scale, benchmark: Benchmark) -> EngineBenchReport
 }
 
 /// Best-effort short commit hash for report provenance.
-fn git_commit() -> String {
+pub(crate) fn git_commit() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
@@ -350,7 +350,7 @@ impl EngineBenchReport {
 }
 
 /// Pulls `"key": <number>` out of hand-rolled JSON (first occurrence).
-fn extract_json_number(json: &str, key: &str) -> Option<f64> {
+pub(crate) fn extract_json_number(json: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\":");
     let at = json.find(&needle)? + needle.len();
     let rest = json[at..].trim_start();

@@ -25,6 +25,7 @@ use aep_dse::{
     EvaluatedPoint, Evaluator, ExplorePoint, Geometry, ObjectiveKey, ObjectiveSpec,
     ObjectiveVector, SchemeTemplate, Space,
 };
+use aep_faultsim::StrikeModel;
 use aep_workloads::{Benchmark, Workload};
 
 use crate::experiments::{Lab, Scale};
@@ -68,12 +69,12 @@ fn parse_bench_list(values: &str) -> Result<Vec<Workload>, String> {
 
 /// Builds the design space from a `--axes` spec: semicolon-separated
 /// `key=value,value` groups over the axes `scheme`, `interval`, `bench`,
-/// `scrub`, and `l2`. Omitted axes take the registry defaults (the
-/// paper's scheme templates and interval ladder on `gap`, no scrubbing,
-/// Table 1 geometry).
+/// `scrub`, `l2`, and `interleave`. Omitted axes take the registry
+/// defaults (the paper's scheme templates and interval ladder on `gap`,
+/// no scrubbing, Table 1 geometry, no bit-interleaving).
 ///
 /// ```text
-/// scheme=uniform,proposed;interval=256K,1M;bench=gzip,gap;scrub=none,4096;l2=512K
+/// scheme=uniform,proposed;interval=256K,1M;bench=gzip,gap;scrub=none,4096;l2=512K;interleave=1,4
 /// ```
 ///
 /// # Errors
@@ -85,6 +86,7 @@ pub fn parse_axes(spec: &str) -> Result<Space, String> {
     let mut benchmarks: Vec<Workload> = vec![Benchmark::Gap.into()];
     let mut scrubs: Vec<Option<u64>> = Vec::new();
     let mut geometries: Vec<Geometry> = Vec::new();
+    let mut interleaves: Vec<usize> = Vec::new();
     for group in spec.split(';').filter(|g| !g.trim().is_empty()) {
         let (key, values) = group
             .split_once('=')
@@ -120,14 +122,25 @@ pub fn parse_axes(spec: &str) -> Result<Space, String> {
                     .map(|v| Geometry::parse(v).ok_or_else(|| format!("bad geometry '{v}'")))
                     .collect::<Result<Vec<_>, _>>()?;
             }
+            "interleave" => {
+                interleaves = list()
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&d| d > 0)
+                            .ok_or_else(|| format!("bad interleave degree '{v}'"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
             other => return Err(format!("unknown axis '{other}'")),
         }
     }
-    let space = Space::grid(
+    let space = Space::grid_with_interleave(
         &benchmarks,
         &expand_schemes(&templates, &intervals),
         &scrubs,
         &geometries,
+        &interleaves,
     );
     space.validate().map_err(|e| e.to_string())?;
     Ok(space)
@@ -142,6 +155,9 @@ pub struct LabEvaluator {
     use_cache: bool,
     /// Campaign trials per point for the empirical objectives.
     trials: u32,
+    /// Strike model driving the empirical campaigns (the interleave
+    /// degree, by contrast, is a per-point axis).
+    model: StrikeModel,
     labs: HashMap<Scale, Lab>,
 }
 
@@ -153,8 +169,17 @@ impl LabEvaluator {
             jobs,
             use_cache,
             trials,
+            model: StrikeModel::Single,
             labs: HashMap::new(),
         }
+    }
+
+    /// Selects the strike model used for the empirical DUE/SDC
+    /// objectives.
+    #[must_use]
+    pub fn with_model(mut self, model: StrikeModel) -> Self {
+        self.model = model;
+        self
     }
 
     /// Total runs freshly simulated (vs. recalled) across every scale —
@@ -168,6 +193,8 @@ impl LabEvaluator {
         let opts = FaultsOptions {
             benchmark: point.benchmark.clone(),
             trials: self.trials,
+            model: self.model,
+            interleave: point.interleave,
             ..FaultsOptions::default()
         };
         let mut cfg = faults::campaign_config(scale, &opts, point.scheme);
@@ -186,13 +213,13 @@ impl LabEvaluator {
             point.id(),
             cfg.trials
         );
-        let table = aep_faultsim::run_campaign(&cfg, self.jobs);
+        let report = aep_faultsim::run_campaign_report(&cfg, self.jobs);
         if let Some(disk) = &disk {
-            if let Err(e) = disk.store_raw(&key, &faults::render_table(&table)) {
+            if let Err(e) = disk.store_raw(&key, &faults::render_report(&report)) {
                 eprintln!("[explore] warning: cannot write cache entry {key}: {e}");
             }
         }
-        table
+        report.total
     }
 }
 
@@ -291,8 +318,8 @@ pub fn usage() -> String {
     "exp explore — multi-objective design-space exploration\n\n\
      usage: exp explore <grid|refine|frontier>\n\
      \x20      [--axes SPEC] [--objectives LIST] [--scale paper|quick|smoke]\n\
-     \x20      [--budget N] [--jobs N] [--trials N] [--no-cache]\n\
-     \x20      [--out DIR] [--in FILE]\n\n\
+     \x20      [--budget N] [--jobs N] [--trials N] [--fault-model SLUG]\n\
+     \x20      [--no-cache] [--out DIR] [--in FILE]\n\n\
      modes:\n\
      \x20 grid      evaluate every point of the space at --scale\n\
      \x20 refine    successive halving up the smoke->quick->paper ladder\n\
@@ -308,10 +335,14 @@ pub fn usage() -> String {
      \x20           flood:/phase:/trace: generators), or the groups\n\
      \x20           all|fp|int|diversity              [gap]\n\
      \x20 scrub     scrub periods in cycles, or none  [none]\n\
-     \x20 l2        geometries <KiB>K[x<ways>x<line>] [1024Kx4x64]\n\n\
+     \x20 l2        geometries <KiB>K[x<ways>x<line>] [1024Kx4x64]\n\
+     \x20 interleave bit-interleaving degrees for the fault campaigns\n\
+     \x20           (must divide the line's words)    [1]\n\n\
      objectives (comma list, first-class columns of every report):\n\
      \x20 ipc (max), area, traffic, energy, fit, due, sdc (min)\n\
-     \x20 default: ipc,area,traffic,fit; due/sdc run fault campaigns\n\n\
+     \x20 default: ipc,area,traffic,fit; due/sdc run fault campaigns,\n\
+     \x20 whose strike model --fault-model selects (single, burst:K,\n\
+     \x20 col:K, row:K, accum:scrub[:CYCLES]; default single)\n\n\
      outputs under --out (default results/dse/): <mode>_<scale>.dse\n\
      records plus frontier .json/.csv/.md and all-points .csv; the\n\
      frontier JSON is byte-identical for every --jobs count.\n\n\
@@ -340,6 +371,7 @@ pub fn run(args: &[String]) -> i32 {
     let mut budget: Option<usize> = None;
     let mut jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut trials: u32 = 200;
+    let mut model = StrikeModel::Single;
     let mut use_cache = true;
     let mut out_dir = PathBuf::from("results/dse");
     let mut input: Option<PathBuf> = None;
@@ -389,6 +421,17 @@ pub fn run(args: &[String]) -> i32 {
                     Some(n) => trials = n,
                     None => {
                         return fail_usage(&format!("--trials needs a positive count, got '{v}'"))
+                    }
+                }
+            }
+            "--fault-model" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match StrikeModel::parse(v) {
+                    Some(m) => model = m,
+                    None => {
+                        return fail_usage(&format!(
+                            "unknown fault model '{v}' (use single|burst:K|col:K|row:K|accum:scrub[:CYCLES])"
+                        ))
                     }
                 }
             }
@@ -444,7 +487,7 @@ pub fn run(args: &[String]) -> i32 {
         space.len(),
         objectives.to_string_spec()
     );
-    let mut evaluator = LabEvaluator::new(jobs, use_cache, trials);
+    let mut evaluator = LabEvaluator::new(jobs, use_cache, trials).with_model(model);
 
     let evaluated = if mode == "grid" {
         explore_grid(&space, scale, &objectives, &mut evaluator)
@@ -533,6 +576,18 @@ mod tests {
         assert!(parse_axes("nonsense").is_err());
         assert!(parse_axes("orbit=low").is_err());
         assert!(parse_axes("scrub=0").is_err());
+    }
+
+    #[test]
+    fn interleave_axis_sweeps_degrees() {
+        let space = parse_axes("scheme=uniform;bench=gzip;interleave=1,4").expect("axes parse");
+        assert_eq!(space.len(), 2);
+        let degrees: Vec<usize> = space.points().iter().map(|p| p.interleave).collect();
+        assert_eq!(degrees, [1, 4]);
+        assert!(parse_axes("interleave=0").is_err());
+        assert!(parse_axes("interleave=x").is_err());
+        // 3 does not divide the default 64-byte line's 8 words.
+        assert!(parse_axes("scheme=uniform;interleave=3").is_err());
     }
 
     #[test]

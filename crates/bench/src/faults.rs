@@ -23,7 +23,9 @@
 
 use aep_core::{SchemeKind, SoftErrorModel};
 use aep_ecc::CodeArea;
-use aep_faultsim::{run_campaign, CampaignConfig, OutcomeTable};
+use aep_faultsim::{
+    run_campaign_report, CampaignConfig, CampaignReport, OutcomeTable, StrikeModel,
+};
 use aep_workloads::{Benchmark, Workload};
 
 use crate::experiments::{FigureData, Lab, Scale};
@@ -31,8 +33,8 @@ use crate::runcache::{fnv1a, scheme_slug, RunCache};
 
 /// Raw cache-entry format version; bump on layout changes **or** on
 /// semantic changes to the schemes/campaign that invalidate stored
-/// outcome tables.
-const FORMAT_VERSION: u64 = 2;
+/// outcome tables. (v3: per-chunk tables and strike-model campaigns.)
+const FORMAT_VERSION: u64 = 3;
 
 /// CLI-visible knobs of an `exp faults` session.
 #[derive(Debug, Clone)]
@@ -41,10 +43,14 @@ pub struct FaultsOptions {
     pub benchmark: Workload,
     /// Trials per scheme.
     pub trials: u32,
-    /// Probability of a double-bit (same-word) strike.
+    /// Probability of a double-bit (same-word) strike (single model only).
     pub p_double: f64,
     /// Master campaign seed.
     pub seed: u64,
+    /// Strike model (`--model single|burst:K|col:K|row:K|accum:scrub`).
+    pub model: StrikeModel,
+    /// Physical bit-interleaving degree of the L2 data array.
+    pub interleave: usize,
 }
 
 impl Default for FaultsOptions {
@@ -54,6 +60,8 @@ impl Default for FaultsOptions {
             trials: 1000,
             p_double: 0.0,
             seed: 2006,
+            model: StrikeModel::Single,
+            interleave: 1,
         }
     }
 }
@@ -92,41 +100,86 @@ pub fn campaign_config(scale: Scale, opts: &FaultsOptions, scheme: SchemeKind) -
     cfg.trials = opts.trials;
     cfg.p_double = opts.p_double;
     cfg.seed = opts.seed;
+    cfg.model = opts.model;
+    cfg.interleave = opts.interleave;
     cfg
 }
 
-/// The raw-cache key for one scheme's campaign.
+/// The raw-cache key for one scheme's campaign. The model slug and
+/// interleave degree are spelled out (colons mapped to `_` for filesystem
+/// friendliness); every other knob rides on the config's debug hash.
 #[must_use]
 pub fn campaign_key(scale: Scale, cfg: &CampaignConfig) -> String {
     format!(
-        "faults-{}-{}-{}-s{}-t{}-{:016x}",
+        "faults-{}-{}-{}-m{}-il{}-s{}-t{}-{:016x}",
         scale.name(),
         cfg.benchmark.name(),
         scheme_slug(cfg.scheme),
+        cfg.model.slug().replace(':', "_"),
+        cfg.interleave,
         cfg.seed,
         cfg.trials,
         fnv1a(format!("{cfg:?}").as_bytes())
     )
 }
 
-/// Renders an [`OutcomeTable`] as the raw cache-entry text.
+/// Renders a [`CampaignReport`] as the raw cache-entry text: the merged
+/// table as `k=v` lines plus one `chunk=` CSV line per chunk (the
+/// determinism witness survives the round-trip; wall-clock does not).
 #[must_use]
-pub fn render_table(t: &OutcomeTable) -> String {
-    format!(
+pub fn render_report(r: &CampaignReport) -> String {
+    let t = &r.total;
+    let mut s = format!(
         "version={FORMAT_VERSION}\nmasked={}\ncorrected={}\nrefetch={}\ndue={}\nsdc={}\n\
          struck_valid={}\nstruck_dirty={}\n",
         t.masked, t.corrected, t.refetch_recovered, t.due, t.sdc, t.struck_valid, t.struck_dirty
-    )
+    );
+    for c in &r.chunks {
+        s.push_str(&format!(
+            "chunk={},{},{},{},{},{},{}\n",
+            c.masked,
+            c.corrected,
+            c.refetch_recovered,
+            c.due,
+            c.sdc,
+            c.struck_valid,
+            c.struck_dirty
+        ));
+    }
+    s
 }
 
-/// Parses cache-entry text back into an [`OutcomeTable`] (`None` on any
-/// malformed or version-mismatched input — the caller re-runs).
+/// Parses cache-entry text back into a [`CampaignReport`] (`None` on any
+/// malformed or version-mismatched input — the caller re-runs). A disk
+/// hit carries no wall-clock: `wall_seconds` comes back `0.0`.
 #[must_use]
-pub fn parse_table(text: &str) -> Option<OutcomeTable> {
+pub fn parse_report(text: &str) -> Option<CampaignReport> {
     let mut fields = std::collections::HashMap::new();
+    let mut chunks = Vec::new();
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() {
+            continue;
+        }
+        if let Some(csv) = line.strip_prefix("chunk=") {
+            let ns: Vec<u64> = csv
+                .split(',')
+                .map(|n| n.parse().ok())
+                .collect::<Option<_>>()?;
+            let [masked, corrected, refetch_recovered, due, sdc, struck_valid, struck_dirty] =
+                ns[..]
+            else {
+                return None;
+            };
+            chunks.push(OutcomeTable {
+                masked,
+                corrected,
+                refetch_recovered,
+                due,
+                sdc,
+                struck_valid,
+                struck_dirty,
+            });
             continue;
         }
         let (k, v) = line.split_once('=')?;
@@ -135,15 +188,26 @@ pub fn parse_table(text: &str) -> Option<OutcomeTable> {
     if *fields.get("version")? != FORMAT_VERSION {
         return None;
     }
-    Some(OutcomeTable {
-        masked: *fields.get("masked")?,
-        corrected: *fields.get("corrected")?,
-        refetch_recovered: *fields.get("refetch")?,
-        due: *fields.get("due")?,
-        sdc: *fields.get("sdc")?,
-        struck_valid: *fields.get("struck_valid")?,
-        struck_dirty: *fields.get("struck_dirty")?,
+    Some(CampaignReport {
+        total: OutcomeTable {
+            masked: *fields.get("masked")?,
+            corrected: *fields.get("corrected")?,
+            refetch_recovered: *fields.get("refetch")?,
+            due: *fields.get("due")?,
+            sdc: *fields.get("sdc")?,
+            struck_valid: *fields.get("struck_valid")?,
+            struck_dirty: *fields.get("struck_dirty")?,
+        },
+        chunks,
+        wall_seconds: 0.0,
     })
+}
+
+/// Parses cache-entry text down to the merged [`OutcomeTable`] (the
+/// explorer's view — it never needs the chunk breakdown).
+#[must_use]
+pub fn parse_table(text: &str) -> Option<OutcomeTable> {
+    parse_report(text).map(|r| r.total)
 }
 
 /// Runs (or recalls) one scheme's campaign.
@@ -154,32 +218,40 @@ fn campaign_for(
     jobs: usize,
     disk: Option<&RunCache>,
     verbose: bool,
-) -> OutcomeTable {
+) -> CampaignReport {
     let cfg = campaign_config(scale, opts, scheme);
     let key = campaign_key(scale, &cfg);
     if let Some(disk) = disk {
-        if let Some(table) = disk.load_raw(&key).as_deref().and_then(parse_table) {
+        if let Some(report) = disk.load_raw(&key).as_deref().and_then(parse_report) {
             if verbose {
                 eprintln!("[faults] disk hit {}", scheme.label());
             }
-            return table;
+            return report;
         }
     }
     if verbose {
         eprintln!(
-            "[faults] campaign {} / {} ({} trials)",
+            "[faults] campaign {} / {} ({} trials, model {})",
             cfg.benchmark,
             scheme.label(),
-            cfg.trials
+            cfg.trials,
+            cfg.model.slug()
         );
     }
-    let table = run_campaign(&cfg, jobs);
+    let report = run_campaign_report(&cfg, jobs);
+    if verbose {
+        eprintln!(
+            "[faults]   {:.0} trials/s ({:.2} s wall)",
+            report.trials_per_sec(),
+            report.wall_seconds
+        );
+    }
     if let Some(disk) = disk {
-        if let Err(e) = disk.store_raw(&key, &render_table(&table)) {
+        if let Err(e) = disk.store_raw(&key, &render_report(&report)) {
             eprintln!("[faults] warning: cannot write cache entry {key}: {e}");
         }
     }
-    table
+    report
 }
 
 /// The first-order analytical user-visible FIT for `scheme`, fed with the
@@ -225,6 +297,14 @@ pub fn fit_ratio(empirical: f64, analytical: f64) -> f64 {
 }
 
 /// **`exp faults`**: per-scheme outcome table plus the FIT cross-check.
+///
+/// When `stats` is given, each scheme's campaign report (outcome
+/// counters, per-chunk loss histogram, wall-clock throughput) is also
+/// published under `faults.model.<model slug>.<scheme slug>` for
+/// `--stats-json` consumers. The analytical FIT columns always assume
+/// independent single-bit strikes — under multi-bit models the ratio
+/// column *is* the measurement of how far reality departs from that
+/// first-order model.
 pub fn faults_figure(
     scale: Scale,
     opts: &FaultsOptions,
@@ -232,12 +312,23 @@ pub fn faults_figure(
     disk: Option<&RunCache>,
     lab: &mut Lab,
     verbose: bool,
+    mut stats: Option<&mut aep_obs::Registry>,
 ) -> FigureData {
     let model = SoftErrorModel::date2006_typical();
     let rows = faults_schemes()
         .into_iter()
         .map(|scheme| {
-            let table = campaign_for(scale, opts, scheme, jobs, disk, verbose);
+            let report = campaign_for(scale, opts, scheme, jobs, disk, verbose);
+            if let Some(reg) = stats.as_deref_mut() {
+                reg.scoped(
+                    &format!("faults.model.{}.{}", opts.model.slug(), scheme_slug(scheme)),
+                    |r| {
+                        report.register_stats(r);
+                        report.register_throughput(r);
+                    },
+                );
+            }
+            let table = &report.total;
             let l2 = &campaign_config(scale, opts, scheme).hierarchy.l2;
             let raw = model.raw_fit(CodeArea::from_bytes(l2.size_bytes));
             let empirical = raw * (table.due_rate() + table.sdc_rate());
@@ -258,14 +349,21 @@ pub fn faults_figure(
             )
         })
         .collect();
+    let mut title = format!(
+        "Fault injection (live): {} trials on {}, p(double)={:.2}, seed {}",
+        opts.trials,
+        opts.benchmark.name(),
+        opts.p_double,
+        opts.seed
+    );
+    if opts.model != StrikeModel::Single {
+        title.push_str(&format!(", model {}", opts.model.slug()));
+    }
+    if opts.interleave != 1 {
+        title.push_str(&format!(", interleave {}", opts.interleave));
+    }
     FigureData {
-        title: format!(
-            "Fault injection (live): {} trials on {}, p(double)={:.2}, seed {}",
-            opts.trials,
-            opts.benchmark.name(),
-            opts.p_double,
-            opts.seed
-        ),
+        title,
         row_header: "scheme".into(),
         columns: vec![
             "masked".into(),
@@ -289,15 +387,29 @@ mod tests {
     use aep_faultsim::TrialOutcome;
 
     #[test]
-    fn table_text_roundtrip() {
-        let mut t = OutcomeTable::default();
-        t.record(TrialOutcome::Masked, false, false);
-        t.record(TrialOutcome::Due, true, true);
-        t.record(TrialOutcome::Corrected, true, true);
-        assert_eq!(parse_table(&render_table(&t)), Some(t));
+    fn report_text_roundtrip() {
+        let mut a = OutcomeTable::default();
+        a.record(TrialOutcome::Masked, false, false);
+        a.record(TrialOutcome::Due, true, true);
+        let mut b = OutcomeTable::default();
+        b.record(TrialOutcome::Corrected, true, true);
+        b.record(TrialOutcome::Sdc, true, true);
+        let mut total = a;
+        total.merge(&b);
+        let report = CampaignReport {
+            total,
+            chunks: vec![a, b],
+            wall_seconds: 1.5,
+        };
+        let parsed = parse_report(&render_report(&report)).expect("round-trips");
+        assert_eq!(parsed.total, report.total);
+        assert_eq!(parsed.chunks, report.chunks);
+        assert_eq!(parsed.wall_seconds, 0.0, "wall-clock never survives disk");
+        assert_eq!(parse_table(&render_report(&report)), Some(total));
         assert_eq!(parse_table(""), None);
         assert_eq!(parse_table("version=99\nmasked=1\n"), None);
         assert_eq!(parse_table("masked=zzz\n"), None);
+        assert_eq!(parse_table("version=3\nchunk=1,2\n"), None, "short chunk");
     }
 
     #[test]
@@ -323,9 +435,28 @@ mod tests {
             Scale::Smoke,
             &campaign_config(Scale::Smoke, &other_seed, SchemeKind::Uniform),
         );
+        let mut burst = opts.clone();
+        burst.model = StrikeModel::Burst { width: 2 };
+        let e = campaign_key(
+            Scale::Smoke,
+            &campaign_config(Scale::Smoke, &burst, SchemeKind::Uniform),
+        );
+        let mut interleaved = opts.clone();
+        interleaved.model = StrikeModel::Accum {
+            scrub_cycles: aep_faultsim::models::DEFAULT_SCRUB_CYCLES,
+        };
+        interleaved.interleave = 4;
+        let f = campaign_key(
+            Scale::Smoke,
+            &campaign_config(Scale::Smoke, &interleaved, SchemeKind::Uniform),
+        );
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d);
+        assert_ne!(a, e);
+        assert_ne!(a, f);
+        assert_ne!(e, f);
+        assert!(f.contains("-maccum_scrub-il4-"), "slug is sanitised: {f}");
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod engine_bench;
 pub mod experiments;
 pub mod explore;
 pub mod faults;
+pub mod faults_bench;
 pub mod gate;
 pub mod runcache;
 pub mod serve_cli;

@@ -49,6 +49,19 @@ fn malformed_flags_fail_with_a_diagnostic() {
         (&["faults", "--trials", "none"][..], "--trials requires"),
         (&["faults", "--p-double", "2.0"][..], "--p-double requires"),
         (&["faults", "--bench", "nosuch"][..], "unknown workload"),
+        (&["faults", "--model", "nosuch"][..], "unknown fault model"),
+        (
+            &["faults", "--model", "burst:99"][..],
+            "unknown fault model",
+        ),
+        (
+            &["faults", "--interleave", "0"][..],
+            "--interleave requires",
+        ),
+        (
+            &["faults", "--scale", "smoke", "--interleave", "3"][..],
+            "does not divide",
+        ),
         (&["fig1", "--frobnicate"][..], "unknown argument"),
         (&["run", "--scheme", "nosuch"][..], "unknown scheme"),
         (&["trace", "--capacity", "0"][..], "--capacity requires"),
@@ -204,6 +217,14 @@ fn explore_usage_errors_exit_2_with_a_diagnostic() {
         (
             &["explore", "grid", "--axes", "scrub=0"][..],
             "bad scrub period '0'",
+        ),
+        (
+            &["explore", "grid", "--axes", "interleave=0"][..],
+            "bad interleave degree '0'",
+        ),
+        (
+            &["explore", "grid", "--fault-model", "nosuch"][..],
+            "unknown fault model 'nosuch'",
         ),
         (&["explore", "grid", "--frobnicate"][..], "unknown argument"),
     ] {

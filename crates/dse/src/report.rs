@@ -99,7 +99,7 @@ pub fn frontier_json(
     use core::fmt::Write as _;
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"version\": 1,");
+    let _ = writeln!(out, "  \"version\": 2,");
     let _ = writeln!(out, "  \"scale\": \"{scale}\",");
     let names: Vec<String> = spec
         .keys()
@@ -119,7 +119,8 @@ pub fn frontier_json(
         let _ = write!(
             out,
             "    {{\"id\": \"{}\", \"benchmark\": \"{}\", \"scheme\": \"{}\", \
-             \"scrub\": {}, \"geometry\": \"{}\", {}, \"frontier\": {}, \"knee\": {}}}",
+             \"scrub\": {}, \"geometry\": \"{}\", \"interleave\": {}, {}, \
+             \"frontier\": {}, \"knee\": {}}}",
             p.id(),
             p.benchmark.name(),
             scheme_slug(p.scheme),
@@ -128,6 +129,7 @@ pub fn frontier_json(
                 None => "null".to_owned(),
             },
             p.geometry.slug(),
+            p.interleave,
             values.join(", "),
             analysis.frontier.contains(&i),
             analysis.knee == Some(i),
@@ -165,7 +167,7 @@ pub fn points_csv(
     let names: Vec<&str> = spec.keys().iter().map(|k| k.name()).collect();
     let _ = writeln!(
         out,
-        "id,benchmark,scheme,scrub,geometry,{},on_frontier,knee",
+        "id,benchmark,scheme,scrub,geometry,interleave,{},on_frontier,knee",
         names.join(",")
     );
     for (i, e) in evaluated.iter().enumerate() {
@@ -173,12 +175,13 @@ pub fn points_csv(
         let values: Vec<String> = e.objectives.values.iter().map(|v| format!("{v}")).collect();
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{}",
             p.id(),
             p.benchmark.name(),
             scheme_slug(p.scheme),
             scrub_field(p),
             p.geometry.slug(),
+            p.interleave,
             values.join(","),
             analysis.frontier.contains(&i),
             analysis.knee == Some(i),
@@ -199,7 +202,7 @@ pub fn frontier_csv(
     let names: Vec<&str> = spec.keys().iter().map(|k| k.name()).collect();
     let _ = writeln!(
         out,
-        "id,benchmark,scheme,scrub,geometry,{}",
+        "id,benchmark,scheme,scrub,geometry,interleave,{}",
         names.join(",")
     );
     for &i in &analysis.frontier {
@@ -208,12 +211,13 @@ pub fn frontier_csv(
         let values: Vec<String> = e.objectives.values.iter().map(|v| format!("{v}")).collect();
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{}",
             p.id(),
             p.benchmark.name(),
             scheme_slug(p.scheme),
             scrub_field(p),
             p.geometry.slug(),
+            p.interleave,
             values.join(","),
         );
     }
@@ -294,7 +298,7 @@ pub fn write_records(scale: &str, spec: &ObjectiveSpec, evaluated: &[EvaluatedPo
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "dse v1 scale={scale} objectives={}",
+        "dse v2 scale={scale} objectives={}",
         spec.to_string_spec()
     );
     for e in evaluated {
@@ -302,12 +306,13 @@ pub fn write_records(scale: &str, spec: &ObjectiveSpec, evaluated: &[EvaluatedPo
         let bits: Vec<String> = e.objectives.values.iter().map(|&v| hex_bits(v)).collect();
         let _ = writeln!(
             out,
-            "point={}|{}|{}|{}|{}|{}",
+            "point={}|{}|{}|{}|{}|{}|{}",
             p.id(),
             p.benchmark.name(),
             scheme_slug(p.scheme),
             scrub_field(p),
             p.geometry.slug(),
+            p.interleave,
             bits.join(","),
         );
     }
@@ -321,7 +326,7 @@ pub fn write_records(scale: &str, spec: &ObjectiveSpec, evaluated: &[EvaluatedPo
 pub fn parse_records(text: &str) -> Option<(String, ObjectiveSpec, Vec<EvaluatedPoint>)> {
     let mut lines = text.lines();
     let header = lines.next()?;
-    let rest = header.strip_prefix("dse v1 scale=")?;
+    let rest = header.strip_prefix("dse v2 scale=")?;
     let (scale, objectives) = rest.split_once(" objectives=")?;
     let spec = ObjectiveSpec::parse(objectives).ok()?;
     let mut evaluated = Vec::new();
@@ -340,6 +345,7 @@ pub fn parse_records(text: &str) -> Option<(String, ObjectiveSpec, Vec<Evaluated
             s => Some(s.parse().ok()?),
         };
         let geometry = Geometry::parse(fields.next()?)?;
+        let interleave: usize = fields.next()?.parse().ok()?;
         let values = fields
             .next()?
             .split(',')
@@ -354,6 +360,7 @@ pub fn parse_records(text: &str) -> Option<(String, ObjectiveSpec, Vec<Evaluated
                 scheme,
                 scrub_period,
                 geometry,
+                interleave,
             },
             objectives: ObjectiveVector { values },
         });
@@ -446,8 +453,10 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
-        // Corruption never yields a partial parse.
+        // Corruption never yields a partial parse, and pre-interleave v1
+        // files are rejected outright rather than misread.
         assert!(parse_records(&text.replace("point=", "pt=")).is_none());
         assert!(parse_records("dse v2 nope").is_none());
+        assert!(parse_records(&text.replace("dse v2", "dse v1")).is_none());
     }
 }

@@ -199,10 +199,16 @@ pub struct ExplorePoint {
     pub scrub_period: Option<u64>,
     /// The L2 geometry.
     pub geometry: Geometry,
+    /// Physical bit-interleaving degree of the L2 data array (1 = no
+    /// interleaving). Invisible to the timing simulator; it decides how
+    /// spatial multi-bit strikes map onto logical words in the empirical
+    /// DUE/SDC fault campaigns.
+    pub interleave: usize,
 }
 
 impl ExplorePoint {
-    /// A point at the default axes (no scrubbing, Table 1 geometry).
+    /// A point at the default axes (no scrubbing, Table 1 geometry, no
+    /// bit-interleaving).
     #[must_use]
     pub fn new(benchmark: impl Into<Workload>, scheme: SchemeKind) -> Self {
         ExplorePoint {
@@ -210,6 +216,7 @@ impl ExplorePoint {
             scheme,
             scrub_period: None,
             geometry: Geometry::date2006(),
+            interleave: 1,
         }
     }
 
@@ -229,6 +236,9 @@ impl ExplorePoint {
         }
         if self.geometry != Geometry::date2006() {
             id.push_str(&format!("-{}", self.geometry.slug()));
+        }
+        if self.interleave != 1 {
+            id.push_str(&format!("-il{}", self.interleave));
         }
         id
     }
@@ -265,6 +275,13 @@ impl ExplorePoint {
         if self.scheme.cleaning_interval() == Some(0) {
             return fail("cleaning interval must be positive".into());
         }
+        let words = (self.geometry.line_bytes / 8) as usize;
+        if self.interleave == 0 || !words.is_multiple_of(self.interleave) {
+            return fail(format!(
+                "interleave degree {} must divide the line's {words} words",
+                self.interleave
+            ));
+        }
         Ok(())
     }
 }
@@ -295,13 +312,26 @@ pub struct Space {
 impl Space {
     /// The cartesian grid over the given axes, in row-major order
     /// (benchmark, scheme, scrub, geometry). Empty scrub/geometry axes
-    /// default to no-scrub / Table 1.
+    /// default to no-scrub / Table 1; the interleave axis stays at 1.
     #[must_use]
     pub fn grid(
         benchmarks: &[Workload],
         schemes: &[SchemeKind],
         scrub_periods: &[Option<u64>],
         geometries: &[Geometry],
+    ) -> Self {
+        Space::grid_with_interleave(benchmarks, schemes, scrub_periods, geometries, &[])
+    }
+
+    /// [`Space::grid`] with an explicit bit-interleaving axis (innermost;
+    /// empty defaults to degree 1).
+    #[must_use]
+    pub fn grid_with_interleave(
+        benchmarks: &[Workload],
+        schemes: &[SchemeKind],
+        scrub_periods: &[Option<u64>],
+        geometries: &[Geometry],
+        interleaves: &[usize],
     ) -> Self {
         let scrubs: &[Option<u64>] = if scrub_periods.is_empty() {
             &[None]
@@ -314,17 +344,25 @@ impl Space {
         } else {
             geometries
         };
+        let ils: &[usize] = if interleaves.is_empty() {
+            &[1]
+        } else {
+            interleaves
+        };
         let mut points = Vec::new();
         for benchmark in benchmarks {
             for &scheme in schemes {
                 for &scrub_period in scrubs {
                     for &geometry in geoms {
-                        points.push(ExplorePoint {
-                            benchmark: benchmark.clone(),
-                            scheme,
-                            scrub_period,
-                            geometry,
-                        });
+                        for &interleave in ils {
+                            points.push(ExplorePoint {
+                                benchmark: benchmark.clone(),
+                                scheme,
+                                scrub_period,
+                                geometry,
+                                interleave,
+                            });
+                        }
                     }
                 }
             }
@@ -432,6 +470,28 @@ mod tests {
         // Default axes leave no suffix; deviations append one.
         assert!(ids.contains(&"gzip-uniform".to_owned()));
         assert!(ids.contains(&"gzip-proposed_1048576-scrub4096-512Kx4x64".to_owned()));
+    }
+
+    #[test]
+    fn interleave_axis_suffixes_ids_and_validates() {
+        let space = Space::grid_with_interleave(
+            &workloads(&[Benchmark::Gzip]),
+            &expand_schemes(&[SchemeTemplate::Uniform], &[]),
+            &[],
+            &[],
+            &[1, 4],
+        );
+        assert_eq!(space.len(), 2);
+        let ids: Vec<String> = space.points().iter().map(ExplorePoint::id).collect();
+        assert_eq!(ids, ["gzip-uniform", "gzip-uniform-il4"]);
+        space.validate().expect("degrees divide the 8-word line");
+
+        let bad = ExplorePoint {
+            interleave: 3, // 64B line = 8 words; 3 does not divide 8
+            ..ExplorePoint::new(Benchmark::Gzip, SchemeKind::Uniform)
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.why.contains("interleave"), "{err}");
     }
 
     #[test]

@@ -279,6 +279,87 @@ mod tests {
         }
     }
 
+    /// SECDED's blind spot, measured: a triple-bit flip has odd overall
+    /// parity, so the decoder treats it as a single-bit error and
+    /// "corrects" along the syndrome — which for most triples lands on a
+    /// fourth bit, yielding `Corrected` with a *wrong* word. This is the
+    /// miscorrection path the fault campaign must classify as SDC, not as
+    /// a successful correction.
+    #[test]
+    fn triple_flips_miscorrect_to_a_wrong_word() {
+        let c = code();
+        let data = 0x0123_4567_89AB_CDEFu64;
+        let check = c.encode(data);
+        let mut miscorrected = 0u32;
+        let mut due = 0u32;
+        for i in 0..64u8 {
+            for j in (i + 1)..64u8 {
+                for k in (j + 1)..64u8 {
+                    let corrupted = data ^ (1u64 << i) ^ (1u64 << j) ^ (1u64 << k);
+                    match c.decode(corrupted, check) {
+                        Decoded::Corrected { data: d, .. } => {
+                            // A triple flip can never be repaired back to
+                            // the true word — the decoder flips at most
+                            // one more bit.
+                            assert_ne!(
+                                d, data,
+                                "triple ({i},{j},{k}) impossibly repaired to the original"
+                            );
+                            miscorrected += 1;
+                        }
+                        Decoded::Uncorrectable => due += 1,
+                        Decoded::Clean { .. } => {
+                            panic!("triple ({i},{j},{k}) read back clean")
+                        }
+                    }
+                }
+            }
+        }
+        // Both outcomes are well-populated: miscorrection is the common
+        // case (the syndrome usually lands on a valid data position), DUE
+        // the minority (syndrome on a check position or out of range).
+        assert!(miscorrected > 0, "no triple miscorrected");
+        assert!(due > 0, "no triple detected as uncorrectable");
+        assert!(
+            miscorrected > due,
+            "expected miscorrection to dominate: {miscorrected} vs {due}"
+        );
+    }
+
+    /// One deterministic, seeded miscorrection witness — the exact pattern
+    /// the faultsim accumulation test relies on — plus the cross-check
+    /// that plain parity *does* flag the same odd-count corruption.
+    #[test]
+    fn seeded_triple_flip_is_flagged_by_parity_but_not_secded() {
+        let c = code();
+        let data = 0xDEAD_BEEF_0BAD_F00Du64;
+        let check = c.encode(data);
+        // Find the first miscorrecting triple so the witness stays stable
+        // under any future table change.
+        let witness = (0..64u8)
+            .flat_map(|i| (i + 1..64).map(move |j| (i, j)))
+            .flat_map(|(i, j)| (j + 1..64).map(move |k| (i, j, k)))
+            .find_map(|(i, j, k)| {
+                let corrupted = data ^ (1u64 << i) ^ (1u64 << j) ^ (1u64 << k);
+                match c.decode(corrupted, check) {
+                    Decoded::Corrected { data: d, .. } => Some((corrupted, d)),
+                    _ => None,
+                }
+            })
+            .expect("some triple miscorrects");
+        let (corrupted, wrong) = witness;
+        assert_ne!(wrong, data);
+        // The same corruption has odd weight, so a per-word parity bit
+        // sees it even though SECDED silently mis-"corrects" it.
+        let parity = crate::parity::ParityBit::encode(data);
+        assert!(!crate::parity::ParityBit::verify(corrupted, parity));
+        // The phantom repair flips at most one more bit (a data bit, or
+        // none when the syndrome points at a check position), so the wrong
+        // word sits within Hamming distance 4 of the truth while the
+        // decoder reports success.
+        assert!((wrong ^ data).count_ones() <= 4);
+    }
+
     #[test]
     fn encoding_is_deterministic_and_sensitive() {
         let c = code();

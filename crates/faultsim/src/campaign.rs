@@ -1,13 +1,15 @@
 //! Monte Carlo fault-injection campaigns over the live timing simulator.
 //!
 //! A campaign runs `trials` independent strike experiments against one
-//! (benchmark, scheme) pair. Strikes arrive at seeded pseudo-Poisson times
-//! *during* simulation: the machine runs an exponential gap, one L2 frame
-//! is chosen uniformly over the whole array (invalid frames count as
-//! immediately masked strikes — the same normalisation the analytical
-//! [`aep_core::SoftErrorModel`] uses), real bits are flipped in the live
-//! data array, and the system keeps executing until the upset is consumed
-//! by the scheme's detect/correct path or the per-trial horizon expires.
+//! (benchmark, scheme, strike-model) triple. Strikes arrive at seeded
+//! pseudo-Poisson times *during* simulation: the machine runs an
+//! exponential gap, one L2 frame is chosen uniformly over the whole array
+//! (invalid frames count as immediately masked strikes — the same
+//! normalisation the analytical [`aep_core::SoftErrorModel`] uses), the
+//! configured [`StrikeModel`] draws a physical flip footprint mapped
+//! through the array's [`ArrayLayout`], real bits flip in the live data
+//! array, and the system keeps executing until the upset is consumed by
+//! the scheme's detect/correct path or the per-trial horizon expires.
 //!
 //! # Determinism
 //!
@@ -22,17 +24,19 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Instant;
 
 use aep_cpu::CoreConfig;
 use aep_ecc::inject::FaultInjector;
 use aep_mem::memory::mix64;
-use aep_mem::HierarchyConfig;
+use aep_mem::{ArrayLayout, HierarchyConfig};
 use aep_rng::SmallRng;
 use aep_sim::System;
 use aep_workloads::{Workload, WorkloadStream};
 
 use aep_core::{RecoveryOutcome, SchemeKind};
 
+use crate::models::StrikeModel;
 use crate::monitor::{PendingStrike, StrikeCell, StrikeProbe, StrikeState};
 use crate::outcome::{OutcomeTable, TrialOutcome};
 use crate::pool::fan_out_init;
@@ -49,9 +53,16 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Number of strike trials.
     pub trials: u32,
-    /// Probability that a strike flips two bits in the same word
-    /// (spatial multi-bit upset).
+    /// Probability that a strike flips two bits in the same word — only
+    /// consulted by [`StrikeModel::Single`], which reproduces the legacy
+    /// injector draw-for-draw.
     pub p_double: f64,
+    /// Shape of each particle strike.
+    pub model: StrikeModel,
+    /// Physical bit-interleaving degree of the L2 data array: adjacent
+    /// columns belong to `interleave` different logical words. Must
+    /// divide the words-per-line. Degree 1 is a non-interleaved array.
+    pub interleave: usize,
     /// Cycles each chunk's fresh system runs before its first strike.
     pub warmup_cycles: u64,
     /// Per-trial resolution budget: cycles to wait for the struck line to
@@ -79,6 +90,8 @@ impl CampaignConfig {
             seed: 2006,
             trials: 1000,
             p_double: 0.0,
+            model: StrikeModel::Single,
+            interleave: 1,
             warmup_cycles: 30_000,
             horizon_cycles: 50_000,
             mean_gap_cycles: 2_000.0,
@@ -103,8 +116,68 @@ impl CampaignConfig {
         }
     }
 
+    /// The physical layout of the L2 data array under this config.
+    #[must_use]
+    pub fn layout(&self) -> ArrayLayout {
+        ArrayLayout::new(self.hierarchy.l2.words_per_line(), self.interleave)
+    }
+
     fn chunks(&self) -> usize {
         (self.trials as usize).div_ceil(self.trials_per_chunk.max(1) as usize)
+    }
+}
+
+/// A finished campaign: the merged table, the per-chunk tables it was
+/// merged from (in chunk order — the determinism witness), and the
+/// wall-clock the run took. Only `wall_seconds` is host-dependent; every
+/// table is a pure function of the config.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// All chunks merged in index order.
+    pub total: OutcomeTable,
+    /// Per-chunk outcome tables, index order.
+    pub chunks: Vec<OutcomeTable>,
+    /// Wall-clock duration of the fan-out, in seconds.
+    pub wall_seconds: f64,
+}
+
+impl CampaignReport {
+    /// Campaign throughput in trials per wall-clock second.
+    #[must_use]
+    pub fn trials_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.total.trials() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Publishes the campaign's deterministic outcome statistics into the
+    /// registry's current scope (callers nest this under
+    /// `faults.model.<slug>.<scheme>`): the merged taxonomy, the chunk
+    /// count, and a per-chunk loss (DUE + SDC) histogram. Wall-clock
+    /// throughput is *not* published here — see
+    /// [`CampaignReport::register_throughput`] — so snapshots of this
+    /// scope stay byte-reproducible.
+    pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
+        self.total.register_stats(reg);
+        reg.counter("chunks", self.chunks.len() as u64);
+        let mut losses = aep_obs::Histogram::new();
+        for c in &self.chunks {
+            losses.record(c.due + c.sdc);
+        }
+        reg.histogram("chunk_losses", &losses);
+    }
+
+    /// Publishes the host-dependent throughput figures under a `wall`
+    /// sub-scope — a separate call from [`CampaignReport::register_stats`]
+    /// so determinism gates can snapshot the outcome scope without
+    /// tripping over wall-clock noise.
+    pub fn register_throughput(&self, reg: &mut aep_obs::Registry) {
+        reg.scoped("wall", |r| {
+            r.rate("seconds", self.wall_seconds);
+            r.rate("trials_per_sec", self.trials_per_sec());
+        });
     }
 }
 
@@ -112,21 +185,34 @@ impl CampaignConfig {
 /// The result is identical for every `jobs` value.
 #[must_use]
 pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> OutcomeTable {
+    run_campaign_report(cfg, jobs).total
+}
+
+/// Runs the campaign and keeps the per-chunk tables and wall-clock.
+#[must_use]
+pub fn run_campaign_report(cfg: &CampaignConfig, jobs: usize) -> CampaignReport {
     assert!(
         cfg.hierarchy.l2.store_data,
         "fault injection needs a data-holding L2 (store_data = true)"
     );
-    let tables = fan_out_init(
+    let _ = cfg.layout(); // validate interleave against the geometry up front
+    let start = Instant::now();
+    let chunks = fan_out_init(
         cfg.chunks(),
         jobs,
         || warmed_prototype(cfg),
         |warm, chunk| run_chunk(cfg, warm, chunk),
     );
+    let wall_seconds = start.elapsed().as_secs_f64();
     let mut total = OutcomeTable::default();
-    for t in &tables {
+    for t in &chunks {
         total.merge(t);
     }
-    total
+    CampaignReport {
+        total,
+        chunks,
+        wall_seconds,
+    }
 }
 
 /// Builds the per-worker prototype system and runs its warm-up once.
@@ -154,6 +240,7 @@ fn run_chunk(cfg: &CampaignConfig, warm: &System<WorkloadStream>, chunk: usize) 
     let mut sys = warm.fork();
     let cell: StrikeCell = Rc::new(RefCell::new(StrikeState::default()));
     sys.add_observer(Box::new(StrikeProbe::new(Rc::clone(&cell))));
+    let layout = cfg.layout();
     let mut now = cfg.warmup_cycles;
 
     // Chunk-indexed seed: depends only on (master seed, chunk index).
@@ -187,19 +274,19 @@ fn run_chunk(cfg: &CampaignConfig, warm: &System<WorkloadStream>, chunk: usize) 
             .expect("store_data caches hold line data")
             .into();
         let dirty = view.dirty;
-        let spec = injector.weighted(snapshot.len(), cfg.p_double);
-        {
-            let l2 = sys.hier.l2_mut();
-            l2.strike(set, way, spec.word, spec.bit);
-            if let Some(second) = spec.second_bit {
-                l2.strike(set, way, spec.word, second);
-            }
-        }
+        let pattern = cfg.model.draw(
+            &layout,
+            &mut rng,
+            &mut injector,
+            cfg.p_double,
+            cfg.mean_gap_cycles,
+        );
+        pattern.strike_cache(sys.hier.l2_mut(), set, way);
         cell.borrow_mut().arm(PendingStrike {
             set,
             way,
             line: view.line,
-            spec,
+            pattern,
             snapshot,
         });
 
@@ -226,7 +313,8 @@ fn run_chunk(cfg: &CampaignConfig, warm: &System<WorkloadStream>, chunk: usize) 
 /// never becomes loss on its own. A dirty struck line is resolved as if it
 /// were written back now — the scheme's outbound check decides whether the
 /// latent upset would have been corrected, declared DUE, or silently
-/// escaped to memory.
+/// escaped to memory — and, as everywhere else, a "corrected" image that
+/// does not match the pre-strike snapshot is a miscorrection booked as SDC.
 fn finalize_at_horizon<S: aep_cpu::InstrStream>(
     sys: &mut System<S>,
     cell: &StrikeCell,
@@ -253,18 +341,22 @@ fn finalize_at_horizon<S: aep_cpu::InstrStream>(
             .verify_writeback(strike.set, strike.way, &mut buf)
         {
             RecoveryOutcome::Clean => TrialOutcome::Sdc,
-            RecoveryOutcome::CorrectedByEcc { .. } => TrialOutcome::Corrected,
+            RecoveryOutcome::CorrectedByEcc { .. } => {
+                if buf.as_slice() == &*strike.snapshot {
+                    TrialOutcome::Corrected
+                } else {
+                    TrialOutcome::Sdc
+                }
+            }
             RecoveryOutcome::RecoveredByRefetch => TrialOutcome::RefetchRecovered,
             RecoveryOutcome::Unrecoverable => TrialOutcome::Due,
         }
     };
-    // Scrub the latent flip out of the array before the next trial.
-    sys.hier.l2_mut().write_word(
-        strike.set,
-        strike.way,
-        strike.spec.word,
-        strike.snapshot[strike.spec.word],
-    );
+    // Scrub the latent flips out of the array before the next trial.
+    let l2 = sys.hier.l2_mut();
+    for f in strike.pattern.flips() {
+        l2.write_word(strike.set, strike.way, f.word, strike.snapshot[f.word]);
+    }
     outcome
 }
 
@@ -285,6 +377,16 @@ mod tests {
         let parallel = run_campaign(&c, 3);
         assert_eq!(serial, parallel);
         assert_eq!(serial.trials(), u64::from(c.trials));
+    }
+
+    #[test]
+    fn jobs_invariance_holds_for_spatial_models() {
+        let mut c = cfg(SchemeKind::Uniform);
+        c.model = StrikeModel::Col { span: 4 };
+        c.interleave = 2;
+        let serial = run_campaign(&c, 1);
+        let parallel = run_campaign(&c, 3);
+        assert_eq!(serial, parallel);
     }
 
     #[test]
@@ -336,5 +438,43 @@ mod tests {
         let table = run_campaign(&c, 2);
         assert_eq!(table.corrected, 0, "double flips are never correctable");
         assert!(table.due > 0, "SECDED must detect double flips as DUE");
+    }
+
+    #[test]
+    fn even_bursts_slip_past_parity_silently() {
+        let mut c = cfg(SchemeKind::ParityOnly);
+        c.model = StrikeModel::Burst { width: 2 };
+        let table = run_campaign(&c, 2);
+        assert!(
+            table.sdc > 0,
+            "a two-bit burst leaves per-word parity unchanged"
+        );
+        assert_eq!(table.due, 0, "even flip counts are invisible to parity");
+    }
+
+    #[test]
+    fn accumulation_miscorrects_secded_and_interleaving_suppresses_it() {
+        // Slow scrub: virtually every cluster coincides with a latent flip,
+        // putting five flips in one codeword on a non-interleaved array —
+        // odd overall parity, so SECDED miscorrects a fraction of them.
+        let mut c = cfg(SchemeKind::Uniform);
+        c.model = StrikeModel::Accum {
+            scrub_cycles: 1_000_000,
+        };
+        c.trials = 200;
+        let flat = run_campaign(&c, 2);
+        assert!(
+            flat.sdc > 0,
+            "coincident strikes must yield measured miscorrection SDC"
+        );
+        // Degree-4 interleaving spreads the cluster to one flip per word:
+        // latent + fresh is at most a double — detected, never miscorrected.
+        c.interleave = 4;
+        let interleaved = run_campaign(&c, 2);
+        assert_eq!(
+            interleaved.sdc, 0,
+            "interleaving must cap codewords at detectable doubles"
+        );
+        assert!(interleaved.due > 0, "doubles are detected, not corrected");
     }
 }

@@ -9,8 +9,11 @@
 //!
 //! * [`outcome`] — the per-trial taxonomy (masked / corrected /
 //!   refetch-recovered / DUE / SDC) and campaign tallies.
+//! * [`models`] — the geometry-aware strike-model taxonomy (single,
+//!   burst, column, row, accumulation) and its CLI slug grammar.
 //! * [`monitor`] — the [`aep_sim::SystemObserver`] that resolves a pending
-//!   strike at the first event touching the struck frame.
+//!   strike at the first event touching the struck frame, including
+//!   miscorrection-aware SDC classification.
 //! * [`campaign`] — chunked, jobs-invariant campaign driver.
 //! * [`pool`] — the order-preserving thread fan-out shared with the
 //!   experiment engine.
@@ -19,11 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod models;
 pub mod monitor;
 pub mod outcome;
 pub mod pool;
 
-pub use campaign::{run_campaign, CampaignConfig};
+pub use campaign::{run_campaign, run_campaign_report, CampaignConfig, CampaignReport};
+pub use models::{StrikeModel, StrikePattern, WordFlips};
 pub use monitor::{PendingStrike, StrikeCell, StrikeProbe, StrikeState};
 pub use outcome::{OutcomeTable, TrialOutcome};
 pub use pool::{fan_out, fan_out_init};

@@ -9,6 +9,18 @@
 //! (`verify_access` / `verify_writeback`) against the corrupted data and
 //! classify the end-to-end outcome.
 //!
+//! # Miscorrection is classified, not assumed away
+//!
+//! A scheme reporting [`RecoveryOutcome::CorrectedByEcc`] is *not* taken
+//! at its word: the repaired line is compared against the pre-strike
+//! snapshot. SECDED faced with an odd number of three-plus flips decodes
+//! down its single-error-correction arm and "corrects" to the wrong data
+//! — the monitor books that as [`TrialOutcome::Sdc`], because wrong data
+//! blessed by the checker is exactly silent corruption. (Single- and
+//! double-bit strikes can never trip this: a genuine single-bit repair
+//! reproduces the snapshot, and every double is detected — so the default
+//! campaign's classifications are unchanged.)
+//!
 //! After classifying, the monitor repairs the machine back to a
 //! snapshot-consistent state (cache data, memory image) so that subsequent
 //! trials in the same chunk observe an uncorrupted system. The repair is
@@ -20,12 +32,12 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use aep_core::{ProtectionScheme, RecoveryOutcome};
-use aep_ecc::inject::FaultSpec;
 use aep_mem::addr::LineAddr;
 use aep_mem::cache::{Cache, L2Event};
 use aep_mem::{Cycle, MainMemory};
 use aep_sim::SystemObserver;
 
+use crate::models::StrikePattern;
 use crate::outcome::TrialOutcome;
 
 /// One armed strike awaiting resolution.
@@ -37,8 +49,8 @@ pub struct PendingStrike {
     pub way: usize,
     /// The line resident in the struck frame when the fault landed.
     pub line: LineAddr,
-    /// The injected fault.
-    pub spec: FaultSpec,
+    /// Every bit the strike flipped, grouped per word.
+    pub pattern: StrikePattern,
     /// The frame's data immediately before the strike.
     pub snapshot: Box<[u64]>,
 }
@@ -158,15 +170,20 @@ fn hits(strike: &PendingStrike, set: usize, way: usize, line: LineAddr) -> bool 
     strike.set == set && strike.way == way && strike.line == line
 }
 
-/// Writes the pre-strike value of the struck word back into the cache —
-/// the repair for outcomes where no scheme recovery fired.
-fn restore_struck_word(strike: &PendingStrike, l2: &mut Cache) {
-    l2.write_word(
-        strike.set,
-        strike.way,
-        strike.spec.word,
-        strike.snapshot[strike.spec.word],
-    );
+/// Writes the pre-strike value of every struck word back into the cache —
+/// the repair for outcomes where no scheme recovery fired (and for
+/// miscorrections, where the "recovery" made things worse).
+fn restore_struck_words(strike: &PendingStrike, l2: &mut Cache) {
+    for f in strike.pattern.flips() {
+        l2.write_word(strike.set, strike.way, f.word, strike.snapshot[f.word]);
+    }
+}
+
+/// `true` when the resident line matches the pre-strike snapshot — the
+/// post-repair truth test that separates correction from miscorrection.
+fn line_is_snapshot(strike: &PendingStrike, l2: &Cache) -> bool {
+    l2.line_data(strike.set, strike.way)
+        .is_some_and(|data| data == &*strike.snapshot)
 }
 
 /// A load reads the struck line: the scheme's access-time check runs
@@ -181,13 +198,21 @@ fn resolve_read(
     match scheme.verify_access(l2, strike.set, strike.way, dirty, memory) {
         RecoveryOutcome::Clean => {
             // The check missed: corrupted data reached the core.
-            restore_struck_word(strike, l2);
+            restore_struck_words(strike, l2);
             TrialOutcome::Sdc
         }
-        RecoveryOutcome::CorrectedByEcc { .. } => TrialOutcome::Corrected,
+        RecoveryOutcome::CorrectedByEcc { .. } => {
+            if line_is_snapshot(strike, l2) {
+                TrialOutcome::Corrected
+            } else {
+                // Miscorrection: the decoder blessed wrong data.
+                restore_struck_words(strike, l2);
+                TrialOutcome::Sdc
+            }
+        }
         RecoveryOutcome::RecoveredByRefetch => TrialOutcome::RefetchRecovered,
         RecoveryOutcome::Unrecoverable => {
-            restore_struck_word(strike, l2);
+            restore_struck_words(strike, l2);
             TrialOutcome::Due
         }
     }
@@ -209,14 +234,19 @@ fn resolve_write(
         .expect("struck lines hold data")
         .to_vec();
     let mut corrupt = strike.snapshot.clone();
-    strike.spec.apply_to(&mut corrupt);
+    strike.pattern.apply_to(&mut corrupt);
     // Words that differ from the corrupted pre-store image are the store's.
     let cpu_words: Vec<usize> = (0..current.len())
         .filter(|&i| current[i] != corrupt[i])
         .collect();
-    if cpu_words.contains(&strike.spec.word) {
-        // The store overwrote the struck word before anything consumed it;
-        // the scheme re-encodes over the merged line right after this.
+    if strike
+        .pattern
+        .flips()
+        .iter()
+        .all(|f| cpu_words.contains(&f.word))
+    {
+        // The store overwrote every struck word before anything consumed
+        // them; the scheme re-encodes over the merged line right after.
         return TrialOutcome::Masked;
     }
     // Rebuild the pre-store image and run the access-time check on it.
@@ -226,13 +256,20 @@ fn resolve_write(
     let was_dirty = !first_write;
     let outcome = match scheme.verify_access(l2, strike.set, strike.way, was_dirty, memory) {
         RecoveryOutcome::Clean => {
-            restore_struck_word(strike, l2);
+            restore_struck_words(strike, l2);
             TrialOutcome::Sdc
         }
-        RecoveryOutcome::CorrectedByEcc { .. } => TrialOutcome::Corrected,
+        RecoveryOutcome::CorrectedByEcc { .. } => {
+            if line_is_snapshot(strike, l2) {
+                TrialOutcome::Corrected
+            } else {
+                restore_struck_words(strike, l2);
+                TrialOutcome::Sdc
+            }
+        }
         RecoveryOutcome::RecoveredByRefetch => TrialOutcome::RefetchRecovered,
         RecoveryOutcome::Unrecoverable => {
-            restore_struck_word(strike, l2);
+            restore_struck_words(strike, l2);
             TrialOutcome::Due
         }
     };
@@ -267,8 +304,14 @@ fn resolve_evict(
             }
         }
         RecoveryOutcome::CorrectedByEcc { .. } => {
-            memory.write_line(strike.line, buf);
-            TrialOutcome::Corrected
+            if buf == strike.snapshot {
+                memory.write_line(strike.line, buf);
+                TrialOutcome::Corrected
+            } else {
+                // Miscorrected write-back: wrong data reached memory.
+                memory.write_line(strike.line, strike.snapshot.clone());
+                TrialOutcome::Sdc
+            }
         }
         RecoveryOutcome::RecoveredByRefetch => TrialOutcome::RefetchRecovered,
         RecoveryOutcome::Unrecoverable => {
@@ -298,8 +341,13 @@ fn resolve_cleaned(
             }
         }
         RecoveryOutcome::CorrectedByEcc { .. } => {
-            memory.write_line(strike.line, buf);
-            TrialOutcome::Corrected
+            if buf == strike.snapshot {
+                memory.write_line(strike.line, buf);
+                TrialOutcome::Corrected
+            } else {
+                memory.write_line(strike.line, strike.snapshot.clone());
+                TrialOutcome::Sdc
+            }
         }
         RecoveryOutcome::RecoveredByRefetch => TrialOutcome::RefetchRecovered,
         RecoveryOutcome::Unrecoverable => {
@@ -309,6 +357,6 @@ fn resolve_cleaned(
     };
     // The resident copy is now clean and must equal memory's repaired
     // image (the clean-line refetch invariant).
-    restore_struck_word(strike, l2);
+    restore_struck_words(strike, l2);
     outcome
 }

@@ -1,0 +1,153 @@
+//! Physical data-array layout: how a cache line's logical words map onto
+//! spatially adjacent SRAM cells.
+//!
+//! A particle strike deposits charge over a *physical* neighbourhood, not
+//! a logical one. Whether the resulting multi-bit upset lands inside one
+//! codeword (defeating SECDED) or spreads across several (one correctable
+//! bit each) is decided entirely by the array's **bit-interleaving
+//! degree**: with degree `D`, the cells of `D` logical words alternate
+//! along each physical row, so `D` horizontally adjacent cells belong to
+//! `D` *different* words. This is the classic area/reliability knob the
+//! paper's area argument implicitly spends — parity-only clean lines have
+//! no correction to fall back on, so interleaving is what keeps spatial
+//! upsets detectable-but-recoverable instead of silent.
+//!
+//! The model here is deliberately minimal: a line of `W` 64-bit words is
+//! split into `W / D` **row groups** of `D` words each. Within a group the
+//! cells form one physical row of `D × 64` columns, bit-interleaved:
+//!
+//! ```text
+//! column:   0      1      ...  D-1     D      D+1    ...
+//! cell:     w0.b0  w1.b0  ...  wD-1.b0 w0.b1  w1.b1  ...
+//! ```
+//!
+//! * a **column strike** (adjacent bitlines along a row) hits columns
+//!   `c .. c+k`, i.e. `min(k, D)` different words;
+//! * a **row strike** (the same bitline through adjacent wordlines) hits
+//!   the same column in `k` adjacent groups — always one bit per word.
+
+/// Physical placement of one cache line's data bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayLayout {
+    words: usize,
+    interleave: usize,
+}
+
+impl ArrayLayout {
+    /// Builds the layout for a line of `words` 64-bit words with
+    /// bit-interleaving degree `interleave`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `interleave >= 1` and `interleave` divides `words`
+    /// (groups must be uniform for row strikes to be well defined).
+    #[must_use]
+    pub fn new(words: usize, interleave: usize) -> Self {
+        assert!(words >= 1, "a line holds at least one word");
+        assert!(
+            interleave >= 1 && words.is_multiple_of(interleave),
+            "interleave degree {interleave} must divide the line's {words} words"
+        );
+        ArrayLayout { words, interleave }
+    }
+
+    /// The non-interleaved layout (`D = 1`): physical adjacency equals
+    /// logical adjacency, the worst case for multi-bit upsets.
+    #[must_use]
+    pub fn linear(words: usize) -> Self {
+        ArrayLayout::new(words, 1)
+    }
+
+    /// Words per line.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Bit-interleaving degree `D`.
+    #[must_use]
+    pub fn interleave(&self) -> usize {
+        self.interleave
+    }
+
+    /// Number of physical row groups (`words / D`).
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.words / self.interleave
+    }
+
+    /// Columns per physical row (`D × 64`).
+    #[must_use]
+    pub fn columns(&self) -> usize {
+        self.interleave * 64
+    }
+
+    /// Maps a physical cell to its logical home: group `group`, column
+    /// `column` holds bit `column / D` of word `group * D + column % D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` or `column` is out of range.
+    #[must_use]
+    pub fn cell(&self, group: usize, column: usize) -> (usize, u8) {
+        assert!(group < self.groups(), "group out of range");
+        assert!(column < self.columns(), "column out of range");
+        let word = group * self.interleave + column % self.interleave;
+        let bit = (column / self.interleave) as u8;
+        (word, bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_layout_is_one_word_per_group() {
+        let l = ArrayLayout::linear(8);
+        assert_eq!(l.groups(), 8);
+        assert_eq!(l.columns(), 64);
+        // Adjacent columns are adjacent bits of the same word.
+        assert_eq!(l.cell(3, 0), (3, 0));
+        assert_eq!(l.cell(3, 1), (3, 1));
+        assert_eq!(l.cell(3, 63), (3, 63));
+    }
+
+    #[test]
+    fn interleaved_adjacent_columns_hit_different_words() {
+        let l = ArrayLayout::new(8, 4);
+        assert_eq!(l.groups(), 2);
+        assert_eq!(l.columns(), 256);
+        // Four adjacent columns spread over four words, one bit each.
+        assert_eq!(l.cell(0, 0), (0, 0));
+        assert_eq!(l.cell(0, 1), (1, 0));
+        assert_eq!(l.cell(0, 2), (2, 0));
+        assert_eq!(l.cell(0, 3), (3, 0));
+        assert_eq!(l.cell(0, 4), (0, 1));
+        // The second group starts at word 4.
+        assert_eq!(l.cell(1, 0), (4, 0));
+        assert_eq!(l.cell(1, 255), (7, 63));
+    }
+
+    #[test]
+    fn every_cell_is_covered_exactly_once() {
+        for d in [1usize, 2, 4, 8] {
+            let l = ArrayLayout::new(8, d);
+            let mut seen = vec![[false; 64]; 8];
+            for g in 0..l.groups() {
+                for c in 0..l.columns() {
+                    let (w, b) = l.cell(g, c);
+                    assert!(!seen[w][b as usize], "cell ({w},{b}) mapped twice");
+                    seen[w][b as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|w| w.iter().all(|&x| x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_interleave_panics() {
+        let _ = ArrayLayout::new(8, 3);
+    }
+}

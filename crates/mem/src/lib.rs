@@ -20,6 +20,9 @@
 //!   verifiable operation.
 //! * [`hierarchy`] — the composed L1I / L1D+WB / unified-L2 / bus / DRAM
 //!   system with latency semantics matching `sim-outorder`.
+//! * [`layout`] — the physical data-array layout (bit-interleaving
+//!   degree) that decides which logical words a spatial multi-bit upset
+//!   lands in.
 //!
 //! Cycle counts are plain `u64`s named `now`; all components are
 //! deterministic and single-threaded, as a cycle-level simulator must be.
@@ -33,6 +36,7 @@ pub mod cache;
 pub mod census;
 pub mod config;
 pub mod hierarchy;
+pub mod layout;
 pub mod memory;
 pub mod stats;
 pub mod write_buffer;
@@ -42,6 +46,7 @@ pub use bus::Bus;
 pub use cache::{AccessKind, AccessOutcome, Cache, L2Event, WbClass};
 pub use config::{AllocPolicy, CacheConfig, HierarchyConfig, WritePolicy};
 pub use hierarchy::{MemoryHierarchy, OpCounts};
+pub use layout::ArrayLayout;
 pub use memory::MainMemory;
 pub use stats::CacheStats;
 

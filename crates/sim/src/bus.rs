@@ -24,18 +24,11 @@
 //!   next due cycle. The run loop takes the minimum over all observers,
 //!   so fast-forwarding is *structurally* safe rather than gated on a
 //!   hard-coded `can_fast_forward` flag.
-//! * **Legacy shims.** The old `InjectionProbe` / `CheckObserver` traits
-//!   still work through [`ProbeShim`] / [`CheckShim`] adapters installed
-//!   by the (deprecated) `set_injection_probe` / `set_check_observer`
-//!   setters, so external callers keep compiling while they migrate.
 
 use aep_core::ProtectionScheme;
 use aep_mem::cache::Cache;
 use aep_mem::{Cycle, L2Event, MainMemory, MemoryHierarchy};
 use aep_obs::Registry;
-
-#[allow(deprecated)]
-use crate::system::{CheckObserver, InjectionProbe};
 
 /// An observer attached to a [`System`](crate::System)'s event bus.
 ///
@@ -110,174 +103,4 @@ pub trait SystemObserver {
     /// Observers with stable extra counters should scope them
     /// (`reg.scoped("…", …)`) so core snapshot keys stay unchanged.
     fn register_stats(&self, _reg: &mut Registry) {}
-}
-
-/// Adapter publishing bus events to a legacy [`InjectionProbe`].
-#[allow(deprecated)]
-pub struct ProbeShim(pub Box<dyn InjectionProbe>);
-
-#[allow(deprecated)]
-impl SystemObserver for ProbeShim {
-    fn pre_event(
-        &mut self,
-        event: &L2Event,
-        l2: &mut Cache,
-        scheme: &mut dyn ProtectionScheme,
-        memory: &mut MainMemory,
-        now: Cycle,
-    ) {
-        self.0.on_l2_event(event, l2, scheme, memory, now);
-    }
-
-    fn drain_resolutions(&mut self, out: &mut Vec<(usize, usize, &'static str)>) {
-        self.0.drain_resolutions(out);
-    }
-}
-
-/// Adapter publishing bus events to a legacy [`CheckObserver`]. The
-/// legacy contract promised a callback every cycle, so the shim pins
-/// `next_event_after` to `now + 1` (no fast-forwarding) and requests
-/// word-level events, exactly as `set_check_observer` used to.
-#[allow(deprecated)]
-pub struct CheckShim(pub Box<dyn CheckObserver>);
-
-#[allow(deprecated)]
-impl SystemObserver for CheckShim {
-    fn post_event(
-        &mut self,
-        event: &L2Event,
-        hier: &MemoryHierarchy,
-        scheme: &dyn ProtectionScheme,
-        now: Cycle,
-    ) {
-        self.0.on_l2_event(event, hier, scheme, now);
-    }
-
-    fn cycle_end(&mut self, hier: &mut MemoryHierarchy, scheme: &dyn ProtectionScheme, now: Cycle) {
-        self.0.on_cycle_end(hier, scheme, now);
-    }
-
-    fn wants_word_events(&self) -> bool {
-        true
-    }
-
-    fn next_event_after(&self, now: Cycle) -> Cycle {
-        now + 1
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::system::System;
-    use aep_core::SchemeKind;
-    use aep_cpu::isa::{LoopStream, MicroOp};
-    use aep_cpu::CoreConfig;
-    use aep_mem::{Addr, HierarchyConfig};
-    use std::cell::Cell;
-    use std::rc::Rc;
-
-    fn stream() -> LoopStream {
-        let mut ops = Vec::new();
-        for i in 0..16u64 {
-            ops.push(MicroOp::store(i * 8, Addr::new(0x30_000 + i * 64), Some(1)));
-            ops.push(MicroOp::load(
-                i * 8 + 4,
-                Addr::new(0x50_000 + i * 64),
-                Some(2),
-            ));
-        }
-        LoopStream::new(ops)
-    }
-
-    fn tiny_system() -> System<LoopStream> {
-        System::new(
-            CoreConfig::date2006(),
-            HierarchyConfig::tiny(),
-            SchemeKind::Uniform,
-            stream(),
-        )
-    }
-
-    struct LegacyProbe {
-        events: Rc<Cell<u64>>,
-    }
-
-    #[allow(deprecated)]
-    impl InjectionProbe for LegacyProbe {
-        fn on_l2_event(
-            &mut self,
-            _event: &L2Event,
-            _l2: &mut Cache,
-            _scheme: &mut dyn ProtectionScheme,
-            _memory: &mut MainMemory,
-            _now: Cycle,
-        ) {
-            self.events.set(self.events.get() + 1);
-        }
-    }
-
-    struct LegacyChecker {
-        events: Rc<Cell<u64>>,
-        cycles: Rc<Cell<u64>>,
-    }
-
-    #[allow(deprecated)]
-    impl CheckObserver for LegacyChecker {
-        fn on_l2_event(
-            &mut self,
-            _event: &L2Event,
-            _hier: &MemoryHierarchy,
-            _scheme: &dyn ProtectionScheme,
-            _now: Cycle,
-        ) {
-            self.events.set(self.events.get() + 1);
-        }
-
-        fn on_cycle_end(
-            &mut self,
-            _hier: &MemoryHierarchy,
-            _scheme: &dyn ProtectionScheme,
-            _now: Cycle,
-        ) {
-            self.cycles.set(self.cycles.get() + 1);
-        }
-    }
-
-    /// The deprecated probe entry point still delivers pre-scheme events,
-    /// and attaching it does not perturb the run (probes are passive).
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_injection_probe_shim_still_works() {
-        let events = Rc::new(Cell::new(0));
-        let mut probed = tiny_system();
-        probed.set_injection_probe(Box::new(LegacyProbe {
-            events: Rc::clone(&events),
-        }));
-        probed.run(0, 20_000);
-        assert!(events.get() > 0, "probe saw no events");
-
-        let mut bare = tiny_system();
-        bare.run(0, 20_000);
-        assert_eq!(probed.cpu.stats(), bare.cpu.stats());
-        assert_eq!(probed.hier.l2().stats(), bare.hier.l2().stats());
-    }
-
-    /// The deprecated checker entry point still forces exact per-cycle
-    /// stepping (one cycle-end callback per cycle, no fast-forwarding)
-    /// and enables word-level events.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_check_observer_shim_forces_per_cycle_stepping() {
-        let events = Rc::new(Cell::new(0));
-        let cycles = Rc::new(Cell::new(0));
-        let mut sys = tiny_system();
-        sys.set_check_observer(Box::new(LegacyChecker {
-            events: Rc::clone(&events),
-            cycles: Rc::clone(&cycles),
-        }));
-        sys.run(0, 5_000);
-        assert_eq!(cycles.get(), 5_000, "one cycle-end callback per cycle");
-        assert!(events.get() > 0);
-    }
 }

@@ -46,5 +46,3 @@ pub use report::Table;
 pub use runcache::RunCache;
 pub use runner::{ExperimentConfig, L2Window, RunStats, Runner, Scale};
 pub use system::{build_scheme, System};
-#[allow(deprecated)]
-pub use system::{CheckObserver, InjectionProbe};

@@ -5,80 +5,11 @@ use aep_core::scrub::Scrubber;
 use aep_core::{CleaningLogic, Directive, ProtectionScheme, SchemeKind};
 use aep_core::{MultiEntryScheme, NonUniformScheme, ParityOnlyScheme, UniformEccScheme};
 use aep_cpu::{CoreConfig, InstrStream, Pipeline};
-use aep_mem::cache::{Cache, WbClass};
-use aep_mem::{Cycle, HierarchyConfig, L2Event, MainMemory, MemoryHierarchy};
+use aep_mem::cache::WbClass;
+use aep_mem::{Cycle, HierarchyConfig, L2Event, MemoryHierarchy};
 use aep_obs::{CycleTrace, Registry, TraceKind};
 
-use crate::bus::{CheckShim, ProbeShim, SystemObserver};
-
-/// An observer wired into the event-drain loop *ahead of* the protection
-/// scheme: it sees every L2 event while the scheme's check storage still
-/// describes the pre-event line image. The fault-injection campaign uses
-/// this to resolve a pending strike at the first access or eviction that
-/// touches the struck frame.
-///
-/// Legacy seam: new code should implement
-/// [`SystemObserver::pre_event`](crate::SystemObserver::pre_event)
-/// directly; this trait keeps working through
-/// [`System::set_injection_probe`]'s shim. Every in-tree caller has
-/// migrated to [`System::add_observer`], so the trait itself is now
-/// deprecated alongside its setter.
-#[deprecated(
-    since = "0.8.0",
-    note = "implement `SystemObserver::pre_event` and attach with `System::add_observer`"
-)]
-pub trait InjectionProbe {
-    /// Called for each L2 event before the scheme observes it.
-    fn on_l2_event(
-        &mut self,
-        event: &L2Event,
-        l2: &mut Cache,
-        scheme: &mut dyn ProtectionScheme,
-        memory: &mut MainMemory,
-        now: Cycle,
-    );
-
-    /// Appends `(set, way, outcome-label)` tuples for faults the probe
-    /// resolved since the last call — consumed by the cycle trace. The
-    /// default (never resolves anything) suits passive probes.
-    fn drain_resolutions(&mut self, _out: &mut Vec<(usize, usize, &'static str)>) {}
-}
-
-/// A read-only observer wired into the event-drain loop *after* the
-/// protection scheme: it sees every L2 event with the machine state the
-/// scheme has already reacted to, plus one callback per cycle once the
-/// event queue has settled. The differential checker (`aep-check`) drives
-/// its lockstep golden model and invariant registry through this hook;
-/// installing one also turns on [`L2Event::WordWritten`] emission so data
-/// can be mirrored word-for-word.
-///
-/// Legacy seam: new code should implement
-/// [`SystemObserver::post_event`](crate::SystemObserver::post_event) /
-/// [`SystemObserver::cycle_end`](crate::SystemObserver::cycle_end)
-/// directly; this trait keeps working through
-/// [`System::set_check_observer`]'s shim. Every in-tree caller has
-/// migrated to [`System::add_observer`], so the trait itself is now
-/// deprecated alongside its setter.
-#[deprecated(
-    since = "0.8.0",
-    note = "implement `SystemObserver::post_event`/`cycle_end` and attach with `System::add_observer`"
-)]
-pub trait CheckObserver {
-    /// Called for each L2 event after the scheme has observed it (but
-    /// before the directives it demanded are applied).
-    fn on_l2_event(
-        &mut self,
-        event: &L2Event,
-        hier: &MemoryHierarchy,
-        scheme: &dyn ProtectionScheme,
-        now: Cycle,
-    );
-
-    /// Called once per cycle after events, directives, cleaning, and
-    /// scrubbing have all settled — the cadence point for whole-cache
-    /// invariant walks.
-    fn on_cycle_end(&mut self, hier: &MemoryHierarchy, scheme: &dyn ProtectionScheme, now: Cycle);
-}
+use crate::bus::SystemObserver;
 
 /// Builds the protection scheme for `kind` over the given L2 geometry.
 #[must_use]
@@ -227,30 +158,6 @@ impl<S: InstrStream> System<S> {
             self.hier.l2_mut().set_word_event_emission(true);
         }
         self.observers.push(observer);
-    }
-
-    /// Installs an [`InjectionProbe`] that intercepts L2 events ahead of
-    /// the scheme (fault-injection campaigns).
-    #[deprecated(
-        since = "0.7.0",
-        note = "implement `SystemObserver::pre_event` and attach with `System::add_observer`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_injection_probe(&mut self, probe: Box<dyn InjectionProbe>) {
-        self.add_observer(Box::new(ProbeShim(probe)));
-    }
-
-    /// Installs a [`CheckObserver`] behind the scheme (differential
-    /// checking) and enables word-level event emission so the observer can
-    /// mirror line data exactly.
-    #[deprecated(
-        since = "0.7.0",
-        note = "implement `SystemObserver::post_event`/`cycle_end` and attach with \
-                `System::add_observer`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_check_observer(&mut self, checker: Box<dyn CheckObserver>) {
-        self.add_observer(Box::new(CheckShim(checker)));
     }
 
     /// Enables background scrubbing: one line verified (and repaired if a

@@ -9,7 +9,9 @@
 # leg covers the workload-diversity generators: the coverage report
 # (`exp workloads report`) must be byte-identical across job counts, and
 # trace replay / Zipf streams must produce identical lane snapshots
-# batched vs serial.
+# batched vs serial. An eighth leg re-checks the fault campaign under a
+# spatial multi-bit strike model (`--model burst:2`), whose draws
+# consume RNG the single-bit model never touches.
 #
 # Usage: scripts/check_determinism.sh [scale] [jobs]
 #          scale  paper|quick|smoke   (default: smoke)
@@ -54,6 +56,24 @@ if cmp -s "$tmp/faults_serial.txt" "$tmp/faults_parallel.txt"; then
 else
   echo "==> faults determinism FAILED: outputs differ" >&2
   diff "$tmp/faults_serial.txt" "$tmp/faults_parallel.txt" | head -n 40 >&2
+  exit 1
+fi
+
+# Spatial models draw strike geometry from the chunk RNG; chunk
+# determinism must hold for them exactly as for the single-bit model.
+echo "==> exp faults --model burst:2 --scale $scale --jobs 1 --no-cache"
+./target/release/exp faults --model burst:2 --scale "$scale" --jobs 1 --no-cache \
+  > "$tmp/faults_burst_serial.txt" 2> /dev/null
+
+echo "==> exp faults --model burst:2 --scale $scale --jobs $jobs --no-cache"
+./target/release/exp faults --model burst:2 --scale "$scale" --jobs "$jobs" --no-cache \
+  > "$tmp/faults_burst_parallel.txt" 2> /dev/null
+
+if cmp -s "$tmp/faults_burst_serial.txt" "$tmp/faults_burst_parallel.txt"; then
+  echo "==> faults burst:2 determinism: byte-identical (--jobs 1 vs --jobs $jobs, $scale)"
+else
+  echo "==> faults burst:2 determinism FAILED: outputs differ" >&2
+  diff "$tmp/faults_burst_serial.txt" "$tmp/faults_burst_parallel.txt" | head -n 40 >&2
   exit 1
 fi
 

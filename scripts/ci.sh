@@ -35,6 +35,7 @@ step "stats gate (smoke)" scripts/stats_gate.sh smoke
 step "differential check (smoke)" scripts/differential_check.sh smoke
 step "workload diversity gate" \
   ./target/release/exp workloads report --check
+step "faults models gate (smoke)" scripts/faults_models.sh smoke
 step "serve smoke" scripts/serve_smoke.sh smoke
 
 echo "==> ci: all green; per-step timing:"
