@@ -86,7 +86,7 @@ fn main() {
                 scheme = Some(parse_scheme_slug(v).unwrap_or_else(|| {
                     eprintln!(
                         "unknown scheme '{v}' (use uniform|parity|uniform_clean:N|\
-                         proposed:N|proposed_multi:N:E)"
+                         proposed:N|proposed_multi:N:E|silent:N|reuse:N:M)"
                     );
                     std::process::exit(2);
                 }));
@@ -167,6 +167,7 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--challengers" => faults_opts.challengers = true,
             "--bench" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
                 faults_opts.benchmark = aep_workloads::Workload::parse(v).unwrap_or_else(|| {
@@ -418,7 +419,8 @@ fn usage() -> String {
      \x20 faults     live fault-injection campaign per scheme\n\
      \x20            [--trials N] [--p-double P] [--seed S] [--bench B]\n\
      \x20            [--model single|burst:K|col:K|row:K|accum:scrub[:C]]\n\
-     \x20            [--interleave D] [--stats-json]\n\
+     \x20            [--interleave D] [--challengers] [--stats-json]\n\
+     \x20            (--challengers appends the related-work schemes)\n\
      \x20 run        one observed experiment: full stats snapshot\n\
      \x20            [--bench B] [--scheme S] [--stats-json]\n\
      \x20            [--faults-trials N]\n\
@@ -459,8 +461,9 @@ fn usage() -> String {
      \x20              (default: available cores; output is\n\
      \x20              identical for every N)\n\
      \x20 --scheme S   scheme slug: uniform | parity | uniform_clean:N |\n\
-     \x20              proposed:N | proposed_multi:N:E (default: proposed\n\
-     \x20              at the calibrated interval)\n\
+     \x20              proposed:N | proposed_multi:N:E | silent:N |\n\
+     \x20              reuse:N:M (default: proposed at the calibrated\n\
+     \x20              interval)\n\
      \x20 --no-cache   ignore and do not write results/cache/\n\n\
      exit codes: 0 success, 1 stats-gate regression or check violation,\n\
      2 usage error"

@@ -94,11 +94,18 @@ pub fn parse_axes(spec: &str) -> Result<Space, String> {
         let list = || values.split(',').map(str::trim).filter(|v| !v.is_empty());
         match key.trim() {
             "scheme" => {
-                templates = list()
-                    .map(|v| {
-                        SchemeTemplate::parse(v).ok_or_else(|| format!("unknown scheme '{v}'"))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
+                templates = Vec::new();
+                for v in list() {
+                    // `challengers` names the registry's incumbents-plus-
+                    // related-work line-up, like the bench-axis groups.
+                    if v == "challengers" {
+                        templates.extend(registry::challenger_templates());
+                        continue;
+                    }
+                    templates.push(
+                        SchemeTemplate::parse(v).ok_or_else(|| format!("unknown scheme '{v}'"))?,
+                    );
+                }
             }
             "interval" => {
                 intervals = list()
@@ -328,7 +335,9 @@ pub fn usage() -> String {
      axes (semicolon-separated key=value,... groups; defaults in\n\
      brackets):\n\
      \x20 scheme    uniform | parity | uniform_clean | proposed |\n\
-     \x20           proposed_multi:<entries>   [uniform,parity,\n\
+     \x20           proposed_multi:<entries> | silent |\n\
+     \x20           reuse:<multiplier>, or the group `challengers`\n\
+     \x20           (incumbents + silent + reuse:2,4)  [uniform,parity,\n\
      \x20           uniform_clean,proposed]\n\
      \x20 interval  cleaning intervals, K/M suffixes  [64K,256K,1M,4M]\n\
      \x20 bench     workload slugs (benchmark names, zipf:/storm:/\n\
@@ -576,6 +585,40 @@ mod tests {
         assert!(parse_axes("nonsense").is_err());
         assert!(parse_axes("orbit=low").is_err());
         assert!(parse_axes("scrub=0").is_err());
+    }
+
+    #[test]
+    fn challenger_axis_values_parse() {
+        let space =
+            parse_axes("scheme=proposed,silent,reuse:4;interval=1M;bench=gzip").expect("parses");
+        let schemes: Vec<SchemeKind> = space.points().iter().map(|p| p.scheme).collect();
+        assert_eq!(
+            schemes,
+            [
+                SchemeKind::Proposed {
+                    cleaning_interval: 1024 * 1024
+                },
+                SchemeKind::SilentWriteEcc {
+                    cleaning_interval: 1024 * 1024
+                },
+                SchemeKind::ReuseCopyback {
+                    cleaning_interval: 1024 * 1024,
+                    multiplier: 4
+                },
+            ]
+        );
+        assert!(parse_axes("scheme=reuse:0").is_err());
+        assert!(parse_axes("scheme=reuse").is_err());
+
+        // The group spelling expands to the registry line-up.
+        let group = parse_axes("scheme=challengers;interval=1M;bench=gzip").expect("parses");
+        let want = Space::grid(
+            &[Benchmark::Gzip.into()],
+            &expand_schemes(&registry::challenger_templates(), &[1024 * 1024]),
+            &[],
+            &[],
+        );
+        assert_eq!(group, want);
     }
 
     #[test]

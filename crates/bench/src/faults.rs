@@ -51,6 +51,9 @@ pub struct FaultsOptions {
     pub model: StrikeModel,
     /// Physical bit-interleaving degree of the L2 data array.
     pub interleave: usize,
+    /// Append the related-work challenger schemes (`--challengers`) to
+    /// the pinned campaign line-up.
+    pub challengers: bool,
 }
 
 impl Default for FaultsOptions {
@@ -62,13 +65,15 @@ impl Default for FaultsOptions {
             seed: 2006,
             model: StrikeModel::Single,
             interleave: 1,
+            challengers: false,
         }
     }
 }
 
 // The campaign scheme set (ablation line-up plus parity-only) is a
-// registry declaration now, shared with the explorer.
-pub use aep_dse::registry::faults_schemes;
+// registry declaration now, shared with the explorer; `--challengers`
+// swaps in the extended set with the related-work line-up appended.
+pub use aep_dse::registry::{challengers_faults_schemes, faults_schemes};
 
 /// The campaign geometry for one scheme at a given scale.
 ///
@@ -274,7 +279,10 @@ fn analytical_fit(
                 .avg_dirty_fraction;
             model.parity_only(l2, dirty).user_visible_fit()
         }
-        SchemeKind::Proposed { .. } | SchemeKind::ProposedMulti { .. } => {
+        SchemeKind::Proposed { .. }
+        | SchemeKind::ProposedMulti { .. }
+        | SchemeKind::SilentWriteEcc { .. }
+        | SchemeKind::ReuseCopyback { .. } => {
             let dirty = lab.stats(benchmark.clone(), scheme).l2.avg_dirty_fraction;
             model.proposed(l2, dirty).user_visible_fit()
         }
@@ -315,7 +323,12 @@ pub fn faults_figure(
     mut stats: Option<&mut aep_obs::Registry>,
 ) -> FigureData {
     let model = SoftErrorModel::date2006_typical();
-    let rows = faults_schemes()
+    let schemes = if opts.challengers {
+        challengers_faults_schemes()
+    } else {
+        faults_schemes()
+    };
+    let rows = schemes
         .into_iter()
         .map(|scheme| {
             let report = campaign_for(scale, opts, scheme, jobs, disk, verbose);

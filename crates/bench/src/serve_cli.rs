@@ -178,8 +178,9 @@ fn submit_usage() -> String {
      \x20 --connect SPEC  daemon endpoint (default tcp:127.0.0.1:7117)\n\
      \x20 --bench B       benchmark name (default: gzip)\n\
      \x20 --scheme S      scheme slug: uniform | parity | uniform_clean:N |\n\
-     \x20                 proposed:N | proposed_multi:N:E (default: the\n\
-     \x20                 calibrated proposed scheme)\n\
+     \x20                 proposed:N | proposed_multi:N:E | silent:N |\n\
+     \x20                 reuse:N:M (default: the calibrated proposed\n\
+     \x20                 scheme)\n\
      \x20 --seed N        workload seed override\n\
      \x20 --scrub N       background scrub period (cycles per line)\n\
      \x20 --scale S       experiment scale (default: the daemon's)\n\
@@ -234,7 +235,7 @@ pub fn submit(args: &[String]) -> i32 {
                     None => {
                         eprintln!(
                             "unknown scheme '{v}' (use uniform|parity|uniform_clean:N|\
-                             proposed:N|proposed_multi:N:E)"
+                             proposed:N|proposed_multi:N:E|silent:N|reuse:N:M)"
                         );
                         return 2;
                     }

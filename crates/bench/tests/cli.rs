@@ -64,6 +64,16 @@ fn malformed_flags_fail_with_a_diagnostic() {
         ),
         (&["fig1", "--frobnicate"][..], "unknown argument"),
         (&["run", "--scheme", "nosuch"][..], "unknown scheme"),
+        // Challenger slugs need their knob suffixes: a bare `silent`, a
+        // human-suffixed interval, or a reuse slug without its multiplier
+        // are all usage errors, and the diagnostic teaches the grammar.
+        (&["run", "--scheme", "silent"][..], "silent:N|reuse:N:M"),
+        (&["run", "--scheme", "silent:1M"][..], "unknown scheme"),
+        (&["run", "--scheme", "reuse:1048576"][..], "unknown scheme"),
+        (
+            &["run", "--scheme", "reuse:1048576:0:9"][..],
+            "unknown scheme",
+        ),
         (&["trace", "--capacity", "0"][..], "--capacity requires"),
         (
             &["run", "--faults-trials", "no"][..],
@@ -477,6 +487,79 @@ fn serve_subcommand_help_and_usage_errors() {
         assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains(needle), "{args:?}: stderr was {stderr}");
+    }
+}
+
+/// The challenger schemes are first-class `--scheme` citizens: `exp run`
+/// accepts their slugs and reports their scoped counters, and
+/// `exp faults --challengers` appends both to the campaign line-up.
+#[test]
+fn challenger_slugs_run_end_to_end() {
+    let out = exp(&[
+        "run",
+        "--scale",
+        "smoke",
+        "--scheme",
+        "silent:1048576",
+        "--bench",
+        "flood:4096",
+    ]);
+    assert!(
+        out.status.success(),
+        "silent run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("scheme = silent:1048576"),
+        "snapshot must name the scheme: {stdout}"
+    );
+    assert!(
+        stdout.contains("scheme.silent."),
+        "the silent-store counters must be published: {stdout}"
+    );
+
+    let out = exp(&[
+        "run",
+        "--scale",
+        "smoke",
+        "--scheme",
+        "reuse:1048576:4",
+        "--bench",
+        "gzip",
+    ]);
+    assert!(
+        out.status.success(),
+        "reuse run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scheme = reuse:1048576:4"), "{stdout}");
+
+    let work = TempWorkdir::new("faults-challengers");
+    let out = exp_in(
+        &work.0,
+        &[
+            "faults",
+            "--scale",
+            "smoke",
+            "--trials",
+            "8",
+            "--challengers",
+            "--no-cache",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "challenger campaign failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for label in ["proposed@1M", "silent-ecc@1M", "reuse-cb4x@1M"] {
+        assert!(
+            stdout.contains(label),
+            "campaign table must include {label}: {stdout}"
+        );
     }
 }
 

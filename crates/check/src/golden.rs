@@ -177,10 +177,18 @@ impl GoldenModel {
                 way,
                 line,
                 first_write,
+                silent,
             } => {
                 let slot = self.slot(set, way);
                 match self.resident[slot].as_mut() {
                     Some(l) if l.line == line => {
+                        if silent {
+                            // An elided silent store changes no state:
+                            // the line keeps its dirty/written bits and
+                            // its data, so there is nothing to audit
+                            // beyond residency (checked above).
+                            return;
+                        }
                         if first_write == l.dirty {
                             fail(
                                 format!(

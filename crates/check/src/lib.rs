@@ -35,6 +35,7 @@
 
 pub mod broken;
 pub mod checker;
+pub mod conformance;
 pub mod coverage;
 pub mod fuzz;
 pub mod golden;
@@ -43,6 +44,10 @@ pub mod scenario;
 
 pub use broken::BrokenRetiringScheme;
 pub use checker::{CheckState, LockstepChecker, SharedCheckState, Violation};
+pub use conformance::{
+    broken_scheme_is_caught, conformance_schemes, run_conformance, run_conformance_matrix,
+    ConformanceReport,
+};
 pub use coverage::Coverage;
 pub use fuzz::{run_fuzz, FailureReport, FuzzConfig, FuzzReport};
 pub use golden::GoldenModel;

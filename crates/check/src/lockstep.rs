@@ -67,6 +67,13 @@ pub fn lockstep_schemes() -> Vec<SchemeKind> {
             cleaning_interval: MEG,
             entries_per_set: 2,
         },
+        SchemeKind::SilentWriteEcc {
+            cleaning_interval: MEG,
+        },
+        SchemeKind::ReuseCopyback {
+            cleaning_interval: MEG,
+            multiplier: 4,
+        },
     ]
 }
 

@@ -306,6 +306,11 @@ fn scheme_coverage_bit(kind: SchemeKind) -> u32 {
         SchemeKind::ParityOnly => Coverage::SCHEME_PARITY,
         SchemeKind::Proposed { .. } => Coverage::SCHEME_PROPOSED,
         SchemeKind::ProposedMulti { .. } => Coverage::SCHEME_PROPOSED_MULTI,
+        // The challengers keep the proposed ECC-array discipline, so a
+        // run under either exercises the same checker surface.
+        SchemeKind::SilentWriteEcc { .. } | SchemeKind::ReuseCopyback { .. } => {
+            Coverage::SCHEME_PROPOSED
+        }
     }
 }
 

@@ -168,6 +168,21 @@ impl AreaModel {
             SchemeKind::ProposedMulti {
                 entries_per_set, ..
             } => self.proposed_with_entries(entries_per_set as u64),
+            SchemeKind::SilentWriteEcc { .. } => {
+                let mut report = self.proposed();
+                report
+                    .components
+                    .push(("silent-store comparator (64b)", CodeArea::from_bits(64)));
+                report
+            }
+            SchemeKind::ReuseCopyback { .. } => {
+                let mut report = self.proposed();
+                report.components.push((
+                    "reuse predictor (2x16b/line)",
+                    CodeArea::from_bits(self.lines * 32),
+                ));
+                report
+            }
         }
     }
 }

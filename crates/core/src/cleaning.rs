@@ -251,6 +251,17 @@ pub enum CleaningPolicy {
         /// Total sets (for wrap-around).
         sets: usize,
     },
+    /// Reuse-predicted early copy-back (Wang et al., arXiv:2105.14442):
+    /// the same probe cadence, but a dirty line is copied back when it
+    /// has been write-idle for at least `multiplier` times its observed
+    /// write-reuse gap — the predictor state lives in the cache's
+    /// per-line last-write/write-gap columns.
+    ReusePredicted {
+        /// Probe scheduler (same cadence semantics as the paper's FSM).
+        fsm: CleaningLogic,
+        /// Idle threshold as a multiple of the observed reuse gap.
+        multiplier: u32,
+    },
 }
 
 impl CleaningPolicy {
@@ -276,12 +287,24 @@ impl CleaningPolicy {
         CleaningPolicy::Eager { next_set: 0, sets }
     }
 
+    /// Reuse-predicted copy-back probing at `interval` cadence with the
+    /// given idle-threshold `multiplier`.
+    #[must_use]
+    pub fn reuse_predicted(interval: u64, multiplier: u32, sets: usize) -> Self {
+        CleaningPolicy::ReusePredicted {
+            fsm: CleaningLogic::new(interval, sets),
+            multiplier,
+        }
+    }
+
     /// Publishes the policy's statistics into the registry under the
     /// current scope. Policies without an FSM (none/eager) publish zeroed
     /// counters so snapshot keys stay identical across schemes.
     pub fn register_stats(&self, reg: &mut aep_obs::Registry) {
         let stats = match self {
-            CleaningPolicy::WrittenBit(fsm) | CleaningPolicy::Decay { fsm, .. } => fsm.stats(),
+            CleaningPolicy::WrittenBit(fsm)
+            | CleaningPolicy::Decay { fsm, .. }
+            | CleaningPolicy::ReusePredicted { fsm, .. } => fsm.stats(),
             CleaningPolicy::None | CleaningPolicy::Eager { .. } => CleaningStats::default(),
         };
         stats.register_stats(reg);
@@ -297,9 +320,9 @@ impl CleaningPolicy {
     pub fn next_due_after(&self, now: Cycle) -> Cycle {
         match self {
             CleaningPolicy::None => Cycle::MAX,
-            CleaningPolicy::WrittenBit(fsm) | CleaningPolicy::Decay { fsm, .. } => {
-                fsm.next_probe_at().max(now + 1)
-            }
+            CleaningPolicy::WrittenBit(fsm)
+            | CleaningPolicy::Decay { fsm, .. }
+            | CleaningPolicy::ReusePredicted { fsm, .. } => fsm.next_probe_at().max(now + 1),
             CleaningPolicy::Eager { .. } => now + 1,
         }
     }
@@ -319,6 +342,13 @@ impl CleaningPolicy {
                 format!("decay@{}", crate::scheme::human_interval(*window))
             }
             CleaningPolicy::Eager { .. } => "eager".into(),
+            CleaningPolicy::ReusePredicted { fsm, multiplier } => {
+                format!(
+                    "reuse{}x@{}",
+                    multiplier,
+                    crate::scheme::human_interval(fsm.interval())
+                )
+            }
         }
     }
 }
@@ -339,5 +369,9 @@ mod policy_tests {
             "decay@256K"
         );
         assert_eq!(CleaningPolicy::eager(16).label(), "eager");
+        assert_eq!(
+            CleaningPolicy::reuse_predicted(1024 * 1024, 4, 4096).label(),
+            "reuse4x@1M"
+        );
     }
 }

@@ -49,8 +49,10 @@ pub mod nonuniform;
 pub mod nonuniform_multi;
 pub mod parity_only;
 pub mod reliability;
+pub mod reuse;
 pub mod scheme;
 pub mod scrub;
+pub mod silent;
 pub mod uniform;
 pub mod verify;
 
@@ -61,9 +63,11 @@ pub use nonuniform::NonUniformScheme;
 pub use nonuniform_multi::MultiEntryScheme;
 pub use parity_only::ParityOnlyScheme;
 pub use reliability::{FitReport, SoftErrorModel};
+pub use reuse::ReuseCopybackScheme;
 pub use scheme::{
     parse_scheme_slug, scheme_slug, Directive, EnergyCounters, ProtectionScheme, RecoveryOutcome,
     SchemeKind,
 };
 pub use scrub::Scrubber;
+pub use silent::SilentWriteEccScheme;
 pub use uniform::UniformEccScheme;

@@ -164,9 +164,14 @@ impl SoftErrorModel {
         match kind {
             SchemeKind::Uniform | SchemeKind::UniformWithCleaning { .. } => self.uniform_ecc(l2),
             SchemeKind::ParityOnly => self.parity_only(l2, dirty_fraction),
-            SchemeKind::Proposed { .. } | SchemeKind::ProposedMulti { .. } => {
-                self.proposed(l2, dirty_fraction)
-            }
+            // The challengers keep the proposed scheme's check storage
+            // and coverage; they only change when writes dirty lines
+            // (silent elision) or when dirty lines are cleaned (reuse
+            // prediction), both captured by `dirty_fraction`.
+            SchemeKind::Proposed { .. }
+            | SchemeKind::ProposedMulti { .. }
+            | SchemeKind::SilentWriteEcc { .. }
+            | SchemeKind::ReuseCopyback { .. } => self.proposed(l2, dirty_fraction),
         }
     }
 

@@ -42,6 +42,27 @@ pub enum SchemeKind {
         /// ECC entries per set.
         entries_per_set: usize,
     },
+    /// Related-work challenger: the proposed scheme plus silent-store
+    /// elision (Kishani et al., arXiv:2112.12667). Stores whose bytes
+    /// match the resident line are detected by a per-word compare and
+    /// skip check-bit regeneration entirely — the line stays clean, so
+    /// the shared ECC entry is never claimed and the forced ECC-WB
+    /// never happens.
+    SilentWriteEcc {
+        /// The cleaning interval in cycles.
+        cleaning_interval: u64,
+    },
+    /// Related-work challenger: the proposed scheme with the interval
+    /// FSM replaced by a reuse-distance-predicted early copy-back
+    /// cleaner (Wang et al., arXiv:2105.14442). A dirty, not-written
+    /// line idle for longer than `multiplier` times its observed
+    /// write-reuse gap is predicted dead and copied back early.
+    ReuseCopyback {
+        /// The probe interval in cycles (the predictor's sweep period).
+        cleaning_interval: u64,
+        /// Idle-time threshold as a multiple of the observed reuse gap.
+        multiplier: u32,
+    },
 }
 
 impl SchemeKind {
@@ -52,6 +73,10 @@ impl SchemeKind {
             SchemeKind::UniformWithCleaning { cleaning_interval }
             | SchemeKind::Proposed { cleaning_interval }
             | SchemeKind::ProposedMulti {
+                cleaning_interval, ..
+            }
+            | SchemeKind::SilentWriteEcc { cleaning_interval }
+            | SchemeKind::ReuseCopyback {
                 cleaning_interval, ..
             } => Some(cleaning_interval),
             SchemeKind::Uniform | SchemeKind::ParityOnly => None,
@@ -78,6 +103,17 @@ impl SchemeKind {
                 entries_per_set,
                 human_interval(cleaning_interval)
             ),
+            SchemeKind::SilentWriteEcc { cleaning_interval } => {
+                format!("silent-ecc@{}", human_interval(cleaning_interval))
+            }
+            SchemeKind::ReuseCopyback {
+                cleaning_interval,
+                multiplier,
+            } => format!(
+                "reuse-cb{}x@{}",
+                multiplier,
+                human_interval(cleaning_interval)
+            ),
         }
     }
 }
@@ -100,6 +136,13 @@ pub fn scheme_slug(kind: SchemeKind) -> String {
             cleaning_interval,
             entries_per_set,
         } => format!("proposed_multi:{cleaning_interval}:{entries_per_set}"),
+        SchemeKind::SilentWriteEcc { cleaning_interval } => {
+            format!("silent:{cleaning_interval}")
+        }
+        SchemeKind::ReuseCopyback {
+            cleaning_interval,
+            multiplier,
+        } => format!("reuse:{cleaning_interval}:{multiplier}"),
     }
 }
 
@@ -120,6 +163,13 @@ pub fn parse_scheme_slug(slug: &str) -> Option<SchemeKind> {
         "proposed_multi" => SchemeKind::ProposedMulti {
             cleaning_interval: parts.next()?.parse().ok()?,
             entries_per_set: parts.next()?.parse().ok()?,
+        },
+        "silent" => SchemeKind::SilentWriteEcc {
+            cleaning_interval: parts.next()?.parse().ok()?,
+        },
+        "reuse" => SchemeKind::ReuseCopyback {
+            cleaning_interval: parts.next()?.parse().ok()?,
+            multiplier: parts.next()?.parse().ok()?,
         },
         _ => return None,
     };
@@ -372,6 +422,54 @@ mod tests {
             }
             .label(),
             "org+clean@64K"
+        );
+        assert_eq!(
+            SchemeKind::SilentWriteEcc {
+                cleaning_interval: 1024 * 1024
+            }
+            .label(),
+            "silent-ecc@1M"
+        );
+        assert_eq!(
+            SchemeKind::ReuseCopyback {
+                cleaning_interval: 1024 * 1024,
+                multiplier: 4
+            }
+            .label(),
+            "reuse-cb4x@1M"
+        );
+    }
+
+    #[test]
+    fn challenger_slugs_roundtrip() {
+        for kind in [
+            SchemeKind::SilentWriteEcc {
+                cleaning_interval: 1024 * 1024,
+            },
+            SchemeKind::ReuseCopyback {
+                cleaning_interval: 64 * 1024,
+                multiplier: 8,
+            },
+        ] {
+            assert_eq!(parse_scheme_slug(&scheme_slug(kind)), Some(kind));
+        }
+        assert_eq!(parse_scheme_slug("silent"), None);
+        assert_eq!(parse_scheme_slug("reuse:1024"), None);
+        assert_eq!(parse_scheme_slug("reuse:1024:4:9"), None);
+        assert_eq!(
+            SchemeKind::SilentWriteEcc {
+                cleaning_interval: 7
+            }
+            .cleaning_interval(),
+            Some(7)
+        );
+        assert_eq!(
+            SchemeKind::ReuseCopyback {
+                cleaning_interval: 11,
+                multiplier: 2
+            }
+            .cleaning_interval(),
+            Some(11)
         );
     }
 

@@ -89,6 +89,74 @@ pub fn faults_schemes() -> Vec<SchemeKind> {
     schemes
 }
 
+/// The related-work challenger line-up at the chosen interval: the
+/// silent-store-aware ECC variant (Kishani et al., arXiv:2112.12667) and
+/// reuse-predicted early copy-back (Wang et al., arXiv:2105.14442).
+/// Kept separate from [`ablation_lineup`] so the paper's pinned figure
+/// columns stay byte-stable; consumers that want the full field append
+/// this to the incumbents.
+#[must_use]
+pub fn challengers_lineup() -> Vec<(&'static str, SchemeKind)> {
+    vec![
+        (
+            "silent-ecc@1M",
+            SchemeKind::SilentWriteEcc {
+                cleaning_interval: CHOSEN_INTERVAL,
+            },
+        ),
+        (
+            "reuse-cb4x@1M",
+            SchemeKind::ReuseCopyback {
+                cleaning_interval: CHOSEN_INTERVAL,
+                multiplier: 4,
+            },
+        ),
+    ]
+}
+
+/// The challenger scheme set (the [`challengers_lineup`] without labels).
+#[must_use]
+pub fn challengers_schemes() -> Vec<SchemeKind> {
+    challengers_lineup().into_iter().map(|(_, k)| k).collect()
+}
+
+/// The fault-campaign scheme set extended with the challengers: the
+/// incumbents of [`faults_schemes`] followed by the related-work line-up,
+/// so challenger DUE/SDC columns land next to the schemes they contest.
+#[must_use]
+pub fn challengers_faults_schemes() -> Vec<SchemeKind> {
+    let mut schemes = faults_schemes();
+    schemes.extend(challengers_schemes());
+    schemes
+}
+
+/// The challenger scheme-template axis: the incumbents' templates plus
+/// the two related-work templates (reuse at 2x and 4x thresholds), for
+/// `exp explore` runs that ask whether either challenger joins the
+/// frontier. Distinct from [`default_templates`], which stays pinned to
+/// the paper's own line-up.
+#[must_use]
+pub fn challenger_templates() -> Vec<SchemeTemplate> {
+    let mut templates = default_templates();
+    templates.push(SchemeTemplate::SilentWrite);
+    templates.push(SchemeTemplate::ReuseCopyback { multiplier: 2 });
+    templates.push(SchemeTemplate::ReuseCopyback { multiplier: 4 });
+    templates
+}
+
+/// The challenger exploration space: the given benchmarks crossed with
+/// the incumbent-plus-challenger templates over the paper's interval
+/// axis.
+#[must_use]
+pub fn challenger_space(benchmarks: &[Workload]) -> Space {
+    Space::grid(
+        benchmarks,
+        &expand_schemes(&challenger_templates(), &interval_axis()),
+        &[],
+        &[],
+    )
+}
+
 /// The canonical diversity-workload set: one representative per new
 /// generator family (Zipf skew, adversarial, trace replay), at knobs
 /// chosen to stress mechanisms the 14 calibrated benchmarks never reach.
@@ -177,5 +245,38 @@ mod tests {
     #[test]
     fn chosen_interval_is_on_the_interval_axis() {
         assert!(interval_axis().contains(&CHOSEN_INTERVAL));
+    }
+
+    #[test]
+    fn challengers_ride_alongside_the_pinned_lineups() {
+        // The pinned figure columns must not change.
+        assert_eq!(default_templates().len(), 4);
+        assert_eq!(ablation_lineup().len(), 4);
+        assert_eq!(faults_schemes().len(), 5);
+
+        let lineup = challengers_lineup();
+        assert_eq!(lineup.len(), 2);
+        for (label, kind) in &lineup {
+            assert_eq!(*label, kind.label());
+        }
+        assert_eq!(
+            challengers_faults_schemes().len(),
+            faults_schemes().len() + 2
+        );
+
+        let space = challenger_space(&[Benchmark::Gap.into()]);
+        space.validate().expect("challenger space validates");
+        assert!(space.points().iter().any(|p| matches!(
+            p.scheme,
+            SchemeKind::SilentWriteEcc {
+                cleaning_interval: CHOSEN_INTERVAL
+            }
+        )));
+        assert!(space
+            .points()
+            .iter()
+            .any(|p| matches!(p.scheme, SchemeKind::ReuseCopyback { multiplier: 2, .. })));
+        // The incumbents are still in the field the challengers contest.
+        assert!(space.points().iter().any(|p| p.scheme == proposed()));
     }
 }

@@ -117,6 +117,15 @@ pub enum SchemeTemplate {
         /// ECC entries per set.
         entries_per_set: usize,
     },
+    /// Related-work challenger: the proposal plus silent-store elision
+    /// (Kishani et al., arXiv:2112.12667).
+    SilentWrite,
+    /// Related-work challenger: the proposal with reuse-distance-
+    /// predicted early copy-back (Wang et al., arXiv:2105.14442).
+    ReuseCopyback {
+        /// Idle threshold as a multiple of the observed reuse gap.
+        multiplier: u32,
+    },
 }
 
 impl SchemeTemplate {
@@ -143,11 +152,19 @@ impl SchemeTemplate {
                 cleaning_interval: interval,
                 entries_per_set,
             },
+            SchemeTemplate::SilentWrite => SchemeKind::SilentWriteEcc {
+                cleaning_interval: interval,
+            },
+            SchemeTemplate::ReuseCopyback { multiplier } => SchemeKind::ReuseCopyback {
+                cleaning_interval: interval,
+                multiplier,
+            },
         }
     }
 
     /// Parses an axis-spec spelling: `uniform`, `parity`, `uniform_clean`,
-    /// `proposed`, or `proposed_multi:<entries>`.
+    /// `proposed`, `proposed_multi:<entries>`, `silent`, or
+    /// `reuse:<multiplier>`.
     #[must_use]
     pub fn parse(s: &str) -> Option<Self> {
         match s {
@@ -155,7 +172,12 @@ impl SchemeTemplate {
             "parity" => Some(SchemeTemplate::ParityOnly),
             "uniform_clean" => Some(SchemeTemplate::UniformClean),
             "proposed" => Some(SchemeTemplate::Proposed),
+            "silent" => Some(SchemeTemplate::SilentWrite),
             _ => {
+                if let Some(mult) = s.strip_prefix("reuse:") {
+                    let multiplier = mult.parse().ok().filter(|&m: &u32| m > 0)?;
+                    return Some(SchemeTemplate::ReuseCopyback { multiplier });
+                }
                 let entries = s.strip_prefix("proposed_multi:")?.parse().ok()?;
                 Some(SchemeTemplate::ProposedMulti {
                     entries_per_set: entries,
@@ -532,6 +554,47 @@ mod tests {
             }
         );
         assert!(!SchemeTemplate::Uniform.needs_interval());
+    }
+
+    #[test]
+    fn challenger_templates_parse_and_instantiate() {
+        assert_eq!(
+            SchemeTemplate::parse("silent"),
+            Some(SchemeTemplate::SilentWrite)
+        );
+        assert_eq!(
+            SchemeTemplate::parse("reuse:4"),
+            Some(SchemeTemplate::ReuseCopyback { multiplier: 4 })
+        );
+        // Degenerate or malformed multipliers are rejected, not clamped.
+        assert_eq!(SchemeTemplate::parse("reuse:0"), None);
+        assert_eq!(SchemeTemplate::parse("reuse:x"), None);
+        assert_eq!(SchemeTemplate::parse("reuse:"), None);
+
+        assert!(SchemeTemplate::SilentWrite.needs_interval());
+        assert!(SchemeTemplate::ReuseCopyback { multiplier: 4 }.needs_interval());
+        assert_eq!(
+            SchemeTemplate::SilentWrite.instantiate(1024 * 1024),
+            SchemeKind::SilentWriteEcc {
+                cleaning_interval: 1024 * 1024
+            }
+        );
+        assert_eq!(
+            SchemeTemplate::ReuseCopyback { multiplier: 4 }.instantiate(1024 * 1024),
+            SchemeKind::ReuseCopyback {
+                cleaning_interval: 1024 * 1024,
+                multiplier: 4
+            }
+        );
+        // Challengers cross with the interval axis like any cleaner.
+        let schemes = expand_schemes(
+            &[
+                SchemeTemplate::SilentWrite,
+                SchemeTemplate::ReuseCopyback { multiplier: 4 },
+            ],
+            &[64 * 1024, 1024 * 1024],
+        );
+        assert_eq!(schemes.len(), 4);
     }
 
     #[test]

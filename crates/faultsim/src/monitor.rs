@@ -135,9 +135,15 @@ impl SystemObserver for StrikeProbe {
                 way,
                 line,
                 first_write,
-            } if hits(&strike, set, way, line) => {
-                Some(resolve_write(&strike, l2, scheme, memory, first_write))
-            }
+                silent,
+            } if hits(&strike, set, way, line) => Some(resolve_write(
+                &strike,
+                l2,
+                scheme,
+                memory,
+                first_write,
+                silent,
+            )),
             L2Event::Evict {
                 set,
                 way,
@@ -228,6 +234,7 @@ fn resolve_write(
     scheme: &mut dyn ProtectionScheme,
     memory: &mut MainMemory,
     first_write: bool,
+    silent: bool,
 ) -> TrialOutcome {
     let current: Vec<u64> = l2
         .line_data(strike.set, strike.way)
@@ -253,7 +260,14 @@ fn resolve_write(
     for &i in &cpu_words {
         l2.write_word(strike.set, strike.way, i, corrupt[i]);
     }
-    let was_dirty = !first_write;
+    // A non-silent write hit dirties the line, so `first_write` names the
+    // pre-store state. An elided silent store changes nothing: the line's
+    // current dirty bit *is* the state the check storage describes.
+    let was_dirty = if silent {
+        l2.line_view(strike.set, strike.way).dirty
+    } else {
+        !first_write
+    };
     let outcome = match scheme.verify_access(l2, strike.set, strike.way, was_dirty, memory) {
         RecoveryOutcome::Clean => {
             restore_struck_words(strike, l2);

@@ -154,6 +154,11 @@ pub enum L2Event {
         line: LineAddr,
         /// This store set the dirty bit (first write since fill/clean).
         first_write: bool,
+        /// The store's bytes matched the resident data exactly and the
+        /// line's dirty/written state was left untouched (silent-store
+        /// elision; always `false` unless the hierarchy classifies
+        /// silent stores for a silent-write-aware scheme).
+        silent: bool,
     },
     /// A load or fetch hit a resident line.
     ReadHit {
@@ -236,9 +241,15 @@ pub struct Cache {
     written: Vec<bool>,
     lru: Vec<u64>,
     last_access: Vec<Cycle>,
+    // Reuse-distance bookkeeping for the predicted early-copy-back
+    // cleaner: the cycle of the slot's most recent write, and the gap
+    // between its last two writes (0 = at most one write since fill).
+    last_write: Vec<Cycle>,
+    write_gap: Vec<u64>,
     data: Vec<Option<Box<[u64]>>>,
     tick: u64,
     dirty_lines: u64,
+    silent_write_hits: u64,
     stats: CacheStats,
     emit_events: bool,
     emit_word_events: bool,
@@ -267,12 +278,15 @@ impl Cache {
             written: vec![false; slots],
             lru: vec![0; slots],
             last_access: vec![0; slots],
+            last_write: vec![0; slots],
+            write_gap: vec![0; slots],
             data: (0..slots).map(|_| None).collect(),
             sets,
             ways,
             config,
             tick: 0,
             dirty_lines: 0,
+            silent_write_hits: 0,
             stats: CacheStats::new(),
             emit_events: false,
             emit_word_events: false,
@@ -403,6 +417,14 @@ impl Cache {
         set * self.ways + way
     }
 
+    /// Records one write's contribution to the slot's reuse history: the
+    /// gap between this write and the previous one becomes the predictor
+    /// sample, and the write timestamp advances.
+    fn note_write_reuse(&mut self, slot: usize, now: Cycle) {
+        self.write_gap[slot] = now.saturating_sub(self.last_write[slot]);
+        self.last_write[slot] = now;
+    }
+
     /// Looks up `line`, updating LRU and (for writes) dirty/written bits.
     ///
     /// Misses are counted but nothing is installed; callers install
@@ -443,12 +465,14 @@ impl Cache {
                 }
                 match kind {
                     AccessKind::Write => {
+                        self.note_write_reuse(slot, now);
                         self.stats.write_hits += 1;
                         self.emit(L2Event::WriteHit {
                             set,
                             way,
                             line,
                             first_write,
+                            silent: false,
                         });
                     }
                     AccessKind::Read | AccessKind::Fetch => {
@@ -571,6 +595,8 @@ impl Cache {
         self.written[slot] = false;
         self.lru[slot] = tick;
         self.last_access[slot] = now;
+        self.last_write[slot] = now;
+        self.write_gap[slot] = 0;
         self.data[slot] = data;
         if dirty {
             self.dirty_lines += 1;
@@ -640,6 +666,96 @@ impl Cache {
             } else {
                 self.written[slot] = false;
             }
+        }
+        cleaned
+    }
+
+    /// Registers a store whose bytes matched the resident line exactly
+    /// (a **silent store**): replacement state and statistics advance as
+    /// for any write hit, but the dirty/written bits are left untouched —
+    /// no data changed, so no check-bit regeneration is owed. Emits
+    /// [`L2Event::WriteHit`] with `silent: true`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when the way does not hold a valid line.
+    pub fn silent_write_hit(&mut self, set: usize, way: usize, now: Cycle) {
+        let slot = self.slot(set, way);
+        debug_assert!(self.valid[slot], "silent write hit on an invalid line");
+        self.tick += 1;
+        self.lru[slot] = self.tick;
+        self.last_access[slot] = now;
+        self.note_write_reuse(slot, now);
+        self.stats.write_hits += 1;
+        self.silent_write_hits += 1;
+        let line = LineAddr::from_tag_set(self.tags[slot], set, self.sets);
+        self.emit(L2Event::WriteHit {
+            set,
+            way,
+            line,
+            first_write: false,
+            silent: true,
+        });
+    }
+
+    /// Number of stores elided as silent (see [`Cache::silent_write_hit`]).
+    #[must_use]
+    pub fn silent_write_hit_count(&self) -> u64 {
+        self.silent_write_hits
+    }
+
+    /// Reuse-distance-predicted early copy-back (Wang et al.,
+    /// arXiv:2105.14442) on one set: a valid `dirty && !written` line
+    /// whose idle time since its last write exceeds `multiplier` times
+    /// its observed write-reuse gap (or `fallback_gap`, for lines with a
+    /// single write on record) is predicted dead and written back early.
+    /// Predicted-dead lines that are still `written` get their written
+    /// bit reset instead — one more epoch of grace, mirroring the paper
+    /// FSM's filter, so the probe cleans exactly `dirty && !written`.
+    pub fn reuse_probe(
+        &mut self,
+        set: usize,
+        now: Cycle,
+        multiplier: u32,
+        fallback_gap: u64,
+    ) -> Vec<EvictedLine> {
+        debug_assert!(set < self.sets as usize, "set index out of range");
+        let mut cleaned = Vec::new();
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            if !self.valid[slot] || !self.dirty[slot] {
+                continue;
+            }
+            let gap = match self.write_gap[slot] {
+                0 => fallback_gap,
+                g => g,
+            };
+            let idle = now.saturating_sub(self.last_write[slot]);
+            if idle < gap.saturating_mul(u64::from(multiplier)) {
+                continue;
+            }
+            if self.written[slot] {
+                self.written[slot] = false;
+                continue;
+            }
+            self.dirty[slot] = false;
+            let line = LineAddr::from_tag_set(self.tags[slot], set, self.sets);
+            let data = self.data[slot].clone();
+            self.dirty_lines -= 1;
+            self.lifetime_clean(slot, now);
+            self.stats.writebacks_cleaning += 1;
+            self.emit(L2Event::Cleaned {
+                set,
+                way,
+                line,
+                class: WbClass::Cleaning,
+            });
+            cleaned.push(EvictedLine {
+                line,
+                dirty: true,
+                written: false,
+                data,
+            });
         }
         cleaned
     }
@@ -1187,6 +1303,113 @@ mod ablation_tests {
             a.clean_probe_mode(set, 5, true).len(),
             b.clean_probe_mode(set, 5, false).len()
         );
+    }
+}
+
+#[cfg(test)]
+mod silent_and_reuse_tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn data(seed: u64) -> Option<Box<[u64]>> {
+        Some((0..8u64).map(|i| seed ^ i).collect())
+    }
+
+    #[test]
+    fn silent_write_hit_leaves_protection_state_untouched() {
+        let mut c = Cache::new(CacheConfig::tiny_l2());
+        c.set_event_emission(true);
+        let line = LineAddr(4);
+        c.install(line, false, 0, data(7)); // clean read fill
+        let (set, way) = c.peek(line).unwrap();
+        let _ = c.take_events();
+
+        c.silent_write_hit(set, way, 10);
+        let v = c.line_view(set, way);
+        assert!(
+            !v.dirty && !v.written,
+            "silent store must not dirty the line"
+        );
+        assert_eq!(c.dirty_line_count(), 0);
+        assert_eq!(c.silent_write_hit_count(), 1);
+        assert_eq!(c.stats().write_hits, 1);
+        assert_eq!(
+            c.take_events(),
+            vec![L2Event::WriteHit {
+                set,
+                way,
+                line,
+                first_write: false,
+                silent: true,
+            }]
+        );
+
+        // On an already-dirty line, dirty stays set and written stays clear.
+        let dirty_line = LineAddr(5);
+        c.install(dirty_line, true, 20, data(9));
+        let (ds, dw) = c.peek(dirty_line).unwrap();
+        c.silent_write_hit(ds, dw, 30);
+        let v = c.line_view(ds, dw);
+        assert!(v.dirty && !v.written, "silent store must not set written");
+        assert_eq!(c.silent_write_hit_count(), 2);
+    }
+
+    #[test]
+    fn silent_write_hit_refreshes_replacement_state() {
+        let mut c = Cache::new(CacheConfig::tiny_l2());
+        for i in 0..4u64 {
+            c.install(LineAddr(i * 16), false, i, data(i));
+        }
+        // Silently re-store line 0 — it becomes MRU; line 16 becomes LRU.
+        let (set, way) = c.peek(LineAddr(0)).unwrap();
+        c.silent_write_hit(set, way, 10);
+        let out = c.install(LineAddr(4 * 16), false, 20, data(99));
+        assert_eq!(out.evicted.unwrap().line, LineAddr(16));
+    }
+
+    #[test]
+    fn reuse_probe_cleans_only_predicted_dead_unwritten_lines() {
+        let mut c = Cache::new(CacheConfig::tiny_l2());
+        // Way A: written at t=0 and t=100 (gap 100), idle since. At
+        // t=1000 with multiplier 4 its threshold is 400 < 900 idle, but
+        // the second write set `written` — first probe only resets it.
+        let a = LineAddr(0);
+        c.install(a, true, 0, data(1));
+        c.lookup(a, AccessKind::Write, 100);
+        // Way B: single write at t=0 (no gap on record): fallback gap 200
+        // × 4 = 800 ≤ 1000 idle — predicted dead, cleaned.
+        let b = LineAddr(16);
+        c.install(b, true, 0, data(2));
+        // Way C: written at t=0 and t=950 (gap 950): threshold 3800,
+        // idle 50 — alive, spared (written reset only).
+        let cc = LineAddr(32);
+        c.install(cc, true, 0, data(3));
+        c.lookup(cc, AccessKind::Write, 950);
+
+        let cleaned = c.reuse_probe(0, 1_000, 4, 200);
+        assert_eq!(cleaned.len(), 1);
+        assert_eq!(cleaned[0].line, b);
+        assert_eq!(c.stats().writebacks_cleaning, 1);
+        let (s, w) = c.peek(a).unwrap();
+        assert!(c.line_view(s, w).dirty && !c.line_view(s, w).written);
+
+        // A is now dirty && !written and long idle: the next probe cleans
+        // it; C stays written (its predicted threshold spares it).
+        let cleaned = c.reuse_probe(0, 2_000, 4, 200);
+        assert_eq!(cleaned.len(), 1);
+        assert_eq!(cleaned[0].line, a);
+        let (s, w) = c.peek(cc).unwrap();
+        assert!(c.line_view(s, w).dirty && c.line_view(s, w).written);
+    }
+
+    #[test]
+    fn reuse_probe_spares_recently_written_lines() {
+        let mut c = Cache::new(CacheConfig::tiny_l2());
+        let line = LineAddr(2);
+        c.install(line, true, 0, data(4));
+        // Idle 100 < fallback 200 × 4: nothing happens.
+        assert!(c.reuse_probe(2, 100, 4, 200).is_empty());
+        assert_eq!(c.dirty_line_count(), 1);
     }
 }
 

@@ -42,6 +42,26 @@ impl OpCounts {
     }
 }
 
+/// How store payload values are synthesized from the instruction stream.
+///
+/// The default makes every store value unique, which deliberately rules
+/// out silent stores: no run's behaviour can accidentally depend on value
+/// coincidences. The address-stable model is the complement — a store to
+/// an address always carries the same value, so *re*-stores are silent by
+/// construction. It exists for the silent-write-aware ECC scheme
+/// (Kishani et al., arXiv:2112.12667), whose whole mechanism is detecting
+/// and eliding such stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreValueModel {
+    /// Every store carries a globally unique value (the default; silent
+    /// stores never occur).
+    #[default]
+    Unique,
+    /// A store's value is a pure function of its address: any re-store of
+    /// an address is byte-identical to the first.
+    AddressStable,
+}
+
 /// The full memory system of Table 1.
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
@@ -57,6 +77,9 @@ pub struct MemoryHierarchy {
     ops: OpCounts,
     store_seq: u64,
     prefetches_issued: u64,
+    store_values: StoreValueModel,
+    silent_elision: bool,
+    silent_fills: u64,
 }
 
 impl MemoryHierarchy {
@@ -81,8 +104,32 @@ impl MemoryHierarchy {
             ops: OpCounts::default(),
             store_seq: 0,
             prefetches_issued: 0,
+            store_values: StoreValueModel::default(),
+            silent_elision: false,
+            silent_fills: 0,
             cfg,
         }
+    }
+
+    /// Selects the store-value synthesis model (see [`StoreValueModel`]).
+    pub fn set_store_value_model(&mut self, model: StoreValueModel) {
+        self.store_values = model;
+    }
+
+    /// Turns silent-store classification on: a store whose bytes match
+    /// the L2-resident line (or, on a write-allocate miss, the freshly
+    /// fetched memory image) is elided — the line's dirty/written state
+    /// is left untouched and no payload is applied. Off by default; only
+    /// the silent-write-aware ECC scheme enables it.
+    pub fn set_silent_store_elision(&mut self, enabled: bool) {
+        self.silent_elision = enabled;
+    }
+
+    /// Number of write-allocate fills whose store payload matched the
+    /// memory image exactly and therefore installed clean.
+    #[must_use]
+    pub fn silent_fills(&self) -> u64 {
+        self.silent_fills
     }
 
     /// The hierarchy built with the paper's Table 1 parameters.
@@ -149,7 +196,10 @@ impl MemoryHierarchy {
         let l2_line = addr.line(self.cfg.l2.line_bytes);
         let word = (addr.offset(self.cfg.l2.line_bytes) / 8) as usize;
         self.store_seq += 1;
-        let value = mix64(addr.0 ^ self.store_seq.rotate_left(32));
+        let value = match self.store_values {
+            StoreValueModel::Unique => mix64(addr.0 ^ self.store_seq.rotate_left(32)),
+            StoreValueModel::AddressStable => mix64(addr.0 ^ 0x51E7_57A8_1E5A_11E7),
+        };
 
         let mut done = now + 1;
         if self.wb.push(l2_line, word, value, now) == PushOutcome::Full {
@@ -214,6 +264,23 @@ impl MemoryHierarchy {
         let start = now.max(self.l2_port_free_at);
         self.l2_port_free_at = start + 1;
 
+        // Silent-store classification happens *before* the lookup (the
+        // lookup would already have flipped the dirty/written bits): the
+        // per-word compare of the store payload against the resident data
+        // is the compare the silent-write-aware scheme pays for in area.
+        if self.silent_elision {
+            if let (AccessKind::Write, Some((mask, words))) = (kind, &store) {
+                if let Some((set, way)) = self.l2.peek(line) {
+                    if let Some(resident) = self.l2.line_data(set, way) {
+                        if masked_words_match(*mask, words, resident) {
+                            self.l2.silent_write_hit(set, way, start);
+                            return start + self.cfg.l2.hit_latency;
+                        }
+                    }
+                }
+            }
+        }
+
         match self.l2.lookup(line, kind, start) {
             Lookup::Hit { set, way, .. } => {
                 if let Some((mask, words)) = store {
@@ -229,11 +296,20 @@ impl MemoryHierarchy {
                 let done = self.bus.occupy(data_ready, self.cfg.l2.line_bytes);
 
                 let mut data = self.mem.read_line(line);
-                let is_write = store.is_some();
+                let mut is_write = store.is_some();
                 if let Some((mask, words)) = &store {
-                    for (i, slot) in data.iter_mut().enumerate() {
-                        if mask & (1 << i) != 0 {
-                            *slot = words[i];
+                    // The write-allocate seam: when the stored bytes match
+                    // the freshly fetched memory image, the allocation is
+                    // silent — install the line *clean* and skip the merge
+                    // (nothing changed; memory already holds the truth).
+                    if self.silent_elision && masked_words_match(*mask, words, &data) {
+                        is_write = false;
+                        self.silent_fills += 1;
+                    } else {
+                        for (i, slot) in data.iter_mut().enumerate() {
+                            if mask & (1 << i) != 0 {
+                                *slot = words[i];
+                            }
                         }
                     }
                 }
@@ -264,6 +340,28 @@ impl MemoryHierarchy {
     #[must_use]
     pub fn prefetches_issued(&self) -> u64 {
         self.prefetches_issued
+    }
+
+    /// Reuse-distance-predicted early-copy-back probe of one L2 set
+    /// (Wang et al., arXiv:2105.14442); same L1-priority arbitration as
+    /// [`MemoryHierarchy::clean_probe_l2`].
+    pub fn reuse_probe_l2(
+        &mut self,
+        set: usize,
+        now: Cycle,
+        multiplier: u32,
+        fallback_gap: u64,
+    ) -> Option<usize> {
+        if now < self.l2_port_free_at {
+            return None;
+        }
+        self.l2_port_free_at = now + 1;
+        let cleaned = self.l2.reuse_probe(set, now, multiplier, fallback_gap);
+        let count = cleaned.len();
+        for line in cleaned {
+            self.writeback_to_memory(line, now + self.cfg.l2.hit_latency);
+        }
+        Some(count)
     }
 
     fn apply_store_words(&mut self, set: usize, way: usize, mask: u64, words: &[u64]) {
@@ -473,6 +571,15 @@ impl MemoryHierarchy {
             r.counter("fetches", self.ops.fetches);
         });
     }
+}
+
+/// `true` when every masked store word equals the corresponding resident
+/// word — the definition of a silent store at line granularity.
+fn masked_words_match(mask: u64, words: &[u64], resident: &[u64]) -> bool {
+    words
+        .iter()
+        .enumerate()
+        .all(|(i, w)| mask & (1 << i) == 0 || resident[i] == *w)
 }
 
 #[cfg(test)]
@@ -718,6 +825,125 @@ mod more_tests {
         let ops_before = h.ops();
         h.clean_probe_l2(0, 1_000);
         assert_eq!(h.ops(), ops_before, "cleaning is not a CPU memory op");
+    }
+}
+
+#[cfg(test)]
+mod silent_store_tests {
+    use super::*;
+
+    fn silent_hier() -> MemoryHierarchy {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        h.set_store_value_model(StoreValueModel::AddressStable);
+        h.set_silent_store_elision(true);
+        h
+    }
+
+    fn drain(h: &mut MemoryHierarchy, from: Cycle, to: Cycle) {
+        for now in from..to {
+            h.tick(now);
+        }
+    }
+
+    #[test]
+    fn re_store_of_identical_bytes_is_silent_exactly_when_bytes_match() {
+        let mut h = silent_hier();
+        let addr = Addr::new(0x200);
+        // First store: the write-allocate fill finds pristine memory, the
+        // payload differs — NOT silent, line installs dirty.
+        h.store(addr, 0);
+        drain(&mut h, 1, 200);
+        assert_eq!(h.l2().dirty_line_count(), 1);
+        assert_eq!(h.l2().silent_write_hit_count(), 0);
+        assert_eq!(h.silent_fills(), 0);
+
+        // Clean the line so memory and the resident copy agree.
+        let line = addr.line(64);
+        let set = line.set_index(h.l2().sets() as u64);
+        h.clean_probe_l2(set, 1_000).unwrap();
+        assert_eq!(h.l2().dirty_line_count(), 0);
+
+        // Re-store the same address: address-stable values make the bytes
+        // identical — classified silent, the line STAYS CLEAN.
+        h.store(addr, 2_000);
+        drain(&mut h, 2_001, 2_200);
+        assert_eq!(h.l2().silent_write_hit_count(), 1);
+        assert_eq!(h.l2().dirty_line_count(), 0, "silent store must not dirty");
+
+        // A store to a *different* word of the same line carries bytes the
+        // resident line does not hold — not silent, dirties the line.
+        h.store(Addr::new(0x208), 3_000);
+        drain(&mut h, 3_001, 3_200);
+        assert_eq!(h.l2().silent_write_hit_count(), 1);
+        assert_eq!(h.l2().dirty_line_count(), 1);
+    }
+
+    #[test]
+    fn unique_values_never_classify_silent_even_with_elision_on() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        h.set_silent_store_elision(true); // default Unique value model
+        let addr = Addr::new(0x300);
+        h.store(addr, 0);
+        drain(&mut h, 1, 200);
+        let line = addr.line(64);
+        let set = line.set_index(h.l2().sets() as u64);
+        h.clean_probe_l2(set, 1_000).unwrap();
+        h.store(addr, 2_000);
+        drain(&mut h, 2_001, 2_200);
+        assert_eq!(h.l2().silent_write_hit_count(), 0);
+        assert_eq!(
+            h.l2().dirty_line_count(),
+            1,
+            "unique bytes differ: real store"
+        );
+    }
+
+    #[test]
+    fn silent_write_allocate_installs_clean_through_the_trusted_seam() {
+        let mut h = silent_hier();
+        let addr = Addr::new(0x200); // L2 line 8
+        h.store(addr, 0);
+        drain(&mut h, 1, 200);
+        let line = addr.line(64);
+        let set = line.set_index(h.l2().sets() as u64);
+        // Write the value back so memory holds it, then evict the line by
+        // filling its set with four read misses (4-way tiny L2).
+        h.clean_probe_l2(set, 1_000).unwrap();
+        for k in 1..=4u64 {
+            h.load(Addr::new(0x200 + k * 0x400), 1_000 + k * 100);
+        }
+        assert!(h.l2().peek(line).is_none(), "line must be evicted");
+
+        // Re-store: a write-allocate miss whose payload matches the
+        // fetched memory image — the fill is silent and installs CLEAN.
+        h.store(addr, 10_000);
+        drain(&mut h, 10_001, 10_400);
+        assert_eq!(h.silent_fills(), 1);
+        let (s, w) = h.l2().peek(line).expect("line reinstalled");
+        assert!(
+            !h.l2().line_view(s, w).dirty,
+            "silent write-allocate must install clean"
+        );
+        assert_eq!(h.l2().dirty_line_count(), 0);
+    }
+
+    #[test]
+    fn elision_off_keeps_default_semantics_bit_identical() {
+        // Same access pattern through a default hierarchy and one with
+        // only the address-stable model (no elision): dirty accounting
+        // and stats must agree with the elision-off contract — a re-store
+        // always dirties the line.
+        let mut h = MemoryHierarchy::new(HierarchyConfig::tiny());
+        h.set_store_value_model(StoreValueModel::AddressStable);
+        let addr = Addr::new(0x240);
+        h.store(addr, 0);
+        drain(&mut h, 1, 200);
+        let set = addr.line(64).set_index(h.l2().sets() as u64);
+        h.clean_probe_l2(set, 1_000).unwrap();
+        h.store(addr, 2_000);
+        drain(&mut h, 2_001, 2_200);
+        assert_eq!(h.l2().silent_write_hit_count(), 0);
+        assert_eq!(h.l2().dirty_line_count(), 1);
     }
 }
 

@@ -366,6 +366,13 @@ mod tests {
                 cleaning_interval: 4 * 1024 * 1024,
                 entries_per_set: 2,
             },
+            SchemeKind::SilentWriteEcc {
+                cleaning_interval: 1024 * 1024,
+            },
+            SchemeKind::ReuseCopyback {
+                cleaning_interval: 1024 * 1024,
+                multiplier: 4,
+            },
         ];
         for kind in kinds {
             assert_eq!(parse_scheme_slug(&scheme_slug(kind)), Some(kind));
@@ -373,6 +380,8 @@ mod tests {
         assert_eq!(parse_scheme_slug("bogus"), None);
         assert_eq!(parse_scheme_slug("proposed"), None);
         assert_eq!(parse_scheme_slug("uniform:1"), None);
+        assert_eq!(parse_scheme_slug("silent"), None);
+        assert_eq!(parse_scheme_slug("reuse:1048576"), None);
     }
 
     #[test]

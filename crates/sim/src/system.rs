@@ -3,7 +3,10 @@
 use aep_core::cleaning::CleaningPolicy;
 use aep_core::scrub::Scrubber;
 use aep_core::{CleaningLogic, Directive, ProtectionScheme, SchemeKind};
-use aep_core::{MultiEntryScheme, NonUniformScheme, ParityOnlyScheme, UniformEccScheme};
+use aep_core::{
+    MultiEntryScheme, NonUniformScheme, ParityOnlyScheme, ReuseCopybackScheme,
+    SilentWriteEccScheme, UniformEccScheme,
+};
 use aep_cpu::{CoreConfig, InstrStream, Pipeline};
 use aep_mem::cache::WbClass;
 use aep_mem::{Cycle, HierarchyConfig, L2Event, MemoryHierarchy};
@@ -23,6 +26,10 @@ pub fn build_scheme(kind: SchemeKind, hier: &HierarchyConfig) -> Box<dyn Protect
         SchemeKind::ProposedMulti {
             entries_per_set, ..
         } => Box::new(MultiEntryScheme::new(&hier.l2, entries_per_set)),
+        SchemeKind::SilentWriteEcc { .. } => Box::new(SilentWriteEccScheme::new(&hier.l2)),
+        SchemeKind::ReuseCopyback { multiplier, .. } => {
+            Box::new(ReuseCopybackScheme::new(&hier.l2, multiplier))
+        }
     }
 }
 
@@ -90,15 +97,25 @@ impl<S: InstrStream> System<S> {
     #[must_use]
     pub fn new(core: CoreConfig, hier_cfg: HierarchyConfig, kind: SchemeKind, stream: S) -> Self {
         let scheme = build_scheme(kind, &hier_cfg);
-        let cleaning = match kind.cleaning_interval() {
-            Some(interval) => CleaningPolicy::WrittenBit(CleaningLogic::new(
-                interval,
-                hier_cfg.l2.sets() as usize,
-            )),
-            None => CleaningPolicy::None,
+        let sets = hier_cfg.l2.sets() as usize;
+        let cleaning = match kind {
+            SchemeKind::ReuseCopyback {
+                cleaning_interval,
+                multiplier,
+            } => CleaningPolicy::reuse_predicted(cleaning_interval, multiplier, sets),
+            _ => match kind.cleaning_interval() {
+                Some(interval) => CleaningPolicy::WrittenBit(CleaningLogic::new(interval, sets)),
+                None => CleaningPolicy::None,
+            },
         };
         let mut hier = MemoryHierarchy::new(hier_cfg);
         hier.enable_l2_events();
+        if matches!(kind, SchemeKind::SilentWriteEcc { .. }) {
+            // Silent stores only exist under address-stable store values;
+            // the hierarchy then classifies them on the store path.
+            hier.set_store_value_model(aep_mem::StoreValueModel::AddressStable);
+            hier.set_silent_store_elision(true);
+        }
         System {
             cpu: Pipeline::new(core, stream),
             hier,
@@ -303,6 +320,21 @@ impl<S: InstrStream> System<S> {
                 if let Some(set) = fsm.due_set(now) {
                     let window = *window;
                     match self.hier.decay_probe_l2(set, now, window) {
+                        Some(cleaned) => {
+                            fsm.complete(now, cleaned);
+                            self.drain_events(now);
+                        }
+                        None => fsm.defer(),
+                    }
+                }
+            }
+            CleaningPolicy::ReusePredicted { fsm, multiplier } => {
+                if let Some(set) = fsm.due_set(now) {
+                    let multiplier = *multiplier;
+                    // A line with one write since fill has no observed
+                    // gap; the probe period stands in as the fallback.
+                    let fallback_gap = fsm.probe_period();
+                    match self.hier.reuse_probe_l2(set, now, multiplier, fallback_gap) {
                         Some(cleaned) => {
                             fsm.complete(now, cleaned);
                             self.drain_events(now);

@@ -11,7 +11,10 @@
 # trace replay / Zipf streams must produce identical lane snapshots
 # batched vs serial. An eighth leg re-checks the fault campaign under a
 # spatial multi-bit strike model (`--model burst:2`), whose draws
-# consume RNG the single-bit model never touches.
+# consume RNG the single-bit model never touches. A ninth leg runs the
+# explorer over the related-work challenger scheme axes (silent-store
+# ECC, reuse-predicted copy-back): their store-value modelling and
+# predictor state must not perturb worker-count invariance.
 #
 # Usage: scripts/check_determinism.sh [scale] [jobs]
 #          scale  paper|quick|smoke   (default: smoke)
@@ -115,6 +118,32 @@ else
   echo "==> explore determinism FAILED: frontier reports differ" >&2
   diff "$tmp/dse_serial/grid_${scale}_frontier.json" \
        "$tmp/dse_parallel/grid_${scale}_frontier.json" | head -n 40 >&2
+  exit 1
+fi
+
+# The challenger schemes add state the incumbent axes never exercise —
+# AddressStable store values for silent-store detection, per-line reuse
+# predictors for early copy-back. Their frontier must be just as much a
+# pure function of the space as the incumbents'.
+chal_axes='scheme=silent,reuse:4;interval=1M;bench=gzip'
+
+echo "==> exp explore grid (challengers) --scale $scale --jobs 1 --no-cache"
+./target/release/exp explore grid --scale "$scale" --axes "$chal_axes" \
+  --jobs 1 --no-cache --out "$tmp/chal_serial" > /dev/null 2> /dev/null
+
+echo "==> exp explore grid (challengers) --scale $scale --jobs $jobs --no-cache"
+./target/release/exp explore grid --scale "$scale" --axes "$chal_axes" \
+  --jobs "$jobs" --no-cache --out "$tmp/chal_parallel" > /dev/null 2> /dev/null
+
+if cmp -s "$tmp/chal_serial/grid_${scale}_frontier.json" \
+          "$tmp/chal_parallel/grid_${scale}_frontier.json" \
+   && cmp -s "$tmp/chal_serial/grid_${scale}.dse" \
+             "$tmp/chal_parallel/grid_${scale}.dse"; then
+  echo "==> challenger explore determinism: byte-identical (--jobs 1 vs --jobs $jobs, $scale)"
+else
+  echo "==> challenger explore determinism FAILED: frontier reports differ" >&2
+  diff "$tmp/chal_serial/grid_${scale}_frontier.json" \
+       "$tmp/chal_parallel/grid_${scale}_frontier.json" | head -n 40 >&2
   exit 1
 fi
 
